@@ -1,0 +1,43 @@
+// Ablation — How much does the vague zone buy under drifting EIDs?
+//
+// We fix a realistic localization noise (drifting EIDs near cell borders)
+// and sweep the vague-band width; practical-mode splitting is compared to
+// naively running the ideal algorithm on the same noisy data.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/report.hpp"
+
+int main() {
+  using namespace evm;
+  bench::PrintHeader(
+      "Ablation: vague zone vs localization noise",
+      "Drifting EIDs grow with the localization error sigma; the vague band\n"
+      "demotes error-prone border observations to 'uncertain' at the cost of\n"
+      "discarding some genuine presence evidence. 300 matched EIDs,\n"
+      "practical-setting splitting + refining.");
+
+  TextTable table({"noise sigma (m)", "vague width (m)", "accuracy",
+                   "undistinguished", "scenarios/EID"});
+  for (const double sigma : {0.0, 8.0, 16.0, 28.0}) {
+    for (const double width : {0.0, 12.0, 25.0}) {
+      DatasetConfig config = bench::PaperConfig();
+      config.e_noise_sigma_m = sigma;
+      config.vague_width_m = width;
+      const Dataset dataset = GenerateDataset(config);
+      const auto targets = SampleTargets(dataset, 300, bench::kTargetSeed);
+      MatcherConfig matcher = DefaultSsConfig(/*practical=*/true);
+      matcher.refine.min_majority = 0.75;
+      const RunSummary run = RunSs(dataset, targets, matcher);
+      table.AddRow({FormatDouble(sigma, 0), FormatDouble(width, 0),
+                    FormatPercent(run.accuracy),
+                    std::to_string(run.stats.undistinguished_eids),
+                    FormatDouble(run.stats.avg_scenarios_per_eid)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+// Shared setup for the paper-reproduction bench harnesses.
+//
+// PaperDataset() reproduces the evaluation setup of Sec. VI-A: 1000 human
+// objects with WiFi-MAC EIDs and appearance VIDs, a 1000 m x 1000 m region
+// of square cells, random-waypoint mobility. The density knob matches the
+// paper's "average number of human objects in each cell".
+
+#include <iostream>
+#include <string>
+
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm::bench {
+
+inline constexpr std::uint64_t kDatasetSeed = 2017;   // publication year
+inline constexpr std::uint64_t kTargetSeed = 1;
+inline constexpr double kDefaultDensity = 40.0;
+
+inline DatasetConfig PaperConfig(double density = kDefaultDensity,
+                                 std::uint64_t seed = kDatasetSeed) {
+  DatasetConfig config;
+  config.population = 1000;
+  config.region_size_m = 1000.0;
+  config.seed = seed;
+  config.SetDensity(density);
+  return config;
+}
+
+inline Dataset PaperDataset(double density = kDefaultDensity,
+                            std::uint64_t seed = kDatasetSeed) {
+  const DatasetConfig config = PaperConfig(density, seed);
+  std::cerr << "[dataset] population=" << config.population
+            << " density=" << config.Density() << " seed=" << seed
+            << " ... " << std::flush;
+  Dataset dataset = GenerateDataset(config);
+  std::cerr << dataset.e_scenarios.size() << " E-scenarios, "
+            << dataset.v_scenarios.size() << " V-scenarios\n";
+  return dataset;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n" << note << "\n\n";
+}
+
+}  // namespace evm::bench

@@ -1,0 +1,35 @@
+// Fig. 7 — Average number of selected scenarios per matched EID.
+//
+// Paper result: SS needs about one more scenario per EID than EDP (its
+// scenarios are chosen for shareability, not per-EID optimality), which is
+// the price it pays for the massive reuse shown in Figs. 5-6.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/report.hpp"
+
+int main() {
+  using namespace evm;
+  bench::PrintHeader("Figure 7: scenarios per matched EID",
+                     "Average scenario-list length per EID (E stage only).");
+  const Dataset dataset = bench::PaperDataset();
+
+  SeriesChart chart("Fig. 7", "matched EIDs", "scenarios per EID");
+  std::vector<double> xs, ss_series, edp_series;
+  for (std::size_t n = 100; n <= 900; n += 100) {
+    const auto targets = SampleTargets(dataset, n, bench::kTargetSeed);
+    const auto ss = RunSsEStage(dataset, targets, SplitConfig{});
+    const auto edp = RunEdpEStage(dataset, targets, EdpConfig{});
+    xs.push_back(static_cast<double>(n));
+    ss_series.push_back(ss.avg_scenarios_per_eid);
+    edp_series.push_back(edp.avg_scenarios_per_eid);
+  }
+  chart.SetXValues(xs);
+  chart.AddSeries("SS", ss_series);
+  chart.AddSeries("EDP", edp_series);
+  chart.Print(std::cout);
+  std::cout << "\nCSV:\n";
+  chart.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) for the hot operations of the pipeline:
+// observation rendering, feature extraction, feature distance, scenario-set
+// splitting, and the MapReduce shuffle.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/set_splitting.hpp"
+#include "mapreduce/engine.hpp"
+#include "vsense/appearance.hpp"
+#include "vsense/features.hpp"
+
+namespace evm {
+namespace {
+
+void BM_RenderObservation(benchmark::State& state) {
+  const auto apps = GenerateAppearances(1, MakeStream(1, "a"));
+  RenderParams params;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RenderObservation(apps[0], params, ++seed));
+  }
+}
+BENCHMARK(BM_RenderObservation);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  const auto apps = GenerateAppearances(1, MakeStream(2, "a"));
+  RenderParams rp;
+  const Image image = RenderObservation(apps[0], rp, 7);
+  FeatureParams fp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractFeatures(image, fp));
+  }
+}
+BENCHMARK(BM_ExtractFeatures);
+
+void BM_FeatureDistance(benchmark::State& state) {
+  const auto apps = GenerateAppearances(2, MakeStream(3, "a"));
+  RenderParams rp;
+  FeatureParams fp;
+  const FeatureVector a = ExtractFeatures(RenderObservation(apps[0], rp, 1), fp);
+  const FeatureVector b = ExtractFeatures(RenderObservation(apps[1], rp, 2), fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FeatureDistance(a, b));
+  }
+}
+BENCHMARK(BM_FeatureDistance);
+
+EScenarioSet RandomScenarioSet(std::size_t eids, std::size_t windows,
+                               std::size_t cells, std::uint64_t seed) {
+  EScenarioSet set(cells, 1);
+  Rng rng(seed);
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<std::vector<std::uint64_t>> members(cells);
+    for (std::uint64_t e = 0; e < eids; ++e) {
+      members[rng.NextBelow(cells)].push_back(e);
+    }
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      if (members[c].empty()) continue;
+      EScenario scenario;
+      scenario.id = set.IdFor(w, CellId{c});
+      scenario.cell = CellId{c};
+      scenario.window = TimeWindow{Tick{static_cast<std::int64_t>(w)},
+                                   Tick{static_cast<std::int64_t>(w) + 1}};
+      for (const std::uint64_t e : members[c]) {
+        scenario.entries.push_back({Eid{e}, EidAttr::kInclusive});
+      }
+      set.Add(std::move(scenario));
+    }
+  }
+  return set;
+}
+
+void BM_SetSplittingUniversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const EScenarioSet set = RandomScenarioSet(n, 64, 25, 11);
+  const auto universe = CollectUniverse(set);
+  SplitConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SetSplitter(set, config).Run(universe, universe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SetSplittingUniversal)->Arg(200)->Arg(1000);
+
+void BM_MapReduceShuffle(benchmark::State& state) {
+  mapreduce::MapReduceEngine engine(
+      {.workers = static_cast<std::size_t>(state.range(0))});
+  std::vector<std::uint64_t> inputs(100000);
+  for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = i;
+  for (auto _ : state) {
+    auto out = engine.Run<std::uint64_t, std::uint64_t, std::uint64_t>(
+        "bench", inputs, 8,
+        [](const std::uint64_t& v,
+           mapreduce::Emitter<std::uint64_t, std::uint64_t>& emit) {
+          emit(v % 1024, v);
+        },
+        [](const std::uint64_t& k, std::vector<std::uint64_t>&& vs,
+           std::vector<std::uint64_t>& out) {
+          out.push_back(k + vs.size());
+        });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.size()));
+}
+BENCHMARK(BM_MapReduceShuffle)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace evm
+
+BENCHMARK_MAIN();

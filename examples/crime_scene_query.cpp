@@ -1,0 +1,86 @@
+// Crime-scene query — the paper's motivating scenario (Sec. I):
+//
+//   "A crime happened and the police have the EIDs appearing around the
+//    crime scene when it occurred. They want to figure out the activities
+//    of these EIDs' holders in surveillance videos over previous months in
+//    order to find the suspects."
+//
+// This example builds a city-block dataset, picks the EIDs that were heard
+// near a chosen cell at a chosen time (the crime scene), and matches just
+// those EIDs to their visual identities — demonstrating the elastic
+// matching size: the price is paid only for the suspects, not the city.
+
+#include <iostream>
+
+#include "common/ids.hpp"
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/experiment.hpp"
+
+int main() {
+  using namespace evm;
+
+  DatasetConfig config;
+  config.population = 600;
+  config.ticks = 1200;
+  config.seed = 77;
+  std::cout << "Simulating a monitored district ("
+            << config.population << " people)...\n";
+  const Dataset dataset = GenerateDataset(config);
+
+  // --- the incident -------------------------------------------------------
+  // Crime scene: whichever cell scenario existed at window 30, cell 12.
+  const ScenarioId scene_id = dataset.e_scenarios.IdFor(30, CellId{12});
+  const EScenario* scene = dataset.e_scenarios.Find(scene_id);
+  if (scene == nullptr) {
+    std::cout << "No one was at the chosen scene — rerun with another seed\n";
+    return 0;
+  }
+  std::vector<Eid> suspects;
+  for (const EidEntry& entry : scene->entries) {
+    if (entry.attr == EidAttr::kInclusive) suspects.push_back(entry.eid);
+  }
+  std::cout << "\nCrime scene: cell 12, window 30 — " << suspects.size()
+            << " devices were heard nearby:\n";
+  for (const Eid eid : suspects) {
+    std::cout << "  " << ToMacAddress(eid) << "\n";
+  }
+
+  // --- match only the suspects -------------------------------------------
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    DefaultSsConfig());
+  const MatchReport report = matcher.Match(suspects);
+
+  std::cout << "\nMatched the suspects' EIDs to visual identities using "
+            << report.stats.distinct_scenarios
+            << " scenarios (E stage " << report.stats.e_stage_seconds
+            << " s, V stage " << report.stats.v_stage_seconds << " s):\n";
+  for (const MatchResult& result : report.results) {
+    std::cout << "  " << ToMacAddress(result.eid) << " -> ";
+    if (result.resolved) {
+      std::cout << "VID #" << result.reported_vid.value() << "  (confidence "
+                << result.confidence << ", "
+                << (IsCorrectMatch(result, dataset.truth) ? "correct"
+                                                          : "WRONG")
+                << ")\n";
+    } else {
+      std::cout << "<unresolved>\n";
+    }
+  }
+  std::cout << "\nWith the VIDs in hand, the police can now pull every "
+               "appearance of each\nsuspect from the video archive instead "
+               "of scrubbing footage manually.\n";
+  std::cout << "Accuracy on this query: "
+            << MatchAccuracy(report.results, dataset.truth) * 100.0 << "%\n";
+
+  // --- single-suspect follow-up -------------------------------------------
+  if (!suspects.empty()) {
+    const MatchReport one = matcher.MatchOne(suspects.front());
+    std::cout << "\nFollow-up single-EID query for "
+              << ToMacAddress(suspects.front()) << " reused the cached "
+              << "features: only " << one.stats.features_extracted
+              << " new extractions.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fused investigation — querying the merged EV dataset (paper Sec. I):
+//
+//   "With this matching, we are further able to fuse these two big and
+//    heterogeneous datasets, and retrieve the E and V information for a
+//    person at the same time with one single query."
+//
+// This example runs universal matching once, builds the fused EvIndex, and
+// then answers the kinds of questions an investigator actually asks:
+// where was this device's holder at 14:03, in which videos do they appear,
+// who else was repeatedly near them?
+
+#include <iostream>
+#include <map>
+
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/trace_io.hpp"
+#include "fusion/ev_index.hpp"
+#include "metrics/experiment.hpp"
+
+int main() {
+  using namespace evm;
+
+  DatasetConfig config;
+  config.population = 400;
+  config.ticks = 1000;
+  config.seed = 8;
+  std::cout << "Generating district dataset and running universal matching...\n";
+  const Dataset dataset = GenerateDataset(config);
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    DefaultSsConfig());
+  const MatchReport report = matcher.MatchUniversal();
+
+  const EvIndex index(report, dataset.e_log, dataset.e_scenarios,
+                      dataset.v_scenarios, dataset.grid);
+  std::cout << "Fused EV index over " << index.size() << " identities.\n";
+
+  const Eid person_of_interest = dataset.AllEids()[42];
+  std::cout << "\nPerson of interest: " << ToMacAddress(person_of_interest)
+            << "\n";
+
+  // 1. Cross-modal lookup.
+  const FusedIdentity* identity = index.ByEid(person_of_interest);
+  if (identity == nullptr) {
+    std::cout << "  not matched — rerun with another seed\n";
+    return 0;
+  }
+  std::cout << "  linked visual identity: VID #" << identity->vid.value()
+            << " (confidence " << identity->confidence << ")\n";
+
+  // 2. Whereabouts at a specific time.
+  const Tick when{500};
+  if (const auto cell = index.WhereAbouts(person_of_interest, when)) {
+    std::cout << "  at tick " << when.value << " they were in cell "
+              << cell->value() << "\n";
+  }
+
+  // 3. Video appearances.
+  const auto appearances = index.AppearancesOf(person_of_interest);
+  std::cout << "  confirmed on camera in " << appearances.size()
+            << " scenarios:";
+  for (const ScenarioId id : appearances) std::cout << " " << id.value();
+  std::cout << "\n";
+
+  // 4. Frequent companions (recurring co-locations).
+  std::map<std::uint64_t, int> companions;
+  for (const Encounter& encounter : index.Encounters(person_of_interest)) {
+    ++companions[encounter.b.value()];
+  }
+  std::cout << "  most frequent companions:\n";
+  std::multimap<int, std::uint64_t, std::greater<>> ranked;
+  for (const auto& [eid, count] : companions) ranked.emplace(count, eid);
+  int shown = 0;
+  for (const auto& [count, eid] : ranked) {
+    std::cout << "    " << ToMacAddress(Eid{eid}) << "  (" << count
+              << " shared cell-windows)\n";
+    if (++shown == 3) break;
+  }
+
+  // 5. Export the match table for downstream tooling.
+  std::cout << "\nFirst lines of the exported match table:\n";
+  std::ostringstream csv;
+  WriteMatchReportCsv(report, csv);
+  std::istringstream head(csv.str());
+  std::string line;
+  for (int i = 0; i < 4 && std::getline(head, line); ++i) {
+    std::cout << "  " << line << "\n";
+  }
+  return 0;
+}

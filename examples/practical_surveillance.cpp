@@ -1,0 +1,59 @@
+// Practical-setting surveillance — drifting EIDs, device-less people and
+// missed detections all at once (paper Sec. IV-C).
+//
+// The ideal algorithm assumes E and V observations of a person always land
+// in the same EV-Scenario. Real deployments violate that: localization
+// noise drifts EIDs into neighbouring cells, some people carry no device,
+// and detectors miss people. This example runs the same noisy world through
+// (a) the ideal-setting algorithm and (b) the practical-setting algorithm
+// (vague zones + matching refining), showing what the practical machinery
+// buys.
+
+#include <iostream>
+
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+
+int main() {
+  using namespace evm;
+
+  DatasetConfig config;
+  config.population = 600;
+  config.ticks = 1200;
+  config.seed = 99;
+  // Practical-world imperfections:
+  config.e_noise_sigma_m = 8.0;   // drifting EIDs near cell borders
+  config.vague_width_m = 12.0;    // vague band for the practical algorithm
+  config.e_missing_rate = 0.15;   // 15% of people carry no device
+  config.v_missing_rate = 0.03;   // 3% detector miss rate
+  std::cout << "Simulating a noisy deployment: 8 m localization error, 15% "
+               "device-less people,\n3% missed detections...\n";
+  const Dataset dataset = GenerateDataset(config);
+
+  const auto targets = SampleTargets(dataset, 200, 1);
+
+  // (a) ideal-setting algorithm on noisy data
+  const RunSummary ideal = RunSs(dataset, targets, DefaultSsConfig(false));
+
+  // (b) practical setting: vague-aware splitting + matching refining
+  MatcherConfig practical_config = DefaultSsConfig(/*practical=*/true);
+  practical_config.refine.max_rounds = 2;
+  practical_config.refine.min_majority = 0.75;
+  const RunSummary practical = RunSs(dataset, targets, practical_config);
+
+  std::cout << "\n                    ideal setting   practical setting\n";
+  std::cout << "  accuracy          " << ideal.accuracy * 100.0 << "%        "
+            << practical.accuracy * 100.0 << "%\n";
+  std::cout << "  undistinguished   " << ideal.stats.undistinguished_eids
+            << "              " << practical.stats.undistinguished_eids
+            << "\n";
+  std::cout << "  refine rounds     " << ideal.stats.refine_rounds
+            << "              " << practical.stats.refine_rounds << "\n";
+  std::cout << "  scenarios/EID     " << ideal.stats.avg_scenarios_per_eid
+            << "           " << practical.stats.avg_scenarios_per_eid << "\n";
+  std::cout << "\nThe vague zone absorbs drifted observations (they can no "
+               "longer split a set\nwrongly) and refining retries the EIDs "
+               "whose votes disagreed.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// Error handling utilities. Invariant violations throw evm::Error with a
+// formatted message; EVM_CHECK is used at module boundaries where invalid
+// input is a programming error on the caller's side.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace evm {
+
+/// Base exception for all EV-Matching library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line,
+                                           const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace evm
+
+/// Throws evm::Error when `expr` is false. Always enabled (not an assert):
+/// these guard the public API against misuse.
+#define EVM_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::evm::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                  \
+  } while (false)
+
+#define EVM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::evm::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,34 @@
+#pragma once
+// Hash helpers shared by the MapReduce partitioner and container keys.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace evm {
+
+/// Boost-style hash combiner.
+inline void HashCombine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// 64-bit finalizer (MurmurHash3 fmix64) — used by the shuffle partitioner so
+/// that consecutive integer keys spread uniformly across reducers.
+constexpr std::uint64_t Mix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash of a vector of 64-bit values (order-sensitive).
+inline std::size_t HashU64Vector(const std::vector<std::uint64_t>& v) noexcept {
+  std::size_t seed = 0x2545f4914f6cdd1dULL;
+  for (auto x : v) HashCombine(seed, static_cast<std::size_t>(Mix64(x)));
+  return seed;
+}
+
+}  // namespace evm

@@ -1,0 +1,37 @@
+#include "common/ids.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace evm {
+
+std::string ToMacAddress(Eid eid) {
+  // Locally administered (bit 1 of first octet set), unicast. The low 40 bits
+  // of the id are spread over the remaining five octets.
+  const std::uint64_t v = eid.value();
+  std::array<unsigned, 6> octets{
+      0x02u,
+      static_cast<unsigned>((v >> 32) & 0xFFu),
+      static_cast<unsigned>((v >> 24) & 0xFFu),
+      static_cast<unsigned>((v >> 16) & 0xFFu),
+      static_cast<unsigned>((v >> 8) & 0xFFu),
+      static_cast<unsigned>(v & 0xFFu)};
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return std::string(buf);
+}
+
+Eid EidFromMacAddress(const std::string& mac) {
+  unsigned o[6];
+  if (std::sscanf(mac.c_str(), "%2x:%2x:%2x:%2x:%2x:%2x", &o[0], &o[1], &o[2],
+                  &o[3], &o[4], &o[5]) != 6) {
+    throw std::invalid_argument("malformed MAC address: " + mac);
+  }
+  std::uint64_t v = 0;
+  for (int i = 1; i < 6; ++i) v = (v << 8) | (o[i] & 0xFFu);
+  return Eid{v};
+}
+
+}  // namespace evm

@@ -1,0 +1,84 @@
+#pragma once
+// Strongly-typed identifiers used across the EV-Matching system.
+//
+// Every entity in the pipeline (person, electronic identity, visual identity,
+// grid cell, scenario) gets its own integral ID type so that e.g. an Eid can
+// never be silently passed where a Vid is expected. The underlying value is a
+// 64-bit integer; EIDs additionally render as IEEE-802 WiFi MAC addresses,
+// mirroring the paper's use of WiFi MACs as electronic identities.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace evm {
+
+/// A zero-cost strongly-typed wrapper around a 64-bit identifier.
+/// `Tag` is an empty struct that makes each instantiation a distinct type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  /// Sentinel for "no identity"; default-constructed IDs are invalid.
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(underlying_type value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  underlying_type value_{kInvalid};
+};
+
+/// A physical human being in the simulated world (ground truth only; the
+/// matching algorithms never see PersonIds).
+struct PersonTag {};
+using PersonId = StrongId<PersonTag>;
+
+/// Electronic identity: the stable radio identifier of a carried device
+/// (the paper uses WiFi MAC addresses; IMSI / Bluetooth IDs are analogous).
+struct EidTag {};
+using Eid = StrongId<EidTag>;
+
+/// Visual identity: a person's appearance identity as extracted from video.
+struct VidTag {};
+using Vid = StrongId<VidTag>;
+
+/// A grid cell of the surveilled region (one "scenario" area, Fig. 1).
+struct CellTag {};
+using CellId = StrongId<CellTag>;
+
+/// A unique EV-Scenario instance (cell x time window snapshot).
+struct ScenarioTag {};
+using ScenarioId = StrongId<ScenarioTag>;
+
+/// Renders an Eid as a locally-administered unicast WiFi MAC address,
+/// e.g. Eid{0x1234} -> "02:00:00:00:12:34".
+[[nodiscard]] std::string ToMacAddress(Eid eid);
+
+/// Parses a MAC address of the form produced by ToMacAddress back into an
+/// Eid. Throws std::invalid_argument on malformed input.
+[[nodiscard]] Eid EidFromMacAddress(const std::string& mac);
+
+}  // namespace evm
+
+namespace std {
+template <typename Tag>
+struct hash<evm::StrongId<Tag>> {
+  size_t operator()(evm::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

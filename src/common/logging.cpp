@@ -1,0 +1,18 @@
+#include "common/logging.hpp"
+
+namespace evm {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::clog << "[" << kNames[static_cast<int>(level)] << "] " << message
+            << '\n';
+}
+
+}  // namespace evm

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal leveled logger. Defaults to Warning so library code is silent in
+// tests and benches; examples raise the level to Info for narration.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace evm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarning};
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace evm
+
+#define EVM_LOG(level) ::evm::detail::LogLine(::evm::LogLevel::level)
+#define EVM_DEBUG EVM_LOG(kDebug)
+#define EVM_INFO EVM_LOG(kInfo)
+#define EVM_WARN EVM_LOG(kWarning)
+#define EVM_ERROR EVM_LOG(kError)

@@ -1,0 +1,106 @@
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EVM_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  EVM_CHECK_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_label,
+                         std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SeriesChart::SetXValues(std::vector<double> xs) { xs_ = std::move(xs); }
+
+void SeriesChart::AddSeries(std::string name, std::vector<double> ys) {
+  EVM_CHECK_MSG(ys.size() == xs_.size(), "series length != x-axis length");
+  series_.emplace_back(std::move(name), std::move(ys));
+}
+
+void SeriesChart::Print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  os << "(" << y_label_ << " vs " << x_label_ << ")\n";
+  TextTable table([&] {
+    std::vector<std::string> header{x_label_};
+    for (const auto& [name, ys] : series_) header.push_back(name);
+    return header;
+  }());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row{FormatDouble(xs_[i], 0)};
+    for (const auto& [name, ys] : series_) row.push_back(FormatDouble(ys[i]));
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+void SeriesChart::PrintCsv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& [name, ys] : series_) os << "," << name;
+  os << "\n";
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    os << FormatDouble(xs_[i], 4);
+    for (const auto& [name, ys] : series_) os << "," << FormatDouble(ys[i], 6);
+    os << "\n";
+  }
+}
+
+std::string FormatDouble(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string FormatPercent(double ratio, int decimals) {
+  return FormatDouble(ratio * 100.0, decimals) + "%";
+}
+
+}  // namespace evm

@@ -1,0 +1,57 @@
+#pragma once
+// Experiment reporting: aligned text tables (matching the layout of the
+// paper's Tables I/II) and named data series (matching Figs. 5-11), with a
+// CSV dump alongside so results can be re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace evm {
+
+/// A rectangular table: one header row plus data rows of equal width.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting — cells must not contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A figure-style collection of named series sharing one x-axis.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::string x_label, std::string y_label);
+
+  void SetXValues(std::vector<double> xs);
+  void AddSeries(std::string name, std::vector<double> ys);
+
+  /// Prints the chart as a table: one x column, one column per series.
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<double> xs_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string FormatDouble(double v, int decimals = 2);
+
+/// Formats a ratio in [0,1] as a percentage string, e.g. "92.42%".
+[[nodiscard]] std::string FormatPercent(double ratio, int decimals = 2);
+
+}  // namespace evm

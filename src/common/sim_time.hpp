@@ -1,0 +1,45 @@
+#pragma once
+// Simulation time. The surveillance world advances in discrete ticks; one
+// tick is one sensing sample interval (both the E side and the V side sample
+// on the same clock, which is what lets EV-Scenarios pair up). A TimeWindow
+// is the half-open tick range over which one EV-Scenario aggregates
+// observations (the paper's "certain period of time", Sec. IV-C2).
+
+#include <compare>
+#include <cstdint>
+
+namespace evm {
+
+/// A discrete simulation instant, measured in ticks since the epoch.
+struct Tick {
+  std::int64_t value{0};
+
+  friend constexpr auto operator<=>(Tick, Tick) noexcept = default;
+  constexpr Tick& operator+=(std::int64_t d) noexcept {
+    value += d;
+    return *this;
+  }
+  friend constexpr Tick operator+(Tick t, std::int64_t d) noexcept {
+    return Tick{t.value + d};
+  }
+  friend constexpr std::int64_t operator-(Tick a, Tick b) noexcept {
+    return a.value - b.value;
+  }
+};
+
+/// Half-open range of ticks [begin, end).
+struct TimeWindow {
+  Tick begin{};
+  Tick end{};
+
+  [[nodiscard]] constexpr std::int64_t length() const noexcept {
+    return end - begin;
+  }
+  [[nodiscard]] constexpr bool Contains(Tick t) const noexcept {
+    return begin <= t && t < end;
+  }
+  friend constexpr bool operator==(const TimeWindow&,
+                                   const TimeWindow&) noexcept = default;
+};
+
+}  // namespace evm

@@ -1,0 +1,54 @@
+#pragma once
+// Wall-clock stopwatch used by the metrics layer to attribute pipeline time
+// to the E stage vs the V stage (Figs. 8-9 report measured wall time).
+
+#include <chrono>
+
+namespace evm {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void Reset() noexcept { start_ = clock::now(); }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates wall time across multiple disjoint intervals; used to sum the
+/// time spent in one pipeline stage over many iterations.
+class StageTimer {
+ public:
+  void Start() noexcept { watch_.Reset(); }
+  void Stop() noexcept { total_ += watch_.ElapsedSeconds(); }
+  [[nodiscard]] double TotalSeconds() const noexcept { return total_; }
+  void Clear() noexcept { total_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_{0.0};
+};
+
+/// RAII guard that charges its lifetime to a StageTimer.
+class ScopedStage {
+ public:
+  explicit ScopedStage(StageTimer& timer) noexcept : timer_(timer) {
+    timer_.Start();
+  }
+  ~ScopedStage() { timer_.Stop(); }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimer& timer_;
+};
+
+}  // namespace evm

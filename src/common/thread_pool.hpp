@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-size thread pool. This is the execution substrate of the MapReduce
+// engine (src/mapreduce): map/reduce/merge tasks are submitted as jobs and
+// the pool plays the role of the paper's cluster worker machines.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace evm {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1). Pass 0 to use the hardware
+  /// concurrency (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves with the task's result
+  /// (or its exception).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::Submit after shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// complete. Rethrows the first task exception encountered.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_{false};
+};
+
+}  // namespace evm

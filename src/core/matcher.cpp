@@ -1,0 +1,180 @@
+#include "core/matcher.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace evm {
+
+EvMatcher::EvMatcher(const EScenarioSet& e_scenarios,
+                     const VScenarioSet& v_scenarios,
+                     const VisualOracle& oracle, MatcherConfig config)
+    : e_scenarios_(e_scenarios),
+      v_scenarios_(v_scenarios),
+      config_(config),
+      universe_(CollectUniverse(e_scenarios)),
+      gallery_(oracle) {
+  if (config_.execution == ExecutionMode::kMapReduce) {
+    EVM_CHECK_MSG(config_.split.mode == SplitMode::kWindowSignature,
+                  "MapReduce execution requires the window-signature mode");
+    engine_ = std::make_unique<mapreduce::MapReduceEngine>(config_.engine);
+  }
+}
+
+SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
+                                 std::uint64_t seed) const {
+  SplitConfig split = config_.split;
+  split.seed = seed;
+  if (engine_ != nullptr) {
+    return ParallelSetSplitter(e_scenarios_, split, *engine_)
+        .Run(universe_, targets);
+  }
+  return SetSplitter(e_scenarios_, split).Run(universe_, targets);
+}
+
+void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
+                          std::vector<MatchResult>& results,
+                          MatchStats& stats) {
+  results.resize(lists.size());
+  if (engine_ == nullptr) {
+    VidFilterCounters counters;
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
+                             config_.filter);
+    }
+    stats.feature_comparisons += counters.feature_comparisons;
+    return;
+  }
+
+  // Parallel V stage (paper Sec. V-C).
+  // Stage 1: fan feature extraction out across mappers, one task per
+  // distinct selected scenario; results land in the shared gallery (the
+  // "distributed storage" of the paper).
+  std::unordered_set<std::uint64_t> distinct;
+  for (const EidScenarioList& list : lists) {
+    for (const ScenarioId id : list.scenarios) distinct.insert(id.value());
+  }
+  std::vector<std::uint64_t> scenario_ids(distinct.begin(), distinct.end());
+  std::sort(scenario_ids.begin(), scenario_ids.end());
+  const std::size_t reducers = std::max<std::size_t>(1, engine_->workers());
+  engine_->Run<std::uint64_t, std::uint64_t, std::uint64_t>(
+      "ev-extract-features", scenario_ids, reducers,
+      [this](const std::uint64_t& id,
+             mapreduce::Emitter<std::uint64_t, std::uint64_t>& emit) {
+        const VScenario* scenario = v_scenarios_.Find(ScenarioId{id});
+        if (scenario == nullptr || scenario->observations.empty()) return;
+        emit(id, gallery_.Features(*scenario).size());
+      },
+      [](const std::uint64_t&, std::vector<std::uint64_t>&&,
+         std::vector<std::uint64_t>&) {});
+
+  // Stage 2: per-EID feature comparison, one map task per EID — each EID's
+  // selected V-Scenarios are conveyed to the same worker.
+  std::mutex counters_mutex;
+  VidFilterCounters total;
+  engine_->pool().ParallelFor(lists.size(), [&](std::size_t i) {
+    VidFilterCounters counters;
+    results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
+                             config_.filter);
+    std::lock_guard<std::mutex> lock(counters_mutex);
+    total.feature_comparisons += counters.feature_comparisons;
+    total.scenarios_processed += counters.scenarios_processed;
+  });
+  stats.feature_comparisons += total.feature_comparisons;
+}
+
+MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
+  MatchReport report;
+  StageTimer e_timer;
+  StageTimer v_timer;
+  const std::uint64_t extracted_before = gallery_.ExtractionCount();
+
+  SplitOutcome outcome;
+  {
+    ScopedStage stage(e_timer);
+    outcome = RunSplit(targets, config_.split.seed);
+  }
+  report.stats.splitting_iterations = outcome.windows_consumed;
+  {
+    ScopedStage stage(v_timer);
+    RunFilter(outcome.lists, report.results, report.stats);
+  }
+
+  // Matching refining (Algorithm 2): re-split and re-filter the EIDs whose
+  // result is not acceptable, over a fresh window order.
+  if (config_.refine.enabled) {
+    for (std::size_t round = 1; round <= config_.refine.max_rounds; ++round) {
+      std::vector<std::size_t> pending;
+      for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const MatchResult& r = report.results[i];
+        if (!r.resolved ||
+            r.majority_fraction <= config_.refine.min_majority) {
+          pending.push_back(i);
+        }
+      }
+      if (pending.empty()) break;
+      std::vector<Eid> retry;
+      retry.reserve(pending.size());
+      for (const std::size_t i : pending) retry.push_back(targets[i]);
+
+      SplitOutcome retry_outcome;
+      {
+        ScopedStage stage(e_timer);
+        retry_outcome = RunSplit(
+            retry, config_.split.seed + 0x9e3779b9ULL * round);
+      }
+      std::vector<MatchResult> retry_results;
+      {
+        ScopedStage stage(v_timer);
+        RunFilter(retry_outcome.lists, retry_results, report.stats);
+      }
+      ++report.stats.refine_rounds;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        MatchResult& old_result = report.results[pending[k]];
+        const MatchResult& new_result = retry_results[k];
+        const bool better =
+            new_result.resolved &&
+            (!old_result.resolved ||
+             new_result.majority_fraction > old_result.majority_fraction ||
+             (new_result.majority_fraction == old_result.majority_fraction &&
+              new_result.confidence > old_result.confidence));
+        if (better) {
+          old_result = new_result;
+          outcome.lists[pending[k]] = retry_outcome.lists[k];
+        }
+      }
+    }
+  }
+
+  // Final statistics over the lists that produced the reported results.
+  std::unordered_set<std::uint64_t> distinct;
+  std::size_t total_length = 0;
+  std::size_t undistinguished = 0;
+  for (const EidScenarioList& list : outcome.lists) {
+    total_length += list.scenarios.size();
+    if (!list.distinguished) ++undistinguished;
+    for (const ScenarioId id : list.scenarios) distinct.insert(id.value());
+  }
+  report.stats.distinct_scenarios = distinct.size();
+  report.stats.avg_scenarios_per_eid =
+      outcome.lists.empty()
+          ? 0.0
+          : static_cast<double>(total_length) /
+                static_cast<double>(outcome.lists.size());
+  report.stats.undistinguished_eids = undistinguished;
+  report.stats.e_stage_seconds = e_timer.TotalSeconds();
+  report.stats.v_stage_seconds = v_timer.TotalSeconds();
+  report.stats.features_extracted =
+      gallery_.ExtractionCount() - extracted_before;
+  report.scenario_lists = std::move(outcome.lists);
+  return report;
+}
+
+MatchReport EvMatcher::MatchOne(Eid eid) { return Match({eid}); }
+
+MatchReport EvMatcher::MatchUniversal() { return Match(universe_); }
+
+}  // namespace evm

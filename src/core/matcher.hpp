@@ -1,0 +1,93 @@
+#pragma once
+// EvMatcher — the public facade of the EV-Matching system.
+//
+// Supports the paper's elastic matching sizes: MatchOne (a single suspect's
+// EID), Match (any subset) and MatchUniversal (label every EID in the
+// dataset). Execution is either sequential or parallel; the parallel mode
+// runs EID set splitting as the MapReduce workflow of Sec. V-B and fans the
+// V stage out across the engine's workers (feature extraction per scenario,
+// then per-EID comparison), per Sec. V-C.
+//
+// The feature gallery persists across calls, so after a universal matching
+// run subsequent queries are answered almost entirely from cached features —
+// the "after universal labeling, future queries are more efficient"
+// behaviour the paper describes.
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_split.hpp"
+#include "core/set_splitting.hpp"
+#include "core/types.hpp"
+#include "core/vid_filter.hpp"
+#include "mapreduce/engine.hpp"
+#include "vsense/gallery.hpp"
+#include "vsense/v_scenario.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm {
+
+/// Matching-refining policy (paper Algorithm 2). A result is acceptable
+/// when it is resolved and a strict majority of its scenarios agree on one
+/// VID; otherwise the EID is re-queued for another splitting pass over
+/// fresh scenarios, up to max_rounds.
+struct RefineConfig {
+  bool enabled{false};
+  std::size_t max_rounds{2};
+  double min_majority{0.5};
+};
+
+enum class ExecutionMode {
+  kSequential,
+  kMapReduce,
+};
+
+struct MatcherConfig {
+  SplitConfig split{};
+  VidFilterOptions filter{};
+  RefineConfig refine{};
+  ExecutionMode execution{ExecutionMode::kSequential};
+  /// Engine options for ExecutionMode::kMapReduce.
+  mapreduce::EngineOptions engine{};
+};
+
+class EvMatcher {
+ public:
+  /// The scenario sets and oracle must outlive the matcher.
+  EvMatcher(const EScenarioSet& e_scenarios, const VScenarioSet& v_scenarios,
+            const VisualOracle& oracle, MatcherConfig config);
+
+  /// Matches every EID of `targets` (must appear in the E data).
+  [[nodiscard]] MatchReport Match(const std::vector<Eid>& targets);
+
+  /// Single-EID matching.
+  [[nodiscard]] MatchReport MatchOne(Eid eid);
+
+  /// Universal matching: every EID in the dataset gets labeled.
+  [[nodiscard]] MatchReport MatchUniversal();
+
+  /// The EID universe extracted from the E-Scenario set (sorted).
+  [[nodiscard]] const std::vector<Eid>& Universe() const noexcept {
+    return universe_;
+  }
+
+  /// The persistent feature cache (shared across Match calls).
+  [[nodiscard]] const FeatureGallery& gallery() const noexcept {
+    return gallery_;
+  }
+
+ private:
+  [[nodiscard]] SplitOutcome RunSplit(const std::vector<Eid>& targets,
+                                      std::uint64_t seed) const;
+  void RunFilter(const std::vector<EidScenarioList>& lists,
+                 std::vector<MatchResult>& results, MatchStats& stats);
+
+  const EScenarioSet& e_scenarios_;
+  const VScenarioSet& v_scenarios_;
+  MatcherConfig config_;
+  std::vector<Eid> universe_;
+  FeatureGallery gallery_;
+  std::unique_ptr<mapreduce::MapReduceEngine> engine_;  // kMapReduce only
+};
+
+}  // namespace evm

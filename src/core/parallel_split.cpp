@@ -1,0 +1,241 @@
+#include "core/parallel_split.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace evm {
+namespace {
+
+struct DriverBlock {
+  std::vector<std::uint32_t> members;  // uidx into the sorted universe
+  std::vector<ScenarioId> history;
+  bool has_target{false};
+};
+
+/// One "EID set" fed to the map stage: a partition block or an E-Scenario.
+struct EidSetInput {
+  std::uint64_t set_id;
+  std::vector<std::uint64_t> members;  // uidx values
+};
+
+}  // namespace
+
+ParallelSetSplitter::ParallelSetSplitter(const EScenarioSet& scenarios,
+                                         SplitConfig config,
+                                         mapreduce::MapReduceEngine& engine)
+    : scenarios_(scenarios), config_(config), engine_(engine) {
+  EVM_CHECK_MSG(config.mode == SplitMode::kWindowSignature,
+                "the MapReduce driver implements the window-signature mode");
+}
+
+SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
+                                      const std::vector<Eid>& targets) const {
+  EVM_CHECK_MSG(!universe.empty(), "empty EID universe");
+  EVM_CHECK_MSG(!targets.empty(), "no target EIDs");
+  EVM_CHECK_MSG(std::is_sorted(universe.begin(), universe.end()),
+                "universe must be sorted");
+
+  std::unordered_map<std::uint64_t, std::uint32_t> uidx_of;
+  uidx_of.reserve(universe.size());
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    uidx_of.emplace(universe[i].value(), i);
+  }
+  std::vector<char> is_target(universe.size(), 0);
+  std::vector<std::uint32_t> target_uidx;
+  for (const Eid target : targets) {
+    const auto it = uidx_of.find(target.value());
+    EVM_CHECK_MSG(it != uidx_of.end(), "target EID not in universe");
+    is_target[it->second] = 1;
+    target_uidx.push_back(it->second);
+  }
+
+  std::vector<DriverBlock> blocks;
+  {
+    DriverBlock root;
+    root.members.resize(universe.size());
+    for (std::uint32_t i = 0; i < universe.size(); ++i) root.members[i] = i;
+    root.has_target = true;
+    blocks.push_back(std::move(root));
+  }
+  std::vector<std::uint32_t> block_of(universe.size(), 0);
+  std::unordered_set<std::uint64_t> recorded;
+
+  // Same seeded window permutation as the sequential splitter.
+  std::vector<std::size_t> window_order(scenarios_.window_count());
+  for (std::size_t i = 0; i < window_order.size(); ++i) window_order[i] = i;
+  Rng order_rng = MakeStream(config_.seed, "window-order");
+  for (std::size_t i = window_order.size(); i > 1; --i) {
+    std::swap(window_order[i - 1], window_order[order_rng.NextBelow(i)]);
+  }
+  if (config_.max_windows > 0 && window_order.size() > config_.max_windows) {
+    window_order.resize(config_.max_windows);
+  }
+
+  const std::size_t reducers = std::max<std::size_t>(1, engine_.workers());
+  SplitOutcome outcome;
+
+  for (const std::size_t window : window_order) {
+    // ---- preprocess ----
+    // Participating blocks: multi-member blocks holding a target; only
+    // their members may be refined this iteration.
+    std::vector<char> eligible(universe.size(), 0);
+    std::vector<EidSetInput> inputs;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const DriverBlock& block = blocks[b];
+      if (block.members.size() <= 1 || !block.has_target) continue;
+      EidSetInput input;
+      input.set_id = b;
+      input.members.reserve(block.members.size());
+      for (const std::uint32_t m : block.members) {
+        eligible[m] = 1;
+        input.members.push_back(m);
+      }
+      inputs.push_back(std::move(input));
+    }
+    if (inputs.empty()) break;  // every target isolated
+
+    bool any_scenario = false;
+    for (const EScenario* scenario : scenarios_.AtWindow(window)) {
+      bool relevant = false;
+      for (const EidEntry& entry : scenario->entries) {
+        const auto it = uidx_of.find(entry.eid.value());
+        if (it != uidx_of.end() && is_target[it->second]) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) continue;
+      EidSetInput input;
+      input.set_id = kScenarioIdOffset + scenario->id.value();
+      for (const EidEntry& entry : scenario->entries) {
+        // Presence signatures always require inclusive evidence (see the
+        // sequential splitter).
+        if (entry.attr == EidAttr::kVague) continue;
+        const auto it = uidx_of.find(entry.eid.value());
+        if (it == uidx_of.end() || !eligible[it->second]) continue;
+        input.members.push_back(it->second);
+      }
+      if (input.members.empty()) continue;
+      any_scenario = true;
+      inputs.push_back(std::move(input));
+    }
+    if (!any_scenario) continue;
+    ++outcome.windows_consumed;
+
+    // ---- map + reduce: eid -> sorted list of set ids holding it ----
+    using SetIdList = std::vector<std::uint64_t>;
+    auto eid_sets = engine_.Run<std::uint64_t, std::uint64_t,
+                                std::pair<SetIdList, std::uint64_t>>(
+        "ev-split-window-" + std::to_string(window), inputs, reducers,
+        [](const EidSetInput& input,
+           mapreduce::Emitter<std::uint64_t, std::uint64_t>& emit) {
+          for (const std::uint64_t member : input.members) {
+            emit(member, input.set_id);
+          }
+        },
+        [](const std::uint64_t& eid, std::vector<std::uint64_t>&& set_ids,
+           std::vector<std::pair<SetIdList, std::uint64_t>>& out) {
+          std::sort(set_ids.begin(), set_ids.end());
+          out.emplace_back(std::move(set_ids), eid);
+        });
+
+    // ---- merge: group EIDs by identical set-id list ----
+    auto merged = engine_.GroupBy<SetIdList, std::uint64_t>(
+        "ev-merge-window-" + std::to_string(window), eid_sets, reducers,
+        [](const std::pair<SetIdList, std::uint64_t>& record,
+           mapreduce::Emitter<SetIdList, std::uint64_t>& emit) {
+          emit(record.first, record.second);
+        });
+
+    // ---- apply the refined partition ----
+    // Group the merge output by parent block; a parent refines iff it has
+    // more than one signature group.
+    std::unordered_map<std::uint64_t,
+                       std::vector<const std::pair<SetIdList, SetIdList>*>>
+        by_parent;
+    // Re-shape for stable processing: (setids, members) sorted by setids.
+    std::vector<std::pair<SetIdList, SetIdList>> groups;
+    groups.reserve(merged.size());
+    for (auto& [set_ids, members] : merged) {
+      std::sort(members.begin(), members.end());
+      groups.emplace_back(set_ids, std::move(members));
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& group : groups) {
+      EVM_CHECK_MSG(!group.first.empty() &&
+                        group.first.front() < kScenarioIdOffset,
+                    "merge group lost its parent block id");
+      by_parent[group.first.front()].push_back(&group);
+    }
+
+    for (auto& [parent_id, parent_groups] : by_parent) {
+      DriverBlock& parent = blocks[parent_id];
+      if (parent_groups.size() == 1) continue;  // no refinement
+      const std::vector<ScenarioId> parent_history = parent.history;
+      bool first = true;
+      for (const auto* group : parent_groups) {
+        DriverBlock child;
+        child.members.reserve(group->second.size());
+        for (const std::uint64_t m : group->second) {
+          child.members.push_back(static_cast<std::uint32_t>(m));
+        }
+        child.history = parent_history;
+        for (const std::uint64_t set_id : group->first) {
+          if (set_id < kScenarioIdOffset) continue;
+          const std::uint64_t scenario_id = set_id - kScenarioIdOffset;
+          child.history.emplace_back(scenario_id);
+          recorded.insert(scenario_id);
+        }
+        child.has_target = false;
+        for (const std::uint32_t m : child.members) {
+          if (is_target[m]) child.has_target = true;
+        }
+        if (first) {
+          // Reuse the parent slot for the first child so ids stay compact.
+          const auto idx = static_cast<std::uint32_t>(parent_id);
+          for (const std::uint32_t m : child.members) block_of[m] = idx;
+          blocks[parent_id] = std::move(child);
+          first = false;
+        } else {
+          const auto idx = static_cast<std::uint32_t>(blocks.size());
+          for (const std::uint32_t m : child.members) block_of[m] = idx;
+          blocks.push_back(std::move(child));
+        }
+      }
+    }
+
+    bool all_done = true;
+    for (const std::uint32_t t : target_uidx) {
+      if (blocks[block_of[t]].members.size() > 1) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+  }
+
+  outcome.lists.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const DriverBlock& block = blocks[block_of[target_uidx[i]]];
+    EidScenarioList list;
+    list.eid = targets[i];
+    list.scenarios = block.history;
+    list.distinguished = block.members.size() == 1;
+    if (!list.distinguished) ++outcome.undistinguished;
+    outcome.lists.push_back(std::move(list));
+  }
+  BackfillPresence(scenarios_, outcome.lists);
+
+  outcome.recorded.reserve(recorded.size());
+  for (const std::uint64_t id : recorded) outcome.recorded.emplace_back(id);
+  std::sort(outcome.recorded.begin(), outcome.recorded.end());
+  return outcome;
+}
+
+}  // namespace evm

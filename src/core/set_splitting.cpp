@@ -1,0 +1,401 @@
+#include "core/set_splitting.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace evm {
+namespace {
+
+// A member of an undistinguishable EID set. uidx indexes the sorted
+// universe; attr is meaningful in the practical binary mode only.
+struct Member {
+  std::uint32_t uidx;
+  EidAttr attr;
+};
+
+struct Block {
+  std::vector<Member> members;      // sorted by uidx
+  std::vector<ScenarioId> history;  // presence scenarios of this block's path
+  bool has_target{false};
+};
+
+struct Workspace {
+  const std::vector<Eid>* universe{nullptr};
+  std::unordered_map<std::uint64_t, std::uint32_t> uidx_of;
+  std::vector<char> is_target;
+  std::vector<Block> blocks;
+  std::unordered_set<std::uint64_t> recorded;
+};
+
+bool ContainsTargetEid(const Workspace& ws, const EScenario& scenario) {
+  for (const EidEntry& entry : scenario.entries) {
+    const auto it = ws.uidx_of.find(entry.eid.value());
+    if (it != ws.uidx_of.end() && ws.is_target[it->second]) return true;
+  }
+  return false;
+}
+
+std::size_t InclusiveCount(const Block& block) {
+  std::size_t count = 0;
+  for (const Member& m : block.members) {
+    if (m.attr == EidAttr::kInclusive) ++count;
+  }
+  return count;
+}
+
+void RecomputeHasTarget(const Workspace& ws, Block& block) {
+  block.has_target = false;
+  for (const Member& m : block.members) {
+    if (ws.is_target[m.uidx]) {
+      block.has_target = true;
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary mode (Algorithm 1 / practical Algorithm of Sec. IV-C2)
+// ---------------------------------------------------------------------------
+
+// Splits `block` by scenario C. Returns true if the split was effective
+// (i.e., it changed the partition with confident information), in which case
+// `block` keeps the right child and the left child is appended to ws.blocks.
+bool SplitBlockBy(Workspace& ws, std::size_t block_index,
+                  const EScenario& scenario, bool practical) {
+  Block& block = ws.blocks[block_index];
+  std::vector<Member> left;        // confidently inside C
+  std::vector<Member> vague_both;  // uncertain: copied to both children
+  std::vector<Member> right;       // outside C
+  for (const Member& m : block.members) {
+    const Eid eid = (*ws.universe)[m.uidx];
+    const auto attr_in_c = scenario.AttrOf(eid);
+    if (!attr_in_c.has_value()) {
+      right.push_back(m);
+      continue;
+    }
+    if (!practical) {
+      // Ideal mode: only confident (inclusive) presence counts; an EID that
+      // merely brushed the cell is treated as absent.
+      if (*attr_in_c == EidAttr::kInclusive) {
+        left.push_back(m);
+      } else {
+        right.push_back(m);
+      }
+      continue;
+    }
+    if (*attr_in_c == EidAttr::kInclusive && m.attr == EidAttr::kInclusive) {
+      left.push_back(m);  // inclusive in both the set and the scenario
+    } else {
+      // Vague somewhere: the EID may or may not truly be in C, so it keeps
+      // a copy on both sides (Theorem 4.3) — vague in the left child, its
+      // original attribute in the right (the uncertain observation is
+      // hedged, not trusted).
+      vague_both.push_back(m);
+    }
+  }
+  // Effective iff some member confidently split off and some member stayed
+  // behind — a scenario containing all or none of the set is skipped
+  // (paper's Remark after Algorithm 1).
+  if (left.empty() || left.size() == block.members.size()) return false;
+
+  Block left_block;
+  left_block.members = left;
+  for (const Member& m : vague_both) {
+    left_block.members.push_back(Member{m.uidx, EidAttr::kVague});
+  }
+  std::sort(left_block.members.begin(), left_block.members.end(),
+            [](const Member& a, const Member& b) { return a.uidx < b.uidx; });
+  left_block.history = block.history;
+  left_block.history.push_back(scenario.id);
+  RecomputeHasTarget(ws, left_block);
+
+  std::vector<Member> right_members = std::move(right);
+  right_members.insert(right_members.end(), vague_both.begin(),
+                       vague_both.end());
+  std::sort(right_members.begin(), right_members.end(),
+            [](const Member& a, const Member& b) { return a.uidx < b.uidx; });
+  block.members = std::move(right_members);
+  RecomputeHasTarget(ws, block);
+
+  ws.blocks.push_back(std::move(left_block));
+  return true;
+}
+
+void RunBinaryWindow(Workspace& ws,
+                     const std::vector<const EScenario*>& scenarios,
+                     bool practical) {
+  for (const EScenario* scenario : scenarios) {
+    // Snapshot: blocks appended by a split are already singletons w.r.t.
+    // this scenario's information, so they need no re-visit within it.
+    const std::size_t block_count = ws.blocks.size();
+    for (std::size_t b = 0; b < block_count; ++b) {
+      if (ws.blocks[b].members.size() <= 1) continue;
+      if (!ws.blocks[b].has_target) continue;
+      if (SplitBlockBy(ws, b, *scenario, practical)) {
+        ws.recorded.insert(scenario->id.value());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window-signature mode (the Algorithm 3 / MapReduce semantics)
+// ---------------------------------------------------------------------------
+
+struct SignatureState {
+  // block_of[uidx] = index of the block currently holding the EID.
+  std::vector<std::uint32_t> block_of;
+};
+
+void RunSignatureWindow(Workspace& ws, SignatureState& state,
+                        const std::vector<const EScenario*>& scenarios,
+                        bool practical) {
+  // sig[uidx] = ids of the relevant scenarios the EID (confidently) appears
+  // in during this window. Scenarios arrive id-sorted, so each sig vector is
+  // sorted by construction.
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> sig;
+  std::vector<std::uint32_t> touched_blocks;
+  (void)practical;  // signature presence always requires inclusive evidence
+  for (const EScenario* scenario : scenarios) {
+    for (const EidEntry& entry : scenario->entries) {
+      // Uncertain (vague) appearances never split (Sec. IV-C2); an EID that
+      // only brushed a cell is also unlikely to have been filmed there, so
+      // treating it as present would poison the V stage.
+      if (entry.attr == EidAttr::kVague) continue;
+      const auto it = ws.uidx_of.find(entry.eid.value());
+      if (it == ws.uidx_of.end()) continue;
+      const std::uint32_t uidx = it->second;
+      const std::uint32_t b = state.block_of[uidx];
+      if (ws.blocks[b].members.size() <= 1 || !ws.blocks[b].has_target) {
+        continue;
+      }
+      sig[uidx].push_back(scenario->id.value());
+      if (sig[uidx].size() == 1) touched_blocks.push_back(b);
+    }
+  }
+  std::sort(touched_blocks.begin(), touched_blocks.end());
+  touched_blocks.erase(
+      std::unique(touched_blocks.begin(), touched_blocks.end()),
+      touched_blocks.end());
+
+  for (const std::uint32_t b : touched_blocks) {
+    // Group this block's members by signature; members with no signature
+    // this window form the residual group that keeps the old block.
+    std::map<std::vector<std::uint64_t>, std::vector<Member>> groups;
+    std::vector<Member> residual;
+    for (const Member& m : ws.blocks[b].members) {
+      const auto it = sig.find(m.uidx);
+      if (it == sig.end()) {
+        residual.push_back(m);
+      } else {
+        groups[it->second].push_back(m);
+      }
+    }
+    // One signature group covering the whole block carries no information
+    // (the scenario set "contains all the EIDs in the set") — skip.
+    if (groups.size() == 1 && residual.empty()) continue;
+    if (groups.empty()) continue;
+
+    // Copied up front: push_back below may reallocate ws.blocks.
+    const std::vector<ScenarioId> parent_history = ws.blocks[b].history;
+    for (auto& [signature, members] : groups) {
+      Block child;
+      child.members = std::move(members);
+      child.history = parent_history;
+      for (const std::uint64_t scenario_id : signature) {
+        child.history.push_back(ScenarioId{scenario_id});
+        ws.recorded.insert(scenario_id);
+      }
+      RecomputeHasTarget(ws, child);
+      const auto child_index = static_cast<std::uint32_t>(ws.blocks.size());
+      for (const Member& m : child.members) {
+        state.block_of[m.uidx] = child_index;
+      }
+      ws.blocks.push_back(std::move(child));
+    }
+    // `block` reference may be dangling after push_back — reacquire.
+    Block& old_block = ws.blocks[b];
+    old_block.members = std::move(residual);
+    RecomputeHasTarget(ws, old_block);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+// The block whose history best distinguishes `uidx`: fewest inclusive
+// members (1 = fully distinguished), requiring the EID itself to be
+// inclusive there. Returns nullptr if no block holds the EID inclusively.
+const Block* BestBlockFor(const Workspace& ws, std::uint32_t uidx) {
+  const Block* best = nullptr;
+  std::size_t best_inclusive = 0;
+  for (const Block& block : ws.blocks) {
+    for (const Member& m : block.members) {
+      if (m.uidx != uidx || m.attr != EidAttr::kInclusive) continue;
+      const std::size_t inclusive = InclusiveCount(block);
+      if (best == nullptr || inclusive < best_inclusive ||
+          (inclusive == best_inclusive &&
+           block.history.size() > best->history.size())) {
+        best = &block;
+        best_inclusive = inclusive;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Eid> CollectUniverse(const EScenarioSet& scenarios) {
+  std::unordered_set<std::uint64_t> seen;
+  for (const EScenario& scenario : scenarios.scenarios()) {
+    for (const EidEntry& entry : scenario.entries) {
+      seen.insert(entry.eid.value());
+    }
+  }
+  std::vector<Eid> universe;
+  universe.reserve(seen.size());
+  for (const std::uint64_t v : seen) universe.emplace_back(v);
+  std::sort(universe.begin(), universe.end());
+  return universe;
+}
+
+void BackfillPresence(const EScenarioSet& scenarios,
+                      std::vector<EidScenarioList>& lists,
+                      std::size_t min_entries) {
+  for (EidScenarioList& list : lists) {
+    if (list.scenarios.size() >= min_entries) continue;
+    for (std::size_t w = 0;
+         w < scenarios.window_count() && list.scenarios.size() < min_entries;
+         ++w) {
+      for (const EScenario* scenario : scenarios.AtWindow(w)) {
+        if (!scenario->ContainsInclusive(list.eid)) continue;
+        if (std::find(list.scenarios.begin(), list.scenarios.end(),
+                      scenario->id) != list.scenarios.end()) {
+          continue;
+        }
+        list.scenarios.push_back(scenario->id);
+        break;  // at most one scenario per window
+      }
+    }
+  }
+}
+
+SetSplitter::SetSplitter(const EScenarioSet& scenarios, SplitConfig config)
+    : scenarios_(scenarios), config_(config) {}
+
+SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
+                              const std::vector<Eid>& targets) const {
+  EVM_CHECK_MSG(!universe.empty(), "empty EID universe");
+  EVM_CHECK_MSG(!targets.empty(), "no target EIDs");
+  EVM_CHECK_MSG(std::is_sorted(universe.begin(), universe.end()),
+                "universe must be sorted");
+
+  Workspace ws;
+  ws.universe = &universe;
+  ws.uidx_of.reserve(universe.size());
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    ws.uidx_of.emplace(universe[i].value(), i);
+  }
+  ws.is_target.assign(universe.size(), 0);
+  std::vector<std::uint32_t> target_uidx;
+  target_uidx.reserve(targets.size());
+  for (const Eid target : targets) {
+    const auto it = ws.uidx_of.find(target.value());
+    EVM_CHECK_MSG(it != ws.uidx_of.end(), "target EID not in universe");
+    ws.is_target[it->second] = 1;
+    target_uidx.push_back(it->second);
+  }
+
+  // Initial partition: one set containing the whole universe.
+  Block root;
+  root.members.reserve(universe.size());
+  for (std::uint32_t i = 0; i < universe.size(); ++i) {
+    root.members.push_back(Member{i, EidAttr::kInclusive});
+  }
+  root.has_target = true;
+  ws.blocks.push_back(std::move(root));
+
+  SignatureState state;
+  if (config_.mode == SplitMode::kWindowSignature) {
+    state.block_of.assign(universe.size(), 0);
+  }
+
+  // Seeded random permutation of time windows (Algorithm 3: "randomly
+  // choose a timestamp").
+  std::vector<std::size_t> window_order(scenarios_.window_count());
+  for (std::size_t i = 0; i < window_order.size(); ++i) window_order[i] = i;
+  Rng order_rng = MakeStream(config_.seed, "window-order");
+  for (std::size_t i = window_order.size(); i > 1; --i) {
+    std::swap(window_order[i - 1], window_order[order_rng.NextBelow(i)]);
+  }
+  if (config_.max_windows > 0 && window_order.size() > config_.max_windows) {
+    window_order.resize(config_.max_windows);
+  }
+
+  auto remaining_targets = [&]() {
+    std::size_t remaining = 0;
+    if (config_.mode == SplitMode::kWindowSignature) {
+      for (const std::uint32_t t : target_uidx) {
+        if (ws.blocks[state.block_of[t]].members.size() > 1) ++remaining;
+      }
+    } else {
+      for (const std::uint32_t t : target_uidx) {
+        const Block* best = BestBlockFor(ws, t);
+        if (best == nullptr || InclusiveCount(*best) > 1) ++remaining;
+      }
+    }
+    return remaining;
+  };
+
+  SplitOutcome outcome;
+  for (const std::size_t window : window_order) {
+    std::vector<const EScenario*> relevant;
+    for (const EScenario* scenario : scenarios_.AtWindow(window)) {
+      if (ContainsTargetEid(ws, *scenario)) relevant.push_back(scenario);
+    }
+    if (relevant.empty()) continue;
+    ++outcome.windows_consumed;
+    if (config_.mode == SplitMode::kBinary) {
+      RunBinaryWindow(ws, relevant, config_.practical);
+    } else {
+      RunSignatureWindow(ws, state, relevant, config_.practical);
+    }
+    if (remaining_targets() == 0) break;
+  }
+
+  // Assemble per-target scenario lists.
+  outcome.lists.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EidScenarioList list;
+    list.eid = targets[i];
+    if (config_.mode == SplitMode::kWindowSignature) {
+      const Block& block = ws.blocks[state.block_of[target_uidx[i]]];
+      list.scenarios = block.history;
+      list.distinguished = block.members.size() == 1;
+    } else {
+      const Block* best = BestBlockFor(ws, target_uidx[i]);
+      if (best != nullptr) {
+        list.scenarios = best->history;
+        list.distinguished = InclusiveCount(*best) == 1;
+      }
+    }
+    if (!list.distinguished) ++outcome.undistinguished;
+    outcome.lists.push_back(std::move(list));
+  }
+
+  BackfillPresence(scenarios_, outcome.lists);
+
+  outcome.recorded.reserve(ws.recorded.size());
+  for (const std::uint64_t id : ws.recorded) {
+    outcome.recorded.emplace_back(id);
+  }
+  std::sort(outcome.recorded.begin(), outcome.recorded.end());
+  return outcome;
+}
+
+}  // namespace evm

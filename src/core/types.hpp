@@ -1,0 +1,77 @@
+#pragma once
+// Shared result and statistics types of the matching pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace evm {
+
+/// The list of E-Scenarios selected to distinguish one EID — the output of
+/// the E stage and the input of the V stage. Entries are *presence*
+/// scenarios: the target EID appears (inclusively) in each of them, so the
+/// matching VID is expected to appear in each corresponding V-Scenario
+/// (paper Sec. IV-B2).
+struct EidScenarioList {
+  Eid eid;
+  std::vector<ScenarioId> scenarios;
+  /// True when set splitting fully isolated this EID from all other EIDs.
+  bool distinguished{false};
+};
+
+/// Result of VID filtering for one EID.
+struct MatchResult {
+  Eid eid;
+  /// Ground-truth label of the observation chosen in each presence
+  /// scenario. The algorithm picks observations purely by pixel features;
+  /// these labels are carried for scoring (paper: an EID is correctly
+  /// matched iff the majority of chosen VIDs is the right one).
+  std::vector<Vid> chosen_per_scenario;
+  /// Majority label of chosen_per_scenario (invalid Vid if unresolved).
+  Vid reported_vid{};
+  /// Probability product of the winning candidate (geometric mean over
+  /// scenarios, for comparability across list lengths).
+  double confidence{0.0};
+  /// Fraction of scenarios that voted for reported_vid.
+  double majority_fraction{0.0};
+  /// False when no scenario list / no candidates were available.
+  bool resolved{false};
+};
+
+/// Aggregate statistics of one matching run.
+struct MatchStats {
+  /// Distinct scenarios selected across all EIDs — reuse counted once
+  /// (the quantity of Figs. 5-6).
+  std::size_t distinct_scenarios{0};
+  /// Mean scenario-list length per matched EID (Fig. 7).
+  double avg_scenarios_per_eid{0.0};
+  /// Windows of E-data consumed by set splitting.
+  std::size_t splitting_iterations{0};
+  /// EIDs that could not be fully distinguished by the E stage.
+  std::size_t undistinguished_eids{0};
+  /// Wall-clock seconds spent in the E stage (set splitting).
+  double e_stage_seconds{0.0};
+  /// Wall-clock seconds spent in the V stage (feature extraction +
+  /// comparison).
+  double v_stage_seconds{0.0};
+  /// Observations actually rendered + feature-extracted (cache misses).
+  std::uint64_t features_extracted{0};
+  /// Pairwise feature similarity evaluations performed.
+  std::uint64_t feature_comparisons{0};
+  /// Matching-refining rounds executed (practical setting, Algorithm 2).
+  std::size_t refine_rounds{0};
+
+  [[nodiscard]] double TotalSeconds() const noexcept {
+    return e_stage_seconds + v_stage_seconds;
+  }
+};
+
+/// A full matching report: one result per requested EID plus run statistics.
+struct MatchReport {
+  std::vector<MatchResult> results;
+  std::vector<EidScenarioList> scenario_lists;
+  MatchStats stats;
+};
+
+}  // namespace evm

@@ -1,0 +1,134 @@
+#include "core/vid_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "vsense/reid.hpp"
+
+namespace evm {
+
+MatchResult FilterVid(const EidScenarioList& list,
+                      const VScenarioSet& v_scenarios, FeatureGallery& gallery,
+                      VidFilterCounters& counters,
+                      const VidFilterOptions& options) {
+  MatchResult result;
+  result.eid = list.eid;
+
+  // Resolve the V side of each selected scenario; drop empty ones (every
+  // detection there was missed).
+  struct Entry {
+    const VScenario* scenario;
+    const std::vector<FeatureVector>* features;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(list.scenarios.size());
+  for (const ScenarioId id : list.scenarios) {
+    const VScenario* scenario = v_scenarios.Find(id);
+    if (scenario == nullptr || scenario->observations.empty()) continue;
+    entries.push_back(Entry{scenario, &gallery.Features(*scenario)});
+  }
+  counters.scenarios_processed += entries.size();
+  if (entries.empty()) return result;  // unresolved
+
+  // Candidate pool (see VidFilterOptions).
+  std::vector<const FeatureVector*> candidates;
+  if (options.candidate_pool == CandidatePool::kSmallestScenario) {
+    const std::size_t anchor = static_cast<std::size_t>(
+        std::min_element(entries.begin(), entries.end(),
+                         [](const Entry& a, const Entry& b) {
+                           return a.features->size() < b.features->size();
+                         }) -
+        entries.begin());
+    for (const FeatureVector& f : *entries[anchor].features) {
+      candidates.push_back(&f);
+    }
+  } else {
+    for (const Entry& entry : entries) {
+      for (const FeatureVector& f : *entry.features) candidates.push_back(&f);
+    }
+  }
+
+  // Candidate score: the plain probability product of Sec. IV-B2. Every
+  // factor matters — set splitting deliberately includes scenarios whose
+  // single purpose is to separate the target from one sibling, so no factor
+  // may be discounted.
+  double best_prob = -1.0;
+  std::size_t best_candidate = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    double prob = 1.0;
+    for (const Entry& entry : entries) {
+      prob *= ProbInScenario(*candidates[c], *entry.features);
+      counters.feature_comparisons += entry.features->size();
+      // The product only ever shrinks, so a candidate already below the
+      // incumbent can be abandoned — same argmax, far fewer comparisons.
+      if (prob <= best_prob) break;
+    }
+    if (prob > best_prob) {
+      best_prob = prob;
+      best_candidate = c;
+    }
+  }
+
+  // The winning candidate nominates the most-similar observation in every
+  // scenario. A second pass then fuses those nominations into a multi-shot
+  // appearance estimate (their feature mean) and re-nominates with it —
+  // standard multi-shot re-identification, which suppresses single-crop
+  // nuisance (occlusion, crop jitter) and benefits longer scenario lists.
+  FeatureVector probe = *candidates[best_candidate];
+  std::vector<int> nominated(entries.size(), -1);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      nominated[i] = BestMatchIndex(probe, *entries[i].features);
+      counters.feature_comparisons += entries[i].features->size();
+    }
+    if (pass == 1) break;
+    FeatureVector fused(probe.size(), 0.0f);
+    std::size_t fused_count = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (nominated[i] < 0) continue;
+      const FeatureVector& f =
+          (*entries[i].features)[static_cast<std::size_t>(nominated[i])];
+      for (std::size_t d = 0; d < fused.size(); ++d) fused[d] += f[d];
+      ++fused_count;
+    }
+    if (fused_count == 0) break;
+    const float inv = 1.0f / static_cast<float>(fused_count);
+    for (float& v : fused) v *= inv;
+    probe = std::move(fused);
+  }
+
+  std::unordered_map<std::uint64_t, std::size_t> votes;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (nominated[i] < 0) continue;
+    const Vid chosen =
+        entries[i]
+            .scenario->observations[static_cast<std::size_t>(nominated[i])]
+            .vid;
+    result.chosen_per_scenario.push_back(chosen);
+    ++votes[chosen.value()];
+  }
+  if (result.chosen_per_scenario.empty()) return result;  // unresolved
+
+  std::uint64_t majority_vid = 0;
+  std::size_t majority_count = 0;
+  for (const auto& [vid, count] : votes) {
+    if (count > majority_count ||
+        (count == majority_count && vid < majority_vid)) {
+      majority_vid = vid;
+      majority_count = count;
+    }
+  }
+  result.reported_vid = Vid{majority_vid};
+  result.majority_fraction =
+      static_cast<double>(majority_count) /
+      static_cast<double>(result.chosen_per_scenario.size());
+  result.confidence =
+      best_prob > 0.0
+          ? std::pow(best_prob, 1.0 / static_cast<double>(entries.size()))
+          : 0.0;
+  result.resolved = true;
+  return result;
+}
+
+}  // namespace evm

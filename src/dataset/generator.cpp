@@ -1,0 +1,145 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "vsense/appearance.hpp"
+
+namespace evm {
+
+namespace {
+
+Grid GridFor(const DatasetConfig& config) {
+  if (config.grid_cols > 0 && config.grid_rows > 0) {
+    // Keep the total surveilled area at region_size^2 with square cells.
+    const double cells =
+        static_cast<double>(config.grid_cols * config.grid_rows);
+    const double cell_size = config.region_size_m / std::sqrt(cells);
+    return Grid(config.grid_cols, config.grid_rows, cell_size);
+  }
+  return Grid::Covering(
+      Rect{0.0, 0.0, config.region_size_m, config.region_size_m},
+      config.cell_size_m);
+}
+
+}  // namespace
+
+double DatasetConfig::Density() const {
+  return static_cast<double>(population) /
+         static_cast<double>(GridFor(*this).CellCount());
+}
+
+void DatasetConfig::SetDensity(double density) {
+  EVM_CHECK_MSG(density > 0.0, "density must be positive");
+  const auto target = static_cast<std::int64_t>(std::max(
+      1.0, std::round(static_cast<double>(population) / density)));
+  // Pick a cell count near the target whose cols x rows factorization is as
+  // square as possible (a prime target would force a degenerate 1 x N
+  // corridor), preferring counts closest to the target.
+  double best_score = 1e18;
+  for (std::int64_t delta = -2; delta <= 2; ++delta) {
+    const std::int64_t cells = target + delta;
+    if (cells < 1) continue;
+    std::size_t rows = 1;
+    for (std::size_t r = 1; r * r <= static_cast<std::size_t>(cells); ++r) {
+      if (cells % static_cast<std::int64_t>(r) == 0) rows = r;
+    }
+    const std::size_t cols = static_cast<std::size_t>(cells) / rows;
+    const double aspect = static_cast<double>(cols) / static_cast<double>(rows);
+    const double score = aspect + 0.35 * std::abs(static_cast<double>(delta));
+    if (score < best_score) {
+      best_score = score;
+      grid_rows = rows;
+      grid_cols = cols;
+    }
+  }
+}
+
+std::vector<Eid> Dataset::AllEids() const {
+  std::vector<Eid> eids;
+  eids.reserve(people.size());
+  for (const Person& person : people) {
+    if (person.eid.has_value()) eids.push_back(*person.eid);
+  }
+  std::sort(eids.begin(), eids.end());
+  return eids;
+}
+
+Dataset GenerateDataset(const DatasetConfig& config) {
+  EVM_CHECK_MSG(config.population > 0, "population must be positive");
+  EVM_CHECK_MSG(config.ticks > 1, "need at least two ticks");
+  EVM_CHECK_MSG(config.e_missing_rate >= 0.0 && config.e_missing_rate < 1.0,
+                "e_missing_rate must be in [0, 1)");
+
+  Grid grid = GridFor(config);
+  const Rect region = grid.Bounds();
+
+  // --- people and identities ---
+  std::vector<Person> people;
+  people.reserve(config.population);
+  Rng device_rng = MakeStream(config.seed, "device");
+  GroundTruth truth;
+  for (std::size_t i = 0; i < config.population; ++i) {
+    Person person;
+    person.id = PersonId{i};
+    person.vid = Vid{i};
+    if (!device_rng.Bernoulli(config.e_missing_rate)) {
+      person.eid = Eid{i};
+      truth.Add(*person.eid, person.vid);
+    }
+    people.push_back(person);
+  }
+
+  // --- ground-truth motion ---
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    RandomWaypoint model(region, config.mobility,
+                         MakeStream(config.seed, "mobility", i));
+    trajectories.push_back(
+        SampleTrajectory(model, config.ticks, config.tick_seconds));
+  }
+
+  // --- electronic sensing ---
+  std::vector<TrackedDevice> devices;
+  for (std::size_t i = 0; i < config.population; ++i) {
+    if (people[i].eid.has_value()) {
+      devices.push_back(TrackedDevice{*people[i].eid, &trajectories[i]});
+    }
+  }
+  const ECaptureConfig e_capture{config.e_noise_sigma_m,
+                                 config.e_capture_prob};
+  ELog e_log =
+      CaptureEData(devices, e_capture, MakeStream(config.seed, "e-capture"));
+
+  const EScenarioConfig e_scenario_config{
+      config.window_ticks, config.vague_width_m, config.inclusive_threshold,
+      config.vague_threshold};
+  EScenarioSet e_scenarios = BuildEScenarios(e_log, grid, e_scenario_config);
+
+  // --- visual sensing ---
+  std::vector<TrackedFigure> figures;
+  figures.reserve(config.population);
+  for (std::size_t i = 0; i < config.population; ++i) {
+    figures.push_back(TrackedFigure{people[i].vid, &trajectories[i]});
+  }
+  const VScenarioConfig v_scenario_config{
+      config.window_ticks, config.v_presence_fraction, config.v_missing_rate};
+  VScenarioSet v_scenarios =
+      BuildVScenarios(figures, grid, v_scenario_config, config.seed);
+
+  VisualOracle oracle(
+      GenerateAppearances(config.population,
+                          MakeStream(config.seed, "appearance")),
+      config.render, config.features);
+
+  return Dataset{std::move(grid),        std::move(people),
+                 std::move(trajectories), std::move(e_log),
+                 std::move(e_scenarios),  std::move(v_scenarios),
+                 std::move(oracle),       std::move(truth),
+                 config};
+}
+
+}  // namespace evm

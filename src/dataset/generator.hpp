@@ -1,0 +1,98 @@
+#pragma once
+// Synthetic EV dataset generator (paper Sec. VI-A).
+//
+// Replicates the paper's experiment setup: a population of human objects
+// (default 1000), each with a WiFi-MAC EID and an appearance VID, moving
+// under the random waypoint model across a square region divided into cells.
+// Both sensing modalities sample the same ground-truth trajectories, so the
+// E and V scenario sets are spatiotemporally consistent up to the configured
+// noise: localization error (drifting EIDs), device-less people (missing
+// EIDs) and detector misses (missing VIDs).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dataset/world.hpp"
+#include "esense/e_capture.hpp"
+#include "esense/e_scenario.hpp"
+#include "geo/grid.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/trajectory.hpp"
+#include "vsense/v_scenario.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm {
+
+struct DatasetConfig {
+  /// Number of human objects (the paper uses 1000).
+  std::size_t population{1000};
+  /// Side of the square surveilled region, metres (paper: 1000 x 1000 m).
+  double region_size_m{1000.0};
+  /// Side of one square cell/scenario, metres. population / cell count is
+  /// the paper's "density" knob.
+  double cell_size_m{200.0};
+  /// Explicit grid dimensions (0 = derive a square grid from cell_size_m).
+  /// SetDensity() uses these to hit densities square grids cannot express;
+  /// the region area stays region_size_m^2, so cells stay square.
+  std::size_t grid_cols{0};
+  std::size_t grid_rows{0};
+  /// Simulation length in ticks and seconds per tick.
+  std::size_t ticks{2400};
+  double tick_seconds{2.0};
+  /// Ticks aggregated into one EV-Scenario window.
+  std::int64_t window_ticks{10};
+
+  MobilityParams mobility{};
+
+  /// Fraction of people who carry no electronic device ("EID missing").
+  double e_missing_rate{0.0};
+  /// E localization noise (metres std-dev) — source of drifting EIDs.
+  double e_noise_sigma_m{0.0};
+  /// Probability a device is heard at each tick.
+  double e_capture_prob{1.0};
+  /// Vague-band width inside cell borders (0 = ideal setting).
+  double vague_width_m{0.0};
+  /// Occurrence-fraction thresholds for inclusive/vague classification.
+  double inclusive_threshold{0.6};
+  double vague_threshold{0.2};
+
+  /// Probability a present person is missed by the detector ("VID missing").
+  double v_missing_rate{0.0};
+  /// Fraction of window ticks a person must spend in a cell to be filmed
+  /// there.
+  double v_presence_fraction{0.5};
+
+  RenderParams render{};
+  FeatureParams features{};
+
+  std::uint64_t seed{42};
+
+  /// Average people per cell implied by this configuration.
+  [[nodiscard]] double Density() const;
+  /// Adjusts cell_size_m so that Density() is approximately `density`
+  /// (the paper's Figs. 6/9 and Table II sweep this).
+  void SetDensity(double density);
+};
+
+/// A fully generated dataset: the world, both scenario sets, the visual
+/// oracle and the ground truth.
+struct Dataset {
+  Grid grid;
+  std::vector<Person> people;
+  std::vector<Trajectory> trajectories;  // indexed by person
+  ELog e_log;
+  EScenarioSet e_scenarios;
+  VScenarioSet v_scenarios;
+  VisualOracle oracle;
+  GroundTruth truth;
+  DatasetConfig config;
+
+  /// All EIDs present in the world (people who carry a device), sorted.
+  [[nodiscard]] std::vector<Eid> AllEids() const;
+};
+
+/// Generates the full dataset deterministically from config.seed.
+[[nodiscard]] Dataset GenerateDataset(const DatasetConfig& config);
+
+}  // namespace evm

@@ -1,0 +1,123 @@
+#include "dataset/trace_io.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace evm {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+bool IsHeader(const std::string& line) {
+  return !line.empty() && !std::isdigit(static_cast<unsigned char>(line[0])) &&
+         line.find(':') == std::string::npos;
+}
+
+}  // namespace
+
+void WriteELogCsv(const ELog& log, std::ostream& os) {
+  os << "mac,tick,x,y\n";
+  for (const ERecord& record : log.records()) {
+    os << ToMacAddress(record.eid) << ',' << record.tick.value << ','
+       << record.position.x << ',' << record.position.y << '\n';
+  }
+}
+
+ELog ReadELogCsv(std::istream& is) {
+  ELog log;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || IsHeader(line)) continue;
+    const auto fields = SplitCsvLine(line);
+    EVM_CHECK_MSG(fields.size() == 4, "E-log line needs mac,tick,x,y");
+    ERecord record;
+    record.eid = EidFromMacAddress(fields[0]);
+    record.tick = Tick{std::stoll(fields[1])};
+    record.position = {std::stod(fields[2]), std::stod(fields[3])};
+    log.Append(record);
+  }
+  return log;
+}
+
+void WriteEScenariosCsv(const EScenarioSet& set, std::ostream& os) {
+  os << "scenario_id,cell,window_begin,window_end,mac,attr\n";
+  for (const EScenario& scenario : set.scenarios()) {
+    for (const EidEntry& entry : scenario.entries) {
+      os << scenario.id.value() << ',' << scenario.cell.value() << ','
+         << scenario.window.begin.value << ',' << scenario.window.end.value
+         << ',' << ToMacAddress(entry.eid) << ','
+         << (entry.attr == EidAttr::kInclusive ? "inclusive" : "vague")
+         << '\n';
+    }
+  }
+}
+
+EScenarioSet ReadEScenariosCsv(std::istream& is, std::size_t cell_count,
+                               std::int64_t window_ticks) {
+  EScenarioSet set(cell_count, window_ticks);
+  struct Pending {
+    CellId cell;
+    TimeWindow window;
+    std::vector<EidEntry> entries;
+  };
+  std::map<std::uint64_t, Pending> pending;  // ordered for stable Add()
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || IsHeader(line)) continue;
+    const auto fields = SplitCsvLine(line);
+    EVM_CHECK_MSG(fields.size() == 6,
+                  "scenario line needs id,cell,begin,end,mac,attr");
+    const std::uint64_t id = std::stoull(fields[0]);
+    Pending& p = pending[id];
+    p.cell = CellId{std::stoull(fields[1])};
+    p.window = TimeWindow{Tick{std::stoll(fields[2])},
+                          Tick{std::stoll(fields[3])}};
+    EidAttr attr;
+    if (fields[5] == "inclusive") {
+      attr = EidAttr::kInclusive;
+    } else if (fields[5] == "vague") {
+      attr = EidAttr::kVague;
+    } else {
+      throw Error("unknown EID attribute: " + fields[5]);
+    }
+    p.entries.push_back({EidFromMacAddress(fields[4]), attr});
+  }
+  for (auto& [id, p] : pending) {
+    EScenario scenario;
+    scenario.id = ScenarioId{id};
+    scenario.cell = p.cell;
+    scenario.window = p.window;
+    scenario.entries = std::move(p.entries);
+    std::sort(scenario.entries.begin(), scenario.entries.end(),
+              [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+    set.Add(std::move(scenario));
+  }
+  return set;
+}
+
+void WriteMatchReportCsv(const MatchReport& report, std::ostream& os) {
+  os << "mac,vid,confidence,majority,resolved\n";
+  for (const MatchResult& result : report.results) {
+    os << ToMacAddress(result.eid) << ',';
+    if (result.resolved) {
+      os << result.reported_vid.value();
+    } else {
+      os << "-";
+    }
+    os << ',' << result.confidence << ',' << result.majority_fraction << ','
+       << (result.resolved ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace evm

@@ -1,0 +1,41 @@
+#pragma once
+// Trace import/export.
+//
+// Lets the matching pipeline run on externally collected data: raw E-logs
+// (e.g. from real WiFi probe-request sniffers) and pre-built scenario sets
+// round-trip through simple CSV formats. MAC addresses are used for EIDs on
+// the wire, matching what capture hardware produces.
+//
+//   E-log CSV:       mac,tick,x,y
+//   E-scenario CSV:  scenario_id,cell,window_begin,window_end,mac,attr
+//                    (attr is "inclusive" or "vague")
+//   Match CSV:       mac,vid,confidence,majority,resolved
+
+#include <iosfwd>
+
+#include "core/types.hpp"
+#include "esense/e_record.hpp"
+#include "esense/e_scenario.hpp"
+
+namespace evm {
+
+/// Writes the raw E-log; one observation per line.
+void WriteELogCsv(const ELog& log, std::ostream& os);
+
+/// Parses an E-log CSV (as produced by WriteELogCsv, header optional).
+/// Throws evm::Error on malformed lines.
+[[nodiscard]] ELog ReadELogCsv(std::istream& is);
+
+/// Writes a scenario set; one (scenario, EID) membership per line.
+void WriteEScenariosCsv(const EScenarioSet& set, std::ostream& os);
+
+/// Parses a scenario CSV back into a set. `cell_count` and `window_ticks`
+/// must describe the grid the ids were built against.
+[[nodiscard]] EScenarioSet ReadEScenariosCsv(std::istream& is,
+                                             std::size_t cell_count,
+                                             std::int64_t window_ticks);
+
+/// Writes match results; one EID per line.
+void WriteMatchReportCsv(const MatchReport& report, std::ostream& os);
+
+}  // namespace evm

@@ -1,0 +1,47 @@
+#pragma once
+// The simulated world: people, their identities, and ground truth.
+//
+// Ground truth exists only here and in the metrics layer; the matching
+// algorithms consume E-Scenarios, V-Scenarios and pixels, never the
+// person table.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace evm {
+
+/// One simulated human object.
+struct Person {
+  PersonId id;
+  /// The EID of the device they carry; nullopt if they carry none
+  /// (the paper's "missing EID" practical setting).
+  std::optional<Eid> eid;
+  /// Their visual (appearance) identity. Everyone has one — whether it is
+  /// *detected* in a given scenario is governed by the V-missing rate.
+  Vid vid;
+};
+
+/// Ground-truth EID <-> VID association for scoring match accuracy.
+class GroundTruth {
+ public:
+  void Add(Eid eid, Vid vid) { eid_to_vid_.emplace(eid.value(), vid); }
+
+  [[nodiscard]] Vid TrueVidOf(Eid eid) const {
+    const auto it = eid_to_vid_.find(eid.value());
+    EVM_CHECK_MSG(it != eid_to_vid_.end(), "unknown EID in ground truth");
+    return it->second;
+  }
+  [[nodiscard]] bool Knows(Eid eid) const {
+    return eid_to_vid_.contains(eid.value());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return eid_to_vid_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Vid> eid_to_vid_;
+};
+
+}  // namespace evm

@@ -1,0 +1,39 @@
+#include "esense/e_capture.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+ELog CaptureEData(const std::vector<TrackedDevice>& devices,
+                  const ECaptureConfig& config, Rng rng) {
+  EVM_CHECK_MSG(config.noise_sigma_m >= 0.0, "noise sigma must be >= 0");
+  EVM_CHECK_MSG(config.capture_prob > 0.0 && config.capture_prob <= 1.0,
+                "capture probability must be in (0, 1]");
+  ELog log;
+  std::size_t max_ticks = 0;
+  for (const auto& device : devices) {
+    EVM_CHECK_MSG(device.trajectory != nullptr, "device without trajectory");
+    max_ticks = std::max(max_ticks, device.trajectory->TickCount());
+  }
+  log.Reserve(devices.size() * max_ticks);
+  // Tick-major order keeps the log time-sorted, matching a real capture feed.
+  for (std::size_t t = 0; t < max_ticks; ++t) {
+    for (const auto& device : devices) {
+      if (t >= device.trajectory->TickCount()) continue;
+      if (config.capture_prob < 1.0 && !rng.Bernoulli(config.capture_prob)) {
+        continue;
+      }
+      Vec2 p = device.trajectory->At(Tick{static_cast<std::int64_t>(t)});
+      if (config.noise_sigma_m > 0.0) {
+        p.x += rng.Gaussian(0.0, config.noise_sigma_m);
+        p.y += rng.Gaussian(0.0, config.noise_sigma_m);
+      }
+      log.Append(ERecord{device.eid, Tick{static_cast<std::int64_t>(t)}, p});
+    }
+  }
+  return log;
+}
+
+}  // namespace evm

@@ -1,0 +1,37 @@
+#pragma once
+// Electronic capture simulator: turns ground-truth trajectories into the raw
+// E-location log. Localization error is modelled as isotropic Gaussian noise
+// (the paper: "the range error of E localization is relatively large");
+// noise near cell borders is what produces *drifting EIDs* — observations
+// landing in a neighbouring cell's scenario.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "esense/e_record.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace evm {
+
+struct ECaptureConfig {
+  /// Standard deviation of the per-axis localization error, metres.
+  double noise_sigma_m{5.0};
+  /// Probability that a device is captured at any given tick (radio loss).
+  double capture_prob{1.0};
+};
+
+/// A device to capture: the EID it advertises and the trajectory of its
+/// holder.
+struct TrackedDevice {
+  Eid eid;
+  const Trajectory* trajectory{nullptr};
+};
+
+/// Simulates electronic capture of all `devices` at every tick of their
+/// trajectories. Deterministic for a given rng seed.
+[[nodiscard]] ELog CaptureEData(const std::vector<TrackedDevice>& devices,
+                                const ECaptureConfig& config, Rng rng);
+
+}  // namespace evm

@@ -1,0 +1,40 @@
+#pragma once
+// Raw E-Data (paper Sec. III-A): timestamped EID captures with an estimated
+// location. In a deployment these come from WiFi probe-request sniffers or
+// cellular base stations; here they are produced by the capture simulator
+// from ground-truth trajectories plus localization noise.
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "geo/point.hpp"
+
+namespace evm {
+
+/// One electronic observation: "device `eid` was localized at `position`
+/// (estimated, noisy) at time `tick`".
+struct ERecord {
+  Eid eid;
+  Tick tick;
+  Vec2 position;
+};
+
+/// The accumulated electronic location log, ordered by tick (records with
+/// equal tick keep insertion order).
+class ELog {
+ public:
+  void Append(ERecord record) { records_.push_back(record); }
+  void Reserve(std::size_t n) { records_.reserve(n); }
+
+  [[nodiscard]] const std::vector<ERecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+ private:
+  std::vector<ERecord> records_;
+};
+
+}  // namespace evm

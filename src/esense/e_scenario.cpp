@@ -1,0 +1,119 @@
+#include "esense/e_scenario.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+std::optional<EidAttr> EScenario::AttrOf(Eid eid) const noexcept {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), eid,
+      [](const EidEntry& e, Eid target) { return e.eid < target; });
+  if (it == entries.end() || it->eid != eid) return std::nullopt;
+  return it->attr;
+}
+
+EScenarioSet::EScenarioSet(std::size_t cell_count, std::int64_t window_ticks)
+    : cell_count_(cell_count), window_ticks_(window_ticks) {
+  EVM_CHECK(cell_count > 0);
+  EVM_CHECK(window_ticks > 0);
+}
+
+void EScenarioSet::Add(EScenario scenario) {
+  EVM_CHECK_MSG(std::is_sorted(scenario.entries.begin(),
+                               scenario.entries.end(),
+                               [](const EidEntry& a, const EidEntry& b) {
+                                 return a.eid < b.eid;
+                               }),
+                "scenario entries must be sorted by EID");
+  const std::size_t window = WindowOf(scenario.id);
+  window_count_ = std::max(window_count_, window + 1);
+  index_.emplace(scenario.id.value(), scenarios_.size());
+  scenarios_.push_back(std::move(scenario));
+}
+
+const EScenario* EScenarioSet::Find(ScenarioId id) const noexcept {
+  const auto it = index_.find(id.value());
+  return it == index_.end() ? nullptr : &scenarios_[it->second];
+}
+
+std::vector<const EScenario*> EScenarioSet::AtWindow(
+    std::size_t window_index) const {
+  std::vector<const EScenario*> out;
+  for (std::size_t c = 0; c < cell_count_; ++c) {
+    if (const EScenario* s =
+            Find(IdFor(window_index, CellId{c}))) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
+                             const EScenarioConfig& config) {
+  EVM_CHECK(config.window_ticks > 0);
+  EVM_CHECK(config.vague_threshold >= 0.0 &&
+            config.vague_threshold <= config.inclusive_threshold);
+  EScenarioSet set(grid.CellCount(), config.window_ticks);
+
+  struct Counts {
+    std::int32_t inclusive_hits{0};
+    std::int32_t vague_hits{0};
+  };
+  // (window, cell) -> (eid -> counts). Windows are visited in order because
+  // the log is time-sorted, but we aggregate fully before emitting to stay
+  // robust to interleaving.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, Counts>>
+      buckets;
+  for (const ERecord& record : log.records()) {
+    const auto window =
+        static_cast<std::size_t>(record.tick.value / config.window_ticks);
+    const CellId cell = grid.CellAt(record.position);
+    const ZoneClass zone =
+        ClassifyZone(grid, cell, record.position, config.vague_width_m);
+    const std::uint64_t slot = set.IdFor(window, cell).value();
+    Counts& counts = buckets[slot][record.eid.value()];
+    if (zone == ZoneClass::kInclusive) {
+      ++counts.inclusive_hits;
+    } else {
+      ++counts.vague_hits;
+    }
+  }
+
+  std::vector<std::uint64_t> slots;
+  slots.reserve(buckets.size());
+  for (const auto& [slot, eids] : buckets) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+
+  const auto window_len = static_cast<double>(config.window_ticks);
+  for (const std::uint64_t slot : slots) {
+    const auto& eids = buckets[slot];
+    EScenario scenario;
+    scenario.id = ScenarioId{slot};
+    const std::size_t window = set.WindowOf(scenario.id);
+    scenario.cell = CellId{slot % grid.CellCount()};
+    scenario.window =
+        TimeWindow{Tick{static_cast<std::int64_t>(window) * config.window_ticks},
+                   Tick{(static_cast<std::int64_t>(window) + 1) *
+                        config.window_ticks}};
+    for (const auto& [eid_value, counts] : eids) {
+      const double frac =
+          (counts.inclusive_hits + counts.vague_hits) / window_len;
+      if (frac >= config.inclusive_threshold &&
+          counts.inclusive_hits >= counts.vague_hits) {
+        scenario.entries.push_back({Eid{eid_value}, EidAttr::kInclusive});
+      } else if (frac >= config.vague_threshold) {
+        scenario.entries.push_back({Eid{eid_value}, EidAttr::kVague});
+      }
+      // else: occasional appearance -> exclusive, dropped.
+    }
+    if (scenario.entries.empty()) continue;
+    std::sort(scenario.entries.begin(), scenario.entries.end(),
+              [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+    set.Add(std::move(scenario));
+  }
+  return set;
+}
+
+}  // namespace evm

@@ -1,0 +1,119 @@
+#pragma once
+// E-Scenarios (paper Definition 1 + Sec. IV-C2).
+//
+// An EV-Scenario is one grid cell observed over one time window; its E side
+// is the set of EIDs observed there, each tagged inclusive or vague. The
+// builder aggregates the raw E-log by (window, cell, EID), counts
+// occurrences, and classifies: EIDs that "appear mostly" are inclusive, ones
+// that "appear adequately" are vague, and occasional appearances are dropped
+// (exclusive). Spatially, observations landing in the vague band near the
+// cell border only ever count as vague evidence.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "esense/e_record.hpp"
+#include "geo/grid.hpp"
+#include "geo/zone.hpp"
+
+namespace evm {
+
+/// One EID's membership in an E-Scenario.
+struct EidEntry {
+  Eid eid;
+  EidAttr attr{EidAttr::kInclusive};
+
+  friend bool operator==(const EidEntry&, const EidEntry&) = default;
+};
+
+/// The E side of one EV-Scenario.
+struct EScenario {
+  ScenarioId id;
+  CellId cell;
+  TimeWindow window;
+  /// Entries sorted by EID value (the builder guarantees this; it enables
+  /// binary-search membership tests during set splitting).
+  std::vector<EidEntry> entries;
+
+  /// Attribute of `eid` in this scenario, or nullopt if absent (exclusive).
+  [[nodiscard]] std::optional<EidAttr> AttrOf(Eid eid) const noexcept;
+  [[nodiscard]] bool Contains(Eid eid) const noexcept {
+    return AttrOf(eid).has_value();
+  }
+  /// True iff `eid` is present with the inclusive attribute.
+  [[nodiscard]] bool ContainsInclusive(Eid eid) const noexcept {
+    const auto attr = AttrOf(eid);
+    return attr.has_value() && *attr == EidAttr::kInclusive;
+  }
+};
+
+/// Classification thresholds for the scenario builder.
+struct EScenarioConfig {
+  /// Ticks per aggregation window. 1 degenerates to the paper's original
+  /// single-time-point scenario definition.
+  std::int64_t window_ticks{1};
+  /// Width of the spatial vague band inside each cell border, metres.
+  /// 0 disables the vague zone (ideal setting).
+  double vague_width_m{0.0};
+  /// An EID appearing in >= this fraction of the window's ticks (with
+  /// inclusive-zone evidence dominating) is classified inclusive.
+  double inclusive_threshold{0.6};
+  /// An EID appearing in >= this fraction (but below inclusive) is vague.
+  double vague_threshold{0.2};
+};
+
+/// The full set of E-Scenarios of a dataset, indexed by id and by
+/// (window index, cell). Scenario ids are `window_index * cell_count +
+/// cell`, shared with the corresponding V-Scenarios.
+class EScenarioSet {
+ public:
+  EScenarioSet(std::size_t cell_count, std::int64_t window_ticks);
+
+  void Add(EScenario scenario);
+
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+  [[nodiscard]] const std::vector<EScenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  /// Looks up a scenario by id; nullptr if that (window, cell) slot was
+  /// empty (no EIDs observed).
+  [[nodiscard]] const EScenario* Find(ScenarioId id) const noexcept;
+
+  /// All non-empty scenarios of one window index, ordered by cell.
+  [[nodiscard]] std::vector<const EScenario*> AtWindow(
+      std::size_t window_index) const;
+
+  [[nodiscard]] std::size_t window_count() const noexcept {
+    return window_count_;
+  }
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cell_count_; }
+  [[nodiscard]] std::int64_t window_ticks() const noexcept {
+    return window_ticks_;
+  }
+
+  /// Deterministic scenario id for a (window, cell) slot.
+  [[nodiscard]] ScenarioId IdFor(std::size_t window_index, CellId cell) const {
+    return ScenarioId{window_index * cell_count_ + cell.value()};
+  }
+  [[nodiscard]] std::size_t WindowOf(ScenarioId id) const noexcept {
+    return static_cast<std::size_t>(id.value()) / cell_count_;
+  }
+
+ private:
+  std::size_t cell_count_;
+  std::int64_t window_ticks_;
+  std::size_t window_count_{0};
+  std::vector<EScenario> scenarios_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // id -> position
+};
+
+/// Aggregates the raw E-log into E-Scenarios over `grid`.
+[[nodiscard]] EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
+                                           const EScenarioConfig& config);
+
+}  // namespace evm

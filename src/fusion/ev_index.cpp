@@ -1,0 +1,137 @@
+#include "fusion/ev_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+EvIndex::EvIndex(const MatchReport& report, const ELog& e_log,
+                 const EScenarioSet& e_scenarios,
+                 const VScenarioSet& v_scenarios, const Grid& grid)
+    : cell_count_(grid.CellCount()),
+      window_count_(e_scenarios.window_count()),
+      window_ticks_(e_scenarios.window_ticks()) {
+  EVM_CHECK_MSG(report.results.size() == report.scenario_lists.size(),
+                "report results and scenario lists must align");
+
+  // Per-EID slot for every resolved match.
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const MatchResult& result = report.results[i];
+    if (!result.resolved) continue;
+    FusedIdentity identity;
+    identity.eid = result.eid;
+    identity.vid = result.reported_vid;
+    identity.confidence = result.confidence;
+    identity.cell_by_window.assign(window_count_, CellId{});
+    for (const ScenarioId id : report.scenario_lists[i].scenarios) {
+      const VScenario* scenario = v_scenarios.Find(id);
+      if (scenario == nullptr) continue;
+      for (const VObservation& obs : scenario->observations) {
+        if (obs.vid == identity.vid) {
+          identity.appearances.push_back(id);
+          break;
+        }
+      }
+    }
+    std::sort(identity.appearances.begin(), identity.appearances.end());
+    const std::size_t slot = identities_.size();
+    by_eid_.emplace(identity.eid.value(), slot);
+    // Two EIDs may (wrongly) claim the same VID; the by-VID direction keeps
+    // the higher-confidence linkage.
+    const auto [vid_it, inserted] =
+        by_vid_.emplace(identity.vid.value(), slot);
+    if (!inserted &&
+        identities_[vid_it->second].confidence < identity.confidence) {
+      vid_it->second = slot;
+    }
+    identities_.push_back(std::move(identity));
+  }
+
+  // Reconstruct cell tracks from the raw E-log (majority cell per window).
+  // counts[(slot, window)][cell] is too sparse to materialize; instead walk
+  // the log once and keep the per-(slot, window) best cell by counting via
+  // a compact map.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, int>>
+      counts;
+  for (const ERecord& record : e_log.records()) {
+    const auto it = by_eid_.find(record.eid.value());
+    if (it == by_eid_.end()) continue;
+    const auto window =
+        static_cast<std::size_t>(record.tick.value / window_ticks_);
+    if (window >= window_count_) continue;
+    const CellId cell = grid.CellAt(record.position);
+    ++counts[it->second * window_count_ + window][cell.value()];
+  }
+  for (const auto& [key, cell_counts] : counts) {
+    const std::size_t slot = key / window_count_;
+    const std::size_t window = key % window_count_;
+    std::uint64_t best_cell = 0;
+    int best = 0;
+    for (const auto& [cell, count] : cell_counts) {
+      if (count > best || (count == best && cell < best_cell)) {
+        best = count;
+        best_cell = cell;
+      }
+    }
+    identities_[slot].cell_by_window[window] = CellId{best_cell};
+    occupancy_[window * cell_count_ + best_cell].push_back(slot);
+  }
+  for (auto& [key, slots] : occupancy_) {
+    std::sort(slots.begin(), slots.end());
+  }
+}
+
+const FusedIdentity* EvIndex::ByEid(Eid eid) const noexcept {
+  const auto it = by_eid_.find(eid.value());
+  return it == by_eid_.end() ? nullptr : &identities_[it->second];
+}
+
+const FusedIdentity* EvIndex::ByVid(Vid vid) const noexcept {
+  const auto it = by_vid_.find(vid.value());
+  return it == by_vid_.end() ? nullptr : &identities_[it->second];
+}
+
+std::optional<CellId> EvIndex::WhereAbouts(Eid eid, Tick tick) const {
+  const FusedIdentity* identity = ByEid(eid);
+  if (identity == nullptr || tick.value < 0) return std::nullopt;
+  const auto window = static_cast<std::size_t>(tick.value / window_ticks_);
+  if (window >= identity->cell_by_window.size()) return std::nullopt;
+  const CellId cell = identity->cell_by_window[window];
+  if (!cell.valid()) return std::nullopt;
+  return cell;
+}
+
+std::vector<ScenarioId> EvIndex::AppearancesOf(Eid eid) const {
+  const FusedIdentity* identity = ByEid(eid);
+  return identity == nullptr ? std::vector<ScenarioId>{}
+                             : identity->appearances;
+}
+
+std::vector<Eid> EvIndex::WhoWasAt(CellId cell, std::size_t window) const {
+  std::vector<Eid> out;
+  const auto it = occupancy_.find(window * cell_count_ + cell.value());
+  if (it == occupancy_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t slot : it->second) {
+    out.push_back(identities_[slot].eid);
+  }
+  return out;
+}
+
+std::vector<Encounter> EvIndex::Encounters(Eid eid) const {
+  std::vector<Encounter> out;
+  const FusedIdentity* identity = ByEid(eid);
+  if (identity == nullptr) return out;
+  for (std::size_t w = 0; w < identity->cell_by_window.size(); ++w) {
+    const CellId cell = identity->cell_by_window[w];
+    if (!cell.valid()) continue;
+    for (const Eid other : WhoWasAt(cell, w)) {
+      if (other == eid) continue;
+      out.push_back(Encounter{eid, other, cell, w});
+    }
+  }
+  return out;
+}
+
+}  // namespace evm

@@ -1,0 +1,98 @@
+#pragma once
+// The fused EV index — the paper's end goal (Sec. I): after matching, "we
+// are further able to fuse these two big and heterogeneous datasets, and
+// retrieve the E and V information for a person at the same time with one
+// single query".
+//
+// The index is built from a MatchReport (typically universal matching): it
+// stores, per matched EID, the linked visual identity, the per-window cell
+// track reconstructed from the E-log, and the scenarios where the person
+// was filmed. Queries:
+//
+//   * ByEid / ByVid     — cross-modal identity lookup,
+//   * WhereAbouts       — the person's cell at a given tick,
+//   * AppearancesOf     — every V-Scenario holding a confirmed appearance,
+//   * WhoWasAt          — all matched identities present in a cell/window,
+//   * Encounters        — pairs of matched people co-located over time.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "core/types.hpp"
+#include "esense/e_record.hpp"
+#include "esense/e_scenario.hpp"
+#include "geo/grid.hpp"
+#include "vsense/v_scenario.hpp"
+
+namespace evm {
+
+/// One fused identity: the linkage EV-Matching established.
+struct FusedIdentity {
+  Eid eid;
+  Vid vid;
+  double confidence{0.0};
+  /// Per-window cell track from the E side (kInvalid where unheard).
+  std::vector<CellId> cell_by_window;
+  /// Scenarios in which the matched VID was confirmed (the chosen
+  /// observations of VID filtering plus presence scans).
+  std::vector<ScenarioId> appearances;
+};
+
+/// A co-location event between two fused identities.
+struct Encounter {
+  Eid a;
+  Eid b;
+  CellId cell;
+  std::size_t window;
+};
+
+class EvIndex {
+ public:
+  /// Builds the index from a finished match. Unresolved results are
+  /// skipped; `report.scenario_lists` supplies the confirmed appearances.
+  EvIndex(const MatchReport& report, const ELog& e_log,
+          const EScenarioSet& e_scenarios, const VScenarioSet& v_scenarios,
+          const Grid& grid);
+
+  [[nodiscard]] std::size_t size() const noexcept { return identities_.size(); }
+
+  /// Cross-modal lookups.
+  [[nodiscard]] const FusedIdentity* ByEid(Eid eid) const noexcept;
+  [[nodiscard]] const FusedIdentity* ByVid(Vid vid) const noexcept;
+
+  /// The cell the EID's holder occupied during the window containing
+  /// `tick`, if heard.
+  [[nodiscard]] std::optional<CellId> WhereAbouts(Eid eid, Tick tick) const;
+
+  /// Every scenario with a confirmed visual appearance of the person.
+  [[nodiscard]] std::vector<ScenarioId> AppearancesOf(Eid eid) const;
+
+  /// All indexed EIDs present (per the E side) in `cell` during window
+  /// `window`.
+  [[nodiscard]] std::vector<Eid> WhoWasAt(CellId cell,
+                                          std::size_t window) const;
+
+  /// Co-location events of `eid` with other indexed identities, in window
+  /// order.
+  [[nodiscard]] std::vector<Encounter> Encounters(Eid eid) const;
+
+  [[nodiscard]] std::int64_t window_ticks() const noexcept {
+    return window_ticks_;
+  }
+
+ private:
+  std::vector<FusedIdentity> identities_;
+  std::unordered_map<std::uint64_t, std::size_t> by_eid_;
+  std::unordered_map<std::uint64_t, std::size_t> by_vid_;
+  // (window * cells + cell) -> indexed identities present there.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> occupancy_;
+  std::size_t cell_count_{0};
+  std::size_t window_count_{0};
+  std::int64_t window_ticks_{1};
+};
+
+}  // namespace evm

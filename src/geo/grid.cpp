@@ -1,0 +1,60 @@
+#include "geo/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evm {
+
+Grid::Grid(std::size_t cols, std::size_t rows, double cell_size)
+    : cols_(cols), rows_(rows), cell_size_(cell_size) {
+  EVM_CHECK_MSG(cols > 0 && rows > 0, "grid must have at least one cell");
+  EVM_CHECK_MSG(cell_size > 0.0, "cell size must be positive");
+}
+
+Grid Grid::Covering(const Rect& region, double cell_size) {
+  EVM_CHECK_MSG(region.Width() > 0.0 && region.Height() > 0.0,
+                "region must be non-degenerate");
+  const auto cols =
+      static_cast<std::size_t>(std::ceil(region.Width() / cell_size));
+  const auto rows =
+      static_cast<std::size_t>(std::ceil(region.Height() / cell_size));
+  return Grid(cols, rows, cell_size);
+}
+
+CellId Grid::CellAt(Vec2 p) const noexcept {
+  auto clamp_index = [](double coord, double cell, std::size_t n) {
+    const auto i = static_cast<std::int64_t>(std::floor(coord / cell));
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(n) - 1));
+  };
+  const std::size_t col = clamp_index(p.x, cell_size_, cols_);
+  const std::size_t row = clamp_index(p.y, cell_size_, rows_);
+  return CellId{row * cols_ + col};
+}
+
+Rect Grid::CellRect(CellId cell) const {
+  EVM_CHECK_MSG(cell.value() < CellCount(), "cell out of range");
+  const double x0 = static_cast<double>(ColOf(cell)) * cell_size_;
+  const double y0 = static_cast<double>(RowOf(cell)) * cell_size_;
+  return {x0, y0, x0 + cell_size_, y0 + cell_size_};
+}
+
+std::vector<CellId> Grid::Neighbors4(CellId cell) const {
+  EVM_CHECK_MSG(cell.value() < CellCount(), "cell out of range");
+  const std::size_t col = ColOf(cell);
+  const std::size_t row = RowOf(cell);
+  std::vector<CellId> out;
+  out.reserve(4);
+  if (col > 0) out.emplace_back(cell.value() - 1);
+  if (col + 1 < cols_) out.emplace_back(cell.value() + 1);
+  if (row > 0) out.emplace_back(cell.value() - cols_);
+  if (row + 1 < rows_) out.emplace_back(cell.value() + cols_);
+  return out;
+}
+
+Vec2 Grid::CellCenter(CellId cell) const {
+  const Rect r = CellRect(cell);
+  return {(r.x0 + r.x1) / 2.0, (r.y0 + r.y1) / 2.0};
+}
+
+}  // namespace evm

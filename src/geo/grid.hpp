@@ -1,0 +1,72 @@
+#pragma once
+// Uniform cell grid over the surveilled region.
+//
+// The paper divides the monitored area into "scenarios" — we use a uniform
+// rectangular grid of cells (Fig. 1 shows hexagonal cells as one option; the
+// algorithms only need a partition of space, so squares are equivalent and
+// simpler). Each cell is monitored by one (virtual) camera and one (virtual)
+// radio sensor; an EV-Scenario is one cell over one time window.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "geo/point.hpp"
+
+namespace evm {
+
+class Grid {
+ public:
+  /// Builds a cols x rows grid of `cell_size` x `cell_size` cells with its
+  /// origin at (0,0). All quantities in metres.
+  Grid(std::size_t cols, std::size_t rows, double cell_size);
+
+  /// Builds the grid covering `region` with square cells of `cell_size`,
+  /// rounding the number of columns/rows up so the region is fully covered.
+  static Grid Covering(const Rect& region, double cell_size);
+
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t CellCount() const noexcept { return cols_ * rows_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+
+  /// The full region spanned by the grid.
+  [[nodiscard]] Rect Bounds() const noexcept {
+    return {0.0, 0.0, static_cast<double>(cols_) * cell_size_,
+            static_cast<double>(rows_) * cell_size_};
+  }
+
+  /// Maps a point to its containing cell. Points outside the grid are
+  /// clamped to the nearest boundary cell (sensing hardware at the perimeter
+  /// still reports a reading).
+  [[nodiscard]] CellId CellAt(Vec2 p) const noexcept;
+
+  /// The rectangle of a cell.
+  [[nodiscard]] Rect CellRect(CellId cell) const;
+
+  /// Distance from p to the border of the cell containing p.
+  [[nodiscard]] double DistanceToCellBorder(Vec2 p) const noexcept {
+    return CellRect(CellAt(p)).DistanceToBorder(p);
+  }
+
+  /// The 4-neighbourhood (N/S/E/W) of a cell, clipped at the grid edge.
+  [[nodiscard]] std::vector<CellId> Neighbors4(CellId cell) const;
+
+  /// Centre point of a cell.
+  [[nodiscard]] Vec2 CellCenter(CellId cell) const;
+
+ private:
+  [[nodiscard]] std::size_t ColOf(CellId cell) const noexcept {
+    return static_cast<std::size_t>(cell.value()) % cols_;
+  }
+  [[nodiscard]] std::size_t RowOf(CellId cell) const noexcept {
+    return static_cast<std::size_t>(cell.value()) / cols_;
+  }
+
+  std::size_t cols_;
+  std::size_t rows_;
+  double cell_size_;
+};
+
+}  // namespace evm

@@ -1,0 +1,60 @@
+#pragma once
+// 2-D geometry primitives for the surveilled region.
+
+#include <cmath>
+#include <compare>
+
+namespace evm {
+
+/// A point / displacement in the plane, in metres.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return a * s; }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+
+  [[nodiscard]] double Norm() const noexcept { return std::hypot(x, y); }
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double Distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).Norm();
+}
+
+/// Axis-aligned rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  double x0{0.0};
+  double y0{0.0};
+  double x1{0.0};
+  double y1{0.0};
+
+  [[nodiscard]] constexpr double Width() const noexcept { return x1 - x0; }
+  [[nodiscard]] constexpr double Height() const noexcept { return y1 - y0; }
+  [[nodiscard]] constexpr bool Contains(Vec2 p) const noexcept {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+  /// Clamps p into the closed rectangle.
+  [[nodiscard]] Vec2 Clamp(Vec2 p) const noexcept {
+    return {std::fmin(std::fmax(p.x, x0), std::nexttoward(x1, x0)),
+            std::fmin(std::fmax(p.y, y0), std::nexttoward(y1, y0))};
+  }
+  /// Distance from p to the nearest edge of the rectangle (0 outside).
+  [[nodiscard]] double DistanceToBorder(Vec2 p) const noexcept {
+    if (!Contains(p)) return 0.0;
+    const double dx = std::fmin(p.x - x0, x1 - p.x);
+    const double dy = std::fmin(p.y - y0, y1 - p.y);
+    return std::fmin(dx, dy);
+  }
+};
+
+}  // namespace evm

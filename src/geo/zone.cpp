@@ -1,0 +1,14 @@
+#include "geo/zone.hpp"
+
+namespace evm {
+
+ZoneClass ClassifyZone(const Grid& grid, CellId cell, Vec2 p,
+                       double vague_width) noexcept {
+  const Rect r = grid.CellRect(cell);
+  if (!r.Contains(p)) return ZoneClass::kExclusive;
+  if (vague_width <= 0.0) return ZoneClass::kInclusive;
+  return r.DistanceToBorder(p) >= vague_width ? ZoneClass::kInclusive
+                                              : ZoneClass::kVague;
+}
+
+}  // namespace evm

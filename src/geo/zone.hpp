@@ -1,0 +1,35 @@
+#pragma once
+// Inclusive / vague / exclusive zone classification (paper Sec. IV-C2,
+// Fig. 2). A scenario's area is split into an inclusive zone (far from the
+// cell border) and a vague zone (a band of width `vague_width` along the
+// border); everything outside the cell is the exclusive zone. EIDs localized
+// in the vague zone are retained but marked vague, which the practical-
+// setting set-splitting algorithm uses to tolerate drifting EIDs.
+
+#include "common/ids.hpp"
+#include "geo/grid.hpp"
+#include "geo/point.hpp"
+
+namespace evm {
+
+/// Where an observation falls relative to a scenario's cell.
+enum class ZoneClass {
+  kInclusive,  ///< well inside the cell — confidently included
+  kVague,      ///< near the border — included but not trusted
+  kExclusive,  ///< outside the cell
+};
+
+/// Classifies point `p` relative to `cell` of `grid`, with a vague band of
+/// width `vague_width` metres inside the border. A non-positive vague width
+/// degenerates to the ideal setting (inclusive/exclusive only).
+[[nodiscard]] ZoneClass ClassifyZone(const Grid& grid, CellId cell, Vec2 p,
+                                     double vague_width) noexcept;
+
+/// Attribute carried by an EID inside an E-Scenario (exclusive observations
+/// are simply absent from the scenario).
+enum class EidAttr : unsigned char {
+  kInclusive = 0,
+  kVague = 1,
+};
+
+}  // namespace evm

@@ -1,0 +1,22 @@
+#pragma once
+// Per-job execution counters, mirroring the task/IO counters a Hadoop or
+// Spark UI would show. Tests use these to verify scheduling behaviour
+// (retries after injected failures, shuffle volume, task counts).
+
+#include <cstdint>
+
+namespace evm::mapreduce {
+
+struct JobCounters {
+  std::uint64_t map_tasks{0};
+  std::uint64_t map_attempts{0};
+  std::uint64_t reduce_tasks{0};
+  std::uint64_t reduce_attempts{0};
+  std::uint64_t injected_failures{0};
+  std::uint64_t input_records{0};
+  std::uint64_t shuffled_records{0};
+  std::uint64_t shuffled_bytes{0};
+  std::uint64_t output_records{0};
+};
+
+}  // namespace evm::mapreduce

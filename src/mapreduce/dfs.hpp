@@ -1,0 +1,52 @@
+#pragma once
+// In-memory distributed file system stand-in.
+//
+// The paper: "During the entire process, all data are stored in an
+// underlying distributed file system." This class provides that role for the
+// in-process engine: named datasets made of byte blocks, with atomic
+// replace-on-write, read counters, and thread-safe access. The EV pipeline
+// stages its scenario partitions and iteration outputs here, so stage
+// boundaries exchange bytes — not live object graphs — exactly as on a
+// cluster.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace evm::mapreduce {
+
+using Block = std::vector<unsigned char>;
+
+class Dfs {
+ public:
+  /// Writes (or atomically replaces) a dataset.
+  void Write(const std::string& name, std::vector<Block> blocks);
+
+  /// Appends one block to a dataset, creating it if absent.
+  void Append(const std::string& name, Block block);
+
+  /// Reads a whole dataset; nullopt if it does not exist.
+  [[nodiscard]] std::optional<std::vector<Block>> Read(
+      const std::string& name) const;
+
+  /// True if the dataset exists.
+  [[nodiscard]] bool Exists(const std::string& name) const;
+
+  /// Deletes a dataset; returns whether it existed.
+  bool Remove(const std::string& name);
+
+  /// Names of all datasets, sorted.
+  [[nodiscard]] std::vector<std::string> List() const;
+
+  /// Total bytes stored across all datasets.
+  [[nodiscard]] std::uint64_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<Block>> datasets_;
+};
+
+}  // namespace evm::mapreduce

@@ -1,0 +1,236 @@
+#pragma once
+// The in-process MapReduce engine.
+//
+// Execution follows the four classic stages the paper describes (Sec. V-A):
+// the input is *split* into map tasks, *map* functions emit (key, value)
+// pairs, pairs are *shuffled* (serialized, hash-partitioned, sorted and
+// grouped by key) and *reduce* functions aggregate each group. A thread pool
+// plays the role of the cluster's worker machines; task scheduling, failure
+// injection and task re-execution are handled here, the in-memory Dfs plays
+// the distributed file system.
+//
+// Determinism: map task m writes its shuffle output into slot [r][m], so the
+// value order within each key group is (map task, input order) — independent
+// of thread interleaving. Reduce outputs are concatenated in partition order
+// and are key-sorted within a partition, so job output is a pure function of
+// (inputs, functions, num_reducers).
+//
+// Requirements: K and V (and Out) need Codec<> specializations; K needs
+// operator< (used for the sort phase) and a KeyHash (provided for integral
+// ids and strings).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/thread_pool.hpp"
+#include "mapreduce/codec.hpp"
+#include "mapreduce/counters.hpp"
+#include "mapreduce/partitioner.hpp"
+
+namespace evm::mapreduce {
+
+struct EngineOptions {
+  /// Worker threads (the "cluster size"). 0 = hardware concurrency.
+  std::size_t workers{0};
+  /// Seed for deterministic failure injection.
+  std::uint64_t seed{0};
+  /// Probability that a map / reduce task attempt crashes after doing its
+  /// work but before committing it (tests re-execution idempotence).
+  double map_failure_prob{0.0};
+  double reduce_failure_prob{0.0};
+  /// Attempts per task before the job is failed.
+  int max_attempts{3};
+  /// Number of map tasks; 0 = 4 x workers (capped by the input size).
+  std::size_t target_map_tasks{0};
+};
+
+/// Collects (key, value) emissions of one map task, serialized per reduce
+/// partition.
+template <typename K, typename V>
+class Emitter {
+ public:
+  Emitter(std::vector<BinaryWriter>& partitions, std::uint64_t& emitted)
+      : partitions_(partitions), emitted_(emitted) {}
+
+  void operator()(const K& key, const V& value) {
+    BinaryWriter& w = partitions_[PartitionOf(key, partitions_.size())];
+    Codec<K>::Encode(w, key);
+    Codec<V>::Encode(w, value);
+    ++emitted_;
+  }
+
+ private:
+  std::vector<BinaryWriter>& partitions_;
+  std::uint64_t& emitted_;
+};
+
+class MapReduceEngine {
+ public:
+  explicit MapReduceEngine(EngineOptions options = {})
+      : options_(options), pool_(options.workers) {
+    EVM_CHECK(options.max_attempts >= 1);
+    EVM_CHECK(options.map_failure_prob >= 0.0 && options.map_failure_prob < 1.0);
+    EVM_CHECK(options.reduce_failure_prob >= 0.0 &&
+              options.reduce_failure_prob < 1.0);
+  }
+
+  /// Runs one job. MapFn: void(const In&, Emitter<K, V>&).
+  /// ReduceFn: void(const K&, std::vector<V>&&, std::vector<Out>&).
+  /// Returns the concatenated reduce outputs (deterministic order).
+  template <typename K, typename V, typename Out, typename In, typename MapFn,
+            typename ReduceFn>
+  std::vector<Out> Run(const std::string& job_name,
+                       const std::vector<In>& inputs, std::size_t num_reducers,
+                       MapFn&& map_fn, ReduceFn&& reduce_fn) {
+    EVM_CHECK_MSG(num_reducers > 0, "need at least one reducer");
+    JobCounters counters;
+    counters.input_records = inputs.size();
+    counters.reduce_tasks = num_reducers;
+
+    // ---- split ----
+    std::size_t num_map_tasks =
+        options_.target_map_tasks > 0 ? options_.target_map_tasks
+                                      : 4 * pool_.size();
+    num_map_tasks = std::min(num_map_tasks, inputs.size());
+    if (num_map_tasks == 0) num_map_tasks = inputs.empty() ? 0 : 1;
+    counters.map_tasks = num_map_tasks;
+
+    // shuffle[r][m] = serialized pairs emitted by map task m for partition r.
+    std::vector<std::vector<std::vector<unsigned char>>> shuffle(num_reducers);
+    for (auto& partition : shuffle) partition.resize(num_map_tasks);
+
+    std::atomic<std::uint64_t> map_attempts{0};
+    std::atomic<std::uint64_t> injected{0};
+    std::atomic<std::uint64_t> shuffled_records{0};
+    std::atomic<std::uint64_t> shuffled_bytes{0};
+
+    // ---- map ----
+    pool_.ParallelFor(num_map_tasks, [&](std::size_t m) {
+      const std::size_t begin = m * inputs.size() / num_map_tasks;
+      const std::size_t end = (m + 1) * inputs.size() / num_map_tasks;
+      for (int attempt = 1;; ++attempt) {
+        map_attempts.fetch_add(1, std::memory_order_relaxed);
+        std::vector<BinaryWriter> parts(num_reducers);
+        std::uint64_t emitted = 0;
+        Emitter<K, V> emitter(parts, emitted);
+        for (std::size_t i = begin; i < end; ++i) map_fn(inputs[i], emitter);
+        if (InjectFailure(job_name, "map", m, attempt,
+                          options_.map_failure_prob)) {
+          injected.fetch_add(1, std::memory_order_relaxed);
+          EVM_CHECK_MSG(attempt < options_.max_attempts,
+                        "map task exceeded max attempts");
+          continue;  // crash: the task's uncommitted output is discarded
+        }
+        for (std::size_t r = 0; r < num_reducers; ++r) {
+          shuffled_bytes.fetch_add(parts[r].bytes().size(),
+                                   std::memory_order_relaxed);
+          shuffle[r][m] = parts[r].Take();  // this task's private slot
+        }
+        shuffled_records.fetch_add(emitted, std::memory_order_relaxed);
+        break;
+      }
+    });
+
+    // ---- shuffle + sort + reduce ----
+    std::vector<std::vector<Out>> outputs(num_reducers);
+    std::atomic<std::uint64_t> reduce_attempts{0};
+    pool_.ParallelFor(num_reducers, [&](std::size_t r) {
+      for (int attempt = 1;; ++attempt) {
+        reduce_attempts.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::pair<K, V>> records;
+        for (const auto& buffer : shuffle[r]) {
+          BinaryReader reader(buffer.data(), buffer.size());
+          while (!reader.AtEnd()) {
+            K key = Codec<K>::Decode(reader);
+            V value = Codec<V>::Decode(reader);
+            records.emplace_back(std::move(key), std::move(value));
+          }
+        }
+        std::stable_sort(records.begin(), records.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        std::vector<Out> out;
+        std::size_t i = 0;
+        while (i < records.size()) {
+          std::size_t j = i;
+          std::vector<V> values;
+          // equal keys are adjacent after the sort
+          while (j < records.size() && !(records[i].first < records[j].first)) {
+            values.push_back(std::move(records[j].second));
+            ++j;
+          }
+          reduce_fn(records[i].first, std::move(values), out);
+          i = j;
+        }
+        if (InjectFailure(job_name, "reduce", r, attempt,
+                          options_.reduce_failure_prob)) {
+          injected.fetch_add(1, std::memory_order_relaxed);
+          EVM_CHECK_MSG(attempt < options_.max_attempts,
+                        "reduce task exceeded max attempts");
+          continue;
+        }
+        outputs[r] = std::move(out);
+        break;
+      }
+    });
+
+    std::vector<Out> result;
+    for (auto& partition : outputs) {
+      counters.output_records += partition.size();
+      result.insert(result.end(), std::make_move_iterator(partition.begin()),
+                    std::make_move_iterator(partition.end()));
+    }
+    counters.map_attempts = map_attempts.load();
+    counters.reduce_attempts = reduce_attempts.load();
+    counters.injected_failures = injected.load();
+    counters.shuffled_records = shuffled_records.load();
+    counters.shuffled_bytes = shuffled_bytes.load();
+    last_counters_ = counters;
+    return result;
+  }
+
+  /// Convenience: shuffle-only job that groups every emitted value by key.
+  /// Returns (key, values) pairs, key-sorted within each partition.
+  template <typename K, typename V, typename In, typename MapFn>
+  std::vector<std::pair<K, std::vector<V>>> GroupBy(
+      const std::string& job_name, const std::vector<In>& inputs,
+      std::size_t num_reducers, MapFn&& map_fn) {
+    using Out = std::pair<K, std::vector<V>>;
+    return Run<K, V, Out>(job_name, inputs, num_reducers,
+                          std::forward<MapFn>(map_fn),
+                          [](const K& key, std::vector<V>&& values,
+                             std::vector<Out>& out) {
+                            out.emplace_back(key, std::move(values));
+                          });
+  }
+
+  [[nodiscard]] const JobCounters& last_counters() const noexcept {
+    return last_counters_;
+  }
+  [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  [[nodiscard]] bool InjectFailure(const std::string& job, const char* stage,
+                                   std::size_t task, int attempt,
+                                   double prob) const {
+    if (prob <= 0.0) return false;
+    Rng rng(DeriveSeed(options_.seed ^ std::hash<std::string>{}(job), stage,
+                       task * 1024 + static_cast<std::uint64_t>(attempt)));
+    return rng.NextDouble() < prob;
+  }
+
+  EngineOptions options_;
+  ThreadPool pool_;
+  JobCounters last_counters_;
+};
+
+}  // namespace evm::mapreduce

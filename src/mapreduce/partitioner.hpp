@@ -1,0 +1,52 @@
+#pragma once
+// Shuffle partitioners: map a key to one of R reducers. The default hashes
+// via a strong 64-bit mixer so that dense integer key spaces (EID values,
+// set ids) spread evenly — integer identity modulo R would skew reducers
+// when keys share residues, the classic load-imbalance problem the paper's
+// related work (Sec. II) calls out for spatial data.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/ids.hpp"
+
+namespace evm::mapreduce {
+
+/// Hash partition for any key with a KeyHash specialization.
+template <typename K>
+struct KeyHash {
+  std::size_t operator()(const K& k) const { return std::hash<K>{}(k); }
+};
+
+template <>
+struct KeyHash<std::uint64_t> {
+  std::size_t operator()(std::uint64_t k) const noexcept {
+    return static_cast<std::size_t>(Mix64(k));
+  }
+};
+
+template <typename Tag>
+struct KeyHash<StrongId<Tag>> {
+  std::size_t operator()(StrongId<Tag> k) const noexcept {
+    return static_cast<std::size_t>(Mix64(k.value()));
+  }
+};
+
+/// Composite list keys (e.g. the set-id lists of the EV-Matching merge
+/// stage) hash order-sensitively over their elements.
+template <>
+struct KeyHash<std::vector<std::uint64_t>> {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
+    return HashU64Vector(v);
+  }
+};
+
+template <typename K>
+[[nodiscard]] std::size_t PartitionOf(const K& key, std::size_t partitions) {
+  return KeyHash<K>{}(key) % partitions;
+}
+
+}  // namespace evm::mapreduce

@@ -1,0 +1,26 @@
+#include "metrics/accuracy.hpp"
+
+namespace evm {
+
+bool IsCorrectMatch(const MatchResult& result, const GroundTruth& truth) {
+  if (!result.resolved || result.chosen_per_scenario.empty()) return false;
+  if (!truth.Knows(result.eid)) return false;
+  const Vid expected = truth.TrueVidOf(result.eid);
+  std::size_t correct_votes = 0;
+  for (const Vid chosen : result.chosen_per_scenario) {
+    if (chosen == expected) ++correct_votes;
+  }
+  return 2 * correct_votes > result.chosen_per_scenario.size();
+}
+
+double MatchAccuracy(const std::vector<MatchResult>& results,
+                     const GroundTruth& truth) {
+  if (results.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const MatchResult& result : results) {
+    if (IsCorrectMatch(result, truth)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(results.size());
+}
+
+}  // namespace evm

@@ -1,0 +1,21 @@
+#pragma once
+// Matching accuracy (paper Sec. VI-B): "An EID is correctly matched only
+// when the majority of the VIDs chosen from the scenarios for this EID is
+// the right VID."
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "dataset/world.hpp"
+
+namespace evm {
+
+/// Strict-majority correctness of one result against the ground truth.
+[[nodiscard]] bool IsCorrectMatch(const MatchResult& result,
+                                  const GroundTruth& truth);
+
+/// Fraction of correctly matched EIDs.
+[[nodiscard]] double MatchAccuracy(const std::vector<MatchResult>& results,
+                                   const GroundTruth& truth);
+
+}  // namespace evm

@@ -1,0 +1,59 @@
+#include "mobility/levy_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+LevyWalk::LevyWalk(const Rect& region, double alpha, MobilityParams params,
+                   Rng rng)
+    : region_(region), alpha_(alpha), params_(params), rng_(rng) {
+  EVM_CHECK_MSG(alpha > 1.0 && alpha <= 3.0, "alpha must be in (1, 3]");
+  position_ = {rng_.Uniform(region_.x0, region_.x1),
+               rng_.Uniform(region_.y0, region_.y1)};
+  PickNextFlight();
+}
+
+void LevyWalk::PickNextFlight() {
+  // Inverse-CDF sampling of a truncated Pareto flight length.
+  const double max_flight = std::hypot(region_.Width(), region_.Height());
+  const double u = std::max(1e-12, rng_.NextDouble());
+  const double length = std::min(
+      max_flight, min_flight_m_ * std::pow(u, -1.0 / (alpha_ - 1.0)));
+  const double heading = rng_.Uniform(0.0, 2.0 * 3.141592653589793);
+  target_ = region_.Clamp(position_ + Vec2{std::cos(heading) * length,
+                                           std::sin(heading) * length});
+  speed_ = rng_.Uniform(params_.min_speed_mps, params_.max_speed_mps);
+  pause_remaining_s_ = rng_.Uniform(0.0, params_.max_pause_s);
+}
+
+void LevyWalk::Step(double dt) {
+  EVM_CHECK_MSG(dt > 0.0, "dt must be positive");
+  while (dt > 0.0) {
+    if (pause_remaining_s_ > 0.0) {
+      const double pause = std::min(pause_remaining_s_, dt);
+      pause_remaining_s_ -= pause;
+      dt -= pause;
+      continue;
+    }
+    const Vec2 to_target = target_ - position_;
+    const double remaining = to_target.Norm();
+    if (remaining < 1e-9) {
+      PickNextFlight();
+      continue;
+    }
+    const double step = speed_ * dt;
+    if (step >= remaining) {
+      position_ = target_;
+      dt -= remaining / speed_;
+      PickNextFlight();
+    } else {
+      position_ = position_ + to_target * (step / remaining);
+      dt = 0.0;
+    }
+  }
+}
+
+}  // namespace evm

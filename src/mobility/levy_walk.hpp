@@ -1,0 +1,36 @@
+#pragma once
+// Levy-walk mobility: straight flights with power-law lengths and uniform
+// headings, separated by pauses. Human mobility studies find Levy-like
+// flight distributions in real GPS traces, so this model stresses the
+// matching pipeline with the heavy-tailed revisit patterns random waypoint
+// lacks. Used by ablations; not part of the paper's evaluation.
+
+#include "geo/point.hpp"
+#include "mobility/mobility_model.hpp"
+
+namespace evm {
+
+class LevyWalk final : public MobilityModel {
+ public:
+  /// `alpha` is the power-law exponent of flight lengths (1 < alpha <= 3;
+  /// smaller = heavier tail); flights are truncated to the region diagonal.
+  LevyWalk(const Rect& region, double alpha, MobilityParams params, Rng rng);
+
+  [[nodiscard]] Vec2 Position() const noexcept override { return position_; }
+  void Step(double dt) override;
+
+ private:
+  void PickNextFlight();
+
+  Rect region_;
+  double alpha_;
+  double min_flight_m_{5.0};
+  MobilityParams params_;
+  Rng rng_;
+  Vec2 position_;
+  Vec2 target_;
+  double speed_{1.0};
+  double pause_remaining_s_{0.0};
+};
+
+}  // namespace evm

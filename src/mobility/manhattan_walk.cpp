@@ -1,0 +1,58 @@
+#include "mobility/manhattan_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+ManhattanWalk::ManhattanWalk(const Rect& region, double block_size,
+                             MobilityParams params, Rng rng)
+    : region_(region), block_size_(block_size), params_(params), rng_(rng) {
+  EVM_CHECK_MSG(block_size > 0.0, "block size must be positive");
+  position_ = SnapToLattice({rng_.Uniform(region_.x0, region_.x1),
+                             rng_.Uniform(region_.y0, region_.y1)});
+  speed_ = rng_.Uniform(params_.min_speed_mps, params_.max_speed_mps);
+  ChooseDirection();
+}
+
+Vec2 ManhattanWalk::SnapToLattice(Vec2 p) const noexcept {
+  // Snap the y coordinate to the nearest horizontal street; person then
+  // walks along streets only.
+  const double row = std::round((p.y - region_.y0) / block_size_);
+  return region_.Clamp({p.x, region_.y0 + row * block_size_});
+}
+
+void ManhattanWalk::ChooseDirection() {
+  // At an intersection: continue straight with p=0.5, else turn left/right.
+  static constexpr Vec2 kDirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  if (!rng_.Bernoulli(0.5)) {
+    direction_ = kDirs[rng_.NextBelow(4)];
+  }
+  speed_ = rng_.Uniform(params_.min_speed_mps, params_.max_speed_mps);
+  to_next_intersection_ = block_size_;
+}
+
+void ManhattanWalk::Step(double dt) {
+  EVM_CHECK_MSG(dt > 0.0, "dt must be positive");
+  while (dt > 0.0) {
+    const double step = speed_ * dt;
+    if (step < to_next_intersection_) {
+      position_ = position_ + direction_ * step;
+      to_next_intersection_ -= step;
+      dt = 0.0;
+    } else {
+      position_ = position_ + direction_ * to_next_intersection_;
+      dt -= to_next_intersection_ / speed_;
+      ChooseDirection();
+    }
+    // Bounce off the region boundary by reversing direction.
+    if (!region_.Contains(position_)) {
+      position_ = region_.Clamp(position_);
+      direction_ = direction_ * -1.0;
+    }
+  }
+}
+
+}  // namespace evm

@@ -1,0 +1,36 @@
+#pragma once
+// Manhattan / grid walk mobility: movement restricted to axis-aligned street
+// segments on a lattice, with turn probabilities at intersections. Not used
+// by the paper's evaluation; provided as an ablation mobility model to test
+// that the matching algorithms are not specific to random-waypoint motion.
+
+#include "geo/point.hpp"
+#include "mobility/mobility_model.hpp"
+
+namespace evm {
+
+class ManhattanWalk final : public MobilityModel {
+ public:
+  /// `block_size` is the street spacing in metres; motion starts at a random
+  /// lattice point and always follows street lines.
+  ManhattanWalk(const Rect& region, double block_size, MobilityParams params,
+                Rng rng);
+
+  [[nodiscard]] Vec2 Position() const noexcept override { return position_; }
+  void Step(double dt) override;
+
+ private:
+  void ChooseDirection();
+  [[nodiscard]] Vec2 SnapToLattice(Vec2 p) const noexcept;
+
+  Rect region_;
+  double block_size_;
+  MobilityParams params_;
+  Rng rng_;
+  Vec2 position_;
+  Vec2 direction_{1.0, 0.0};
+  double speed_{1.0};
+  double to_next_intersection_{0.0};
+};
+
+}  // namespace evm

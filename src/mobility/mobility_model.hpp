@@ -1,0 +1,33 @@
+#pragma once
+// Mobility model interface. A model owns the kinematic state of one person
+// and advances it tick by tick inside a bounded region. The paper uses the
+// random waypoint model [Camp et al. 2002] to control "location, velocity
+// and acceleration change" of each human object.
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "geo/point.hpp"
+
+namespace evm {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Current position in metres.
+  [[nodiscard]] virtual Vec2 Position() const noexcept = 0;
+
+  /// Advances the model by `dt` seconds.
+  virtual void Step(double dt) = 0;
+};
+
+/// Walking-speed defaults shared by the concrete models.
+struct MobilityParams {
+  double min_speed_mps{0.5};   ///< minimum leg speed, m/s
+  double max_speed_mps{2.0};   ///< maximum leg speed, m/s
+  double max_pause_s{30.0};    ///< maximum pause at a waypoint, seconds
+  double accel_mps2{0.8};      ///< acceleration limit when changing speed
+};
+
+}  // namespace evm

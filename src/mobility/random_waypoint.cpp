@@ -1,0 +1,64 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+RandomWaypoint::RandomWaypoint(const Rect& region, MobilityParams params,
+                               Rng rng)
+    : region_(region), params_(params), rng_(rng) {
+  EVM_CHECK_MSG(params_.min_speed_mps > 0.0 &&
+                    params_.max_speed_mps >= params_.min_speed_mps,
+                "invalid speed range");
+  position_ = {rng_.Uniform(region_.x0, region_.x1),
+               rng_.Uniform(region_.y0, region_.y1)};
+  PickNextLeg();
+}
+
+void RandomWaypoint::PickNextLeg() {
+  waypoint_ = {rng_.Uniform(region_.x0, region_.x1),
+               rng_.Uniform(region_.y0, region_.y1)};
+  target_speed_ = rng_.Uniform(params_.min_speed_mps, params_.max_speed_mps);
+  pause_remaining_s_ = rng_.Uniform(0.0, params_.max_pause_s);
+}
+
+void RandomWaypoint::Step(double dt) {
+  EVM_CHECK_MSG(dt > 0.0, "dt must be positive");
+  while (dt > 0.0) {
+    if (pause_remaining_s_ > 0.0) {
+      const double pause = std::min(pause_remaining_s_, dt);
+      pause_remaining_s_ -= pause;
+      dt -= pause;
+      speed_ = 0.0;
+      continue;
+    }
+    // Accelerate toward the leg's target speed.
+    if (speed_ < target_speed_) {
+      speed_ = std::min(target_speed_, speed_ + params_.accel_mps2 * dt);
+    }
+    const Vec2 to_waypoint = waypoint_ - position_;
+    const double remaining = to_waypoint.Norm();
+    if (remaining < 1e-9) {
+      PickNextLeg();
+      continue;
+    }
+    const double step = speed_ * dt;
+    if (step >= remaining) {
+      // Arrive at the waypoint; consume the proportional time and start the
+      // pause of the next leg.
+      position_ = waypoint_;
+      dt -= (speed_ > 0.0) ? remaining / speed_ : dt;
+      PickNextLeg();
+      speed_ = 0.0;
+    } else {
+      position_ = position_ + to_waypoint * (step / remaining);
+      dt = 0.0;
+    }
+  }
+  position_ = region_.Clamp(position_);
+}
+
+}  // namespace evm

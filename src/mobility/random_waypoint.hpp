@@ -1,0 +1,37 @@
+#pragma once
+// Random waypoint mobility (paper ref [7]): each person repeatedly picks a
+// uniform random waypoint in the region and a uniform random target speed,
+// accelerates toward that speed (bounded acceleration), walks to the
+// waypoint, then pauses for a uniform random time before choosing the next
+// leg.
+
+#include "geo/point.hpp"
+#include "mobility/mobility_model.hpp"
+
+namespace evm {
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  /// Starts at a uniform random position inside `region`.
+  RandomWaypoint(const Rect& region, MobilityParams params, Rng rng);
+
+  [[nodiscard]] Vec2 Position() const noexcept override { return position_; }
+  void Step(double dt) override;
+
+  /// Current instantaneous speed (m/s) — exposed for tests.
+  [[nodiscard]] double Speed() const noexcept { return speed_; }
+
+ private:
+  void PickNextLeg();
+
+  Rect region_;
+  MobilityParams params_;
+  Rng rng_;
+  Vec2 position_;
+  Vec2 waypoint_;
+  double speed_{0.0};
+  double target_speed_{0.0};
+  double pause_remaining_s_{0.0};
+};
+
+}  // namespace evm

@@ -1,0 +1,19 @@
+#include "mobility/trajectory.hpp"
+
+#include "mobility/mobility_model.hpp"
+
+namespace evm {
+
+Trajectory SampleTrajectory(MobilityModel& model, std::size_t ticks,
+                            double dt) {
+  EVM_CHECK_MSG(ticks > 0, "trajectory must have at least one tick");
+  Trajectory trajectory;
+  trajectory.Append(model.Position());
+  for (std::size_t i = 1; i < ticks; ++i) {
+    model.Step(dt);
+    trajectory.Append(model.Position());
+  }
+  return trajectory;
+}
+
+}  // namespace evm

@@ -1,0 +1,49 @@
+#pragma once
+// Sampled trajectories: the ground-truth position of each person at every
+// simulation tick. The E and V sensing simulators both read from the same
+// trajectory so their observations are spatiotemporally consistent (the
+// property EV-Matching exploits).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_time.hpp"
+#include "geo/point.hpp"
+
+namespace evm {
+
+class MobilityModel;
+
+/// Positions of one person at ticks 0..N-1.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Vec2> samples) : samples_(std::move(samples)) {}
+
+  void Append(Vec2 p) { samples_.push_back(p); }
+
+  [[nodiscard]] std::size_t TickCount() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] Vec2 At(Tick t) const {
+    EVM_CHECK_MSG(t.value >= 0 &&
+                      static_cast<std::size_t>(t.value) < samples_.size(),
+                  "tick out of trajectory range");
+    return samples_[static_cast<std::size_t>(t.value)];
+  }
+
+  [[nodiscard]] const std::vector<Vec2>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<Vec2> samples_;
+};
+
+/// Runs `model` for `ticks` steps of `dt` seconds, recording the position at
+/// each tick (including the initial position as tick 0).
+[[nodiscard]] Trajectory SampleTrajectory(MobilityModel& model,
+                                          std::size_t ticks, double dt);
+
+}  // namespace evm

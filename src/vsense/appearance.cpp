@@ -1,0 +1,89 @@
+#include "vsense/appearance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+std::vector<LatentAppearance> GenerateAppearances(std::size_t count, Rng rng) {
+  std::vector<LatentAppearance> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    LatentAppearance appearance{};
+    for (auto& stripe : appearance.stripes) {
+      // Base colours drawn uniformly over a wide gamut; clothing colours in
+      // the wild cluster, but uniform keeps inter-person distances honest
+      // while the nuisance noise controls intra-person spread.
+      stripe.r = static_cast<float>(rng.Uniform(20.0, 235.0));
+      stripe.g = static_cast<float>(rng.Uniform(20.0, 235.0));
+      stripe.b = static_cast<float>(rng.Uniform(20.0, 235.0));
+      stripe.texture_amp = static_cast<float>(rng.Uniform(4.0, 18.0));
+    }
+    out.push_back(appearance);
+  }
+  return out;
+}
+
+Image RenderObservation(const LatentAppearance& appearance,
+                        const RenderParams& params,
+                        std::uint64_t render_seed) {
+  Rng rng(render_seed);
+  Image image(params.width, params.height);
+  const double gain = std::max(0.2, rng.Gaussian(1.0, params.illumination_sigma));
+  const double stripe_height =
+      static_cast<double>(params.height) / kAppearanceStripes;
+  const double jitter =
+      rng.Uniform(-params.crop_jitter, params.crop_jitter) * stripe_height;
+
+  // Per-observation occlusions: some stripes blend toward a random occluder
+  // colour (bags, passers-by, furniture) — the main source of single-shot
+  // re-identification error, as in real surveillance crops.
+  struct Occlusion {
+    bool active{false};
+    double alpha{0.0};
+    double r{0.0}, g{0.0}, b{0.0};
+  };
+  Occlusion occlusions[kAppearanceStripes];
+  for (auto& occlusion : occlusions) {
+    if (rng.Bernoulli(params.occlusion_prob)) {
+      occlusion.active = true;
+      occlusion.alpha =
+          rng.Uniform(params.occlusion_alpha_min, params.occlusion_alpha_max);
+      occlusion.r = rng.Uniform(0.0, 255.0);
+      occlusion.g = rng.Uniform(0.0, 255.0);
+      occlusion.b = rng.Uniform(0.0, 255.0);
+    }
+  }
+
+  for (std::size_t y = 0; y < params.height; ++y) {
+    // Vertical mis-cropping shifts which stripe a row samples from.
+    const double shifted = static_cast<double>(y) + jitter;
+    const auto stripe_index = static_cast<std::size_t>(std::clamp(
+        shifted / stripe_height, 0.0,
+        static_cast<double>(kAppearanceStripes) - 1.0));
+    const auto& stripe = appearance.stripes[stripe_index];
+    const Occlusion& occlusion = occlusions[stripe_index];
+    double base[3] = {stripe.r, stripe.g, stripe.b};
+    if (occlusion.active) {
+      const double occluder[3] = {occlusion.r, occlusion.g, occlusion.b};
+      for (std::size_t c = 0; c < 3; ++c) {
+        base[c] = (1.0 - occlusion.alpha) * base[c] +
+                  occlusion.alpha * occluder[c];
+      }
+    }
+    for (std::size_t x = 0; x < params.width; ++x) {
+      const double texture = rng.Gaussian(0.0, stripe.texture_amp);
+      const double sensor = rng.Gaussian(0.0, params.sensor_noise);
+      for (std::size_t c = 0; c < 3; ++c) {
+        const double v = base[c] * gain + texture + sensor;
+        image.Set(x, y, c,
+                  static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace evm

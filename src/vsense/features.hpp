@@ -1,0 +1,45 @@
+#pragma once
+// Appearance features and the similarity of Eq. (1).
+//
+// Features follow the stripe-histogram family used in appearance-based
+// re-identification (paper refs [9], [26]): the crop is divided into the
+// same horizontal stripes as the latent model, and each stripe contributes
+// per-channel colour histograms. Each stripe block is L1-normalized; the
+// distance between two features is the averaged per-stripe L1 histogram
+// distance, normalized to [0, 1]; similarity is 1 - distance.
+
+#include <cstddef>
+#include <vector>
+
+#include "vsense/image.hpp"
+
+namespace evm {
+
+/// A flat feature vector (stripes x channels x bins floats).
+using FeatureVector = std::vector<float>;
+
+struct FeatureParams {
+  std::size_t stripes{6};
+  std::size_t bins_per_channel{8};
+
+  [[nodiscard]] std::size_t Dimension() const noexcept {
+    return stripes * 3 * bins_per_channel;
+  }
+};
+
+/// Extracts the stripe colour-histogram feature from an image. This is the
+/// deliberately compute-heavy "V processing" of the pipeline.
+[[nodiscard]] FeatureVector ExtractFeatures(const Image& image,
+                                            const FeatureParams& params);
+
+/// Normalized distance in [0, 1] between two features of equal dimension.
+[[nodiscard]] double FeatureDistance(const FeatureVector& a,
+                                     const FeatureVector& b);
+
+/// Eq. (1): sim(V1, V2) = 1 - dist(f1, f2).
+[[nodiscard]] inline double Similarity(const FeatureVector& a,
+                                       const FeatureVector& b) {
+  return 1.0 - FeatureDistance(a, b);
+}
+
+}  // namespace evm

@@ -1,0 +1,89 @@
+#include "vsense/gallery.hpp"
+
+#include "common/serde.hpp"
+
+namespace evm {
+
+const std::vector<FeatureVector>& FeatureGallery::Features(
+    const VScenario& scenario) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(scenario.id.value());
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  // Extract outside the lock so scenarios are processed in parallel.
+  auto features = std::make_unique<std::vector<FeatureVector>>();
+  features->reserve(scenario.observations.size());
+  for (const VObservation& obs : scenario.observations) {
+    features->push_back(oracle_.Extract(obs));
+  }
+  extractions_.fetch_add(scenario.observations.size(),
+                         std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      cache_.emplace(scenario.id.value(), std::move(features));
+  return *it->second;
+}
+
+std::size_t FeatureGallery::CachedScenarioCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void FeatureGallery::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  extractions_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t FeatureGallery::ExportTo(mapreduce::Dfs& dfs,
+                                     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<mapreduce::Block> blocks;
+  blocks.reserve(cache_.size());
+  for (const auto& [scenario_id, features] : cache_) {
+    BinaryWriter writer;
+    writer.WriteU64(scenario_id);
+    writer.WriteU64(features->size());
+    for (const FeatureVector& feature : *features) {
+      writer.WriteU64(feature.size());
+      for (const float v : feature) {
+        writer.WriteDouble(static_cast<double>(v));
+      }
+    }
+    blocks.push_back(writer.Take());
+  }
+  const std::size_t count = blocks.size();
+  dfs.Write(name, std::move(blocks));
+  return count;
+}
+
+std::size_t FeatureGallery::ImportFrom(const mapreduce::Dfs& dfs,
+                                       const std::string& name) {
+  const auto blocks = dfs.Read(name);
+  if (!blocks.has_value()) return 0;
+  std::size_t loaded = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const mapreduce::Block& block : *blocks) {
+    BinaryReader reader(block.data(), block.size());
+    const std::uint64_t scenario_id = reader.ReadU64();
+    if (cache_.contains(scenario_id)) continue;
+    auto features = std::make_unique<std::vector<FeatureVector>>();
+    const std::uint64_t observations = reader.ReadU64();
+    features->reserve(observations);
+    for (std::uint64_t o = 0; o < observations; ++o) {
+      FeatureVector feature(reader.ReadU64());
+      for (float& v : feature) v = static_cast<float>(reader.ReadDouble());
+      features->push_back(std::move(feature));
+    }
+    cache_.emplace(scenario_id, std::move(features));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace evm

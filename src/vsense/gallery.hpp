@@ -1,0 +1,67 @@
+#pragma once
+// FeatureGallery: compute-once cache of extracted features, keyed by
+// scenario. This is the in-process analogue of the paper's "VID features are
+// computed and stored in [the] distributed storage system" (Sec. V-C), and
+// it is what turns scenario *reuse* into real V-stage savings: a scenario
+// selected for many EIDs is feature-extracted exactly once.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mapreduce/dfs.hpp"
+#include "vsense/features.hpp"
+#include "vsense/v_scenario.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm {
+
+class FeatureGallery {
+ public:
+  explicit FeatureGallery(const VisualOracle& oracle) : oracle_(oracle) {}
+
+  /// Features of every observation of `scenario`, extracting them on first
+  /// touch. Thread-safe; concurrent first touches of the same scenario may
+  /// both extract, but exactly one result is kept and the duplicate work is
+  /// still counted (as on a real cluster with speculative execution).
+  const std::vector<FeatureVector>& Features(const VScenario& scenario);
+
+  /// Scenarios whose features live in the cache.
+  [[nodiscard]] std::size_t CachedScenarioCount() const;
+  /// Number of observations actually rendered + extracted (cache misses).
+  [[nodiscard]] std::uint64_t ExtractionCount() const noexcept {
+    return extractions_.load(std::memory_order_relaxed);
+  }
+  /// Number of Features() calls answered from cache.
+  [[nodiscard]] std::uint64_t HitCount() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+  /// Persists every cached scenario's features into the distributed store
+  /// (one block per scenario), making universal-labeling results durable —
+  /// the paper's "VID features are computed and stored in [the] distributed
+  /// storage system". Returns the number of scenarios written.
+  std::size_t ExportTo(mapreduce::Dfs& dfs, const std::string& name) const;
+
+  /// Pre-warms the cache from a dataset written by ExportTo. Existing
+  /// entries are kept; returns the number of scenarios loaded. Imported
+  /// features do not count as extractions.
+  std::size_t ImportFrom(const mapreduce::Dfs& dfs, const std::string& name);
+
+ private:
+  const VisualOracle& oracle_;
+  mutable std::mutex mutex_;
+  // unique_ptr so returned references stay stable across rehashing.
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<FeatureVector>>>
+      cache_;
+  std::atomic<std::uint64_t> extractions_{0};
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace evm

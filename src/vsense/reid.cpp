@@ -1,0 +1,34 @@
+#include "vsense/reid.hpp"
+
+namespace evm {
+
+double ProbInScenario(const FeatureVector& candidate,
+                      const std::vector<FeatureVector>& scenario) {
+  double best = 0.0;
+  for (const auto& g : scenario) {
+    const double s = Similarity(candidate, g);
+    if (s > best) best = s;
+  }
+  return best;
+}
+
+double ProbNotInScenario(const FeatureVector& candidate,
+                         const std::vector<FeatureVector>& scenario) {
+  return 1.0 - ProbInScenario(candidate, scenario);
+}
+
+int BestMatchIndex(const FeatureVector& candidate,
+                   const std::vector<FeatureVector>& scenario) {
+  int best_index = -1;
+  double best = -1.0;
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    const double s = Similarity(candidate, scenario[i]);
+    if (s > best) {
+      best = s;
+      best_index = static_cast<int>(i);
+    }
+  }
+  return best_index;
+}
+
+}  // namespace evm

@@ -1,0 +1,28 @@
+#pragma once
+// Scenario-level re-identification probabilities (paper Sec. IV-B2).
+//
+// For a candidate feature f and a scenario S with observation features
+// {g_1..g_k}:  P(f in S)  = max_i sim(f, g_i)
+//              P(f not in S) = 1 - max_i sim(f, g_i)
+
+#include <vector>
+
+#include "vsense/features.hpp"
+
+namespace evm {
+
+/// P(candidate in S): the best similarity against any observation of S.
+/// An empty scenario gives 0 (the candidate certainly is not observed).
+[[nodiscard]] double ProbInScenario(const FeatureVector& candidate,
+                                    const std::vector<FeatureVector>& scenario);
+
+/// P(candidate not in S) = 1 - ProbInScenario.
+[[nodiscard]] double ProbNotInScenario(
+    const FeatureVector& candidate, const std::vector<FeatureVector>& scenario);
+
+/// Index of the observation of S most similar to the candidate, or -1 for an
+/// empty scenario.
+[[nodiscard]] int BestMatchIndex(const FeatureVector& candidate,
+                                 const std::vector<FeatureVector>& scenario);
+
+}  // namespace evm

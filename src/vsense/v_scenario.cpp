@@ -1,0 +1,96 @@
+#include "vsense/v_scenario.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace evm {
+
+void VScenarioSet::Add(VScenario scenario) {
+  index_.emplace(scenario.id.value(), scenarios_.size());
+  scenarios_.push_back(std::move(scenario));
+}
+
+const VScenario* VScenarioSet::Find(ScenarioId id) const noexcept {
+  const auto it = index_.find(id.value());
+  return it == index_.end() ? nullptr : &scenarios_[it->second];
+}
+
+std::size_t VScenarioSet::TotalObservations() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : scenarios_) total += s.observations.size();
+  return total;
+}
+
+VScenarioSet BuildVScenarios(const std::vector<TrackedFigure>& figures,
+                             const Grid& grid, const VScenarioConfig& config,
+                             std::uint64_t seed) {
+  EVM_CHECK(config.window_ticks > 0);
+  EVM_CHECK(config.presence_fraction > 0.0 && config.presence_fraction <= 1.0);
+  EVM_CHECK(config.miss_prob >= 0.0 && config.miss_prob < 1.0);
+
+  std::size_t max_ticks = 0;
+  for (const auto& figure : figures) {
+    EVM_CHECK_MSG(figure.trajectory != nullptr, "figure without trajectory");
+    max_ticks = std::max(max_ticks, figure.trajectory->TickCount());
+  }
+  const auto windows = static_cast<std::size_t>(
+      (static_cast<std::int64_t>(max_ticks) + config.window_ticks - 1) /
+      config.window_ticks);
+
+  Rng miss_rng = MakeStream(seed, "v-miss");
+  VScenarioSet set;
+  const std::size_t cells = grid.CellCount();
+
+  // window -> cell -> observations, filled person by person.
+  std::unordered_map<std::uint64_t, std::vector<VObservation>> buckets;
+  for (const auto& figure : figures) {
+    const auto ticks = figure.trajectory->TickCount();
+    for (std::size_t w = 0; w < windows; ++w) {
+      const std::int64_t begin = static_cast<std::int64_t>(w) * config.window_ticks;
+      const std::int64_t end = std::min<std::int64_t>(
+          begin + config.window_ticks, static_cast<std::int64_t>(ticks));
+      if (begin >= end) break;
+      // Count presence per cell over the window.
+      std::unordered_map<std::uint64_t, std::int64_t> presence;
+      for (std::int64_t t = begin; t < end; ++t) {
+        const CellId cell = grid.CellAt(figure.trajectory->At(Tick{t}));
+        ++presence[cell.value()];
+      }
+      for (const auto& [cell_value, count] : presence) {
+        const double fraction = static_cast<double>(count) /
+                                static_cast<double>(config.window_ticks);
+        if (fraction < config.presence_fraction) continue;
+        if (config.miss_prob > 0.0 && miss_rng.Bernoulli(config.miss_prob)) {
+          continue;  // the detector missed this person in this scenario
+        }
+        const std::uint64_t slot = w * cells + cell_value;
+        buckets[slot].push_back(VObservation{
+            figure.vid,
+            DeriveSeed(seed, "render", slot * 0x10001ULL + figure.vid.value())});
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> slots;
+  slots.reserve(buckets.size());
+  for (const auto& [slot, obs] : buckets) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+  for (const std::uint64_t slot : slots) {
+    VScenario scenario;
+    scenario.id = ScenarioId{slot};
+    scenario.cell = CellId{slot % cells};
+    const auto w = static_cast<std::int64_t>(slot / cells);
+    scenario.window = TimeWindow{Tick{w * config.window_ticks},
+                                 Tick{(w + 1) * config.window_ticks}};
+    scenario.observations = std::move(buckets[slot]);
+    std::sort(scenario.observations.begin(), scenario.observations.end(),
+              [](const VObservation& a, const VObservation& b) {
+                return a.vid < b.vid;
+              });
+    set.Add(std::move(scenario));
+  }
+  return set;
+}
+
+}  // namespace evm

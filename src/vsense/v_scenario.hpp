@@ -1,0 +1,87 @@
+#pragma once
+// V-Scenarios: the V side of an EV-Scenario. A V-Scenario holds the human
+// detections ("observations") made by the cell's camera during the window.
+// Each observation carries the ground-truth visual identity (used only for
+// accuracy metrics) and a render seed; the actual pixels are produced on
+// demand by the renderer, and features are extracted — at real compute cost
+// — only when the matching pipeline decides to process that scenario. This
+// mirrors the paper's central asymmetry: V-data exists in bulk but is
+// expensive to process.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "geo/grid.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace evm {
+
+/// One detected human figure inside a V-Scenario.
+struct VObservation {
+  /// Ground-truth visual identity (== the person's appearance index).
+  /// The matching algorithms never compare these across scenarios — they
+  /// only use rendered pixels; metrics use it to score accuracy.
+  Vid vid;
+  /// Seed for the per-observation rendering nuisance (illumination etc.).
+  std::uint64_t render_seed{0};
+};
+
+/// The V side of one EV-Scenario; shares its ScenarioId with the E side.
+struct VScenario {
+  ScenarioId id;
+  CellId cell;
+  TimeWindow window;
+  std::vector<VObservation> observations;
+};
+
+/// All V-Scenarios of a dataset, indexed by scenario id.
+class VScenarioSet {
+ public:
+  VScenarioSet() = default;
+
+  void Add(VScenario scenario);
+
+  [[nodiscard]] const VScenario* Find(ScenarioId id) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+  [[nodiscard]] const std::vector<VScenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  /// Total observations across all scenarios.
+  [[nodiscard]] std::size_t TotalObservations() const noexcept;
+
+ private:
+  std::vector<VScenario> scenarios_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/// A person to film: their appearance identity and trajectory.
+struct TrackedFigure {
+  Vid vid;
+  const Trajectory* trajectory{nullptr};
+};
+
+struct VScenarioConfig {
+  /// Must equal the E-side window for scenario ids to pair up.
+  std::int64_t window_ticks{1};
+  /// A person is visible in a scenario iff they are inside the cell for at
+  /// least this fraction of the window's ticks.
+  double presence_fraction{0.5};
+  /// Probability that a present person is missed by the detector
+  /// (the paper's "VID missing", Sec. IV-C / Fig. 11).
+  double miss_prob{0.0};
+};
+
+/// Films all `figures` over `grid`, producing one V-Scenario per (window,
+/// cell) that has at least one detection. Scenario ids follow the same
+/// window*cells+cell convention as BuildEScenarios. `seed` drives detection
+/// misses and render seeds deterministically.
+[[nodiscard]] VScenarioSet BuildVScenarios(
+    const std::vector<TrackedFigure>& figures, const Grid& grid,
+    const VScenarioConfig& config, std::uint64_t seed);
+
+}  // namespace evm

@@ -1,0 +1,52 @@
+#pragma once
+// VisualOracle: the boundary between "raw video exists" and "pixels were
+// actually processed". It owns the latent appearance of every visual
+// identity and can render + feature-extract any observation on demand. All
+// compute charged to the V stage of the pipeline flows through here.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vsense/appearance.hpp"
+#include "vsense/features.hpp"
+#include "vsense/v_scenario.hpp"
+
+namespace evm {
+
+class VisualOracle {
+ public:
+  VisualOracle(std::vector<LatentAppearance> appearances, RenderParams render,
+               FeatureParams features)
+      : appearances_(std::move(appearances)),
+        render_(render),
+        features_(features) {}
+
+  /// Renders the observation's crop and extracts its feature vector.
+  /// Deliberately expensive; callers should cache (see FeatureGallery).
+  [[nodiscard]] FeatureVector Extract(const VObservation& obs) const {
+    EVM_CHECK_MSG(obs.vid.value() < appearances_.size(),
+                  "observation of unknown visual identity");
+    const Image crop = RenderObservation(
+        appearances_[static_cast<std::size_t>(obs.vid.value())], render_,
+        obs.render_seed);
+    return ExtractFeatures(crop, features_);
+  }
+
+  [[nodiscard]] const FeatureParams& feature_params() const noexcept {
+    return features_;
+  }
+  [[nodiscard]] const RenderParams& render_params() const noexcept {
+    return render_;
+  }
+  [[nodiscard]] std::size_t IdentityCount() const noexcept {
+    return appearances_.size();
+  }
+
+ private:
+  std::vector<LatentAppearance> appearances_;
+  RenderParams render_;
+  FeatureParams features_;
+};
+
+}  // namespace evm

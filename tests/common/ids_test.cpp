@@ -1,0 +1,59 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace evm {
+namespace {
+
+TEST(StrongIdTest, DefaultConstructedIsInvalid) {
+  Eid eid;
+  EXPECT_FALSE(eid.valid());
+  EXPECT_EQ(eid.value(), Eid::kInvalid);
+}
+
+TEST(StrongIdTest, ValueRoundTrips) {
+  Eid eid{42};
+  EXPECT_TRUE(eid.valid());
+  EXPECT_EQ(eid.value(), 42u);
+}
+
+TEST(StrongIdTest, ComparisonIsByValue) {
+  EXPECT_EQ(Eid{7}, Eid{7});
+  EXPECT_NE(Eid{7}, Eid{8});
+  EXPECT_LT(Eid{7}, Eid{8});
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<Eid, Vid>);
+  static_assert(!std::is_same_v<Eid, PersonId>);
+}
+
+TEST(StrongIdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<Eid> set;
+  set.insert(Eid{1});
+  set.insert(Eid{2});
+  set.insert(Eid{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MacAddressTest, FormatsAsLocallyAdministeredMac) {
+  EXPECT_EQ(ToMacAddress(Eid{0}), "02:00:00:00:00:00");
+  EXPECT_EQ(ToMacAddress(Eid{0x1234}), "02:00:00:00:12:34");
+  EXPECT_EQ(ToMacAddress(Eid{0xABCDEF0123ULL}), "02:ab:cd:ef:01:23");
+}
+
+TEST(MacAddressTest, RoundTripsThroughParse) {
+  for (const std::uint64_t v : {0ULL, 1ULL, 999ULL, 0xFFFFFFFFFFULL}) {
+    EXPECT_EQ(EidFromMacAddress(ToMacAddress(Eid{v})), Eid{v});
+  }
+}
+
+TEST(MacAddressTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)EidFromMacAddress("not-a-mac"), std::invalid_argument);
+  EXPECT_THROW((void)EidFromMacAddress(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace evm

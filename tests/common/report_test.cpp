@@ -1,0 +1,67 @@
+#include "common/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace evm {
+namespace {
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, RejectsRowWidthMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), Error);
+}
+
+TEST(SeriesChartTest, PrintsAllSeries) {
+  SeriesChart chart("Fig X", "x", "y");
+  chart.SetXValues({1.0, 2.0});
+  chart.AddSeries("SS", {10.0, 20.0});
+  chart.AddSeries("EDP", {30.0, 40.0});
+  std::ostringstream os;
+  chart.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("SS"), std::string::npos);
+  EXPECT_NE(out.find("EDP"), std::string::npos);
+  EXPECT_NE(out.find("30.00"), std::string::npos);
+}
+
+TEST(SeriesChartTest, RejectsLengthMismatch) {
+  SeriesChart chart("t", "x", "y");
+  chart.SetXValues({1.0});
+  EXPECT_THROW(chart.AddSeries("s", {1.0, 2.0}), Error);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.9242), "92.42%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace evm

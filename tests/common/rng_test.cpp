@@ -1,0 +1,133 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace evm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowIsBoundedAndCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.NextBelow(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<int>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform: expect ~1000 each
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(DeriveSeedTest, DistinctStreamsGetDistinctSeeds) {
+  const auto a = DeriveSeed(42, "mobility", 0);
+  const auto b = DeriveSeed(42, "mobility", 1);
+  const auto c = DeriveSeed(42, "appearance", 0);
+  const auto d = DeriveSeed(43, "mobility", 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(DeriveSeedTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(DeriveSeed(1, "x", 2), DeriveSeed(1, "x", 2));
+}
+
+TEST(MakeStreamTest, StreamsAreIndependentAndReproducible) {
+  Rng a = MakeStream(5, "s", 0);
+  Rng b = MakeStream(5, "s", 0);
+  Rng c = MakeStream(5, "s", 1);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+}  // namespace
+}  // namespace evm

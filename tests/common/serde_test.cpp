@@ -1,0 +1,98 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace evm {
+namespace {
+
+TEST(SerdeTest, U64RoundTrip) {
+  BinaryWriter w;
+  w.WriteU64(0);
+  w.WriteU64(1);
+  w.WriteU64(std::numeric_limits<std::uint64_t>::max());
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_EQ(r.ReadU64(), 1u);
+  EXPECT_EQ(r.ReadU64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, I64RoundTripNegative) {
+  BinaryWriter w;
+  w.WriteI64(-123456789);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadI64(), -123456789);
+}
+
+TEST(SerdeTest, U32RoundTrip) {
+  BinaryWriter w;
+  w.WriteU32(0xDEADBEEFu);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+}
+
+TEST(SerdeTest, DoubleRoundTripExactBits) {
+  BinaryWriter w;
+  w.WriteDouble(3.141592653589793);
+  w.WriteDouble(-0.0);
+  w.WriteDouble(std::numeric_limits<double>::infinity());
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadDouble(), 3.141592653589793);
+  EXPECT_EQ(r.ReadDouble(), -0.0);
+  EXPECT_EQ(r.ReadDouble(), std::numeric_limits<double>::infinity());
+}
+
+TEST(SerdeTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("");
+  w.WriteString("hello world");
+  w.WriteString(std::string("\0binary\xff", 8));
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), "hello world");
+  EXPECT_EQ(r.ReadString(), std::string("\0binary\xff", 8));
+}
+
+TEST(SerdeTest, IdRoundTrip) {
+  BinaryWriter w;
+  w.WriteId(Eid{77});
+  w.WriteId(Vid{88});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadId<EidTag>(), Eid{77});
+  EXPECT_EQ(r.ReadId<VidTag>(), Vid{88});
+}
+
+TEST(SerdeTest, U64VectorRoundTrip) {
+  BinaryWriter w;
+  w.WriteU64Vector({});
+  w.WriteU64Vector({5, 4, 3});
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU64Vector().empty());
+  EXPECT_EQ(r.ReadU64Vector(), (std::vector<std::uint64_t>{5, 4, 3}));
+}
+
+TEST(SerdeTest, UnderflowThrows) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.ReadU64(), Error);
+}
+
+TEST(SerdeTest, MixedSequencePreservesOrder) {
+  BinaryWriter w;
+  w.WriteU64(10);
+  w.WriteString("mid");
+  w.WriteDouble(2.5);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadU64(), 10u);
+  EXPECT_EQ(r.ReadString(), "mid");
+  EXPECT_EQ(r.ReadDouble(), 2.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,63 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace evm {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto future = pool.Submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { visits[i]++; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [](std::size_t i) {
+                                  if (i == 7) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 500; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/set_splitting.hpp"
+#include "tests/testutil.hpp"
+
+namespace evm {
+namespace {
+
+using test::MakeScenarioSet;
+
+TEST(BackfillTest, FillsShortListsChronologically) {
+  const EScenarioSet set = MakeScenarioSet(
+      2, {{0, 0, {1, 2}}, {1, 0, {1}}, {2, 1, {1, 3}}, {3, 0, {1}}});
+  std::vector<EidScenarioList> lists = {{Eid{1}, {}, true}};
+  BackfillPresence(set, lists, 3);
+  ASSERT_EQ(lists[0].scenarios.size(), 3u);
+  // Earliest windows first.
+  EXPECT_EQ(lists[0].scenarios[0], set.IdFor(0, CellId{0}));
+  EXPECT_EQ(lists[0].scenarios[1], set.IdFor(1, CellId{0}));
+  EXPECT_EQ(lists[0].scenarios[2], set.IdFor(2, CellId{1}));
+}
+
+TEST(BackfillTest, DoesNotDuplicateExistingEntries) {
+  const EScenarioSet set =
+      MakeScenarioSet(1, {{0, 0, {1}}, {1, 0, {1}}, {2, 0, {1}}});
+  std::vector<EidScenarioList> lists = {
+      {Eid{1}, {set.IdFor(1, CellId{0})}, true}};
+  BackfillPresence(set, lists, 2);
+  ASSERT_EQ(lists[0].scenarios.size(), 2u);
+  EXPECT_NE(lists[0].scenarios[0], lists[0].scenarios[1]);
+}
+
+TEST(BackfillTest, LeavesLongListsUntouched) {
+  const EScenarioSet set =
+      MakeScenarioSet(1, {{0, 0, {1}}, {1, 0, {1}}, {2, 0, {1}}});
+  std::vector<EidScenarioList> lists = {
+      {Eid{1},
+       {set.IdFor(0, CellId{0}), set.IdFor(1, CellId{0}),
+        set.IdFor(2, CellId{0})},
+       true}};
+  const auto before = lists[0].scenarios;
+  BackfillPresence(set, lists, 3);
+  EXPECT_EQ(lists[0].scenarios, before);
+}
+
+TEST(BackfillTest, SkipsVagueAppearances) {
+  const EScenarioSet set = MakeScenarioSet(
+      1, {{0, 0, {1}, /*vague=*/{1}}, {1, 0, {1}}});
+  std::vector<EidScenarioList> lists = {{Eid{1}, {}, true}};
+  BackfillPresence(set, lists, 3);
+  // Only window 1's inclusive appearance qualifies.
+  ASSERT_EQ(lists[0].scenarios.size(), 1u);
+  EXPECT_EQ(lists[0].scenarios[0], set.IdFor(1, CellId{0}));
+}
+
+TEST(BackfillTest, NoPresenceAnywhereLeavesListEmpty) {
+  const EScenarioSet set = MakeScenarioSet(1, {{0, 0, {2, 3}}});
+  std::vector<EidScenarioList> lists = {{Eid{1}, {}, false}};
+  BackfillPresence(set, lists, 2);
+  EXPECT_TRUE(lists[0].scenarios.empty());
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,70 @@
+// Behavioural comparison of the two candidate-pool strategies on a clean
+// dataset: with easy visuals both must agree on (correct) answers; the
+// all-scenarios pool must never do fewer comparisons.
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+TEST(CandidatePoolTest, StrategiesAgreeOnCleanData) {
+  DatasetConfig config;
+  config.population = 120;
+  config.ticks = 400;
+  config.cell_size_m = 250.0;
+  config.seed = 91;
+  config.render.occlusion_prob = 0.0;
+  config.render.crop_jitter = 0.05;
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 40, 1);
+
+  MatcherConfig all_config;
+  all_config.filter.candidate_pool = CandidatePool::kAllScenarios;
+  EvMatcher all_matcher(dataset.e_scenarios, dataset.v_scenarios,
+                        dataset.oracle, all_config);
+  const MatchReport all_report = all_matcher.Match(targets);
+
+  MatcherConfig small_config;
+  small_config.filter.candidate_pool = CandidatePool::kSmallestScenario;
+  EvMatcher small_matcher(dataset.e_scenarios, dataset.v_scenarios,
+                          dataset.oracle, small_config);
+  const MatchReport small_report = small_matcher.Match(targets);
+
+  const double all_accuracy =
+      MatchAccuracy(all_report.results, dataset.truth);
+  const double small_accuracy =
+      MatchAccuracy(small_report.results, dataset.truth);
+  EXPECT_GT(all_accuracy, 0.9);
+  EXPECT_GT(small_accuracy, 0.9);
+  EXPECT_GE(all_report.stats.feature_comparisons,
+            small_report.stats.feature_comparisons);
+}
+
+TEST(CandidatePoolTest, AllScenariosSurvivesMissingAnchorCrop) {
+  // With detector misses, the true person can vanish from the smallest
+  // scenario entirely; the all-scenarios pool still finds them elsewhere.
+  DatasetConfig config;
+  config.population = 200;
+  config.ticks = 500;
+  config.cell_size_m = 250.0;
+  config.seed = 92;
+  config.v_missing_rate = 0.08;
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 60, 1);
+
+  MatcherConfig all_config;
+  all_config.filter.candidate_pool = CandidatePool::kAllScenarios;
+  const RunSummary all = RunSs(dataset, targets, all_config);
+  MatcherConfig small_config;
+  small_config.filter.candidate_pool = CandidatePool::kSmallestScenario;
+  const RunSummary small = RunSs(dataset, targets, small_config);
+  EXPECT_GE(all.accuracy + 0.02, small.accuracy);
+}
+
+}  // namespace
+}  // namespace evm

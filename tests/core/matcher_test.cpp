@@ -1,0 +1,147 @@
+#include "core/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+DatasetConfig EasyConfig(std::uint64_t seed = 11) {
+  DatasetConfig config;
+  config.population = 120;
+  config.ticks = 400;
+  config.cell_size_m = 250.0;  // 16 cells, density ~7.5
+  config.seed = seed;
+  // No visual nuisance: re-identification is essentially perfect.
+  config.render.occlusion_prob = 0.0;
+  config.render.crop_jitter = 0.05;
+  config.render.sensor_noise = 3.0;
+  config.render.illumination_sigma = 0.02;
+  return config;
+}
+
+TEST(MatcherTest, NearPerfectAccuracyInEasyIdealWorld) {
+  const Dataset dataset = GenerateDataset(EasyConfig());
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    MatcherConfig{});
+  const auto targets = SampleTargets(dataset, 40, 3);
+  const MatchReport report = matcher.Match(targets);
+  // Not exactly 1.0: random appearance palettes occasionally produce
+  // near-twins that no appearance-based matcher can separate (the paper's
+  // assumption 1 holds only "with a high probability").
+  EXPECT_GE(MatchAccuracy(report.results, dataset.truth), 0.95);
+  EXPECT_EQ(report.stats.undistinguished_eids, 0u);
+  EXPECT_GT(report.stats.distinct_scenarios, 0u);
+  EXPECT_GT(report.stats.features_extracted, 0u);
+}
+
+TEST(MatcherTest, MatchOneResolvesSingleEid) {
+  const Dataset dataset = GenerateDataset(EasyConfig(12));
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    MatcherConfig{});
+  const Eid target = dataset.AllEids()[5];
+  const MatchReport report = matcher.MatchOne(target);
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.results[0].resolved);
+  EXPECT_EQ(report.results[0].reported_vid,
+            dataset.truth.TrueVidOf(target));
+}
+
+TEST(MatcherTest, UniversalMatchingLabelsEveryEid) {
+  const Dataset dataset = GenerateDataset(EasyConfig(13));
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    MatcherConfig{});
+  const MatchReport report = matcher.MatchUniversal();
+  EXPECT_EQ(report.results.size(), matcher.Universe().size());
+  EXPECT_GE(MatchAccuracy(report.results, dataset.truth), 0.93);
+}
+
+TEST(MatcherTest, GalleryReuseMakesFollowUpQueriesCheap) {
+  const Dataset dataset = GenerateDataset(EasyConfig(14));
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    MatcherConfig{});
+  const MatchReport first = matcher.MatchUniversal();
+  // A follow-up query touches only scenarios that were already processed
+  // with high probability; extraction work should collapse.
+  const auto targets = SampleTargets(dataset, 10, 9);
+  const MatchReport second = matcher.Match(targets);
+  EXPECT_LT(second.stats.features_extracted,
+            first.stats.features_extracted / 4);
+}
+
+TEST(MatcherTest, ParallelExecutionMatchesSequentialResults) {
+  const Dataset dataset = GenerateDataset(EasyConfig(15));
+  const auto targets = SampleTargets(dataset, 30, 5);
+
+  MatcherConfig sequential_config;
+  EvMatcher sequential(dataset.e_scenarios, dataset.v_scenarios,
+                       dataset.oracle, sequential_config);
+  const MatchReport a = sequential.Match(targets);
+
+  MatcherConfig parallel_config;
+  parallel_config.execution = ExecutionMode::kMapReduce;
+  parallel_config.engine.workers = 4;
+  EvMatcher parallel(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                     parallel_config);
+  const MatchReport b = parallel.Match(targets);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].eid, b.results[i].eid);
+    EXPECT_EQ(a.results[i].reported_vid, b.results[i].reported_vid);
+    EXPECT_EQ(a.results[i].chosen_per_scenario,
+              b.results[i].chosen_per_scenario);
+  }
+  EXPECT_EQ(a.stats.distinct_scenarios, b.stats.distinct_scenarios);
+}
+
+TEST(MatcherTest, MapReduceRequiresSignatureMode) {
+  const Dataset dataset = GenerateDataset(EasyConfig(16));
+  MatcherConfig config;
+  config.execution = ExecutionMode::kMapReduce;
+  config.split.mode = SplitMode::kBinary;
+  EXPECT_THROW(EvMatcher(dataset.e_scenarios, dataset.v_scenarios,
+                         dataset.oracle, config),
+               Error);
+}
+
+TEST(MatcherTest, RefiningRecoversFromMissingVids) {
+  DatasetConfig config = EasyConfig(17);
+  config.v_missing_rate = 0.15;  // aggressive detector misses
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 50, 2);
+
+  MatcherConfig plain;
+  EvMatcher no_refine(dataset.e_scenarios, dataset.v_scenarios,
+                      dataset.oracle, plain);
+  const double base = MatchAccuracy(no_refine.Match(targets).results,
+                                    dataset.truth);
+
+  MatcherConfig refining = plain;
+  refining.refine.enabled = true;
+  refining.refine.max_rounds = 3;
+  refining.refine.min_majority = 0.75;
+  EvMatcher with_refine(dataset.e_scenarios, dataset.v_scenarios,
+                        dataset.oracle, refining);
+  const MatchReport refined = with_refine.Match(targets);
+  EXPECT_GE(MatchAccuracy(refined.results, dataset.truth), base);
+}
+
+TEST(MatcherTest, StatsTimersArePopulated) {
+  const Dataset dataset = GenerateDataset(EasyConfig(18));
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    MatcherConfig{});
+  const auto targets = SampleTargets(dataset, 20, 1);
+  const MatchReport report = matcher.Match(targets);
+  EXPECT_GT(report.stats.e_stage_seconds, 0.0);
+  EXPECT_GT(report.stats.v_stage_seconds, 0.0);
+  EXPECT_GT(report.stats.avg_scenarios_per_eid, 0.0);
+  EXPECT_GT(report.stats.feature_comparisons, 0u);
+  EXPECT_EQ(report.scenario_lists.size(), targets.size());
+}
+
+}  // namespace
+}  // namespace evm

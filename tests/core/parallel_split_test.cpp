@@ -1,0 +1,123 @@
+#include "core/parallel_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/set_splitting.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+#include "tests/testutil.hpp"
+
+namespace evm {
+namespace {
+
+using test::EidRange;
+using test::MakeScenarioSet;
+using test::ScenarioSpec;
+
+SplitConfig SigConfig(bool practical = false, std::uint64_t seed = 7) {
+  SplitConfig config;
+  config.mode = SplitMode::kWindowSignature;
+  config.practical = practical;
+  config.seed = seed;
+  return config;
+}
+
+void ExpectSameOutcome(const SplitOutcome& a, const SplitOutcome& b) {
+  ASSERT_EQ(a.lists.size(), b.lists.size());
+  for (std::size_t i = 0; i < a.lists.size(); ++i) {
+    EXPECT_EQ(a.lists[i].eid, b.lists[i].eid);
+    EXPECT_EQ(a.lists[i].scenarios, b.lists[i].scenarios) << "list " << i;
+    EXPECT_EQ(a.lists[i].distinguished, b.lists[i].distinguished);
+  }
+  EXPECT_EQ(a.recorded, b.recorded);
+  EXPECT_EQ(a.windows_consumed, b.windows_consumed);
+  EXPECT_EQ(a.undistinguished, b.undistinguished);
+}
+
+TEST(ParallelSplitTest, MatchesSequentialOnCraftedScenarios) {
+  const EScenarioSet set = MakeScenarioSet(
+      3, {{0, 0, {1, 2}}, {0, 1, {3, 4}}, {0, 2, {5}},
+          {1, 0, {1, 3, 5}}, {1, 1, {2, 4}},
+          {2, 0, {1, 4}}, {2, 1, {2, 3}}});
+  const auto universe = EidRange(6);
+  const auto sequential =
+      SetSplitter(set, SigConfig()).Run(universe, universe);
+  mapreduce::MapReduceEngine engine({.workers = 4});
+  const auto parallel =
+      ParallelSetSplitter(set, SigConfig(), engine).Run(universe, universe);
+  ExpectSameOutcome(sequential, parallel);
+}
+
+TEST(ParallelSplitTest, RequiresSignatureMode) {
+  const EScenarioSet set = MakeScenarioSet(1, {{0, 0, {0, 1}}});
+  mapreduce::MapReduceEngine engine({.workers = 1});
+  SplitConfig config;
+  config.mode = SplitMode::kBinary;
+  EXPECT_THROW(ParallelSetSplitter(set, config, engine), Error);
+}
+
+// Property: on full synthetic datasets, the MapReduce driver produces
+// bit-identical outcomes to the sequential window-signature splitter, for
+// ideal and practical settings, across seeds.
+struct ParallelParam {
+  std::uint64_t seed;
+  bool practical;
+  double noise;
+};
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<ParallelParam> {};
+
+TEST_P(ParallelEquivalenceTest, MatchesSequentialOnSyntheticDataset) {
+  const ParallelParam param = GetParam();
+  DatasetConfig config;
+  config.population = 150;
+  config.ticks = 400;
+  config.cell_size_m = 250.0;
+  config.seed = param.seed;
+  config.e_noise_sigma_m = param.noise;
+  config.vague_width_m = param.noise > 0 ? 10.0 : 0.0;
+  const Dataset dataset = GenerateDataset(config);
+  const auto universe = CollectUniverse(dataset.e_scenarios);
+  const auto targets = SampleTargets(dataset, 60, param.seed + 1);
+
+  const auto sequential =
+      SetSplitter(dataset.e_scenarios, SigConfig(param.practical))
+          .Run(universe, targets);
+  for (const std::size_t workers : {1u, 4u}) {
+    mapreduce::MapReduceEngine engine({.workers = workers});
+    const auto parallel =
+        ParallelSetSplitter(dataset.e_scenarios, SigConfig(param.practical),
+                            engine)
+            .Run(universe, targets);
+    ExpectSameOutcome(sequential, parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSettings, ParallelEquivalenceTest,
+    ::testing::Values(ParallelParam{1, false, 0.0},
+                      ParallelParam{2, false, 0.0},
+                      ParallelParam{3, true, 8.0},
+                      ParallelParam{4, true, 8.0},
+                      ParallelParam{5, false, 8.0}));
+
+TEST(ParallelSplitTest, SurvivesInjectedTaskFailures) {
+  const EScenarioSet set = MakeScenarioSet(
+      3, {{0, 0, {1, 2}}, {0, 1, {3, 4}}, {1, 0, {1, 3}}, {1, 1, {2, 4}}});
+  const auto universe = EidRange(5);
+  mapreduce::MapReduceEngine clean({.workers = 2});
+  mapreduce::MapReduceEngine flaky({.workers = 2,
+                                    .seed = 3,
+                                    .map_failure_prob = 0.3,
+                                    .reduce_failure_prob = 0.3,
+                                    .max_attempts = 30});
+  const auto a =
+      ParallelSetSplitter(set, SigConfig(), clean).Run(universe, universe);
+  const auto b =
+      ParallelSetSplitter(set, SigConfig(), flaky).Run(universe, universe);
+  ExpectSameOutcome(a, b);
+}
+
+}  // namespace
+}  // namespace evm

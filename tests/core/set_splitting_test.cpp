@@ -1,0 +1,277 @@
+#include "core/set_splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "tests/testutil.hpp"
+
+namespace evm {
+namespace {
+
+using test::EidRange;
+using test::MakeScenarioSet;
+using test::ScenarioSpec;
+
+SplitConfig Binary(bool practical = false) {
+  SplitConfig config;
+  config.mode = SplitMode::kBinary;
+  config.practical = practical;
+  return config;
+}
+
+SplitConfig Signature(bool practical = false) {
+  SplitConfig config;
+  config.mode = SplitMode::kWindowSignature;
+  config.practical = practical;
+  return config;
+}
+
+TEST(CollectUniverseTest, GathersDistinctSortedEids) {
+  const EScenarioSet set = MakeScenarioSet(
+      4, {{0, 0, {5, 1}}, {0, 1, {3}}, {1, 0, {1, 3}}});
+  const auto universe = CollectUniverse(set);
+  EXPECT_EQ(universe, (std::vector<Eid>{Eid{1}, Eid{3}, Eid{5}}));
+}
+
+// The paper's motivating example (Sec. IV-A): scenario {1,2} plus scenario
+// {1} distinguish both EIDs.
+TEST(SetSplittingTest, PaperIntroExample) {
+  const EScenarioSet set =
+      MakeScenarioSet(2, {{0, 0, {1, 2}}, {1, 0, {1}}, {1, 1, {2}}});
+  for (const SplitConfig& config : {Binary(), Signature()}) {
+    const auto outcome =
+        SetSplitter(set, config).Run({Eid{1}, Eid{2}}, {Eid{1}, Eid{2}});
+    EXPECT_EQ(outcome.undistinguished, 0u);
+    for (const auto& list : outcome.lists) {
+      EXPECT_TRUE(list.distinguished);
+      EXPECT_FALSE(list.scenarios.empty());
+    }
+  }
+}
+
+// Lower bound of Theorem 4.2: log2(n) scenarios suffice when scenarios
+// encode a binary code — 8 EIDs, 3 "bit" scenarios.
+TEST(SetSplittingTest, BinaryCodeAttainsLogLowerBound) {
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t bit = 0; bit < 3; ++bit) {
+    ScenarioSpec spec;
+    spec.window = bit;
+    spec.cell = 0;
+    for (std::uint64_t e = 0; e < 8; ++e) {
+      if ((e >> bit) & 1) spec.eids.push_back(e);
+    }
+    specs.push_back(spec);
+  }
+  const EScenarioSet set = MakeScenarioSet(1, specs);
+  const auto universe = EidRange(8);
+  const auto outcome = SetSplitter(set, Binary()).Run(universe, universe);
+  EXPECT_EQ(outcome.undistinguished, 0u);
+  EXPECT_EQ(outcome.recorded.size(), 3u);
+}
+
+// Upper bound of Theorem 4.2: at most n-1 effective scenarios are ever
+// recorded in the ideal setting, for any input.
+class SplitBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitBoundTest, RecordedNeverExceedsNMinusOne) {
+  Rng rng(GetParam());
+  const std::size_t n = 40;
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t w = 0; w < 30; ++w) {
+    for (std::uint64_t cell = 0; cell < 4; ++cell) {
+      ScenarioSpec spec;
+      spec.window = w;
+      spec.cell = cell;
+      for (std::uint64_t e = 0; e < n; ++e) {
+        if (rng.Bernoulli(0.25)) spec.eids.push_back(e);
+      }
+      if (!spec.eids.empty()) specs.push_back(spec);
+    }
+  }
+  const EScenarioSet set = MakeScenarioSet(4, specs);
+  const auto universe = CollectUniverse(set);
+  const auto outcome = SetSplitter(set, Binary()).Run(universe, universe);
+  EXPECT_LE(outcome.recorded.size(), universe.size() - 1);
+  // With 120 random scenarios over 40 EIDs, isolation succeeds w.h.p.
+  EXPECT_EQ(outcome.undistinguished, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Theorem 4.1 (operational form): every target ends in a block of its own,
+// and it appears inclusively in every scenario of its distinguishing list.
+class SplitDistinguishTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(SplitDistinguishTest, TargetsAreIsolatedAndListsArePresenceOnly) {
+  const auto [seed, use_signature] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 30;
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t w = 0; w < 40; ++w) {
+    // Every EID lands in exactly one of 5 cells per window (like the grid).
+    std::vector<ScenarioSpec> cells(5);
+    for (std::uint64_t c = 0; c < 5; ++c) {
+      cells[c].window = w;
+      cells[c].cell = c;
+    }
+    for (std::uint64_t e = 0; e < n; ++e) {
+      cells[rng.NextBelow(5)].eids.push_back(e);
+    }
+    for (auto& cell : cells) {
+      if (!cell.eids.empty()) specs.push_back(cell);
+    }
+  }
+  const EScenarioSet set = MakeScenarioSet(5, specs);
+  const auto universe = EidRange(n);
+  const SplitConfig config = use_signature ? Signature() : Binary();
+  const auto outcome = SetSplitter(set, config).Run(universe, universe);
+  EXPECT_EQ(outcome.undistinguished, 0u);
+  for (const auto& list : outcome.lists) {
+    EXPECT_TRUE(list.distinguished);
+    for (const ScenarioId id : list.scenarios) {
+      const EScenario* scenario = set.Find(id);
+      ASSERT_NE(scenario, nullptr);
+      EXPECT_TRUE(scenario->ContainsInclusive(list.eid))
+          << "list scenario without the target";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, SplitDistinguishTest,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55),
+                       ::testing::Bool()));
+
+TEST(SetSplittingTest, SignatureModeMultiwayRefinementInOneWindow) {
+  const EScenarioSet set = MakeScenarioSet(
+      3, {{0, 0, {1, 2}}, {0, 1, {3, 4}}, {0, 2, {5}}});
+  const auto universe = EidRange(7);  // 0 and 6 appear nowhere
+  const auto outcome =
+      SetSplitter(set, Signature()).Run(universe, universe);
+  EXPECT_EQ(outcome.windows_consumed, 1u);
+  // {1,2}, {3,4}, {5} split off; {0,6} remain together (undistinguishable).
+  std::size_t distinguished = 0;
+  for (const auto& list : outcome.lists) {
+    if (list.distinguished) ++distinguished;
+  }
+  EXPECT_EQ(distinguished, 1u);  // only EID 5 is alone
+  // EID 5's list is exactly its cell-2 scenario.
+  const auto& list5 = outcome.lists[5];
+  EXPECT_EQ(list5.eid, Eid{5});
+  ASSERT_EQ(list5.scenarios.size(), 1u);
+  EXPECT_EQ(list5.scenarios[0], set.IdFor(0, CellId{2}));
+}
+
+TEST(SetSplittingTest, ScenarioContainingWholeBlockIsSkipped) {
+  // One scenario holds every EID -> carries no information, never recorded.
+  const EScenarioSet set = MakeScenarioSet(1, {{0, 0, {0, 1, 2}}});
+  const auto universe = EidRange(3);
+  for (const SplitConfig& config : {Binary(), Signature()}) {
+    const auto outcome = SetSplitter(set, config).Run(universe, universe);
+    EXPECT_TRUE(outcome.recorded.empty());
+    EXPECT_EQ(outcome.undistinguished, 3u);
+  }
+}
+
+TEST(SetSplittingTest, TargetSubsetOnlyUsesRelevantScenarios) {
+  // Scenario at cell 1 contains no target; it must never be recorded.
+  const EScenarioSet set = MakeScenarioSet(
+      2, {{0, 0, {0, 1}}, {0, 1, {2, 3}}, {1, 0, {0, 2}}, {1, 1, {1, 3}}});
+  const auto universe = EidRange(4);
+  const auto outcome =
+      SetSplitter(set, Signature()).Run(universe, {Eid{0}});
+  for (const ScenarioId id : outcome.recorded) {
+    const EScenario* scenario = set.Find(id);
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_TRUE(scenario->Contains(Eid{0}));
+  }
+  EXPECT_EQ(outcome.lists.size(), 1u);
+  EXPECT_TRUE(outcome.lists[0].distinguished);
+}
+
+TEST(SetSplittingTest, PracticalVagueEvidenceNeverSplitsSignatureMode) {
+  // EID 1 is vague in the only discriminating scenario: no split possible.
+  const EScenarioSet set =
+      MakeScenarioSet(2, {{0, 0, {0, 1}, /*vague=*/{1}}});
+  const auto universe = EidRange(2);
+  const auto outcome =
+      SetSplitter(set, Signature(true)).Run(universe, universe);
+  // Only EID 0's inclusive presence splits; both end up alone actually:
+  // block {0,1} refines into {0} (sig) and {1} (residual).
+  EXPECT_EQ(outcome.undistinguished, 0u);
+  EXPECT_TRUE(outcome.lists[1].scenarios.empty());
+}
+
+TEST(SetSplittingTest, PracticalBinaryVagueGoesToBothChildren) {
+  // Block {0,1,2}; scenario contains 0 (inclusive) and 1 (vague).
+  // Left child: {0 inc, 1 vague}; right child: {1 vague, 2 inc}.
+  const EScenarioSet set = MakeScenarioSet(
+      2, {{0, 0, {0, 1}, /*vague=*/{1}},
+          // later scenarios isolate everyone for list construction
+          {1, 0, {0}}, {1, 1, {1}}, {2, 0, {2}}});
+  const auto universe = EidRange(3);
+  const auto outcome =
+      SetSplitter(set, Binary(true)).Run(universe, universe);
+  EXPECT_EQ(outcome.undistinguished, 0u);
+  // EID 1's distinguishing list must avoid the scenario where it was vague.
+  for (const ScenarioId id : outcome.lists[1].scenarios) {
+    const EScenario* scenario = set.Find(id);
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_TRUE(scenario->ContainsInclusive(Eid{1}));
+  }
+}
+
+TEST(SetSplittingTest, MaxWindowsIsRespected) {
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t w = 0; w < 20; ++w) {
+    specs.push_back({w, 0, {0, 1}});
+    specs.push_back({w, 1, {2, 3}});
+  }
+  const EScenarioSet set = MakeScenarioSet(2, specs);
+  const auto universe = EidRange(4);
+  SplitConfig config = Signature();
+  config.max_windows = 3;
+  const auto outcome = SetSplitter(set, config).Run(universe, universe);
+  EXPECT_LE(outcome.windows_consumed, 3u);
+}
+
+TEST(SetSplittingTest, DeterministicForSeed) {
+  Rng rng(77);
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t w = 0; w < 20; ++w) {
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      ScenarioSpec spec{w, c, {}};
+      for (std::uint64_t e = 0; e < 20; ++e) {
+        if (rng.Bernoulli(0.3)) spec.eids.push_back(e);
+      }
+      if (!spec.eids.empty()) specs.push_back(spec);
+    }
+  }
+  const EScenarioSet set = MakeScenarioSet(3, specs);
+  const auto universe = CollectUniverse(set);
+  const auto a = SetSplitter(set, Signature()).Run(universe, universe);
+  const auto b = SetSplitter(set, Signature()).Run(universe, universe);
+  ASSERT_EQ(a.lists.size(), b.lists.size());
+  for (std::size_t i = 0; i < a.lists.size(); ++i) {
+    EXPECT_EQ(a.lists[i].scenarios, b.lists[i].scenarios);
+  }
+  EXPECT_EQ(a.recorded, b.recorded);
+}
+
+TEST(SetSplittingTest, RejectsBadInputs) {
+  const EScenarioSet set = MakeScenarioSet(1, {{0, 0, {0, 1}}});
+  SetSplitter splitter(set, Signature());
+  EXPECT_THROW((void)splitter.Run({}, {Eid{0}}), Error);
+  EXPECT_THROW((void)splitter.Run({Eid{0}}, {}), Error);
+  // target not in universe
+  EXPECT_THROW((void)splitter.Run({Eid{0}}, {Eid{9}}), Error);
+  // unsorted universe
+  EXPECT_THROW((void)splitter.Run({Eid{1}, Eid{0}}, {Eid{0}}), Error);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,136 @@
+// Property tests for the paper's theorems (Sec. IV-D), as parameterized
+// sweeps over randomized scenario universes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/set_splitting.hpp"
+#include "tests/testutil.hpp"
+
+namespace evm {
+namespace {
+
+using test::MakeScenarioSet;
+using test::ScenarioSpec;
+
+// Builds a grid-like random scenario universe: every EID is in exactly one
+// of `cells` scenarios per window; a `vague_prob` fraction of appearances
+// are marked vague.
+EScenarioSet RandomUniverse(std::size_t n, std::size_t windows,
+                            std::size_t cells, double vague_prob,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<ScenarioSpec> row(cells);
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      row[c].window = w;
+      row[c].cell = c;
+    }
+    for (std::uint64_t e = 0; e < n; ++e) {
+      auto& spec = row[rng.NextBelow(cells)];
+      spec.eids.push_back(e);
+      if (vague_prob > 0.0 && rng.Bernoulli(vague_prob)) {
+        spec.vague.push_back(e);
+      }
+    }
+    for (auto& spec : row) {
+      if (!spec.eids.empty()) specs.push_back(spec);
+    }
+  }
+  return MakeScenarioSet(cells, specs);
+}
+
+struct TheoremParam {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t cells;
+};
+
+class Theorem42Test : public ::testing::TestWithParam<TheoremParam> {};
+
+// Theorem 4.2 upper bound: <= n-1 effective scenarios in the ideal setting.
+TEST_P(Theorem42Test, IdealRecordedAtMostNMinusOne) {
+  const auto p = GetParam();
+  const EScenarioSet set = RandomUniverse(p.n, 60, p.cells, 0.0, p.seed);
+  const auto universe = CollectUniverse(set);
+  SplitConfig config;
+  config.mode = SplitMode::kBinary;
+  const auto outcome = SetSplitter(set, config).Run(universe, universe);
+  EXPECT_LE(outcome.recorded.size(), universe.size() - 1);
+  EXPECT_EQ(outcome.undistinguished, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem42Test,
+    ::testing::Values(TheoremParam{1, 20, 4}, TheoremParam{2, 50, 8},
+                      TheoremParam{3, 100, 8}, TheoremParam{4, 50, 3},
+                      TheoremParam{5, 80, 16}, TheoremParam{6, 64, 2}));
+
+class Theorem44Test : public ::testing::TestWithParam<TheoremParam> {};
+
+// Theorem 4.4: in the practical setting at most n^2 effective scenarios are
+// needed; convergence slows with the vague percentage but still succeeds
+// for the overwhelming majority of EIDs.
+TEST_P(Theorem44Test, PracticalRecordedWithinQuadraticBound) {
+  const auto p = GetParam();
+  const EScenarioSet set = RandomUniverse(p.n, 80, p.cells, 0.15, p.seed);
+  const auto universe = CollectUniverse(set);
+  SplitConfig config;
+  config.mode = SplitMode::kBinary;
+  config.practical = true;
+  const auto outcome = SetSplitter(set, config).Run(universe, universe);
+  EXPECT_LE(outcome.recorded.size(), universe.size() * universe.size());
+  EXPECT_LE(outcome.undistinguished, universe.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem44Test,
+                         ::testing::Values(TheoremParam{11, 30, 4},
+                                           TheoremParam{12, 50, 8},
+                                           TheoremParam{13, 40, 6}));
+
+// Vague evidence slows convergence (Theorem 4.4's qualitative claim): with
+// the same scenario universe, the practical splitter consumes at least as
+// many windows when appearances are vague as the ideal splitter does on
+// clean data.
+TEST(TheoremTest, VagueFractionSlowsConvergence) {
+  const std::size_t n = 60;
+  const EScenarioSet clean = RandomUniverse(n, 80, 6, 0.0, 21);
+  const EScenarioSet noisy = RandomUniverse(n, 80, 6, 0.35, 21);
+  SplitConfig config;
+  config.mode = SplitMode::kWindowSignature;
+  config.practical = true;
+  const auto universe_clean = CollectUniverse(clean);
+  const auto clean_outcome =
+      SetSplitter(clean, config).Run(universe_clean, universe_clean);
+  const auto universe_noisy = CollectUniverse(noisy);
+  const auto noisy_outcome =
+      SetSplitter(noisy, config).Run(universe_noisy, universe_noisy);
+  EXPECT_GE(noisy_outcome.windows_consumed, clean_outcome.windows_consumed);
+}
+
+// Determinism of the whole theorem machinery across modes: binary and
+// signature modes agree on *which* targets are distinguishable (they apply
+// the same information, just in different order).
+class ModeAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModeAgreementTest, BinaryAndSignatureAgreeOnDistinguishability) {
+  const EScenarioSet set = RandomUniverse(40, 60, 5, 0.0, GetParam());
+  const auto universe = CollectUniverse(set);
+  SplitConfig binary;
+  binary.mode = SplitMode::kBinary;
+  SplitConfig signature;
+  signature.mode = SplitMode::kWindowSignature;
+  const auto a = SetSplitter(set, binary).Run(universe, universe);
+  const auto b = SetSplitter(set, signature).Run(universe, universe);
+  ASSERT_EQ(a.lists.size(), b.lists.size());
+  for (std::size_t i = 0; i < a.lists.size(); ++i) {
+    EXPECT_EQ(a.lists[i].distinguished, b.lists[i].distinguished) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeAgreementTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,132 @@
+#include "core/vid_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vsense/appearance.hpp"
+
+namespace evm {
+namespace {
+
+// A tiny fixture: `people` appearances, V-Scenarios placed by hand.
+class VidFilterFixture : public ::testing::Test {
+ protected:
+  VidFilterFixture()
+      : oracle_(GenerateAppearances(6, MakeStream(1, "a")), CleanRender(),
+                FeatureParams{}),
+        gallery_(oracle_) {}
+
+  static RenderParams CleanRender() {
+    RenderParams params;
+    params.occlusion_prob = 0.0;
+    params.crop_jitter = 0.1;
+    params.sensor_noise = 4.0;
+    return params;
+  }
+
+  VScenario MakeVScenario(std::uint64_t id,
+                          std::initializer_list<std::uint64_t> vids) {
+    VScenario scenario;
+    scenario.id = ScenarioId{id};
+    std::uint64_t salt = 0;
+    for (const std::uint64_t vid : vids) {
+      scenario.observations.push_back(
+          VObservation{Vid{vid}, DeriveSeed(99, "r", id * 100 + ++salt)});
+    }
+    return scenario;
+  }
+
+  VisualOracle oracle_;
+  FeatureGallery gallery_;
+  VidFilterCounters counters_;
+};
+
+TEST_F(VidFilterFixture, FindsTheCommonVid) {
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {0, 1, 2}));
+  set.Add(MakeVScenario(1, {0, 3, 4}));
+  set.Add(MakeVScenario(2, {0, 5}));
+  EidScenarioList list{Eid{42}, {ScenarioId{0}, ScenarioId{1}, ScenarioId{2}},
+                       true};
+  const MatchResult result = FilterVid(list, set, gallery_, counters_);
+  EXPECT_TRUE(result.resolved);
+  EXPECT_EQ(result.reported_vid, Vid{0});
+  EXPECT_EQ(result.majority_fraction, 1.0);
+  EXPECT_EQ(result.chosen_per_scenario.size(), 3u);
+  for (const Vid v : result.chosen_per_scenario) EXPECT_EQ(v, Vid{0});
+  EXPECT_GT(result.confidence, 0.5);
+  EXPECT_GT(counters_.feature_comparisons, 0u);
+}
+
+TEST_F(VidFilterFixture, MissingScenariosAreSkipped) {
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {2, 3}));
+  EidScenarioList list{Eid{1}, {ScenarioId{0}, ScenarioId{99}}, true};
+  const MatchResult result = FilterVid(list, set, gallery_, counters_);
+  EXPECT_TRUE(result.resolved);
+  EXPECT_EQ(result.chosen_per_scenario.size(), 1u);
+}
+
+TEST_F(VidFilterFixture, UnresolvedWhenNothingUsable) {
+  VScenarioSet set;
+  EidScenarioList list{Eid{1}, {ScenarioId{5}}, true};
+  const MatchResult result = FilterVid(list, set, gallery_, counters_);
+  EXPECT_FALSE(result.resolved);
+  EXPECT_FALSE(result.reported_vid.valid());
+}
+
+TEST_F(VidFilterFixture, UnresolvedOnEmptyList) {
+  VScenarioSet set;
+  EidScenarioList list{Eid{1}, {}, false};
+  EXPECT_FALSE(FilterVid(list, set, gallery_, counters_).resolved);
+}
+
+TEST_F(VidFilterFixture, EmptyObservationScenarioIsSkipped) {
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {}));
+  set.Add(MakeVScenario(1, {1, 2}));
+  EidScenarioList list{Eid{1}, {ScenarioId{0}, ScenarioId{1}}, true};
+  const MatchResult result = FilterVid(list, set, gallery_, counters_);
+  EXPECT_TRUE(result.resolved);
+}
+
+TEST_F(VidFilterFixture, MajorityFractionReflectsDisagreement) {
+  // VID 0 appears in scenarios 0 and 1 but not in 2 (missed detection);
+  // the vote from scenario 2 must go to someone else.
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {0, 1}));
+  set.Add(MakeVScenario(1, {0, 2}));
+  set.Add(MakeVScenario(2, {3, 4}));
+  EidScenarioList list{Eid{7}, {ScenarioId{0}, ScenarioId{1}, ScenarioId{2}},
+                       true};
+  const MatchResult result = FilterVid(list, set, gallery_, counters_);
+  EXPECT_TRUE(result.resolved);
+  EXPECT_LT(result.majority_fraction, 1.0);
+}
+
+TEST_F(VidFilterFixture, SmallestScenarioPoolAlsoFindsCommonVid) {
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {0, 1, 2, 3}));
+  set.Add(MakeVScenario(1, {0, 4}));
+  EidScenarioList list{Eid{9}, {ScenarioId{0}, ScenarioId{1}}, true};
+  VidFilterOptions options;
+  options.candidate_pool = CandidatePool::kSmallestScenario;
+  const MatchResult result =
+      FilterVid(list, set, gallery_, counters_, options);
+  EXPECT_TRUE(result.resolved);
+  EXPECT_EQ(result.reported_vid, Vid{0});
+}
+
+TEST_F(VidFilterFixture, GalleryIsReusedAcrossCalls) {
+  VScenarioSet set;
+  set.Add(MakeVScenario(0, {0, 1}));
+  set.Add(MakeVScenario(1, {0, 2}));
+  EidScenarioList list{Eid{1}, {ScenarioId{0}, ScenarioId{1}}, true};
+  FilterVid(list, set, gallery_, counters_);
+  const std::uint64_t after_first = gallery_.ExtractionCount();
+  FilterVid(list, set, gallery_, counters_);
+  EXPECT_EQ(gallery_.ExtractionCount(), after_first);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,146 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace evm {
+namespace {
+
+DatasetConfig SmallConfig(std::uint64_t seed = 1) {
+  DatasetConfig config;
+  config.population = 80;
+  config.ticks = 200;
+  config.cell_size_m = 250.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, PopulationAndIdentities) {
+  const Dataset dataset = GenerateDataset(SmallConfig());
+  EXPECT_EQ(dataset.people.size(), 80u);
+  EXPECT_EQ(dataset.trajectories.size(), 80u);
+  for (std::size_t i = 0; i < dataset.people.size(); ++i) {
+    EXPECT_EQ(dataset.people[i].vid, Vid{i});
+    EXPECT_EQ(dataset.trajectories[i].TickCount(), 200u);
+  }
+}
+
+TEST(GeneratorTest, EveryoneHasDeviceWithoutEMissing) {
+  const Dataset dataset = GenerateDataset(SmallConfig());
+  EXPECT_EQ(dataset.AllEids().size(), 80u);
+  EXPECT_EQ(dataset.truth.size(), 80u);
+}
+
+TEST(GeneratorTest, EMissingRateDropsDevices) {
+  DatasetConfig config = SmallConfig(2);
+  config.population = 1000;
+  config.ticks = 10;
+  config.e_missing_rate = 0.3;
+  const Dataset dataset = GenerateDataset(config);
+  const double holders =
+      static_cast<double>(dataset.AllEids().size()) / 1000.0;
+  EXPECT_NEAR(holders, 0.7, 0.05);
+  // Everyone still has a visual identity (appears in V data).
+  EXPECT_EQ(dataset.oracle.IdentityCount(), 1000u);
+}
+
+TEST(GeneratorTest, GroundTruthMapsEidToSamePersonVid) {
+  const Dataset dataset = GenerateDataset(SmallConfig(3));
+  for (const Person& person : dataset.people) {
+    if (person.eid.has_value()) {
+      EXPECT_EQ(dataset.truth.TrueVidOf(*person.eid), person.vid);
+    }
+  }
+}
+
+TEST(GeneratorTest, ScenarioIdsPairAcrossEAndVSides) {
+  const Dataset dataset = GenerateDataset(SmallConfig(4));
+  // Every E-Scenario's id resolves to the same (window, cell) on the V side
+  // when present.
+  std::size_t paired = 0;
+  for (const EScenario& e : dataset.e_scenarios.scenarios()) {
+    const VScenario* v = dataset.v_scenarios.Find(e.id);
+    if (v == nullptr) continue;
+    ++paired;
+    EXPECT_EQ(v->cell, e.cell);
+    EXPECT_EQ(v->window.begin, e.window.begin);
+  }
+  EXPECT_GT(paired, dataset.e_scenarios.size() / 2);
+}
+
+TEST(GeneratorTest, NoiselessEDataIsSpatiallyConsistentWithVData) {
+  const Dataset dataset = GenerateDataset(SmallConfig(5));
+  // With zero localization noise, an inclusively-present EID implies the
+  // person's VID was filmed in the same scenario (threshold alignment).
+  std::size_t checked = 0;
+  for (const EScenario& e : dataset.e_scenarios.scenarios()) {
+    const VScenario* v = dataset.v_scenarios.Find(e.id);
+    for (const EidEntry& entry : e.entries) {
+      if (entry.attr != EidAttr::kInclusive) continue;
+      ASSERT_NE(v, nullptr);
+      const Vid expected = dataset.truth.TrueVidOf(entry.eid);
+      bool found = false;
+      for (const VObservation& obs : v->observations) {
+        if (obs.vid == expected) found = true;
+      }
+      EXPECT_TRUE(found) << "scenario " << e.id.value();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const Dataset a = GenerateDataset(SmallConfig(6));
+  const Dataset b = GenerateDataset(SmallConfig(6));
+  EXPECT_EQ(a.e_scenarios.size(), b.e_scenarios.size());
+  EXPECT_EQ(a.v_scenarios.TotalObservations(), b.v_scenarios.TotalObservations());
+  EXPECT_EQ(a.e_log.size(), b.e_log.size());
+  for (std::size_t i = 0; i < a.e_log.size(); ++i) {
+    EXPECT_EQ(a.e_log.records()[i].position, b.e_log.records()[i].position);
+  }
+}
+
+TEST(GeneratorTest, SeedsProduceDifferentWorlds) {
+  const Dataset a = GenerateDataset(SmallConfig(7));
+  const Dataset b = GenerateDataset(SmallConfig(8));
+  bool any_different = false;
+  for (std::size_t i = 0; i < std::min(a.e_log.size(), b.e_log.size()); ++i) {
+    if (!(a.e_log.records()[i].position == b.e_log.records()[i].position)) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GeneratorTest, DensityHelperHitsRequestedDensity) {
+  DatasetConfig config;
+  config.population = 1000;
+  for (const double density : {20.0, 40.0, 80.0, 160.0}) {
+    config.SetDensity(density);
+    EXPECT_NEAR(config.Density(), density, density * 0.4);
+  }
+}
+
+TEST(GeneratorTest, VMissingReducesObservations) {
+  DatasetConfig base = SmallConfig(9);
+  const Dataset clean = GenerateDataset(base);
+  base.v_missing_rate = 0.3;
+  const Dataset missing = GenerateDataset(base);
+  EXPECT_LT(missing.v_scenarios.TotalObservations(),
+            clean.v_scenarios.TotalObservations() * 0.8);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  DatasetConfig config = SmallConfig();
+  config.population = 0;
+  EXPECT_THROW((void)GenerateDataset(config), Error);
+  config = SmallConfig();
+  config.e_missing_rate = 1.0;
+  EXPECT_THROW((void)GenerateDataset(config), Error);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,98 @@
+#include "dataset/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/generator.hpp"
+
+namespace evm {
+namespace {
+
+TEST(TraceIoTest, ELogRoundTrips) {
+  ELog log;
+  log.Append({Eid{1}, Tick{0}, {10.5, 20.25}});
+  log.Append({Eid{2}, Tick{3}, {0.0, 999.0}});
+  std::stringstream ss;
+  WriteELogCsv(log, ss);
+  const ELog parsed = ReadELogCsv(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.records()[0].eid, Eid{1});
+  EXPECT_EQ(parsed.records()[0].tick.value, 0);
+  EXPECT_DOUBLE_EQ(parsed.records()[0].position.x, 10.5);
+  EXPECT_EQ(parsed.records()[1].eid, Eid{2});
+}
+
+TEST(TraceIoTest, ELogRejectsMalformedLine) {
+  std::stringstream ss("02:00:00:00:00:01,5\n");
+  EXPECT_THROW((void)ReadELogCsv(ss), Error);
+}
+
+TEST(TraceIoTest, EScenariosRoundTrip) {
+  EScenarioSet set(4, 10);
+  EScenario scenario;
+  scenario.id = set.IdFor(2, CellId{3});
+  scenario.cell = CellId{3};
+  scenario.window = TimeWindow{Tick{20}, Tick{30}};
+  scenario.entries = {{Eid{5}, EidAttr::kInclusive},
+                      {Eid{9}, EidAttr::kVague}};
+  set.Add(std::move(scenario));
+
+  std::stringstream ss;
+  WriteEScenariosCsv(set, ss);
+  const EScenarioSet parsed = ReadEScenariosCsv(ss, 4, 10);
+  ASSERT_EQ(parsed.size(), 1u);
+  const EScenario* s = parsed.Find(set.IdFor(2, CellId{3}));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->cell, CellId{3});
+  EXPECT_EQ(s->window.begin.value, 20);
+  EXPECT_EQ(s->AttrOf(Eid{5}), EidAttr::kInclusive);
+  EXPECT_EQ(s->AttrOf(Eid{9}), EidAttr::kVague);
+}
+
+TEST(TraceIoTest, EScenariosRejectUnknownAttr) {
+  std::stringstream ss(
+      "scenario_id,cell,window_begin,window_end,mac,attr\n"
+      "0,0,0,1,02:00:00:00:00:01,bogus\n");
+  EXPECT_THROW((void)ReadEScenariosCsv(ss, 4, 1), Error);
+}
+
+TEST(TraceIoTest, GeneratedDatasetRoundTripsThroughCsv) {
+  DatasetConfig config;
+  config.population = 30;
+  config.ticks = 100;
+  config.seed = 3;
+  const Dataset dataset = GenerateDataset(config);
+
+  std::stringstream ss;
+  WriteEScenariosCsv(dataset.e_scenarios, ss);
+  const EScenarioSet parsed = ReadEScenariosCsv(
+      ss, dataset.grid.CellCount(), dataset.config.window_ticks);
+  ASSERT_EQ(parsed.size(), dataset.e_scenarios.size());
+  for (const EScenario& original : dataset.e_scenarios.scenarios()) {
+    const EScenario* round = parsed.Find(original.id);
+    ASSERT_NE(round, nullptr);
+    EXPECT_EQ(round->entries, original.entries);
+  }
+}
+
+TEST(TraceIoTest, MatchReportCsvListsEveryResult) {
+  MatchReport report;
+  MatchResult resolved;
+  resolved.eid = Eid{1};
+  resolved.reported_vid = Vid{7};
+  resolved.resolved = true;
+  resolved.confidence = 0.9;
+  resolved.majority_fraction = 1.0;
+  MatchResult unresolved;
+  unresolved.eid = Eid{2};
+  report.results = {resolved, unresolved};
+  std::stringstream ss;
+  WriteMatchReportCsv(report, ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("02:00:00:00:00:01,7,0.9,1,1"), std::string::npos);
+  EXPECT_NE(out.find("02:00:00:00:00:02,-,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evm

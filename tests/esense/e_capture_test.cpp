@@ -1,0 +1,90 @@
+#include "esense/e_capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace evm {
+namespace {
+
+Trajectory StraightLine(std::size_t ticks, Vec2 start, Vec2 step) {
+  Trajectory t;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    t.Append(start + step * static_cast<double>(i));
+  }
+  return t;
+}
+
+TEST(ECaptureTest, NoiselessCaptureReproducesTrajectory) {
+  const Trajectory t = StraightLine(20, {10, 10}, {1, 0});
+  const ELog log =
+      CaptureEData({{Eid{7}, &t}}, ECaptureConfig{0.0, 1.0}, Rng(1));
+  ASSERT_EQ(log.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(log.records()[i].eid, Eid{7});
+    EXPECT_EQ(log.records()[i].tick.value, static_cast<std::int64_t>(i));
+    EXPECT_EQ(log.records()[i].position, t.At(Tick{(std::int64_t)i}));
+  }
+}
+
+TEST(ECaptureTest, LogIsTickSortedAcrossDevices) {
+  const Trajectory a = StraightLine(5, {0, 0}, {1, 0});
+  const Trajectory b = StraightLine(5, {10, 0}, {1, 0});
+  const ELog log = CaptureEData({{Eid{1}, &a}, {Eid{2}, &b}},
+                                ECaptureConfig{0.0, 1.0}, Rng(2));
+  ASSERT_EQ(log.size(), 10u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log.records()[i - 1].tick.value, log.records()[i].tick.value);
+  }
+}
+
+TEST(ECaptureTest, NoiseHasExpectedMagnitude) {
+  const Trajectory t = StraightLine(20000, {500, 500}, {0, 0});
+  const double sigma = 5.0;
+  const ELog log =
+      CaptureEData({{Eid{1}, &t}}, ECaptureConfig{sigma, 1.0}, Rng(3));
+  double sq = 0.0;
+  for (const ERecord& r : log.records()) {
+    const Vec2 d = r.position - Vec2{500, 500};
+    sq += d.x * d.x + d.y * d.y;
+  }
+  // Per-axis variance should be ~sigma^2.
+  const double per_axis_var = sq / (2.0 * static_cast<double>(log.size()));
+  EXPECT_NEAR(std::sqrt(per_axis_var), sigma, 0.2);
+}
+
+TEST(ECaptureTest, CaptureProbabilityDropsRecords) {
+  const Trajectory t = StraightLine(10000, {0, 0}, {0, 0});
+  const ELog log =
+      CaptureEData({{Eid{1}, &t}}, ECaptureConfig{0.0, 0.25}, Rng(4));
+  EXPECT_NEAR(static_cast<double>(log.size()), 2500.0, 200.0);
+}
+
+TEST(ECaptureTest, DeterministicForSameSeed) {
+  const Trajectory t = StraightLine(100, {0, 0}, {1, 1});
+  const ELog a = CaptureEData({{Eid{1}, &t}}, ECaptureConfig{3.0, 0.9}, Rng(5));
+  const ELog b = CaptureEData({{Eid{1}, &t}}, ECaptureConfig{3.0, 0.9}, Rng(5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].position, b.records()[i].position);
+  }
+}
+
+TEST(ECaptureTest, RejectsInvalidConfig) {
+  const Trajectory t = StraightLine(5, {0, 0}, {1, 0});
+  EXPECT_THROW(
+      (void)CaptureEData({{Eid{1}, &t}}, ECaptureConfig{-1.0, 1.0}, Rng(1)),
+      Error);
+  EXPECT_THROW(
+      (void)CaptureEData({{Eid{1}, &t}}, ECaptureConfig{0.0, 0.0}, Rng(1)),
+      Error);
+  EXPECT_THROW(
+      (void)CaptureEData({{Eid{1}, nullptr}}, ECaptureConfig{0.0, 1.0}, Rng(1)),
+      Error);
+}
+
+}  // namespace
+}  // namespace evm

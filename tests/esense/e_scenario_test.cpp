@@ -1,0 +1,143 @@
+#include "esense/e_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geo/grid.hpp"
+
+namespace evm {
+namespace {
+
+ELog MakeLog(const std::vector<ERecord>& records) {
+  ELog log;
+  for (const ERecord& r : records) log.Append(r);
+  return log;
+}
+
+TEST(EScenarioTest, AttrOfFindsSortedEntries) {
+  EScenario s;
+  s.entries = {{Eid{1}, EidAttr::kInclusive}, {Eid{5}, EidAttr::kVague}};
+  EXPECT_EQ(s.AttrOf(Eid{1}), EidAttr::kInclusive);
+  EXPECT_EQ(s.AttrOf(Eid{5}), EidAttr::kVague);
+  EXPECT_FALSE(s.AttrOf(Eid{3}).has_value());
+  EXPECT_TRUE(s.Contains(Eid{5}));
+  EXPECT_TRUE(s.ContainsInclusive(Eid{1}));
+  EXPECT_FALSE(s.ContainsInclusive(Eid{5}));
+}
+
+TEST(EScenarioSetTest, IdConventionAndLookup) {
+  EScenarioSet set(10, 5);
+  EXPECT_EQ(set.IdFor(3, CellId{7}).value(), 37u);
+  EXPECT_EQ(set.WindowOf(ScenarioId{37}), 3u);
+}
+
+TEST(EScenarioSetTest, AddRejectsUnsortedEntries) {
+  EScenarioSet set(4, 1);
+  EScenario s;
+  s.id = set.IdFor(0, CellId{0});
+  s.entries = {{Eid{5}, EidAttr::kInclusive}, {Eid{1}, EidAttr::kInclusive}};
+  EXPECT_THROW(set.Add(std::move(s)), Error);
+}
+
+TEST(BuildEScenariosTest, SingleTickWindowsGroupByCell) {
+  Grid grid(2, 2, 100.0);
+  EScenarioConfig config;  // window_ticks = 1
+  config.inclusive_threshold = 0.6;
+  const ELog log = MakeLog({
+      {Eid{1}, Tick{0}, {50, 50}},    // cell 0
+      {Eid{2}, Tick{0}, {150, 50}},   // cell 1
+      {Eid{3}, Tick{0}, {50, 50}},    // cell 0
+      {Eid{1}, Tick{1}, {150, 150}},  // cell 3, next window
+  });
+  const EScenarioSet set = BuildEScenarios(log, grid, config);
+  EXPECT_EQ(set.size(), 3u);
+  const EScenario* c0 = set.Find(set.IdFor(0, CellId{0}));
+  ASSERT_NE(c0, nullptr);
+  EXPECT_EQ(c0->entries.size(), 2u);
+  EXPECT_TRUE(c0->ContainsInclusive(Eid{1}));
+  EXPECT_TRUE(c0->ContainsInclusive(Eid{3}));
+  const EScenario* w1 = set.Find(set.IdFor(1, CellId{3}));
+  ASSERT_NE(w1, nullptr);
+  EXPECT_TRUE(w1->ContainsInclusive(Eid{1}));
+}
+
+TEST(BuildEScenariosTest, OccurrenceFractionClassifiesAttrs) {
+  Grid grid(2, 2, 100.0);
+  EScenarioConfig config;
+  config.window_ticks = 10;
+  config.inclusive_threshold = 0.6;
+  config.vague_threshold = 0.2;
+  std::vector<ERecord> records;
+  // EID 1: 8/10 ticks in cell 0 -> inclusive.
+  for (int t = 0; t < 8; ++t) records.push_back({Eid{1}, Tick{t}, {50, 50}});
+  // EID 2: 3/10 ticks in cell 0 -> vague.
+  for (int t = 0; t < 3; ++t) records.push_back({Eid{2}, Tick{t}, {50, 50}});
+  // EID 3: 1/10 ticks in cell 0 -> dropped (exclusive).
+  records.push_back({Eid{3}, Tick{0}, {50, 50}});
+  const EScenarioSet set = BuildEScenarios(MakeLog(records), grid, config);
+  const EScenario* s = set.Find(set.IdFor(0, CellId{0}));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->AttrOf(Eid{1}), EidAttr::kInclusive);
+  EXPECT_EQ(s->AttrOf(Eid{2}), EidAttr::kVague);
+  EXPECT_FALSE(s->Contains(Eid{3}));
+}
+
+TEST(BuildEScenariosTest, VagueZoneDemotesBorderObservations) {
+  Grid grid(2, 2, 100.0);
+  EScenarioConfig config;
+  config.window_ticks = 10;
+  config.vague_width_m = 10.0;
+  config.inclusive_threshold = 0.6;
+  std::vector<ERecord> records;
+  // EID 1: all ticks within 5m of the border -> vague despite full presence.
+  for (int t = 0; t < 10; ++t) records.push_back({Eid{1}, Tick{t}, {5, 50}});
+  // EID 2: all ticks deep inside -> inclusive.
+  for (int t = 0; t < 10; ++t) records.push_back({Eid{2}, Tick{t}, {50, 50}});
+  const EScenarioSet set = BuildEScenarios(MakeLog(records), grid, config);
+  const EScenario* s = set.Find(set.IdFor(0, CellId{0}));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->AttrOf(Eid{1}), EidAttr::kVague);
+  EXPECT_EQ(s->AttrOf(Eid{2}), EidAttr::kInclusive);
+}
+
+TEST(BuildEScenariosTest, DriftingEidLandsInNeighborScenario) {
+  Grid grid(2, 1, 100.0);
+  EScenarioConfig config;
+  config.window_ticks = 10;
+  config.vague_threshold = 0.2;
+  std::vector<ERecord> records;
+  // True position in cell 0 but noisy measurements put 3 ticks in cell 1.
+  for (int t = 0; t < 7; ++t) records.push_back({Eid{1}, Tick{t}, {95, 50}});
+  for (int t = 7; t < 10; ++t) records.push_back({Eid{1}, Tick{t}, {105, 50}});
+  const EScenarioSet set = BuildEScenarios(MakeLog(records), grid, config);
+  const EScenario* neighbor = set.Find(set.IdFor(0, CellId{1}));
+  ASSERT_NE(neighbor, nullptr);
+  EXPECT_EQ(neighbor->AttrOf(Eid{1}), EidAttr::kVague);  // 3/10 occurrence
+}
+
+TEST(BuildEScenariosTest, AtWindowReturnsCellOrdered) {
+  Grid grid(3, 1, 100.0);
+  EScenarioConfig config;
+  const ELog log = MakeLog({
+      {Eid{1}, Tick{0}, {250, 50}},  // cell 2
+      {Eid{2}, Tick{0}, {50, 50}},   // cell 0
+  });
+  const EScenarioSet set = BuildEScenarios(log, grid, config);
+  const auto at0 = set.AtWindow(0);
+  ASSERT_EQ(at0.size(), 2u);
+  EXPECT_LT(at0[0]->id.value(), at0[1]->id.value());
+}
+
+TEST(BuildEScenariosTest, WindowCountTracksLatestRecord) {
+  Grid grid(2, 2, 100.0);
+  EScenarioConfig config;
+  config.window_ticks = 10;
+  config.vague_threshold = 0.0;
+  config.inclusive_threshold = 0.1;
+  const ELog log = MakeLog({{Eid{1}, Tick{95}, {50, 50}}});
+  const EScenarioSet set = BuildEScenarios(log, grid, config);
+  EXPECT_EQ(set.window_count(), 10u);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,54 @@
+// The fused EvIndex consumes any MatchReport — including the EDP baseline's
+// — because both matchers speak the same result types.
+
+#include <gtest/gtest.h>
+
+#include "baseline/edp.hpp"
+#include "dataset/generator.hpp"
+#include "fusion/ev_index.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+TEST(CrossAlgorithmFusionTest, IndexBuildsFromEdpReport) {
+  DatasetConfig config;
+  config.population = 100;
+  config.ticks = 300;
+  config.cell_size_m = 250.0;
+  config.seed = 81;
+  config.render.occlusion_prob = 0.0;
+  const Dataset dataset = GenerateDataset(config);
+
+  EdpMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                     EdpConfig{});
+  const auto targets = SampleTargets(dataset, 30, 1);
+  const MatchReport report = matcher.Match(targets);
+
+  const EvIndex index(report, dataset.e_log, dataset.e_scenarios,
+                      dataset.v_scenarios, dataset.grid);
+  EXPECT_GT(index.size(), 25u);
+  for (const Eid eid : targets) {
+    const FusedIdentity* identity = index.ByEid(eid);
+    if (identity == nullptr) continue;
+    EXPECT_EQ(identity->eid, eid);
+    EXPECT_TRUE(identity->vid.valid());
+  }
+}
+
+TEST(CrossAlgorithmFusionTest, MisalignedReportIsRejected) {
+  DatasetConfig config;
+  config.population = 20;
+  config.ticks = 50;
+  config.seed = 82;
+  const Dataset dataset = GenerateDataset(config);
+  MatchReport report;
+  report.results.resize(2);
+  report.scenario_lists.resize(1);  // mismatch
+  EXPECT_THROW(EvIndex(report, dataset.e_log, dataset.e_scenarios,
+                       dataset.v_scenarios, dataset.grid),
+               Error);
+}
+
+}  // namespace
+}  // namespace evm

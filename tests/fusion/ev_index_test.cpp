@@ -1,0 +1,133 @@
+#include "fusion/ev_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+class EvIndexFixture : public ::testing::Test {
+ protected:
+  EvIndexFixture() : dataset_(GenerateDataset(MakeConfig())) {
+    EvMatcher matcher(dataset_.e_scenarios, dataset_.v_scenarios,
+                      dataset_.oracle, MatcherConfig{});
+    report_ = matcher.MatchUniversal();
+    index_ = std::make_unique<EvIndex>(report_, dataset_.e_log,
+                                       dataset_.e_scenarios,
+                                       dataset_.v_scenarios, dataset_.grid);
+  }
+
+  static DatasetConfig MakeConfig() {
+    DatasetConfig config;
+    config.population = 100;
+    config.ticks = 300;
+    config.cell_size_m = 250.0;
+    config.seed = 61;
+    config.render.occlusion_prob = 0.0;
+    return config;
+  }
+
+  Dataset dataset_;
+  MatchReport report_;
+  std::unique_ptr<EvIndex> index_;
+};
+
+TEST_F(EvIndexFixture, IndexesEveryResolvedMatch) {
+  std::size_t resolved = 0;
+  for (const MatchResult& r : report_.results) {
+    if (r.resolved) ++resolved;
+  }
+  EXPECT_EQ(index_->size(), resolved);
+}
+
+TEST_F(EvIndexFixture, CrossModalLookupIsConsistent) {
+  for (const Eid eid : dataset_.AllEids()) {
+    const FusedIdentity* by_eid = index_->ByEid(eid);
+    if (by_eid == nullptr) continue;
+    const FusedIdentity* by_vid = index_->ByVid(by_eid->vid);
+    ASSERT_NE(by_vid, nullptr);
+    // The by-VID direction always returns an identity with that VID; when
+    // two EIDs (one of them wrongly) claim the same VID it returns the
+    // higher-confidence claim.
+    EXPECT_EQ(by_vid->vid, by_eid->vid);
+    if (by_vid->eid != eid) {
+      EXPECT_GE(by_vid->confidence, by_eid->confidence);
+    }
+  }
+}
+
+TEST_F(EvIndexFixture, UnknownIdsReturnNull) {
+  EXPECT_EQ(index_->ByEid(Eid{123456}), nullptr);
+  EXPECT_EQ(index_->ByVid(Vid{123456}), nullptr);
+}
+
+TEST_F(EvIndexFixture, WhereAboutsMatchesGroundTruthCell) {
+  // The reconstructed cell track comes from noiseless E data, so it must
+  // equal the true cell at the window midpoint for most windows.
+  const Eid eid = dataset_.AllEids()[3];
+  const std::size_t person = static_cast<std::size_t>(eid.value());
+  std::size_t checked = 0;
+  std::size_t agree = 0;
+  for (std::int64_t t = 0; t < 300; t += 10) {
+    const auto cell = index_->WhereAbouts(eid, Tick{t});
+    if (!cell.has_value()) continue;
+    ++checked;
+    if (*cell == dataset_.grid.CellAt(dataset_.trajectories[person].At(Tick{t}))) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(checked), 0.8);
+}
+
+TEST_F(EvIndexFixture, WhereAboutsOutOfRangeIsEmpty) {
+  const Eid eid = dataset_.AllEids()[0];
+  EXPECT_FALSE(index_->WhereAbouts(eid, Tick{-5}).has_value());
+  EXPECT_FALSE(index_->WhereAbouts(eid, Tick{1000000}).has_value());
+}
+
+TEST_F(EvIndexFixture, AppearancesResolveToScenariosContainingTheVid) {
+  const Eid eid = dataset_.AllEids()[5];
+  const FusedIdentity* identity = index_->ByEid(eid);
+  ASSERT_NE(identity, nullptr);
+  for (const ScenarioId id : index_->AppearancesOf(eid)) {
+    const VScenario* scenario = dataset_.v_scenarios.Find(id);
+    ASSERT_NE(scenario, nullptr);
+    bool found = false;
+    for (const VObservation& obs : scenario->observations) {
+      if (obs.vid == identity->vid) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(EvIndexFixture, WhoWasAtIsConsistentWithWhereAbouts) {
+  const Eid eid = dataset_.AllEids()[7];
+  const auto cell = index_->WhereAbouts(eid, Tick{50});
+  if (!cell.has_value()) GTEST_SKIP() << "EID unheard at tick 50";
+  const auto window = static_cast<std::size_t>(50 / index_->window_ticks());
+  const auto present = index_->WhoWasAt(*cell, window);
+  EXPECT_NE(std::find(present.begin(), present.end(), eid), present.end());
+}
+
+TEST_F(EvIndexFixture, EncountersAreSymmetricallyDiscoverable) {
+  const Eid eid = dataset_.AllEids()[2];
+  for (const Encounter& encounter : index_->Encounters(eid)) {
+    EXPECT_EQ(encounter.a, eid);
+    // The counterpart must list the same event from its side.
+    bool mirrored = false;
+    for (const Encounter& other : index_->Encounters(encounter.b)) {
+      if (other.b == eid && other.window == encounter.window &&
+          other.cell == encounter.cell) {
+        mirrored = true;
+      }
+    }
+    EXPECT_TRUE(mirrored);
+  }
+}
+
+}  // namespace
+}  // namespace evm

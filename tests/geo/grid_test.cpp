@@ -1,0 +1,96 @@
+#include "geo/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace evm {
+namespace {
+
+TEST(GridTest, DimensionsAndCellCount) {
+  Grid grid(5, 4, 100.0);
+  EXPECT_EQ(grid.cols(), 5u);
+  EXPECT_EQ(grid.rows(), 4u);
+  EXPECT_EQ(grid.CellCount(), 20u);
+  EXPECT_EQ(grid.Bounds().Width(), 500.0);
+  EXPECT_EQ(grid.Bounds().Height(), 400.0);
+}
+
+TEST(GridTest, CoveringRoundsUp) {
+  Grid grid = Grid::Covering(Rect{0, 0, 1000, 1000}, 300.0);
+  EXPECT_EQ(grid.cols(), 4u);
+  EXPECT_EQ(grid.rows(), 4u);
+}
+
+TEST(GridTest, CellAtMapsInteriorPoints) {
+  Grid grid(4, 4, 100.0);
+  EXPECT_EQ(grid.CellAt({50, 50}), CellId{0});
+  EXPECT_EQ(grid.CellAt({150, 50}), CellId{1});
+  EXPECT_EQ(grid.CellAt({50, 150}), CellId{4});
+  EXPECT_EQ(grid.CellAt({399, 399}), CellId{15});
+}
+
+TEST(GridTest, CellAtClampsOutOfRangePoints) {
+  Grid grid(4, 4, 100.0);
+  EXPECT_EQ(grid.CellAt({-10, -10}), CellId{0});
+  EXPECT_EQ(grid.CellAt({1000, 1000}), CellId{15});
+  EXPECT_EQ(grid.CellAt({-5, 250}), CellId{8});
+}
+
+TEST(GridTest, CellRectRoundTripsWithCellAt) {
+  Grid grid(3, 3, 50.0);
+  for (std::size_t c = 0; c < grid.CellCount(); ++c) {
+    const Rect rect = grid.CellRect(CellId{c});
+    const Vec2 center{(rect.x0 + rect.x1) / 2, (rect.y0 + rect.y1) / 2};
+    EXPECT_EQ(grid.CellAt(center), CellId{c});
+  }
+}
+
+TEST(GridTest, CellRectRejectsOutOfRange) {
+  Grid grid(2, 2, 10.0);
+  EXPECT_THROW((void)grid.CellRect(CellId{4}), Error);
+}
+
+TEST(GridTest, Neighbors4CornerAndCenter) {
+  Grid grid(3, 3, 10.0);
+  // corner cell 0 has 2 neighbours
+  EXPECT_EQ(grid.Neighbors4(CellId{0}).size(), 2u);
+  // center cell 4 has 4
+  const auto center = grid.Neighbors4(CellId{4});
+  EXPECT_EQ(center.size(), 4u);
+}
+
+TEST(GridTest, DistanceToCellBorder) {
+  Grid grid(2, 2, 100.0);
+  EXPECT_DOUBLE_EQ(grid.DistanceToCellBorder({50, 50}), 50.0);
+  EXPECT_NEAR(grid.DistanceToCellBorder({10, 50}), 10.0, 1e-9);
+  EXPECT_NEAR(grid.DistanceToCellBorder({150, 199}), 1.0, 1e-9);
+}
+
+TEST(GridTest, CellCenter) {
+  Grid grid(2, 2, 100.0);
+  const Vec2 c = grid.CellCenter(CellId{3});
+  EXPECT_DOUBLE_EQ(c.x, 150.0);
+  EXPECT_DOUBLE_EQ(c.y, 150.0);
+}
+
+TEST(GridTest, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Grid(0, 3, 10.0), Error);
+  EXPECT_THROW(Grid(3, 3, 0.0), Error);
+}
+
+TEST(RectTest, ContainsIsHalfOpen) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_FALSE(r.Contains({10, 5}));
+  EXPECT_FALSE(r.Contains({5, 10}));
+}
+
+TEST(RectTest, ClampStaysInside) {
+  Rect r{0, 0, 10, 10};
+  const Vec2 p = r.Clamp({20, -5});
+  EXPECT_TRUE(r.Contains(p));
+}
+
+}  // namespace
+}  // namespace evm

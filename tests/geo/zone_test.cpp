@@ -1,0 +1,46 @@
+#include "geo/zone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evm {
+namespace {
+
+TEST(ZoneTest, PointOutsideCellIsExclusive) {
+  Grid grid(2, 2, 100.0);
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {150, 50}, 10.0),
+            ZoneClass::kExclusive);
+}
+
+TEST(ZoneTest, DeepInteriorIsInclusive) {
+  Grid grid(2, 2, 100.0);
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {50, 50}, 10.0),
+            ZoneClass::kInclusive);
+}
+
+TEST(ZoneTest, BorderBandIsVague) {
+  Grid grid(2, 2, 100.0);
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {5, 50}, 10.0), ZoneClass::kVague);
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {50, 95}, 10.0), ZoneClass::kVague);
+}
+
+TEST(ZoneTest, ZeroWidthDisablesVagueZone) {
+  Grid grid(2, 2, 100.0);
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {1, 1}, 0.0),
+            ZoneClass::kInclusive);
+}
+
+TEST(ZoneTest, ExactBandEdgeIsInclusive) {
+  Grid grid(2, 2, 100.0);
+  // distance-to-border exactly equals the band width -> inclusive
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {10, 50}, 10.0),
+            ZoneClass::kInclusive);
+}
+
+TEST(ZoneTest, WholeScenarioVagueWhenBandCoversCell) {
+  Grid grid(2, 2, 100.0);
+  // band of 60m in a 100m cell covers everything (max interior distance 50)
+  EXPECT_EQ(ClassifyZone(grid, CellId{0}, {50, 50}, 60.0), ZoneClass::kVague);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,83 @@
+// Whole-pipeline determinism: identical seeds must give identical datasets,
+// identical scenario selections and identical match decisions — the
+// property every experiment in EXPERIMENTS.md relies on.
+
+#include <gtest/gtest.h>
+
+#include "baseline/edp.hpp"
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+DatasetConfig World(std::uint64_t seed) {
+  DatasetConfig config;
+  config.population = 180;
+  config.ticks = 400;
+  config.cell_size_m = 250.0;
+  config.seed = seed;
+  config.e_noise_sigma_m = 5.0;
+  config.vague_width_m = 8.0;
+  config.v_missing_rate = 0.02;
+  return config;
+}
+
+void ExpectSameDecisions(const MatchReport& a, const MatchReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].eid, b.results[i].eid);
+    EXPECT_EQ(a.results[i].resolved, b.results[i].resolved);
+    EXPECT_EQ(a.results[i].reported_vid, b.results[i].reported_vid);
+    EXPECT_EQ(a.results[i].chosen_per_scenario,
+              b.results[i].chosen_per_scenario);
+    EXPECT_DOUBLE_EQ(a.results[i].confidence, b.results[i].confidence);
+  }
+  EXPECT_EQ(a.stats.distinct_scenarios, b.stats.distinct_scenarios);
+  EXPECT_EQ(a.stats.feature_comparisons, b.stats.feature_comparisons);
+  EXPECT_EQ(a.stats.splitting_iterations, b.stats.splitting_iterations);
+}
+
+TEST(DeterminismTest, SsPipelineIsSeedDeterministic) {
+  const Dataset d1 = GenerateDataset(World(55));
+  const Dataset d2 = GenerateDataset(World(55));
+  const auto targets = SampleTargets(d1, 50, 4);
+  MatcherConfig config = DefaultSsConfig(/*practical=*/true);
+  config.refine.min_majority = 0.75;
+  EvMatcher m1(d1.e_scenarios, d1.v_scenarios, d1.oracle, config);
+  EvMatcher m2(d2.e_scenarios, d2.v_scenarios, d2.oracle, config);
+  ExpectSameDecisions(m1.Match(targets), m2.Match(targets));
+}
+
+TEST(DeterminismTest, EdpPipelineIsSeedDeterministic) {
+  const Dataset d1 = GenerateDataset(World(56));
+  const Dataset d2 = GenerateDataset(World(56));
+  const auto targets = SampleTargets(d1, 50, 4);
+  EdpMatcher m1(d1.e_scenarios, d1.v_scenarios, d1.oracle, EdpConfig{});
+  EdpMatcher m2(d2.e_scenarios, d2.v_scenarios, d2.oracle, EdpConfig{});
+  ExpectSameDecisions(m1.Match(targets), m2.Match(targets));
+}
+
+TEST(DeterminismTest, DifferentSplitSeedsSelectDifferentScenarios) {
+  const Dataset dataset = GenerateDataset(World(57));
+  const auto targets = SampleTargets(dataset, 50, 4);
+  MatcherConfig a = DefaultSsConfig();
+  MatcherConfig b = DefaultSsConfig();
+  b.split.seed = a.split.seed + 1;
+  EvMatcher ma(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle, a);
+  EvMatcher mb(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle, b);
+  const MatchReport ra = ma.Match(targets);
+  const MatchReport rb = mb.Match(targets);
+  bool any_list_differs = false;
+  for (std::size_t i = 0; i < ra.scenario_lists.size(); ++i) {
+    if (ra.scenario_lists[i].scenarios != rb.scenario_lists[i].scenarios) {
+      any_list_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_list_differs);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,111 @@
+// Cross-module integration tests: full pipeline (generate -> sense ->
+// split -> filter -> score) under the paper's practical settings.
+
+#include <gtest/gtest.h>
+
+#include "baseline/edp.hpp"
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+DatasetConfig BaseConfig(std::uint64_t seed) {
+  DatasetConfig config;
+  config.population = 250;
+  config.ticks = 600;
+  config.cell_size_m = 200.0;  // 25 cells, density 10
+  config.seed = seed;
+  return config;
+}
+
+class EndToEndSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndSeedTest, IdealSettingAccuracyIsHigh) {
+  const Dataset dataset = GenerateDataset(BaseConfig(GetParam()));
+  const auto targets = SampleTargets(dataset, 100, GetParam());
+  const RunSummary ss = RunSs(dataset, targets, DefaultSsConfig());
+  EXPECT_GT(ss.accuracy, 0.75);
+  EXPECT_EQ(ss.stats.undistinguished_eids, 0u);
+}
+
+TEST_P(EndToEndSeedTest, DriftingEidsHandledByVagueZones) {
+  DatasetConfig config = BaseConfig(GetParam() + 100);
+  config.e_noise_sigma_m = 8.0;       // drifting EIDs
+  config.vague_width_m = 12.0;        // vague band absorbs them
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 80, GetParam());
+  const RunSummary ss =
+      RunSs(dataset, targets, DefaultSsConfig(/*practical=*/true));
+  EXPECT_GT(ss.accuracy, 0.6);
+}
+
+TEST_P(EndToEndSeedTest, EMissingPeopleOnlyAddDistractors) {
+  DatasetConfig config = BaseConfig(GetParam() + 200);
+  config.e_missing_rate = 0.3;
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 80, GetParam());
+  const RunSummary ss = RunSs(dataset, targets, DefaultSsConfig());
+  EXPECT_GT(ss.accuracy, 0.7);
+}
+
+TEST_P(EndToEndSeedTest, VMissingDegradesGracefullyWithRefining) {
+  DatasetConfig config = BaseConfig(GetParam() + 300);
+  config.v_missing_rate = 0.05;
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 80, GetParam());
+  MatcherConfig matcher = DefaultSsConfig();
+  matcher.refine.enabled = true;
+  matcher.refine.min_majority = 0.75;
+  const RunSummary ss = RunSs(dataset, targets, matcher);
+  EXPECT_GT(ss.accuracy, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndSeedTest,
+                         ::testing::Values(31, 32, 33));
+
+TEST(EndToEndTest, SsBeatsEdpOnVStageLoad) {
+  const Dataset dataset = GenerateDataset(BaseConfig(41));
+  const auto targets = SampleTargets(dataset, 120, 1);
+  const RunSummary ss = RunSs(dataset, targets, DefaultSsConfig());
+  const RunSummary edp = RunEdp(dataset, targets, DefaultEdpConfig());
+  // The headline claim: SS selects fewer distinct scenarios and therefore
+  // extracts fewer features.
+  EXPECT_LT(ss.stats.distinct_scenarios, edp.stats.distinct_scenarios);
+  EXPECT_LT(ss.stats.features_extracted, edp.stats.features_extracted);
+  // Both reach surveillance-grade accuracy.
+  EXPECT_GT(ss.accuracy, 0.75);
+  EXPECT_GT(edp.accuracy, 0.75);
+}
+
+TEST(EndToEndTest, UniversalMatchingThenPointQueryIsServedFromCache) {
+  const Dataset dataset = GenerateDataset(BaseConfig(42));
+  MatcherConfig config = DefaultSsConfig();
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    config);
+  const MatchReport universal = matcher.MatchUniversal();
+  EXPECT_GT(MatchAccuracy(universal.results, dataset.truth), 0.75);
+  const MatchReport query = matcher.MatchOne(dataset.AllEids()[3]);
+  EXPECT_LT(query.stats.features_extracted, 200u);
+  EXPECT_TRUE(query.results[0].resolved);
+}
+
+TEST(EndToEndTest, LargerMatchSizeCostsLessPerEid) {
+  // "the larger the matching size is, the less time it costs per EID-VID
+  // pair" — measured via V-stage feature extractions per matched EID.
+  const Dataset dataset = GenerateDataset(BaseConfig(43));
+  const auto small_targets = SampleTargets(dataset, 20, 1);
+  const auto large_targets = SampleTargets(dataset, 200, 1);
+  const RunSummary small = RunSs(dataset, small_targets, DefaultSsConfig());
+  const RunSummary large = RunSs(dataset, large_targets, DefaultSsConfig());
+  const double small_per_eid =
+      static_cast<double>(small.stats.features_extracted) / 20.0;
+  const double large_per_eid =
+      static_cast<double>(large.stats.features_extracted) / 200.0;
+  EXPECT_LT(large_per_eid, small_per_eid);
+}
+
+}  // namespace
+}  // namespace evm

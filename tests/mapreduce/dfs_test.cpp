@@ -1,0 +1,89 @@
+#include "mapreduce/dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace evm::mapreduce {
+namespace {
+
+Block MakeBlock(std::initializer_list<unsigned char> bytes) {
+  return Block(bytes);
+}
+
+TEST(DfsTest, WriteAndReadRoundTrip) {
+  Dfs dfs;
+  dfs.Write("data", {MakeBlock({1, 2}), MakeBlock({3})});
+  const auto blocks = dfs.Read("data");
+  ASSERT_TRUE(blocks.has_value());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0], MakeBlock({1, 2}));
+  EXPECT_EQ((*blocks)[1], MakeBlock({3}));
+}
+
+TEST(DfsTest, ReadMissingReturnsNullopt) {
+  Dfs dfs;
+  EXPECT_FALSE(dfs.Read("nope").has_value());
+  EXPECT_FALSE(dfs.Exists("nope"));
+}
+
+TEST(DfsTest, WriteReplacesAtomically) {
+  Dfs dfs;
+  dfs.Write("data", {MakeBlock({1})});
+  dfs.Write("data", {MakeBlock({2, 2})});
+  const auto blocks = dfs.Read("data");
+  ASSERT_TRUE(blocks.has_value());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0], MakeBlock({2, 2}));
+}
+
+TEST(DfsTest, AppendCreatesAndExtends) {
+  Dfs dfs;
+  dfs.Append("log", MakeBlock({1}));
+  dfs.Append("log", MakeBlock({2}));
+  const auto blocks = dfs.Read("log");
+  ASSERT_TRUE(blocks.has_value());
+  EXPECT_EQ(blocks->size(), 2u);
+}
+
+TEST(DfsTest, RemoveReportsExistence) {
+  Dfs dfs;
+  dfs.Write("x", {});
+  EXPECT_TRUE(dfs.Remove("x"));
+  EXPECT_FALSE(dfs.Remove("x"));
+}
+
+TEST(DfsTest, ListIsSorted) {
+  Dfs dfs;
+  dfs.Write("zeta", {});
+  dfs.Write("alpha", {});
+  dfs.Write("mid", {});
+  const auto names = dfs.List();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(DfsTest, TotalBytesSumsAllBlocks) {
+  Dfs dfs;
+  dfs.Write("a", {MakeBlock({1, 2, 3})});
+  dfs.Append("b", MakeBlock({4, 5}));
+  EXPECT_EQ(dfs.TotalBytes(), 5u);
+}
+
+TEST(DfsTest, ConcurrentAppendsAllLand) {
+  Dfs dfs;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&dfs, t] {
+      for (int i = 0; i < 100; ++i) {
+        dfs.Append("shared", MakeBlock({static_cast<unsigned char>(t)}));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto blocks = dfs.Read("shared");
+  ASSERT_TRUE(blocks.has_value());
+  EXPECT_EQ(blocks->size(), 800u);
+}
+
+}  // namespace
+}  // namespace evm::mapreduce

@@ -1,0 +1,185 @@
+#include "mapreduce/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace evm::mapreduce {
+namespace {
+
+using WordCount = std::pair<std::string, std::uint64_t>;
+
+std::vector<WordCount> RunWordCount(MapReduceEngine& engine,
+                                    const std::vector<std::string>& lines,
+                                    std::size_t reducers) {
+  return engine.Run<std::string, std::uint64_t, WordCount>(
+      "wordcount", lines, reducers,
+      [](const std::string& line, Emitter<std::string, std::uint64_t>& emit) {
+        std::istringstream is(line);
+        std::string word;
+        while (is >> word) emit(word, 1);
+      },
+      [](const std::string& word, std::vector<std::uint64_t>&& counts,
+         std::vector<WordCount>& out) {
+        std::uint64_t total = 0;
+        for (const auto c : counts) total += c;
+        out.emplace_back(word, total);
+      });
+}
+
+TEST(EngineTest, WordCountIsCorrect) {
+  MapReduceEngine engine({.workers = 4});
+  const std::vector<std::string> lines = {
+      "the quick brown fox", "the lazy dog", "the fox"};
+  auto result = RunWordCount(engine, lines, 3);
+  std::map<std::string, std::uint64_t> counts(result.begin(), result.end());
+  EXPECT_EQ(counts["the"], 3u);
+  EXPECT_EQ(counts["fox"], 2u);
+  EXPECT_EQ(counts["dog"], 1u);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(EngineTest, OutputIsDeterministicAcrossWorkerCounts) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back("w" + std::to_string(i % 17) + " w" +
+                    std::to_string(i % 5));
+  }
+  std::vector<std::vector<WordCount>> results;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    MapReduceEngine engine({.workers = workers});
+    results.push_back(RunWordCount(engine, lines, 4));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(EngineTest, EmptyInputYieldsEmptyOutput) {
+  MapReduceEngine engine({.workers = 2});
+  EXPECT_TRUE(RunWordCount(engine, {}, 2).empty());
+}
+
+TEST(EngineTest, CountersReflectExecution) {
+  MapReduceEngine engine({.workers = 2, .target_map_tasks = 3});
+  const std::vector<std::string> lines = {"a b", "b c", "c d", "d e"};
+  RunWordCount(engine, lines, 2);
+  const JobCounters& counters = engine.last_counters();
+  EXPECT_EQ(counters.input_records, 4u);
+  EXPECT_EQ(counters.map_tasks, 3u);
+  EXPECT_EQ(counters.reduce_tasks, 2u);
+  EXPECT_EQ(counters.shuffled_records, 8u);
+  EXPECT_EQ(counters.output_records, 5u);  // a b c d e
+  EXPECT_GT(counters.shuffled_bytes, 0u);
+  EXPECT_EQ(counters.injected_failures, 0u);
+}
+
+TEST(EngineTest, ValuesWithinKeyKeepMapTaskOrder) {
+  MapReduceEngine engine({.workers = 8, .target_map_tasks = 4});
+  std::vector<std::uint64_t> inputs;
+  for (std::uint64_t i = 0; i < 100; ++i) inputs.push_back(i);
+  // All inputs map to one key; values must arrive in input order because
+  // map task m owns slot [r][m] and tasks get contiguous input ranges.
+  auto result = engine.Run<std::uint64_t, std::uint64_t,
+                           std::vector<std::uint64_t>>(
+      "order", inputs, 1,
+      [](const std::uint64_t& v, Emitter<std::uint64_t, std::uint64_t>& emit) {
+        emit(0, v);
+      },
+      [](const std::uint64_t&, std::vector<std::uint64_t>&& values,
+         std::vector<std::vector<std::uint64_t>>& out) {
+        out.push_back(std::move(values));
+      });
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], inputs);
+}
+
+TEST(EngineTest, FailureInjectionRetriesAndSucceeds) {
+  MapReduceEngine engine({.workers = 4,
+                          .seed = 99,
+                          .map_failure_prob = 0.4,
+                          .reduce_failure_prob = 0.3,
+                          .max_attempts = 20});
+  const std::vector<std::string> lines = {"x y", "y z", "z x", "x x"};
+  auto result = RunWordCount(engine, lines, 3);
+  std::map<std::string, std::uint64_t> counts(result.begin(), result.end());
+  EXPECT_EQ(counts["x"], 4u);
+  EXPECT_EQ(counts["y"], 2u);
+  EXPECT_EQ(counts["z"], 2u);
+  const JobCounters& c = engine.last_counters();
+  EXPECT_GT(c.injected_failures, 0u);
+  EXPECT_GT(c.map_attempts + c.reduce_attempts,
+            c.map_tasks + c.reduce_tasks);
+}
+
+TEST(EngineTest, FailureInjectionMatchesResultWithoutFailures) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 50; ++i) lines.push_back("k" + std::to_string(i % 7));
+  MapReduceEngine clean({.workers = 3});
+  MapReduceEngine flaky({.workers = 3,
+                         .seed = 5,
+                         .map_failure_prob = 0.5,
+                         .max_attempts = 30});
+  EXPECT_EQ(RunWordCount(clean, lines, 4), RunWordCount(flaky, lines, 4));
+}
+
+TEST(EngineTest, ExhaustedAttemptsThrows) {
+  MapReduceEngine engine({.workers = 2,
+                          .seed = 1,
+                          .map_failure_prob = 0.95,
+                          .max_attempts = 2});
+  const std::vector<std::string> lines(20, "a");
+  EXPECT_THROW(RunWordCount(engine, lines, 2), Error);
+}
+
+TEST(EngineTest, GroupByGroupsAllValues) {
+  MapReduceEngine engine({.workers = 4});
+  std::vector<std::uint64_t> inputs;
+  for (std::uint64_t i = 0; i < 30; ++i) inputs.push_back(i);
+  auto groups = engine.GroupBy<std::uint64_t, std::uint64_t>(
+      "mod3", inputs, 2,
+      [](const std::uint64_t& v, Emitter<std::uint64_t, std::uint64_t>& emit) {
+        emit(v % 3, v);
+      });
+  ASSERT_EQ(groups.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& [key, values] : groups) {
+    EXPECT_LT(key, 3u);
+    for (const auto v : values) EXPECT_EQ(v % 3, key);
+    total += values.size();
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(EngineTest, VectorKeysShuffleCorrectly) {
+  MapReduceEngine engine({.workers = 4});
+  using Key = std::vector<std::uint64_t>;
+  std::vector<std::uint64_t> inputs;
+  for (std::uint64_t i = 0; i < 40; ++i) inputs.push_back(i);
+  auto groups = engine.GroupBy<Key, std::uint64_t>(
+      "veckey", inputs, 3,
+      [](const std::uint64_t& v, Emitter<Key, std::uint64_t>& emit) {
+        emit(Key{v % 2, v % 3}, v);
+      });
+  EXPECT_EQ(groups.size(), 6u);  // 2 x 3 distinct keys
+}
+
+TEST(EngineTest, RejectsZeroReducers) {
+  MapReduceEngine engine({.workers = 1});
+  const std::vector<std::string> lines = {"a"};
+  EXPECT_THROW(RunWordCount(engine, lines, 0), Error);
+}
+
+TEST(EngineTest, ManyReducersWithFewKeysIsFine) {
+  MapReduceEngine engine({.workers = 2});
+  const std::vector<std::string> lines = {"only one key here: a a a"};
+  auto result = RunWordCount(engine, lines, 16);
+  EXPECT_FALSE(result.empty());
+}
+
+}  // namespace
+}  // namespace evm::mapreduce

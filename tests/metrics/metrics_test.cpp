@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+GroundTruth MakeTruth() {
+  GroundTruth truth;
+  truth.Add(Eid{1}, Vid{10});
+  truth.Add(Eid{2}, Vid{20});
+  return truth;
+}
+
+MatchResult MakeResult(Eid eid, Vid reported, std::vector<Vid> chosen) {
+  MatchResult result;
+  result.eid = eid;
+  result.reported_vid = reported;
+  result.chosen_per_scenario = std::move(chosen);
+  result.resolved = true;
+  return result;
+}
+
+TEST(AccuracyTest, StrictMajorityIsCorrect) {
+  const GroundTruth truth = MakeTruth();
+  EXPECT_TRUE(IsCorrectMatch(
+      MakeResult(Eid{1}, Vid{10}, {Vid{10}, Vid{10}, Vid{99}}), truth));
+}
+
+TEST(AccuracyTest, ExactHalfIsNotAMajority) {
+  const GroundTruth truth = MakeTruth();
+  EXPECT_FALSE(IsCorrectMatch(
+      MakeResult(Eid{1}, Vid{10}, {Vid{10}, Vid{99}}), truth));
+}
+
+TEST(AccuracyTest, WrongMajorityIsIncorrect) {
+  const GroundTruth truth = MakeTruth();
+  EXPECT_FALSE(IsCorrectMatch(
+      MakeResult(Eid{1}, Vid{99}, {Vid{99}, Vid{99}, Vid{10}}), truth));
+}
+
+TEST(AccuracyTest, UnresolvedIsIncorrect) {
+  const GroundTruth truth = MakeTruth();
+  MatchResult result;
+  result.eid = Eid{1};
+  EXPECT_FALSE(IsCorrectMatch(result, truth));
+}
+
+TEST(AccuracyTest, UnknownEidIsIncorrect) {
+  const GroundTruth truth = MakeTruth();
+  EXPECT_FALSE(
+      IsCorrectMatch(MakeResult(Eid{9}, Vid{1}, {Vid{1}}), truth));
+}
+
+TEST(AccuracyTest, AggregateAccuracy) {
+  const GroundTruth truth = MakeTruth();
+  const std::vector<MatchResult> results = {
+      MakeResult(Eid{1}, Vid{10}, {Vid{10}}),
+      MakeResult(Eid{2}, Vid{99}, {Vid{99}}),
+  };
+  EXPECT_DOUBLE_EQ(MatchAccuracy(results, truth), 0.5);
+  EXPECT_DOUBLE_EQ(MatchAccuracy({}, truth), 0.0);
+}
+
+TEST(GroundTruthTest, LookupAndMembership) {
+  const GroundTruth truth = MakeTruth();
+  EXPECT_EQ(truth.TrueVidOf(Eid{1}), Vid{10});
+  EXPECT_TRUE(truth.Knows(Eid{2}));
+  EXPECT_FALSE(truth.Knows(Eid{3}));
+  EXPECT_THROW((void)truth.TrueVidOf(Eid{3}), Error);
+  EXPECT_EQ(truth.size(), 2u);
+}
+
+TEST(SampleTargetsTest, DeterministicSortedSubset) {
+  DatasetConfig config;
+  config.population = 50;
+  config.ticks = 50;
+  config.seed = 1;
+  const Dataset dataset = GenerateDataset(config);
+  const auto a = SampleTargets(dataset, 20, 5);
+  const auto b = SampleTargets(dataset, 20, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(a.size(), 20u);
+  const auto c = SampleTargets(dataset, 20, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(SampleTargetsTest, RejectsOversizedRequest) {
+  DatasetConfig config;
+  config.population = 10;
+  config.ticks = 50;
+  const Dataset dataset = GenerateDataset(config);
+  EXPECT_THROW((void)SampleTargets(dataset, 11, 1), Error);
+}
+
+}  // namespace
+}  // namespace evm

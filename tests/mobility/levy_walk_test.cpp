@@ -1,0 +1,69 @@
+#include "mobility/levy_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace evm {
+namespace {
+
+const Rect kRegion{0, 0, 1000, 1000};
+
+TEST(LevyWalkTest, StaysInsideRegion) {
+  LevyWalk model(kRegion, 1.8, MobilityParams{}, Rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    model.Step(2.0);
+    EXPECT_TRUE(kRegion.Contains(model.Position()) ||
+                kRegion.Clamp(model.Position()) == model.Position());
+  }
+}
+
+TEST(LevyWalkTest, DeterministicForSeed) {
+  LevyWalk a(kRegion, 2.0, MobilityParams{}, Rng(3));
+  LevyWalk b(kRegion, 2.0, MobilityParams{}, Rng(3));
+  for (int i = 0; i < 300; ++i) {
+    a.Step(2.0);
+    b.Step(2.0);
+    EXPECT_EQ(a.Position(), b.Position());
+  }
+}
+
+TEST(LevyWalkTest, StepDisplacementIsSpeedBounded) {
+  MobilityParams params;
+  LevyWalk model(kRegion, 2.0, params, Rng(5));
+  Vec2 prev = model.Position();
+  for (int i = 0; i < 2000; ++i) {
+    model.Step(2.0);
+    EXPECT_LE(Distance(prev, model.Position()),
+              params.max_speed_mps * 2.0 + 1e-6);
+    prev = model.Position();
+  }
+}
+
+TEST(LevyWalkTest, HeavyTailProducesLongerFlightsThanLightTail) {
+  // Smaller alpha = heavier tail = longer maximum displacement between
+  // pauses, statistically.
+  auto max_leg = [](double alpha) {
+    LevyWalk model(kRegion, alpha, MobilityParams{}, Rng(7));
+    const Trajectory t = SampleTrajectory(model, 4000, 2.0);
+    double best = 0.0;
+    for (std::size_t i = 200; i < t.TickCount(); ++i) {
+      best = std::max(best,
+                      Distance(t.samples()[i - 200], t.samples()[i]));
+    }
+    return best;
+  };
+  EXPECT_GE(max_leg(1.3), max_leg(2.9) * 0.8);
+}
+
+TEST(LevyWalkTest, RejectsBadAlpha) {
+  EXPECT_THROW(LevyWalk(kRegion, 1.0, MobilityParams{}, Rng(1)), Error);
+  EXPECT_THROW(LevyWalk(kRegion, 3.5, MobilityParams{}, Rng(1)), Error);
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mobility/manhattan_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/trajectory.hpp"
+
+namespace evm {
+namespace {
+
+const Rect kRegion{0, 0, 1000, 1000};
+
+TEST(RandomWaypointTest, StaysInsideRegion) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(1));
+  for (int i = 0; i < 5000; ++i) {
+    model.Step(2.0);
+    const Vec2 p = model.Position();
+    EXPECT_GE(p.x, kRegion.x0);
+    EXPECT_LE(p.x, kRegion.x1);
+    EXPECT_GE(p.y, kRegion.y0);
+    EXPECT_LE(p.y, kRegion.y1);
+  }
+}
+
+TEST(RandomWaypointTest, SpeedRespectsBounds) {
+  MobilityParams params;
+  params.min_speed_mps = 0.5;
+  params.max_speed_mps = 2.0;
+  RandomWaypoint model(kRegion, params, Rng(2));
+  for (int i = 0; i < 2000; ++i) {
+    model.Step(1.0);
+    EXPECT_LE(model.Speed(), params.max_speed_mps + 1e-9);
+    EXPECT_GE(model.Speed(), 0.0);  // 0 while pausing
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicForSameSeed) {
+  RandomWaypoint a(kRegion, MobilityParams{}, Rng(7));
+  RandomWaypoint b(kRegion, MobilityParams{}, Rng(7));
+  for (int i = 0; i < 500; ++i) {
+    a.Step(2.0);
+    b.Step(2.0);
+    EXPECT_EQ(a.Position(), b.Position());
+  }
+}
+
+TEST(RandomWaypointTest, ActuallyMoves) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(3));
+  const Vec2 start = model.Position();
+  double displacement = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    model.Step(2.0);
+    displacement = std::max(displacement, Distance(start, model.Position()));
+  }
+  EXPECT_GT(displacement, 50.0);
+}
+
+TEST(RandomWaypointTest, StepSpeedIsPhysicallyBounded) {
+  MobilityParams params;
+  RandomWaypoint model(kRegion, params, Rng(4));
+  Vec2 prev = model.Position();
+  for (int i = 0; i < 2000; ++i) {
+    model.Step(2.0);
+    const double step = Distance(prev, model.Position());
+    EXPECT_LE(step, params.max_speed_mps * 2.0 + 1e-6);
+    prev = model.Position();
+  }
+}
+
+TEST(RandomWaypointTest, RejectsInvalidConfig) {
+  MobilityParams params;
+  params.min_speed_mps = 0.0;
+  EXPECT_THROW(RandomWaypoint(kRegion, params, Rng(1)), Error);
+}
+
+TEST(ManhattanWalkTest, StaysInsideRegion) {
+  ManhattanWalk model(kRegion, 100.0, MobilityParams{}, Rng(5));
+  for (int i = 0; i < 5000; ++i) {
+    model.Step(2.0);
+    const Vec2 p = model.Position();
+    EXPECT_GE(p.x, kRegion.x0);
+    EXPECT_LE(p.x, kRegion.x1);
+    EXPECT_GE(p.y, kRegion.y0);
+    EXPECT_LE(p.y, kRegion.y1);
+  }
+}
+
+TEST(ManhattanWalkTest, MovesAlongAxes) {
+  ManhattanWalk model(kRegion, 100.0, MobilityParams{}, Rng(6));
+  Vec2 prev = model.Position();
+  for (int i = 0; i < 200; ++i) {
+    model.Step(1.0);
+    const Vec2 p = model.Position();
+    // Movement is axis-aligned: at least one coordinate unchanged per step
+    // (up to a turn at an intersection, which still keeps displacement on
+    // street lines; allow small numeric tolerance).
+    const double dx = std::abs(p.x - prev.x);
+    const double dy = std::abs(p.y - prev.y);
+    EXPECT_LE(std::min(dx, dy), 2.0 * MobilityParams{}.max_speed_mps);
+    prev = p;
+  }
+}
+
+TEST(TrajectoryTest, SampleTrajectoryHasRequestedLength) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(8));
+  const Trajectory t = SampleTrajectory(model, 100, 2.0);
+  EXPECT_EQ(t.TickCount(), 100u);
+}
+
+TEST(TrajectoryTest, FirstSampleIsInitialPosition) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(9));
+  const Vec2 start = model.Position();
+  const Trajectory t = SampleTrajectory(model, 10, 2.0);
+  EXPECT_EQ(t.At(Tick{0}), start);
+}
+
+TEST(TrajectoryTest, OutOfRangeTickThrows) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(10));
+  const Trajectory t = SampleTrajectory(model, 10, 2.0);
+  EXPECT_THROW((void)t.At(Tick{10}), Error);
+  EXPECT_THROW((void)t.At(Tick{-1}), Error);
+}
+
+TEST(TrajectoryTest, ConsecutiveSamplesAreContinuous) {
+  RandomWaypoint model(kRegion, MobilityParams{}, Rng(11));
+  const Trajectory t = SampleTrajectory(model, 500, 2.0);
+  for (std::size_t i = 1; i < t.TickCount(); ++i) {
+    const double step = Distance(t.samples()[i - 1], t.samples()[i]);
+    EXPECT_LE(step, MobilityParams{}.max_speed_mps * 2.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace evm

@@ -1,0 +1,79 @@
+#pragma once
+// Shared helpers for hand-crafting scenario fixtures in tests.
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "esense/e_scenario.hpp"
+
+namespace evm::test {
+
+/// Builds one E-Scenario at (window, cell) containing `eids`, all inclusive
+/// unless listed in `vague`.
+inline EScenario MakeScenario(const EScenarioSet& set, std::size_t window,
+                              std::uint64_t cell,
+                              std::initializer_list<std::uint64_t> eids,
+                              std::initializer_list<std::uint64_t> vague = {}) {
+  EScenario scenario;
+  scenario.id = set.IdFor(window, CellId{cell});
+  scenario.cell = CellId{cell};
+  scenario.window =
+      TimeWindow{Tick{static_cast<std::int64_t>(window) * set.window_ticks()},
+                 Tick{(static_cast<std::int64_t>(window) + 1) *
+                      set.window_ticks()}};
+  for (const std::uint64_t eid : eids) {
+    EidAttr attr = EidAttr::kInclusive;
+    for (const std::uint64_t v : vague) {
+      if (v == eid) attr = EidAttr::kVague;
+    }
+    scenario.entries.push_back({Eid{eid}, attr});
+  }
+  std::sort(scenario.entries.begin(), scenario.entries.end(),
+            [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+  return scenario;
+}
+
+/// Convenience: a scenario set over `cells` cells with the given scenarios,
+/// described as (window, cell, member-eids, vague-eids) tuples.
+struct ScenarioSpec {
+  std::size_t window;
+  std::uint64_t cell;
+  std::vector<std::uint64_t> eids;
+  std::vector<std::uint64_t> vague{};
+};
+
+inline EScenarioSet MakeScenarioSet(std::size_t cells,
+                                    const std::vector<ScenarioSpec>& specs) {
+  EScenarioSet set(cells, /*window_ticks=*/1);
+  for (const ScenarioSpec& spec : specs) {
+    EScenario scenario;
+    scenario.id = set.IdFor(spec.window, CellId{spec.cell});
+    scenario.cell = CellId{spec.cell};
+    scenario.window = TimeWindow{Tick{static_cast<std::int64_t>(spec.window)},
+                                 Tick{static_cast<std::int64_t>(spec.window) + 1}};
+    for (const std::uint64_t eid : spec.eids) {
+      EidAttr attr = EidAttr::kInclusive;
+      for (const std::uint64_t v : spec.vague) {
+        if (v == eid) attr = EidAttr::kVague;
+      }
+      scenario.entries.push_back({Eid{eid}, attr});
+    }
+    std::sort(
+        scenario.entries.begin(), scenario.entries.end(),
+        [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+    set.Add(std::move(scenario));
+  }
+  return set;
+}
+
+/// {Eid{0}..Eid{n-1}} sorted.
+inline std::vector<Eid> EidRange(std::uint64_t n) {
+  std::vector<Eid> eids;
+  eids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) eids.emplace_back(i);
+  return eids;
+}
+
+}  // namespace evm::test

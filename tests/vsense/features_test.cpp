@@ -1,0 +1,153 @@
+#include "vsense/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "vsense/appearance.hpp"
+
+namespace evm {
+namespace {
+
+Image SolidImage(std::size_t w, std::size_t h, std::uint8_t r, std::uint8_t g,
+                 std::uint8_t b) {
+  Image image(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      image.Set(x, y, 0, r);
+      image.Set(x, y, 1, g);
+      image.Set(x, y, 2, b);
+    }
+  }
+  return image;
+}
+
+TEST(FeatureTest, DimensionMatchesParams) {
+  FeatureParams params;
+  params.stripes = 6;
+  params.bins_per_channel = 8;
+  const Image img = SolidImage(16, 32, 100, 150, 200);
+  EXPECT_EQ(ExtractFeatures(img, params).size(), params.Dimension());
+  EXPECT_EQ(params.Dimension(), 6u * 3u * 8u);
+}
+
+TEST(FeatureTest, StripesAreL1Normalized) {
+  FeatureParams params;
+  const Image img = SolidImage(16, 32, 30, 120, 230);
+  const FeatureVector f = ExtractFeatures(img, params);
+  const std::size_t block = 3 * params.bins_per_channel;
+  for (std::size_t s = 0; s < params.stripes; ++s) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < block; ++i) sum += f[s * block + i];
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(FeatureTest, SelfDistanceIsZero) {
+  FeatureParams params;
+  const Image img = SolidImage(16, 32, 10, 20, 30);
+  const FeatureVector f = ExtractFeatures(img, params);
+  EXPECT_NEAR(FeatureDistance(f, f), 0.0, 1e-9);
+  EXPECT_NEAR(Similarity(f, f), 1.0, 1e-9);
+}
+
+TEST(FeatureTest, DistanceIsSymmetric) {
+  Rng rng(1);
+  const auto apps = GenerateAppearances(2, MakeStream(1, "a"));
+  RenderParams rp;
+  FeatureParams fp;
+  const FeatureVector a =
+      ExtractFeatures(RenderObservation(apps[0], rp, 11), fp);
+  const FeatureVector b =
+      ExtractFeatures(RenderObservation(apps[1], rp, 22), fp);
+  EXPECT_DOUBLE_EQ(FeatureDistance(a, b), FeatureDistance(b, a));
+}
+
+TEST(FeatureTest, DistanceStaysInUnitInterval) {
+  const auto apps = GenerateAppearances(20, MakeStream(2, "a"));
+  RenderParams rp;
+  FeatureParams fp;
+  std::vector<FeatureVector> features;
+  for (const auto& app : apps) {
+    features.push_back(ExtractFeatures(RenderObservation(app, rp, 5), fp));
+  }
+  for (const auto& a : features) {
+    for (const auto& b : features) {
+      const double d = FeatureDistance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(FeatureTest, DistanceRejectsDimensionMismatch) {
+  FeatureVector a(10, 0.1f);
+  FeatureVector b(20, 0.1f);
+  EXPECT_THROW((void)FeatureDistance(a, b), Error);
+  EXPECT_THROW((void)FeatureDistance({}, {}), Error);
+}
+
+TEST(FeatureTest, IlluminationGainIsMostlyCancelled) {
+  // The same appearance under two very different illumination gains should
+  // still look similar thanks to gray-world normalization.
+  const auto apps = GenerateAppearances(1, MakeStream(3, "a"));
+  RenderParams bright;
+  bright.illumination_sigma = 0.0;
+  bright.sensor_noise = 0.0;
+  bright.crop_jitter = 0.0;
+  bright.occlusion_prob = 0.0;
+  FeatureParams fp;
+  const FeatureVector base =
+      ExtractFeatures(RenderObservation(apps[0], bright, 1), fp);
+  // Manually scale the image by re-rendering with high gain via sigma hack:
+  // render twice with different seeds but no noise -> identical, then
+  // compare against a brightened copy.
+  Image img = RenderObservation(apps[0], bright, 1);
+  Image brighter(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        const int v = static_cast<int>(img.At(x, y, c) * 1.25);
+        brighter.Set(x, y, c, static_cast<std::uint8_t>(std::min(v, 255)));
+      }
+    }
+  }
+  const FeatureVector bf = ExtractFeatures(brighter, fp);
+  EXPECT_GT(Similarity(base, bf), 0.85);
+}
+
+TEST(FeatureTest, DifferentAppearancesAreDistant) {
+  const auto apps = GenerateAppearances(50, MakeStream(4, "a"));
+  RenderParams rp;
+  FeatureParams fp;
+  double max_inter = 0.0;
+  std::vector<FeatureVector> features;
+  for (const auto& app : apps) {
+    features.push_back(ExtractFeatures(RenderObservation(app, rp, 9), fp));
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i + 1; j < features.size(); ++j) {
+      max_inter = std::max(max_inter, Similarity(features[i], features[j]));
+    }
+  }
+  EXPECT_LT(max_inter, 0.95);
+}
+
+TEST(FeatureTest, SameAppearanceAcrossObservationsIsClose) {
+  const auto apps = GenerateAppearances(30, MakeStream(5, "a"));
+  RenderParams rp;
+  FeatureParams fp;
+  double mean_intra = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const FeatureVector a =
+        ExtractFeatures(RenderObservation(apps[i], rp, 2 * i), fp);
+    const FeatureVector b =
+        ExtractFeatures(RenderObservation(apps[i], rp, 2 * i + 1), fp);
+    mean_intra += Similarity(a, b);
+  }
+  mean_intra /= static_cast<double>(apps.size());
+  EXPECT_GT(mean_intra, 0.6);
+}
+
+}  // namespace
+}  // namespace evm

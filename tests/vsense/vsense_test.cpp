@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mobility/trajectory.hpp"
+#include "vsense/appearance.hpp"
+#include "vsense/gallery.hpp"
+#include "vsense/reid.hpp"
+#include "vsense/v_scenario.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm {
+namespace {
+
+TEST(AppearanceTest, GeneratesRequestedCount) {
+  const auto apps = GenerateAppearances(17, MakeStream(1, "a"));
+  EXPECT_EQ(apps.size(), 17u);
+}
+
+TEST(AppearanceTest, RenderIsDeterministicInSeed) {
+  const auto apps = GenerateAppearances(1, MakeStream(2, "a"));
+  RenderParams rp;
+  const Image a = RenderObservation(apps[0], rp, 42);
+  const Image b = RenderObservation(apps[0], rp, 42);
+  EXPECT_EQ(a.pixels(), b.pixels());
+  const Image c = RenderObservation(apps[0], rp, 43);
+  EXPECT_NE(a.pixels(), c.pixels());
+}
+
+TEST(AppearanceTest, RenderHonorsImageSize) {
+  const auto apps = GenerateAppearances(1, MakeStream(3, "a"));
+  RenderParams rp;
+  rp.width = 24;
+  rp.height = 48;
+  const Image img = RenderObservation(apps[0], rp, 1);
+  EXPECT_EQ(img.width(), 24u);
+  EXPECT_EQ(img.height(), 48u);
+}
+
+TEST(ReidTest, ProbInScenarioIsMaxSimilarity) {
+  FeatureVector f{1.0f, 0.0f};
+  std::vector<FeatureVector> scenario{{0.0f, 1.0f}, {1.0f, 0.0f}};
+  EXPECT_NEAR(ProbInScenario(f, scenario), 1.0, 1e-9);
+  EXPECT_NEAR(ProbNotInScenario(f, scenario), 0.0, 1e-9);
+}
+
+TEST(ReidTest, EmptyScenarioGivesZero) {
+  FeatureVector f{1.0f};
+  EXPECT_EQ(ProbInScenario(f, {}), 0.0);
+  EXPECT_EQ(BestMatchIndex(f, {}), -1);
+}
+
+TEST(ReidTest, BestMatchIndexPicksClosest) {
+  FeatureVector f{0.5f, 0.5f};
+  std::vector<FeatureVector> scenario{
+      {1.0f, 0.0f}, {0.5f, 0.5f}, {0.0f, 1.0f}};
+  EXPECT_EQ(BestMatchIndex(f, scenario), 1);
+}
+
+Trajectory StaticTrajectory(std::size_t ticks, Vec2 where) {
+  Trajectory t;
+  for (std::size_t i = 0; i < ticks; ++i) t.Append(where);
+  return t;
+}
+
+TEST(VScenarioTest, BuildsOneScenarioPerOccupiedCellWindow) {
+  Grid grid(2, 2, 100.0);
+  const Trajectory a = StaticTrajectory(10, {50, 50});    // cell 0
+  const Trajectory b = StaticTrajectory(10, {150, 150});  // cell 3
+  VScenarioConfig config;
+  config.window_ticks = 10;
+  const VScenarioSet set = BuildVScenarios(
+      {{Vid{1}, &a}, {Vid{2}, &b}}, grid, config, /*seed=*/5);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.TotalObservations(), 2u);
+  const VScenario* s0 = set.Find(ScenarioId{0});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_EQ(s0->observations.size(), 1u);
+  EXPECT_EQ(s0->observations[0].vid, Vid{1});
+}
+
+TEST(VScenarioTest, PresenceFractionFiltersTransients) {
+  Grid grid(2, 1, 100.0);
+  // 3 of 10 ticks in cell 0, 7 in cell 1.
+  Trajectory t;
+  for (int i = 0; i < 3; ++i) t.Append({50, 50});
+  for (int i = 0; i < 7; ++i) t.Append({150, 50});
+  VScenarioConfig config;
+  config.window_ticks = 10;
+  config.presence_fraction = 0.5;
+  const VScenarioSet set =
+      BuildVScenarios({{Vid{1}, &t}}, grid, config, /*seed=*/5);
+  EXPECT_EQ(set.size(), 1u);  // only cell 1 films the person
+  EXPECT_NE(set.Find(ScenarioId{1}), nullptr);
+  EXPECT_EQ(set.Find(ScenarioId{0}), nullptr);
+}
+
+TEST(VScenarioTest, MissProbabilityDropsDetections) {
+  Grid grid(1, 1, 100.0);
+  std::vector<Trajectory> trajectories;
+  std::vector<TrackedFigure> figures;
+  trajectories.reserve(200);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    trajectories.push_back(StaticTrajectory(10, {50, 50}));
+  }
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    figures.push_back({Vid{i}, &trajectories[i]});
+  }
+  VScenarioConfig config;
+  config.window_ticks = 10;
+  config.miss_prob = 0.3;
+  const VScenarioSet set = BuildVScenarios(figures, grid, config, 7);
+  ASSERT_EQ(set.size(), 1u);
+  const double kept = static_cast<double>(set.TotalObservations()) / 200.0;
+  EXPECT_NEAR(kept, 0.7, 0.12);
+}
+
+TEST(VScenarioTest, DeterministicForSeed) {
+  Grid grid(2, 2, 100.0);
+  const Trajectory a = StaticTrajectory(20, {50, 50});
+  VScenarioConfig config;
+  config.window_ticks = 10;
+  config.miss_prob = 0.5;
+  const VScenarioSet s1 = BuildVScenarios({{Vid{1}, &a}}, grid, config, 9);
+  const VScenarioSet s2 = BuildVScenarios({{Vid{1}, &a}}, grid, config, 9);
+  EXPECT_EQ(s1.TotalObservations(), s2.TotalObservations());
+}
+
+TEST(GalleryTest, ExtractsOnceAndCaches) {
+  const auto apps = GenerateAppearances(3, MakeStream(1, "a"));
+  VisualOracle oracle(apps, RenderParams{}, FeatureParams{});
+  FeatureGallery gallery(oracle);
+  VScenario scenario;
+  scenario.id = ScenarioId{1};
+  scenario.observations = {{Vid{0}, 11}, {Vid{1}, 12}, {Vid{2}, 13}};
+  const auto& first = gallery.Features(scenario);
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(gallery.ExtractionCount(), 3u);
+  const auto& second = gallery.Features(scenario);
+  EXPECT_EQ(&first, &second);                 // stable reference
+  EXPECT_EQ(gallery.ExtractionCount(), 3u);   // no re-extraction
+  EXPECT_EQ(gallery.HitCount(), 1u);
+  EXPECT_EQ(gallery.CachedScenarioCount(), 1u);
+}
+
+TEST(GalleryTest, ClearResetsState) {
+  const auto apps = GenerateAppearances(1, MakeStream(2, "a"));
+  VisualOracle oracle(apps, RenderParams{}, FeatureParams{});
+  FeatureGallery gallery(oracle);
+  VScenario scenario;
+  scenario.id = ScenarioId{1};
+  scenario.observations = {{Vid{0}, 1}};
+  gallery.Features(scenario);
+  gallery.Clear();
+  EXPECT_EQ(gallery.CachedScenarioCount(), 0u);
+  EXPECT_EQ(gallery.ExtractionCount(), 0u);
+}
+
+TEST(VisualOracleTest, RejectsUnknownIdentity) {
+  const auto apps = GenerateAppearances(2, MakeStream(3, "a"));
+  VisualOracle oracle(apps, RenderParams{}, FeatureParams{});
+  EXPECT_THROW((void)oracle.Extract(VObservation{Vid{5}, 1}), Error);
+}
+
+}  // namespace
+}  // namespace evm
