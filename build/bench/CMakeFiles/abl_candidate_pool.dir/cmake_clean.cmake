@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_candidate_pool.dir/abl_candidate_pool.cpp.o"
+  "CMakeFiles/abl_candidate_pool.dir/abl_candidate_pool.cpp.o.d"
+  "abl_candidate_pool"
+  "abl_candidate_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_candidate_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

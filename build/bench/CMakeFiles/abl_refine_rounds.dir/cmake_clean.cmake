@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_refine_rounds.dir/abl_refine_rounds.cpp.o"
+  "CMakeFiles/abl_refine_rounds.dir/abl_refine_rounds.cpp.o.d"
+  "abl_refine_rounds"
+  "abl_refine_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_refine_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

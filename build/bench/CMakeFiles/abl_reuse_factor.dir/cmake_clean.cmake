@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reuse_factor.dir/abl_reuse_factor.cpp.o"
+  "CMakeFiles/abl_reuse_factor.dir/abl_reuse_factor.cpp.o.d"
+  "abl_reuse_factor"
+  "abl_reuse_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reuse_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vague_zone.dir/abl_vague_zone.cpp.o"
+  "CMakeFiles/abl_vague_zone.dir/abl_vague_zone.cpp.o.d"
+  "abl_vague_zone"
+  "abl_vague_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vague_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

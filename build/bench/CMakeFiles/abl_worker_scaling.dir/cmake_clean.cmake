@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_worker_scaling.dir/abl_worker_scaling.cpp.o"
+  "CMakeFiles/abl_worker_scaling.dir/abl_worker_scaling.cpp.o.d"
+  "abl_worker_scaling"
+  "abl_worker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_worker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_vs_e_missing.dir/fig10_accuracy_vs_e_missing.cpp.o"
+  "CMakeFiles/fig10_accuracy_vs_e_missing.dir/fig10_accuracy_vs_e_missing.cpp.o.d"
+  "fig10_accuracy_vs_e_missing"
+  "fig10_accuracy_vs_e_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_vs_e_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

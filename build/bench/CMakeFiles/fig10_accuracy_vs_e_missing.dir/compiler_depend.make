@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_accuracy_vs_e_missing.
+# This may be replaced when dependencies are built.

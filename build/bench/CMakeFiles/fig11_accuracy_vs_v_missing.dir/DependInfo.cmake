@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_accuracy_vs_v_missing.cpp" "bench/CMakeFiles/fig11_accuracy_vs_v_missing.dir/fig11_accuracy_vs_v_missing.cpp.o" "gcc" "bench/CMakeFiles/fig11_accuracy_vs_v_missing.dir/fig11_accuracy_vs_v_missing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/evm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/evm_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/evm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/evm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/evm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/evm_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsense/CMakeFiles/evm_vsense.dir/DependInfo.cmake"
+  "/root/repo/build/src/esense/CMakeFiles/evm_esense.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/evm_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/evm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/evm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

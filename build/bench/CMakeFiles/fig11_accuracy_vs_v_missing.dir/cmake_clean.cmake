@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy_vs_v_missing.dir/fig11_accuracy_vs_v_missing.cpp.o"
+  "CMakeFiles/fig11_accuracy_vs_v_missing.dir/fig11_accuracy_vs_v_missing.cpp.o.d"
+  "fig11_accuracy_vs_v_missing"
+  "fig11_accuracy_vs_v_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy_vs_v_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

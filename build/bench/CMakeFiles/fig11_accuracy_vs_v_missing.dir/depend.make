@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_accuracy_vs_v_missing.
+# This may be replaced when dependencies are built.

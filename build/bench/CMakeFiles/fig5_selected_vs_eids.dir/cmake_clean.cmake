@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_selected_vs_eids.dir/fig5_selected_vs_eids.cpp.o"
+  "CMakeFiles/fig5_selected_vs_eids.dir/fig5_selected_vs_eids.cpp.o.d"
+  "fig5_selected_vs_eids"
+  "fig5_selected_vs_eids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_selected_vs_eids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

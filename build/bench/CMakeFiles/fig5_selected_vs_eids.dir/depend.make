@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_selected_vs_eids.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_selected_vs_density.dir/fig6_selected_vs_density.cpp.o"
+  "CMakeFiles/fig6_selected_vs_density.dir/fig6_selected_vs_density.cpp.o.d"
+  "fig6_selected_vs_density"
+  "fig6_selected_vs_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_selected_vs_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

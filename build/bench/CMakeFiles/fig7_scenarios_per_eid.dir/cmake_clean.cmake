@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scenarios_per_eid.dir/fig7_scenarios_per_eid.cpp.o"
+  "CMakeFiles/fig7_scenarios_per_eid.dir/fig7_scenarios_per_eid.cpp.o.d"
+  "fig7_scenarios_per_eid"
+  "fig7_scenarios_per_eid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scenarios_per_eid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

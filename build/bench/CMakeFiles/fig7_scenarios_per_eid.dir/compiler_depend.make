@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_scenarios_per_eid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_time_vs_eids.dir/fig8_time_vs_eids.cpp.o"
+  "CMakeFiles/fig8_time_vs_eids.dir/fig8_time_vs_eids.cpp.o.d"
+  "fig8_time_vs_eids"
+  "fig8_time_vs_eids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_time_vs_eids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_time_vs_density.dir/fig9_time_vs_density.cpp.o"
+  "CMakeFiles/fig9_time_vs_density.dir/fig9_time_vs_density.cpp.o.d"
+  "fig9_time_vs_density"
+  "fig9_time_vs_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_vs_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

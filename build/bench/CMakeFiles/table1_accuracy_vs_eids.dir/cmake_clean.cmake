@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_accuracy_vs_eids.dir/table1_accuracy_vs_eids.cpp.o"
+  "CMakeFiles/table1_accuracy_vs_eids.dir/table1_accuracy_vs_eids.cpp.o.d"
+  "table1_accuracy_vs_eids"
+  "table1_accuracy_vs_eids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_accuracy_vs_eids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

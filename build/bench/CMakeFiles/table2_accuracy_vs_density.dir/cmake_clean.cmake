@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_accuracy_vs_density.dir/table2_accuracy_vs_density.cpp.o"
+  "CMakeFiles/table2_accuracy_vs_density.dir/table2_accuracy_vs_density.cpp.o.d"
+  "table2_accuracy_vs_density"
+  "table2_accuracy_vs_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_accuracy_vs_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

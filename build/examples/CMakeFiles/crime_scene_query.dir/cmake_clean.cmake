@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_scene_query.dir/crime_scene_query.cpp.o"
+  "CMakeFiles/crime_scene_query.dir/crime_scene_query.cpp.o.d"
+  "crime_scene_query"
+  "crime_scene_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_scene_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

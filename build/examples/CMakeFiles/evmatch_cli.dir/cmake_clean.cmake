@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evmatch_cli.dir/evmatch_cli.cpp.o"
+  "CMakeFiles/evmatch_cli.dir/evmatch_cli.cpp.o.d"
+  "evmatch_cli"
+  "evmatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

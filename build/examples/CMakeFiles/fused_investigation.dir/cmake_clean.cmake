@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_investigation.dir/fused_investigation.cpp.o"
+  "CMakeFiles/fused_investigation.dir/fused_investigation.cpp.o.d"
+  "fused_investigation"
+  "fused_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/practical_surveillance.dir/practical_surveillance.cpp.o"
+  "CMakeFiles/practical_surveillance.dir/practical_surveillance.cpp.o.d"
+  "practical_surveillance"
+  "practical_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/practical_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_labeling.dir/universal_labeling.cpp.o"
+  "CMakeFiles/universal_labeling.dir/universal_labeling.cpp.o.d"
+  "universal_labeling"
+  "universal_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

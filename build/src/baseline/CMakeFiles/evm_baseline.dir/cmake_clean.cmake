@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_baseline.dir/edp.cpp.o"
+  "CMakeFiles/evm_baseline.dir/edp.cpp.o.d"
+  "libevm_baseline.a"
+  "libevm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_common.dir/ids.cpp.o"
+  "CMakeFiles/evm_common.dir/ids.cpp.o.d"
+  "CMakeFiles/evm_common.dir/logging.cpp.o"
+  "CMakeFiles/evm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/evm_common.dir/report.cpp.o"
+  "CMakeFiles/evm_common.dir/report.cpp.o.d"
+  "CMakeFiles/evm_common.dir/rng.cpp.o"
+  "CMakeFiles/evm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/evm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/evm_common.dir/thread_pool.cpp.o.d"
+  "libevm_common.a"
+  "libevm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/matcher.cpp" "src/core/CMakeFiles/evm_core.dir/matcher.cpp.o" "gcc" "src/core/CMakeFiles/evm_core.dir/matcher.cpp.o.d"
+  "/root/repo/src/core/parallel_split.cpp" "src/core/CMakeFiles/evm_core.dir/parallel_split.cpp.o" "gcc" "src/core/CMakeFiles/evm_core.dir/parallel_split.cpp.o.d"
+  "/root/repo/src/core/set_splitting.cpp" "src/core/CMakeFiles/evm_core.dir/set_splitting.cpp.o" "gcc" "src/core/CMakeFiles/evm_core.dir/set_splitting.cpp.o.d"
+  "/root/repo/src/core/vid_filter.cpp" "src/core/CMakeFiles/evm_core.dir/vid_filter.cpp.o" "gcc" "src/core/CMakeFiles/evm_core.dir/vid_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/evm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/esense/CMakeFiles/evm_esense.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsense/CMakeFiles/evm_vsense.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/evm_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/evm_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

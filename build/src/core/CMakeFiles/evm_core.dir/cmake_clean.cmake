@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_core.dir/matcher.cpp.o"
+  "CMakeFiles/evm_core.dir/matcher.cpp.o.d"
+  "CMakeFiles/evm_core.dir/parallel_split.cpp.o"
+  "CMakeFiles/evm_core.dir/parallel_split.cpp.o.d"
+  "CMakeFiles/evm_core.dir/set_splitting.cpp.o"
+  "CMakeFiles/evm_core.dir/set_splitting.cpp.o.d"
+  "CMakeFiles/evm_core.dir/vid_filter.cpp.o"
+  "CMakeFiles/evm_core.dir/vid_filter.cpp.o.d"
+  "libevm_core.a"
+  "libevm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

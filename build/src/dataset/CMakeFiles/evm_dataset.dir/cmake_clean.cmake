@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_dataset.dir/generator.cpp.o"
+  "CMakeFiles/evm_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/evm_dataset.dir/trace_io.cpp.o"
+  "CMakeFiles/evm_dataset.dir/trace_io.cpp.o.d"
+  "libevm_dataset.a"
+  "libevm_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esense/e_capture.cpp" "src/esense/CMakeFiles/evm_esense.dir/e_capture.cpp.o" "gcc" "src/esense/CMakeFiles/evm_esense.dir/e_capture.cpp.o.d"
+  "/root/repo/src/esense/e_scenario.cpp" "src/esense/CMakeFiles/evm_esense.dir/e_scenario.cpp.o" "gcc" "src/esense/CMakeFiles/evm_esense.dir/e_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/evm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/evm_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

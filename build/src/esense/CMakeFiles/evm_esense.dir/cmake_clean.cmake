@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_esense.dir/e_capture.cpp.o"
+  "CMakeFiles/evm_esense.dir/e_capture.cpp.o.d"
+  "CMakeFiles/evm_esense.dir/e_scenario.cpp.o"
+  "CMakeFiles/evm_esense.dir/e_scenario.cpp.o.d"
+  "libevm_esense.a"
+  "libevm_esense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_esense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

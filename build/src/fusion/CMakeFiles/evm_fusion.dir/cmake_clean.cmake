@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_fusion.dir/ev_index.cpp.o"
+  "CMakeFiles/evm_fusion.dir/ev_index.cpp.o.d"
+  "libevm_fusion.a"
+  "libevm_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_geo.dir/grid.cpp.o"
+  "CMakeFiles/evm_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/evm_geo.dir/zone.cpp.o"
+  "CMakeFiles/evm_geo.dir/zone.cpp.o.d"
+  "libevm_geo.a"
+  "libevm_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

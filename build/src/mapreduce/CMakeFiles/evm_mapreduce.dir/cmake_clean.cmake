@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_mapreduce.dir/dfs.cpp.o"
+  "CMakeFiles/evm_mapreduce.dir/dfs.cpp.o.d"
+  "libevm_mapreduce.a"
+  "libevm_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/evm_metrics.dir/accuracy.cpp.o.d"
+  "CMakeFiles/evm_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/evm_metrics.dir/experiment.cpp.o.d"
+  "libevm_metrics.a"
+  "libevm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevm_metrics.a"
+)

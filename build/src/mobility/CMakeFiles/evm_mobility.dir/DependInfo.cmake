@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/levy_walk.cpp" "src/mobility/CMakeFiles/evm_mobility.dir/levy_walk.cpp.o" "gcc" "src/mobility/CMakeFiles/evm_mobility.dir/levy_walk.cpp.o.d"
+  "/root/repo/src/mobility/manhattan_walk.cpp" "src/mobility/CMakeFiles/evm_mobility.dir/manhattan_walk.cpp.o" "gcc" "src/mobility/CMakeFiles/evm_mobility.dir/manhattan_walk.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/mobility/CMakeFiles/evm_mobility.dir/random_waypoint.cpp.o" "gcc" "src/mobility/CMakeFiles/evm_mobility.dir/random_waypoint.cpp.o.d"
+  "/root/repo/src/mobility/trajectory.cpp" "src/mobility/CMakeFiles/evm_mobility.dir/trajectory.cpp.o" "gcc" "src/mobility/CMakeFiles/evm_mobility.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/evm_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_mobility.dir/levy_walk.cpp.o"
+  "CMakeFiles/evm_mobility.dir/levy_walk.cpp.o.d"
+  "CMakeFiles/evm_mobility.dir/manhattan_walk.cpp.o"
+  "CMakeFiles/evm_mobility.dir/manhattan_walk.cpp.o.d"
+  "CMakeFiles/evm_mobility.dir/random_waypoint.cpp.o"
+  "CMakeFiles/evm_mobility.dir/random_waypoint.cpp.o.d"
+  "CMakeFiles/evm_mobility.dir/trajectory.cpp.o"
+  "CMakeFiles/evm_mobility.dir/trajectory.cpp.o.d"
+  "libevm_mobility.a"
+  "libevm_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

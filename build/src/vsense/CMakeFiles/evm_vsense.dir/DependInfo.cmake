@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsense/appearance.cpp" "src/vsense/CMakeFiles/evm_vsense.dir/appearance.cpp.o" "gcc" "src/vsense/CMakeFiles/evm_vsense.dir/appearance.cpp.o.d"
+  "/root/repo/src/vsense/features.cpp" "src/vsense/CMakeFiles/evm_vsense.dir/features.cpp.o" "gcc" "src/vsense/CMakeFiles/evm_vsense.dir/features.cpp.o.d"
+  "/root/repo/src/vsense/gallery.cpp" "src/vsense/CMakeFiles/evm_vsense.dir/gallery.cpp.o" "gcc" "src/vsense/CMakeFiles/evm_vsense.dir/gallery.cpp.o.d"
+  "/root/repo/src/vsense/reid.cpp" "src/vsense/CMakeFiles/evm_vsense.dir/reid.cpp.o" "gcc" "src/vsense/CMakeFiles/evm_vsense.dir/reid.cpp.o.d"
+  "/root/repo/src/vsense/v_scenario.cpp" "src/vsense/CMakeFiles/evm_vsense.dir/v_scenario.cpp.o" "gcc" "src/vsense/CMakeFiles/evm_vsense.dir/v_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/evm_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/evm_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/evm_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_vsense.dir/appearance.cpp.o"
+  "CMakeFiles/evm_vsense.dir/appearance.cpp.o.d"
+  "CMakeFiles/evm_vsense.dir/features.cpp.o"
+  "CMakeFiles/evm_vsense.dir/features.cpp.o.d"
+  "CMakeFiles/evm_vsense.dir/gallery.cpp.o"
+  "CMakeFiles/evm_vsense.dir/gallery.cpp.o.d"
+  "CMakeFiles/evm_vsense.dir/reid.cpp.o"
+  "CMakeFiles/evm_vsense.dir/reid.cpp.o.d"
+  "CMakeFiles/evm_vsense.dir/v_scenario.cpp.o"
+  "CMakeFiles/evm_vsense.dir/v_scenario.cpp.o.d"
+  "libevm_vsense.a"
+  "libevm_vsense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_vsense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/backfill_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/backfill_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/candidate_pool_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/matcher_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/matcher_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/parallel_split_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/parallel_split_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/set_splitting_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/set_splitting_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/theorem_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/theorem_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/vid_filter_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/vid_filter_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esense.dir/esense/e_capture_test.cpp.o"
+  "CMakeFiles/test_esense.dir/esense/e_capture_test.cpp.o.d"
+  "CMakeFiles/test_esense.dir/esense/e_scenario_test.cpp.o"
+  "CMakeFiles/test_esense.dir/esense/e_scenario_test.cpp.o.d"
+  "test_esense"
+  "test_esense.pdb"
+  "test_esense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion.dir/fusion/cross_algorithm_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/fusion/cross_algorithm_test.cpp.o.d"
+  "CMakeFiles/test_fusion.dir/fusion/ev_index_test.cpp.o"
+  "CMakeFiles/test_fusion.dir/fusion/ev_index_test.cpp.o.d"
+  "test_fusion"
+  "test_fusion.pdb"
+  "test_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

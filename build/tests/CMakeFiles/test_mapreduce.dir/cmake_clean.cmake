@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/codec_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/codec_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/dfs_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/dfs_test.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/engine_test.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/engine_test.cpp.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+  "test_mapreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsense.dir/vsense/features_test.cpp.o"
+  "CMakeFiles/test_vsense.dir/vsense/features_test.cpp.o.d"
+  "CMakeFiles/test_vsense.dir/vsense/gallery_persistence_test.cpp.o"
+  "CMakeFiles/test_vsense.dir/vsense/gallery_persistence_test.cpp.o.d"
+  "CMakeFiles/test_vsense.dir/vsense/vsense_test.cpp.o"
+  "CMakeFiles/test_vsense.dir/vsense/vsense_test.cpp.o.d"
+  "test_vsense"
+  "test_vsense.pdb"
+  "test_vsense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_vsense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_esense[1]_include.cmake")
+include("/root/repo/build/tests/test_vsense[1]_include.cmake")
+include("/root/repo/build/tests/test_mapreduce[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
