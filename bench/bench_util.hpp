@@ -6,8 +6,11 @@
 // of square cells, random-waypoint mobility. The density knob matches the
 // paper's "average number of human objects in each cell".
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "dataset/generator.hpp"
 #include "metrics/experiment.hpp"
@@ -42,6 +45,40 @@ inline Dataset PaperDataset(double density = kDefaultDensity,
 
 inline void PrintHeader(const std::string& title, const std::string& note) {
   std::cout << "\n=== " << title << " ===\n" << note << "\n\n";
+}
+
+/// One microbenchmark result row of the machine-readable perf trajectory
+/// (the BENCH_*.json files benches emit next to their console output).
+struct BenchRecord {
+  std::string name;
+  double ns_per_op{0.0};
+  /// Comparisons (or items) per second; 0 when the bench tracks none.
+  double items_per_second{0.0};
+};
+
+/// Tiny JSON emitter for BenchRecord rows — enough structure for scripts to
+/// track kernel throughput across PRs without pulling in a JSON library.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << "  {\"name\": \"" << escape(records[i].name)
+        << "\", \"ns_per_op\": " << finite(records[i].ns_per_op)
+        << ", \"items_per_second\": " << finite(records[i].items_per_second)
+        << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
 }
 
 }  // namespace evm::bench

@@ -1,14 +1,19 @@
 // Microbenchmarks (google-benchmark) for the hot operations of the pipeline:
-// observation rendering, feature extraction, feature distance, scenario-set
-// splitting, and the MapReduce shuffle.
+// observation rendering, feature extraction, feature distance, the scalar
+// vs. batched best-match-in-scenario kernels, scenario-set splitting, and
+// the MapReduce shuffle. Results are also written to BENCH_core_ops.json
+// (name, ns/op, items/s) so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/set_splitting.hpp"
 #include "mapreduce/engine.hpp"
 #include "vsense/appearance.hpp"
+#include "vsense/feature_block.hpp"
 #include "vsense/features.hpp"
+#include "vsense/reid.hpp"
 
 namespace evm {
 namespace {
@@ -45,6 +50,86 @@ void BM_FeatureDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureDistance);
+
+// Synthetic stripe-histogram feature at the paper's dimensions (6 stripes x
+// 3 channels x 8 bins = 144 floats), each stripe block L1-normalized like
+// the real extractor's output.
+FeatureVector RandomFeature(Rng& rng, const FeatureParams& params) {
+  FeatureVector f(params.Dimension());
+  const std::size_t stripe_floats = 3 * params.bins_per_channel;
+  for (std::size_t s = 0; s < params.stripes; ++s) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < stripe_floats; ++i) {
+      const auto v = static_cast<float>(rng.NextDouble());
+      f[s * stripe_floats + i] = v;
+      sum += v;
+    }
+    for (std::size_t i = 0; i < stripe_floats; ++i) {
+      f[s * stripe_floats + i] /= sum;
+    }
+  }
+  return f;
+}
+
+std::vector<FeatureVector> RandomScenarioFeatures(std::size_t observations,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  FeatureParams params;
+  std::vector<FeatureVector> features;
+  features.reserve(observations);
+  for (std::size_t o = 0; o < observations; ++o) {
+    features.push_back(RandomFeature(rng, params));
+  }
+  return features;
+}
+
+// Scalar baseline: best-match over a scenario stored as vector-of-vectors,
+// exactly the pre-FeatureBlock V-stage hot loop (BestMatchIndex +
+// ProbInScenario recomputing both masses per comparison).
+void BM_BestMatchScalar(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const auto scenario = RandomScenarioFeatures(obs, 42);
+  Rng rng(7);
+  const FeatureVector probe = RandomFeature(rng, FeatureParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestMatchIndex(probe, scenario));
+    benchmark::DoNotOptimize(ProbInScenario(probe, scenario));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(obs));
+}
+BENCHMARK(BM_BestMatchScalar)->Arg(10)->Arg(50)->Arg(200);
+
+// Batched kernel: the same argmax + max-similarity over a FeatureBlock.
+void BM_BestMatchBlock(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const FeatureBlock block(RandomScenarioFeatures(obs, 42));
+  Rng rng(7);
+  const FeatureVector probe = RandomFeature(rng, FeatureParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestMatchInBlock(probe, block));
+    benchmark::DoNotOptimize(BestSimilarityInBlock(probe, block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(obs));
+}
+BENCHMARK(BM_BestMatchBlock)->Arg(10)->Arg(50)->Arg(200);
+
+// The fused value+argmax scan the V stage actually runs per (probe,
+// scenario) pair: one pass, probe padded + mass'd once outside the loop.
+void BM_BestInBlockFused(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const FeatureBlock block(RandomScenarioFeatures(obs, 42));
+  Rng rng(7);
+  const FeatureVector probe_vec = RandomFeature(rng, FeatureParams{});
+  const PaddedProbe probe(probe_vec, block.stride());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestInBlock(probe, block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(obs));
+}
+BENCHMARK(BM_BestInBlockFused)->Arg(10)->Arg(50)->Arg(200);
 
 EScenarioSet RandomScenarioSet(std::size_t eids, std::size_t windows,
                                std::size_t cells, std::uint64_t seed) {
@@ -108,7 +193,36 @@ void BM_MapReduceShuffle(benchmark::State& state) {
 }
 BENCHMARK(BM_MapReduceShuffle)->Arg(1)->Arg(4);
 
+// Console reporting as usual, plus capture of every run for the JSON file.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      record.ns_per_op = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) record.items_per_second = it->second;
+      records.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchRecord> records;
+};
+
 }  // namespace
 }  // namespace evm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  evm::JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  evm::bench::WriteBenchJson("BENCH_core_ops.json", reporter.records);
+  std::cout << "\n[json] wrote BENCH_core_ops.json (" << reporter.records.size()
+            << " records)\n";
+  benchmark::Shutdown();
+  return 0;
+}

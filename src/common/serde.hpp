@@ -35,6 +35,11 @@ class BinaryWriter {
     std::memcpy(&bits, &v, sizeof(bits));
     WriteU64(bits);
   }
+  void WriteFloat(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU32(bits);
+  }
   void WriteBytes(const void* data, std::size_t n) {
     const auto* p = static_cast<const unsigned char*>(data);
     bytes_.insert(bytes_.end(), p, p + n);
@@ -89,6 +94,12 @@ class BinaryReader {
   double ReadDouble() {
     const std::uint64_t bits = ReadU64();
     double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  float ReadFloat() {
+    const std::uint32_t bits = ReadU32();
+    float v;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace evm {
 
@@ -43,14 +45,42 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // Chunked range tasks instead of one heap-allocated packaged_task +
+  // future per element: ~4 tasks per worker pull disjoint index chunks off
+  // a shared atomic cursor, so scheduling overhead is O(tasks), not
+  // O(count), and stragglers are load-balanced by the chunk granularity.
+  const std::size_t max_tasks = 4 * size();
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (4 * max_tasks));
+  const std::size_t tasks =
+      std::min(max_tasks, (count + chunk - 1) / chunk);
+
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto drain = [cursor, count, chunk, &fn] {
+    for (;;) {
+      const std::size_t begin =
+          cursor->fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+  futures.reserve(tasks > 0 ? tasks - 1 : 0);
+  for (std::size_t t = 1; t < tasks; ++t) futures.push_back(Submit(drain));
+
+  // The calling thread participates: the range completes even when every
+  // worker is busy elsewhere, and the hot path needs no handoff at all for
+  // single-chunk ranges.
+  std::exception_ptr first_failure;
+  try {
+    drain();
+  } catch (...) {
+    first_failure = std::current_exception();
   }
   // Drain every task before propagating: rethrowing while siblings still
   // run would unwind state they reference (use-after-free).
-  std::exception_ptr first_failure;
   for (auto& future : futures) {
     try {
       future.get();

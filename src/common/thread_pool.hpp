@@ -43,7 +43,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-  /// complete. Rethrows the first task exception encountered.
+  /// complete; the calling thread participates. Work is submitted as at
+  /// most 4 x size() chunked range tasks striding a shared atomic cursor
+  /// (not one task per element). Rethrows one task exception if any was
+  /// thrown; when a chunk throws, the remaining indices of that chunk are
+  /// skipped.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }

@@ -66,7 +66,7 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
              mapreduce::Emitter<std::uint64_t, std::uint64_t>& emit) {
         const VScenario* scenario = v_scenarios_.Find(ScenarioId{id});
         if (scenario == nullptr || scenario->observations.empty()) return;
-        emit(id, gallery_.Features(*scenario).size());
+        emit(id, gallery_.Block(*scenario).rows());
       },
       [](const std::uint64_t&, std::vector<std::uint64_t>&&,
          std::vector<std::uint64_t>&) {});

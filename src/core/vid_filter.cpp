@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <unordered_map>
 
-#include "vsense/reid.hpp"
+#include "common/error.hpp"
+#include "vsense/feature_block.hpp"
 
 namespace evm {
 
@@ -16,36 +18,62 @@ MatchResult FilterVid(const EidScenarioList& list,
   result.eid = list.eid;
 
   // Resolve the V side of each selected scenario; drop empty ones (every
-  // detection there was missed).
+  // detection there was missed). Entries keep the list's original order —
+  // all outputs (nominations, votes, the fused probe) are produced in that
+  // order so results are independent of the scoring order below.
   struct Entry {
     const VScenario* scenario;
-    const std::vector<FeatureVector>* features;
+    const FeatureBlock* block;
   };
   std::vector<Entry> entries;
   entries.reserve(list.scenarios.size());
   for (const ScenarioId id : list.scenarios) {
     const VScenario* scenario = v_scenarios.Find(id);
     if (scenario == nullptr || scenario->observations.empty()) continue;
-    entries.push_back(Entry{scenario, &gallery.Features(*scenario)});
+    entries.push_back(Entry{scenario, &gallery.Block(*scenario)});
   }
   counters.scenarios_processed += entries.size();
   if (entries.empty()) return result;  // unresolved
 
-  // Candidate pool (see VidFilterOptions).
-  std::vector<const FeatureVector*> candidates;
+  const std::size_t stride = entries.front().block->stride();
+  for (const Entry& entry : entries) {
+    EVM_CHECK_MSG(entry.block->stride() == stride,
+                  "feature dimension mismatch across scenarios");
+  }
+
+  // Scoring order: ascending observation count. The probability product
+  // only ever shrinks, so visiting the cheapest (and most selective,
+  // fewest-observation) scenarios first drives the product below the
+  // incumbent sooner and the early-abandon prunes more comparisons.
+  std::vector<std::size_t> score_order(entries.size());
+  std::iota(score_order.begin(), score_order.end(), std::size_t{0});
+  std::stable_sort(score_order.begin(), score_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return entries[a].block->rows() < entries[b].block->rows();
+                   });
+
+  // Candidate pool (see VidFilterOptions): block rows, already padded and
+  // with precomputed mass, gathered in the list's original order.
+  struct Candidate {
+    const FeatureBlock* block;
+    std::size_t row;
+  };
+  std::vector<Candidate> candidates;
   if (options.candidate_pool == CandidatePool::kSmallestScenario) {
-    const std::size_t anchor = static_cast<std::size_t>(
+    const FeatureBlock* anchor =
         std::min_element(entries.begin(), entries.end(),
                          [](const Entry& a, const Entry& b) {
-                           return a.features->size() < b.features->size();
-                         }) -
-        entries.begin());
-    for (const FeatureVector& f : *entries[anchor].features) {
-      candidates.push_back(&f);
+                           return a.block->rows() < b.block->rows();
+                         })
+            ->block;
+    for (std::size_t r = 0; r < anchor->rows(); ++r) {
+      candidates.push_back(Candidate{anchor, r});
     }
   } else {
     for (const Entry& entry : entries) {
-      for (const FeatureVector& f : *entry.features) candidates.push_back(&f);
+      for (std::size_t r = 0; r < entry.block->rows(); ++r) {
+        candidates.push_back(Candidate{entry.block, r});
+      }
     }
   }
 
@@ -56,10 +84,12 @@ MatchResult FilterVid(const EidScenarioList& list,
   double best_prob = -1.0;
   std::size_t best_candidate = 0;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const PaddedProbe probe(candidates[c].block->RowData(candidates[c].row),
+                            candidates[c].block->RowMass(candidates[c].row));
     double prob = 1.0;
-    for (const Entry& entry : entries) {
-      prob *= ProbInScenario(*candidates[c], *entry.features);
-      counters.feature_comparisons += entry.features->size();
+    for (const std::size_t e : score_order) {
+      prob *= BestInBlock(probe, *entries[e].block).similarity;
+      counters.feature_comparisons += entries[e].block->rows();
       // The product only ever shrinks, so a candidate already below the
       // incumbent can be abandoned — same argmax, far fewer comparisons.
       if (prob <= best_prob) break;
@@ -75,27 +105,29 @@ MatchResult FilterVid(const EidScenarioList& list,
   // appearance estimate (their feature mean) and re-nominates with it —
   // standard multi-shot re-identification, which suppresses single-crop
   // nuisance (occlusion, crop jitter) and benefits longer scenario lists.
-  FeatureVector probe = *candidates[best_candidate];
+  FeatureVector probe_vec =
+      candidates[best_candidate].block->Row(candidates[best_candidate].row);
   std::vector<int> nominated(entries.size(), -1);
   for (int pass = 0; pass < 2; ++pass) {
+    const PaddedProbe probe(probe_vec, stride);
     for (std::size_t i = 0; i < entries.size(); ++i) {
-      nominated[i] = BestMatchIndex(probe, *entries[i].features);
-      counters.feature_comparisons += entries[i].features->size();
+      nominated[i] = BestInBlock(probe, *entries[i].block).index;
+      counters.feature_comparisons += entries[i].block->rows();
     }
     if (pass == 1) break;
-    FeatureVector fused(probe.size(), 0.0f);
+    FeatureVector fused(probe_vec.size(), 0.0f);
     std::size_t fused_count = 0;
     for (std::size_t i = 0; i < entries.size(); ++i) {
       if (nominated[i] < 0) continue;
-      const FeatureVector& f =
-          (*entries[i].features)[static_cast<std::size_t>(nominated[i])];
+      const FeatureBlock& block = *entries[i].block;
+      const float* f = block.RowData(static_cast<std::size_t>(nominated[i]));
       for (std::size_t d = 0; d < fused.size(); ++d) fused[d] += f[d];
       ++fused_count;
     }
     if (fused_count == 0) break;
     const float inv = 1.0f / static_cast<float>(fused_count);
     for (float& v : fused) v *= inv;
-    probe = std::move(fused);
+    probe_vec = std::move(fused);
   }
 
   std::unordered_map<std::uint64_t, std::size_t> votes;

@@ -1,0 +1,106 @@
+#include "vsense/feature_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace evm {
+namespace {
+
+/// Plain-sum L1 mass, accumulated in the same order as the scalar
+/// FeatureDistance so precomputed masses match its float rounding.
+float MassOf(const float* data, std::size_t n) {
+  float mass = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) mass += data[i];
+  return mass;
+}
+
+/// L1 distance of two stride-padded rows. kRowAlign independent accumulator
+/// chains — one per padding lane — so the compiler may vectorize the
+/// reduction without reassociating a single float chain (which -O2/-O3
+/// without -ffast-math must not do). Branch-free body.
+float PaddedL1(const float* a, const float* b, std::size_t stride) {
+  float acc[FeatureBlock::kRowAlign] = {};
+  for (std::size_t i = 0; i < stride; i += FeatureBlock::kRowAlign) {
+    for (std::size_t l = 0; l < FeatureBlock::kRowAlign; ++l) {
+      acc[l] += std::fabs(a[i + l] - b[i + l]);
+    }
+  }
+  const float lo = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  const float hi = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+  return lo + hi;
+}
+
+/// Eq. (1) similarity from an L1 distance and the operands' masses —
+/// identical arithmetic to the scalar FeatureDistance tail.
+double SimilarityFromL1(float l1, float mass_a, float mass_b) {
+  const double max_l1 = std::max(
+      {static_cast<double>(mass_a) + static_cast<double>(mass_b), 2.0});
+  return 1.0 - std::clamp(static_cast<double>(l1) / max_l1, 0.0, 1.0);
+}
+
+}  // namespace
+
+FeatureBlock::FeatureBlock(const std::vector<FeatureVector>& features) {
+  rows_ = features.size();
+  if (rows_ == 0) return;
+  dim_ = features.front().size();
+  EVM_CHECK_MSG(dim_ > 0, "empty feature in block");
+  stride_ = (dim_ + kRowAlign - 1) / kRowAlign * kRowAlign;
+  data_.assign(rows_ * stride_, 0.0f);
+  mass_.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    EVM_CHECK_MSG(features[r].size() == dim_,
+                  "feature dimension mismatch in block");
+    std::copy(features[r].begin(), features[r].end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(r * stride_));
+    mass_[r] = MassOf(features[r].data(), dim_);
+  }
+}
+
+FeatureVector FeatureBlock::Row(std::size_t r) const {
+  const float* row = RowData(r);
+  return FeatureVector(row, row + dim_);
+}
+
+PaddedProbe::PaddedProbe(const FeatureVector& probe, std::size_t stride)
+    : mass_(MassOf(probe.data(), probe.size())) {
+  EVM_CHECK_MSG(probe.size() <= stride, "probe wider than block stride");
+  if (probe.size() == stride) {
+    data_ = probe.data();  // already aligned: borrow, no copy
+  } else {
+    storage_.assign(stride, 0.0f);
+    std::copy(probe.begin(), probe.end(), storage_.begin());
+    data_ = storage_.data();
+  }
+}
+
+BlockMatch BestInBlock(const PaddedProbe& probe, const FeatureBlock& block) {
+  BlockMatch best;
+  const std::size_t stride = block.stride();
+  for (std::size_t r = 0; r < block.rows(); ++r) {
+    const float l1 = PaddedL1(probe.data(), block.RowData(r), stride);
+    const double sim = SimilarityFromL1(l1, probe.mass(), block.RowMass(r));
+    if (sim > best.similarity) {
+      best.index = static_cast<int>(r);
+      best.similarity = sim;
+    }
+  }
+  return best;
+}
+
+double BestSimilarityInBlock(const FeatureVector& probe,
+                             const FeatureBlock& block) {
+  if (block.empty()) return 0.0;
+  EVM_CHECK_MSG(probe.size() == block.dim(), "feature dimension mismatch");
+  return BestInBlock(PaddedProbe(probe, block.stride()), block).similarity;
+}
+
+int BestMatchInBlock(const FeatureVector& probe, const FeatureBlock& block) {
+  if (block.empty()) return -1;
+  EVM_CHECK_MSG(probe.size() == block.dim(), "feature dimension mismatch");
+  return BestInBlock(PaddedProbe(probe, block.stride()), block).index;
+}
+
+}  // namespace evm

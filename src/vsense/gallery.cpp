@@ -1,59 +1,92 @@
 #include "vsense/gallery.hpp"
 
+#include <algorithm>
+
 #include "common/serde.hpp"
 
 namespace evm {
 
+FeatureGallery::Entry& FeatureGallery::Resolve(const VScenario& scenario) {
+  Shard& shard = shards_[ShardOf(scenario.id.value())];
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] =
+        shard.cache.try_emplace(scenario.id.value(), nullptr);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry = it->second;
+  }
+  // Single-flight: exactly one caller extracts, concurrent first touches of
+  // the same scenario wait here instead of duplicating the render + extract.
+  std::call_once(entry->once, [&] {
+    entry->features.reserve(scenario.observations.size());
+    for (const VObservation& obs : scenario.observations) {
+      entry->features.push_back(oracle_.Extract(obs));
+    }
+    entry->block = FeatureBlock(entry->features);
+    extractions_.fetch_add(scenario.observations.size(),
+                           std::memory_order_relaxed);
+    entry->ready.store(true, std::memory_order_release);
+  });
+  return *entry;
+}
+
 const std::vector<FeatureVector>& FeatureGallery::Features(
     const VScenario& scenario) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = cache_.find(scenario.id.value());
-    if (it != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return *it->second;
-    }
-  }
-  // Extract outside the lock so scenarios are processed in parallel.
-  auto features = std::make_unique<std::vector<FeatureVector>>();
-  features->reserve(scenario.observations.size());
-  for (const VObservation& obs : scenario.observations) {
-    features->push_back(oracle_.Extract(obs));
-  }
-  extractions_.fetch_add(scenario.observations.size(),
-                         std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] =
-      cache_.emplace(scenario.id.value(), std::move(features));
-  return *it->second;
+  return Resolve(scenario).features;
+}
+
+const FeatureBlock& FeatureGallery::Block(const VScenario& scenario) {
+  return Resolve(scenario).block;
 }
 
 std::size_t FeatureGallery::CachedScenarioCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cache_.size();
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.cache.size();
+  }
+  return count;
 }
 
 void FeatureGallery::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  cache_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.clear();
+  }
   extractions_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t FeatureGallery::ExportTo(mapreduce::Dfs& dfs,
                                      const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Snapshot completed entries in scenario-id order so the exported dataset
+  // is deterministic regardless of shard/bucket iteration order.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<Entry>>> snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [scenario_id, entry] : shard.cache) {
+      if (entry->ready.load(std::memory_order_acquire)) {
+        snapshot.emplace_back(scenario_id, entry);
+      }
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   std::vector<mapreduce::Block> blocks;
-  blocks.reserve(cache_.size());
-  for (const auto& [scenario_id, features] : cache_) {
+  blocks.reserve(snapshot.size());
+  for (const auto& [scenario_id, entry] : snapshot) {
     BinaryWriter writer;
     writer.WriteU64(scenario_id);
-    writer.WriteU64(features->size());
-    for (const FeatureVector& feature : *features) {
+    writer.WriteU64(entry->features.size());
+    for (const FeatureVector& feature : entry->features) {
       writer.WriteU64(feature.size());
-      for (const float v : feature) {
-        writer.WriteDouble(static_cast<double>(v));
-      }
+      for (const float v : feature) writer.WriteFloat(v);
     }
     blocks.push_back(writer.Take());
   }
@@ -67,21 +100,28 @@ std::size_t FeatureGallery::ImportFrom(const mapreduce::Dfs& dfs,
   const auto blocks = dfs.Read(name);
   if (!blocks.has_value()) return 0;
   std::size_t loaded = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
   for (const mapreduce::Block& block : *blocks) {
     BinaryReader reader(block.data(), block.size());
     const std::uint64_t scenario_id = reader.ReadU64();
-    if (cache_.contains(scenario_id)) continue;
-    auto features = std::make_unique<std::vector<FeatureVector>>();
+    auto entry = std::make_shared<Entry>();
     const std::uint64_t observations = reader.ReadU64();
-    features->reserve(observations);
+    entry->features.reserve(observations);
     for (std::uint64_t o = 0; o < observations; ++o) {
       FeatureVector feature(reader.ReadU64());
-      for (float& v : feature) v = static_cast<float>(reader.ReadDouble());
-      features->push_back(std::move(feature));
+      for (float& v : feature) v = reader.ReadFloat();
+      entry->features.push_back(std::move(feature));
     }
-    cache_.emplace(scenario_id, std::move(features));
-    ++loaded;
+    entry->block = FeatureBlock(entry->features);
+    // Consume the once_flag so a later Resolve() won't re-extract, and mark
+    // the entry complete for ExportTo.
+    std::call_once(entry->once, [] {});
+    entry->ready.store(true, std::memory_order_release);
+
+    Shard& shard = shards_[ShardOf(scenario_id)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.cache.try_emplace(scenario_id, std::move(entry)).second) {
+      ++loaded;
+    }
   }
   return loaded;
 }

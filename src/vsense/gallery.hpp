@@ -4,7 +4,18 @@
 // computed and stored in [the] distributed storage system" (Sec. V-C), and
 // it is what turns scenario *reuse* into real V-stage savings: a scenario
 // selected for many EIDs is feature-extracted exactly once.
+//
+// Concurrency: entries live in a sharded lock table (kShards shards keyed by
+// scenario id), so lookups for different scenarios never contend on one
+// global mutex. Each entry is extracted single-flight: concurrent first
+// touches of the same scenario block on one std::call_once, so the render +
+// extract work happens exactly once (no duplicated speculative work).
+//
+// Each entry caches both the per-observation FeatureVector list and its
+// packed FeatureBlock (see feature_block.hpp), which the batched V-stage
+// kernels consume.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -14,6 +25,7 @@
 #include <vector>
 
 #include "mapreduce/dfs.hpp"
+#include "vsense/feature_block.hpp"
 #include "vsense/features.hpp"
 #include "vsense/v_scenario.hpp"
 #include "vsense/visual_oracle.hpp"
@@ -22,13 +34,22 @@ namespace evm {
 
 class FeatureGallery {
  public:
+  /// Shard count of the lock table. Power of two; scenario ids are spread
+  /// with a multiplicative hash so window*cells+cell id patterns don't all
+  /// land in one shard.
+  static constexpr std::size_t kShards = 16;
+
   explicit FeatureGallery(const VisualOracle& oracle) : oracle_(oracle) {}
 
   /// Features of every observation of `scenario`, extracting them on first
-  /// touch. Thread-safe; concurrent first touches of the same scenario may
-  /// both extract, but exactly one result is kept and the duplicate work is
-  /// still counted (as on a real cluster with speculative execution).
+  /// touch. Thread-safe and single-flight: concurrent first touches of the
+  /// same scenario block until the one extraction completes, then share the
+  /// result. Returned references stay valid until Clear().
   const std::vector<FeatureVector>& Features(const VScenario& scenario);
+
+  /// The same features packed as a contiguous FeatureBlock for the batched
+  /// similarity kernels. Same caching/extraction semantics as Features().
+  const FeatureBlock& Block(const VScenario& scenario);
 
   /// Scenarios whose features live in the cache.
   [[nodiscard]] std::size_t CachedScenarioCount() const;
@@ -36,7 +57,7 @@ class FeatureGallery {
   [[nodiscard]] std::uint64_t ExtractionCount() const noexcept {
     return extractions_.load(std::memory_order_relaxed);
   }
-  /// Number of Features() calls answered from cache.
+  /// Number of Features()/Block() calls answered from an existing entry.
   [[nodiscard]] std::uint64_t HitCount() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -44,9 +65,10 @@ class FeatureGallery {
   void Clear();
 
   /// Persists every cached scenario's features into the distributed store
-  /// (one block per scenario), making universal-labeling results durable —
-  /// the paper's "VID features are computed and stored in [the] distributed
-  /// storage system". Returns the number of scenarios written.
+  /// (one block per scenario, in scenario-id order), making
+  /// universal-labeling results durable — the paper's "VID features are
+  /// computed and stored in [the] distributed storage system". Returns the
+  /// number of scenarios written. Entries still being extracted are skipped.
   std::size_t ExportTo(mapreduce::Dfs& dfs, const std::string& name) const;
 
   /// Pre-warms the cache from a dataset written by ExportTo. Existing
@@ -55,11 +77,31 @@ class FeatureGallery {
   std::size_t ImportFrom(const mapreduce::Dfs& dfs, const std::string& name);
 
  private:
+  struct Entry {
+    std::once_flag once;
+    std::atomic<bool> ready{false};  // set after features/block are written
+    std::vector<FeatureVector> features;
+    FeatureBlock block;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    // shared_ptr so an entry outlives the shard lock while being filled and
+    // returned references stay stable across rehashing.
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache;
+  };
+
+  static std::size_t ShardOf(std::uint64_t scenario_id) noexcept {
+    // Fibonacci hash: consecutive ids spread across shards.
+    return static_cast<std::size_t>((scenario_id * 0x9e3779b97f4a7c15ULL) >>
+                                    60) &
+           (kShards - 1);
+  }
+
+  /// Finds or creates the entry and runs the single-flight extraction.
+  Entry& Resolve(const VScenario& scenario);
+
   const VisualOracle& oracle_;
-  mutable std::mutex mutex_;
-  // unique_ptr so returned references stay stable across rehashing.
-  std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<FeatureVector>>>
-      cache_;
+  std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> extractions_{0};
   std::atomic<std::uint64_t> hits_{0};
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -44,6 +45,23 @@ TEST(SerdeTest, DoubleRoundTripExactBits) {
   EXPECT_EQ(r.ReadDouble(), 3.141592653589793);
   EXPECT_EQ(r.ReadDouble(), -0.0);
   EXPECT_EQ(r.ReadDouble(), std::numeric_limits<double>::infinity());
+}
+
+TEST(SerdeTest, FloatRoundTripExactBits) {
+  BinaryWriter w;
+  w.WriteFloat(3.1415927f);
+  w.WriteFloat(-0.0f);
+  w.WriteFloat(std::numeric_limits<float>::infinity());
+  w.WriteFloat(std::numeric_limits<float>::denorm_min());
+  EXPECT_EQ(w.bytes().size(), 16u);  // half the bytes of WriteDouble
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.ReadFloat(), 3.1415927f);
+  const float neg_zero = r.ReadFloat();
+  EXPECT_EQ(neg_zero, -0.0f);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.ReadFloat(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(r.ReadFloat(), std::numeric_limits<float>::denorm_min());
+  EXPECT_TRUE(r.AtEnd());
 }
 
 TEST(SerdeTest, StringRoundTrip) {

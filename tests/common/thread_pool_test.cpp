@@ -28,6 +28,39 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForOddCountsVisitEveryIndexOnce) {
+  // Counts around the chunking boundaries: fewer than workers, fewer than
+  // the task count, not divisible by the chunk size.
+  ThreadPool pool(8);
+  for (const std::size_t count : {1u, 3u, 7u, 31u, 33u, 257u}) {
+    std::vector<std::atomic<int>> visits(count);
+    pool.ParallelFor(count, [&](std::size_t i) { visits[i]++; });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCallerParticipatesWhileWorkersAreBusy) {
+  // The calling thread participates in the range: the first indices run on
+  // it while long-running submitted tasks still occupy every worker (they
+  // are released from inside the loop body, proving the body started before
+  // any worker was free).
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> blockers;
+  for (int i = 0; i < 2; ++i) {
+    blockers.push_back(pool.Submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+    release.store(true);
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  for (auto& f : blockers) f.get();
+}
+
 TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });

@@ -1,0 +1,134 @@
+#include "vsense/feature_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "vsense/reid.hpp"
+
+namespace evm {
+namespace {
+
+// Random non-negative feature resembling the extractor's output (entries in
+// [0, 1], roughly unit mass per 24-float block).
+FeatureVector RandomFeature(Rng& rng, std::size_t dim) {
+  FeatureVector f(dim);
+  float sum = 0.0f;
+  for (float& v : f) {
+    v = static_cast<float>(rng.NextDouble());
+    sum += v;
+  }
+  for (float& v : f) v /= sum;
+  return f;
+}
+
+std::vector<FeatureVector> RandomScenario(Rng& rng, std::size_t rows,
+                                          std::size_t dim) {
+  std::vector<FeatureVector> features;
+  features.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    features.push_back(RandomFeature(rng, dim));
+  }
+  return features;
+}
+
+TEST(FeatureBlockTest, LayoutPadsRowsToAlignment) {
+  Rng rng(1);
+  const FeatureBlock padded(RandomScenario(rng, 3, 10));
+  EXPECT_EQ(padded.rows(), 3u);
+  EXPECT_EQ(padded.dim(), 10u);
+  EXPECT_EQ(padded.stride(), 16u);
+  // Padding lanes are zero.
+  for (std::size_t r = 0; r < padded.rows(); ++r) {
+    for (std::size_t i = padded.dim(); i < padded.stride(); ++i) {
+      EXPECT_EQ(padded.RowData(r)[i], 0.0f);
+    }
+  }
+  const FeatureBlock aligned(RandomScenario(rng, 2, 144));
+  EXPECT_EQ(aligned.stride(), 144u);  // paper dims need no padding
+}
+
+TEST(FeatureBlockTest, RowRoundTripsUnpadded) {
+  Rng rng(2);
+  const auto features = RandomScenario(rng, 4, 13);
+  const FeatureBlock block(features);
+  for (std::size_t r = 0; r < features.size(); ++r) {
+    EXPECT_EQ(block.Row(r), features[r]);
+  }
+}
+
+TEST(FeatureBlockTest, EmptyBlockMatchesScalarSemantics) {
+  const FeatureBlock block;
+  FeatureVector probe(144, 0.5f);
+  EXPECT_EQ(BestSimilarityInBlock(probe, block), 0.0);
+  EXPECT_EQ(BestMatchInBlock(probe, block), -1);
+}
+
+TEST(FeatureBlockTest, DimensionMismatchThrows) {
+  Rng rng(3);
+  const FeatureBlock block(RandomScenario(rng, 2, 16));
+  const FeatureVector probe = RandomFeature(rng, 24);
+  EXPECT_THROW(BestSimilarityInBlock(probe, block), Error);
+  EXPECT_THROW((void)FeatureBlock({RandomFeature(rng, 8),
+                                   RandomFeature(rng, 16)}),
+               Error);
+}
+
+// The batched kernels must reproduce the scalar reference — same argmax and
+// value within float-reassociation tolerance — across padded (dim % 8 != 0)
+// and unpadded dimensions and a spread of scenario sizes.
+TEST(FeatureBlockTest, RandomizedEquivalenceWithScalarKernels) {
+  Rng rng(2017);
+  const std::size_t dims[] = {8, 13, 24, 63, 144, 145};
+  const std::size_t sizes[] = {1, 2, 7, 33, 128};
+  for (const std::size_t dim : dims) {
+    for (const std::size_t rows : sizes) {
+      const auto features = RandomScenario(rng, rows, dim);
+      const FeatureBlock block(features);
+      for (int trial = 0; trial < 4; ++trial) {
+        // Mix fresh probes with near-duplicates of gallery rows (the
+        // matching pipeline's probes are gallery rows and their means).
+        FeatureVector probe =
+            trial % 2 == 0
+                ? RandomFeature(rng, dim)
+                : features[rng.NextBelow(features.size())];
+        const double scalar_best = ProbInScenario(probe, features);
+        const int scalar_index = BestMatchIndex(probe, features);
+        EXPECT_NEAR(BestSimilarityInBlock(probe, block), scalar_best, 1e-6);
+        EXPECT_EQ(BestMatchInBlock(probe, block), scalar_index)
+            << "dim=" << dim << " rows=" << rows << " trial=" << trial;
+      }
+    }
+  }
+}
+
+// The fused scan agrees with the two single-result kernels.
+TEST(FeatureBlockTest, FusedScanAgreesWithSingleKernels) {
+  Rng rng(5);
+  const FeatureBlock block(RandomScenario(rng, 17, 144));
+  for (int trial = 0; trial < 8; ++trial) {
+    const FeatureVector probe_vec = RandomFeature(rng, 144);
+    const BlockMatch best =
+        BestInBlock(PaddedProbe(probe_vec, block.stride()), block);
+    EXPECT_EQ(best.index, BestMatchInBlock(probe_vec, block));
+    EXPECT_DOUBLE_EQ(best.similarity, BestSimilarityInBlock(probe_vec, block));
+  }
+}
+
+// A probe identical to a row has similarity exactly 1 (distance 0): padding
+// cannot perturb a perfect match.
+TEST(FeatureBlockTest, SelfMatchIsPerfectAcrossPadding) {
+  Rng rng(6);
+  for (const std::size_t dim : {9u, 144u}) {
+    const auto features = RandomScenario(rng, 5, dim);
+    const FeatureBlock block(features);
+    for (std::size_t r = 0; r < features.size(); ++r) {
+      EXPECT_EQ(BestSimilarityInBlock(features[r], block), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evm

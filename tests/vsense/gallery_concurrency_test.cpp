@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vsense/gallery.hpp"
+
+namespace evm {
+namespace {
+
+class GalleryConcurrencyFixture : public ::testing::Test {
+ protected:
+  GalleryConcurrencyFixture()
+      : oracle_(GenerateAppearances(4, MakeStream(1, "a")), RenderParams{},
+                FeatureParams{}),
+        gallery_(oracle_) {}
+
+  static VScenario MakeVScenario(std::uint64_t id, std::size_t observations) {
+    VScenario scenario;
+    scenario.id = ScenarioId{id};
+    for (std::size_t o = 0; o < observations; ++o) {
+      scenario.observations.push_back(
+          VObservation{Vid{o % 4}, DeriveSeed(7, "r", id * 10 + o)});
+    }
+    return scenario;
+  }
+
+  VisualOracle oracle_;
+  FeatureGallery gallery_;
+};
+
+// Single-flight: concurrent first touches of the same scenario must yield
+// exactly one extraction pass — the second thread blocks on the in-flight
+// one instead of duplicating the render + extract work.
+TEST_F(GalleryConcurrencyFixture, ConcurrentFirstTouchExtractsOnce) {
+  const VScenario scenario = MakeVScenario(1, 5);
+  std::atomic<int> ready{0};
+  const std::vector<FeatureVector>* seen[2] = {nullptr, nullptr};
+  auto touch = [&](int slot) {
+    ready.fetch_add(1);
+    while (ready.load() < 2) {
+    }  // maximise the overlap of the two first touches
+    seen[slot] = &gallery_.Features(scenario);
+  };
+  std::thread a(touch, 0);
+  std::thread b(touch, 1);
+  a.join();
+  b.join();
+  EXPECT_EQ(gallery_.ExtractionCount(), scenario.observations.size());
+  EXPECT_EQ(seen[0], seen[1]);  // both share the one cached entry
+  EXPECT_EQ(gallery_.CachedScenarioCount(), 1u);
+}
+
+// Stress the sharded lock table: many threads hammering a scenario set
+// still extract each scenario exactly once, and Features()/Block() agree.
+TEST_F(GalleryConcurrencyFixture, ManyThreadsManyScenariosExtractOncePer) {
+  constexpr std::size_t kScenarios = 32;
+  constexpr std::size_t kThreads = 8;
+  std::vector<VScenario> scenarios;
+  std::size_t total_observations = 0;
+  for (std::size_t s = 0; s < kScenarios; ++s) {
+    scenarios.push_back(MakeVScenario(s, 1 + s % 4));
+    total_observations += scenarios.back().observations.size();
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t s = 0; s < kScenarios; ++s) {
+        const std::size_t pick = (s + t) % kScenarios;
+        const auto& features = gallery_.Features(scenarios[pick]);
+        const FeatureBlock& block = gallery_.Block(scenarios[pick]);
+        ASSERT_EQ(block.rows(), features.size());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gallery_.ExtractionCount(), total_observations);
+  EXPECT_EQ(gallery_.CachedScenarioCount(), kScenarios);
+  // Every call after the first toucher's was answered from the cache.
+  EXPECT_EQ(gallery_.HitCount(), kThreads * kScenarios * 2 - kScenarios);
+}
+
+// Block() and Features() of the same scenario expose the same data.
+TEST_F(GalleryConcurrencyFixture, BlockMatchesFeatures) {
+  const VScenario scenario = MakeVScenario(3, 4);
+  const auto& features = gallery_.Features(scenario);
+  const FeatureBlock& block = gallery_.Block(scenario);
+  ASSERT_EQ(block.rows(), features.size());
+  for (std::size_t r = 0; r < block.rows(); ++r) {
+    EXPECT_EQ(block.Row(r), features[r]);
+  }
+  EXPECT_EQ(gallery_.ExtractionCount(), scenario.observations.size());
+}
+
+}  // namespace
+}  // namespace evm
