@@ -8,8 +8,12 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "core/matcher.hpp"
 #include "core/set_splitting.hpp"
+#include "dataset/generator.hpp"
 #include "mapreduce/engine.hpp"
+#include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 #include "vsense/appearance.hpp"
 #include "vsense/feature_block.hpp"
 #include "vsense/features.hpp"
@@ -215,7 +219,34 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 }  // namespace evm
 
+namespace evm {
+namespace {
+
+// --trace mode: run one small end-to-end MapReduce-mode match with the obs
+// layer installed and dump counters + stage spans alongside the bench JSON.
+void RunTracedMatch(obs::TraceSession& trace) {
+  DatasetConfig config;
+  config.population = 200;
+  config.ticks = 400;
+  config.seed = 5;
+  const Dataset dataset = GenerateDataset(config);
+  MatcherConfig matcher_config = DefaultSsConfig();
+  matcher_config.execution = ExecutionMode::kMapReduce;
+  matcher_config.metrics = trace.metrics();
+  matcher_config.trace = trace.trace();
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    matcher_config);
+  const MatchReport report = matcher.Match(SampleTargets(dataset, 50, 1));
+  std::cout << "[trace] matched " << report.results.size() << " EIDs, "
+            << report.stats.feature_comparisons << " comparisons\n";
+}
+
+}  // namespace
+}  // namespace evm
+
 int main(int argc, char** argv) {
+  // Strip --trace before google-benchmark sees the argument list.
+  evm::obs::TraceSession trace(evm::obs::ExtractTraceFlag(argc, argv));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   evm::JsonCapturingReporter reporter;
@@ -223,6 +254,7 @@ int main(int argc, char** argv) {
   evm::bench::WriteBenchJson("BENCH_core_ops.json", reporter.records);
   std::cout << "\n[json] wrote BENCH_core_ops.json (" << reporter.records.size()
             << " records)\n";
+  if (trace.enabled()) evm::RunTracedMatch(trace);
   benchmark::Shutdown();
   return 0;
 }

@@ -17,9 +17,11 @@
 #include "dataset/generator.hpp"
 #include "metrics/accuracy.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace evm;
+  obs::TraceSession trace(obs::ExtractTraceFlag(argc, argv));
 
   DatasetConfig config;
   config.population = 600;
@@ -48,8 +50,11 @@ int main() {
   }
 
   // --- match only the suspects -------------------------------------------
+  MatcherConfig matcher_config = DefaultSsConfig();
+  matcher_config.metrics = trace.metrics();
+  matcher_config.trace = trace.trace();
   EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
-                    DefaultSsConfig());
+                    matcher_config);
   const MatchReport report = matcher.Match(suspects);
 
   std::cout << "\nMatched the suspects' EIDs to visual identities using "

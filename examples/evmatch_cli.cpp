@@ -5,6 +5,7 @@
 //                 [--e-noise SIGMA] [--vague-width W]
 //                 [--e-missing R] [--v-missing R]
 //                 [--seed S] [--export-matches FILE] [--export-elog FILE]
+//                 [--trace FILE]
 //
 // Generates a synthetic EV dataset, runs the selected matcher, prints the
 // summary the bench harnesses report, and optionally exports CSVs for
@@ -21,6 +22,7 @@
 #include "dataset/trace_io.hpp"
 #include "metrics/accuracy.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
 namespace {
 
@@ -55,7 +57,8 @@ void PrintUsage() {
       "  --v-missing R         detector miss probability\n"
       "  --seed S              master seed (default 2017)\n"
       "  --export-matches F    write match results CSV\n"
-      "  --export-elog F       write the raw E-log CSV\n";
+      "  --export-elog F       write the raw E-log CSV\n"
+      "  --trace F             write counters + stage spans JSON\n";
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
@@ -88,6 +91,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
 
 int main(int argc, char** argv) {
   using namespace evm;
+  obs::TraceSession trace(obs::ExtractTraceFlag(argc, argv));
   CliOptions options;
   try {
     if (!ParseArgs(argc, argv, options)) {
@@ -126,13 +130,18 @@ int main(int argc, char** argv) {
 
   MatchReport report;
   if (options.algo == "edp") {
+    EdpConfig edp_config = DefaultEdpConfig();
+    edp_config.metrics = trace.metrics();
+    edp_config.trace = trace.trace();
     EdpMatcher matcher(dataset.e_scenarios, dataset.v_scenarios,
-                       dataset.oracle, DefaultEdpConfig());
+                       dataset.oracle, edp_config);
     report = matcher.Match(targets);
   } else if (options.algo == "ss") {
     MatcherConfig matcher_config = DefaultSsConfig(options.practical);
     matcher_config.refine.enabled = options.refine;
     matcher_config.refine.min_majority = 0.75;
+    matcher_config.metrics = trace.metrics();
+    matcher_config.trace = trace.trace();
     EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios,
                       dataset.oracle, matcher_config);
     report = matcher.Match(targets);

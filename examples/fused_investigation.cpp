@@ -17,9 +17,11 @@
 #include "dataset/trace_io.hpp"
 #include "fusion/ev_index.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace evm;
+  obs::TraceSession trace(obs::ExtractTraceFlag(argc, argv));
 
   DatasetConfig config;
   config.population = 400;
@@ -27,8 +29,11 @@ int main() {
   config.seed = 8;
   std::cout << "Generating district dataset and running universal matching...\n";
   const Dataset dataset = GenerateDataset(config);
+  MatcherConfig matcher_config = DefaultSsConfig();
+  matcher_config.metrics = trace.metrics();
+  matcher_config.trace = trace.trace();
   EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
-                    DefaultSsConfig());
+                    matcher_config);
   const MatchReport report = matcher.MatchUniversal();
 
   const EvIndex index(report, dataset.e_log, dataset.e_scenarios,

@@ -14,9 +14,11 @@
 #include "core/matcher.hpp"
 #include "dataset/generator.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace evm;
+  obs::TraceSession trace(obs::ExtractTraceFlag(argc, argv));
 
   DatasetConfig config;
   config.population = 600;
@@ -34,12 +36,17 @@ int main() {
   const auto targets = SampleTargets(dataset, 200, 1);
 
   // (a) ideal-setting algorithm on noisy data
-  const RunSummary ideal = RunSs(dataset, targets, DefaultSsConfig(false));
+  MatcherConfig ideal_config = DefaultSsConfig(false);
+  ideal_config.metrics = trace.metrics();
+  ideal_config.trace = trace.trace();
+  const RunSummary ideal = RunSs(dataset, targets, ideal_config);
 
   // (b) practical setting: vague-aware splitting + matching refining
   MatcherConfig practical_config = DefaultSsConfig(/*practical=*/true);
   practical_config.refine.max_rounds = 2;
   practical_config.refine.min_majority = 0.75;
+  practical_config.metrics = trace.metrics();
+  practical_config.trace = trace.trace();
   const RunSummary practical = RunSs(dataset, targets, practical_config);
 
   std::cout << "\n                    ideal setting   practical setting\n";

@@ -1,7 +1,7 @@
 // Quickstart: generate a small synthetic EV dataset, match a handful of
 // EIDs with EV-Matching, and print what the library found.
 //
-//   $ ./quickstart [num_people] [num_targets]
+//   $ ./quickstart [num_people] [num_targets] [--trace out.json]
 
 #include <cstdlib>
 #include <iostream>
@@ -11,8 +11,10 @@
 #include "dataset/generator.hpp"
 #include "metrics/accuracy.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
 int main(int argc, char** argv) {
+  evm::obs::TraceSession trace(evm::obs::ExtractTraceFlag(argc, argv));
   const std::size_t population =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
   const std::size_t num_targets =
@@ -34,8 +36,11 @@ int main(int argc, char** argv) {
   // 2. Pick some suspects' EIDs and match them to their visual identities.
   const std::vector<evm::Eid> targets =
       evm::SampleTargets(dataset, num_targets, /*seed=*/1);
+  evm::MatcherConfig matcher_config = evm::DefaultSsConfig();
+  matcher_config.metrics = trace.metrics();
+  matcher_config.trace = trace.trace();
   evm::EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios,
-                         dataset.oracle, evm::DefaultSsConfig());
+                         dataset.oracle, matcher_config);
   const evm::MatchReport report = matcher.Match(targets);
 
   // 3. Inspect the results.

@@ -17,9 +17,11 @@
 #include "dataset/generator.hpp"
 #include "metrics/accuracy.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/trace_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace evm;
+  obs::TraceSession trace(obs::ExtractTraceFlag(argc, argv));
 
   DatasetConfig config;
   config.population = 500;
@@ -29,8 +31,11 @@ int main() {
             << " people)...\n";
   const Dataset dataset = GenerateDataset(config);
 
+  MatcherConfig matcher_config = DefaultSsConfig();
+  matcher_config.metrics = trace.metrics();
+  matcher_config.trace = trace.trace();
   EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
-                    DefaultSsConfig());
+                    matcher_config);
 
   // --- small query first, for the per-EID cost comparison -----------------
   const auto few = SampleTargets(dataset, 10, 3);

@@ -7,7 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "common/stopwatch.hpp"
+#include "core/match_counters.hpp"
 
 namespace evm {
 
@@ -18,8 +18,10 @@ EdpMatcher::EdpMatcher(const EScenarioSet& e_scenarios,
       v_scenarios_(v_scenarios),
       config_(config),
       universe_(CollectUniverse(e_scenarios)),
-      gallery_(oracle) {
+      gallery_(oracle, &metrics(), config_.trace) {
   if (config_.execution == ExecutionMode::kMapReduce) {
+    if (config_.engine.metrics == nullptr) config_.engine.metrics = &metrics();
+    if (config_.engine.trace == nullptr) config_.engine.trace = config_.trace;
     engine_ = std::make_unique<mapreduce::MapReduceEngine>(config_.engine);
   }
 
@@ -116,16 +118,19 @@ EidScenarioList EdpMatcher::SelectScenariosFor(Eid eid) const {
 
 MatchReport EdpMatcher::Match(const std::vector<Eid>& targets) {
   EVM_CHECK_MSG(!targets.empty(), "no target EIDs");
+  obs::MetricsRegistry& reg = metrics();
+  obs::TraceRecorder* const trace = config_.trace;
   MatchReport report;
   report.results.resize(targets.size());
   report.scenario_lists.resize(targets.size());
-  StageTimer e_timer;
-  StageTimer v_timer;
-  const std::uint64_t extracted_before = gallery_.ExtractionCount();
+  const MatchCounterSnapshot before = SnapshotMatchCounters(reg);
+  obs::StageSpan match_span(trace, "edp-match");
+  obs::AmbientParentScope match_ambient(trace, match_span.id());
 
   // E stage: independent footprint selection per EID.
   {
-    ScopedStage stage(e_timer);
+    obs::StageSpan span(trace, "e-select", reg.latency(kLatEStage));
+    obs::AmbientParentScope ambient(trace, span.id());
     if (engine_ != nullptr) {
       engine_->pool().ParallelFor(targets.size(), [&](std::size_t i) {
         report.scenario_lists[i] = SelectScenariosFor(targets[i]);
@@ -138,28 +143,33 @@ MatchReport EdpMatcher::Match(const std::vector<Eid>& targets) {
   }
 
   // V stage: the same VID filtering as EV-Matching; in MapReduce mode each
-  // "mapper" handles one EID matching task end to end.
+  // "mapper" handles one EID matching task end to end. Either path funnels
+  // its VidFilterCounters into the shared registry, so sequential and
+  // MapReduce runs report identical counter sets.
   {
-    ScopedStage stage(v_timer);
+    obs::StageSpan span(trace, "v-filter", reg.latency(kLatVStage));
+    obs::AmbientParentScope ambient(trace, span.id());
+    const obs::Counter comparisons = reg.counter(kCtrFeatureComparisons);
+    const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
+    VidFilterCounters total;
     if (engine_ != nullptr) {
       std::mutex counters_mutex;
-      VidFilterCounters total;
       engine_->pool().ParallelFor(targets.size(), [&](std::size_t i) {
         VidFilterCounters counters;
         report.results[i] = FilterVid(report.scenario_lists[i], v_scenarios_,
-                                      gallery_, counters);
+                                      gallery_, counters, {}, trace);
         std::lock_guard<std::mutex> lock(counters_mutex);
         total.feature_comparisons += counters.feature_comparisons;
+        total.scenarios_processed += counters.scenarios_processed;
       });
-      report.stats.feature_comparisons = total.feature_comparisons;
     } else {
-      VidFilterCounters counters;
       for (std::size_t i = 0; i < targets.size(); ++i) {
         report.results[i] = FilterVid(report.scenario_lists[i], v_scenarios_,
-                                      gallery_, counters);
+                                      gallery_, total, {}, trace);
       }
-      report.stats.feature_comparisons = counters.feature_comparisons;
     }
+    comparisons.Add(total.feature_comparisons);
+    processed.Add(total.scenarios_processed);
   }
 
   std::unordered_set<std::uint64_t> distinct;
@@ -172,10 +182,8 @@ MatchReport EdpMatcher::Match(const std::vector<Eid>& targets) {
   report.stats.distinct_scenarios = distinct.size();
   report.stats.avg_scenarios_per_eid =
       static_cast<double>(total_length) / static_cast<double>(targets.size());
-  report.stats.e_stage_seconds = e_timer.TotalSeconds();
-  report.stats.v_stage_seconds = v_timer.TotalSeconds();
-  report.stats.features_extracted =
-      gallery_.ExtractionCount() - extracted_before;
+  ApplyMatchCounterDelta(before, SnapshotMatchCounters(reg), report.stats);
+  PublishDerivedStats(&reg, report.stats);
   return report;
 }
 

@@ -39,6 +39,9 @@ struct EdpConfig {
   std::size_t max_scenarios_per_eid{64};
   ExecutionMode execution{ExecutionMode::kSequential};
   mapreduce::EngineOptions engine{};
+  /// Same semantics as MatcherConfig::metrics / ::trace.
+  obs::MetricsRegistry* metrics{nullptr};
+  obs::TraceRecorder* trace{nullptr};
 };
 
 class EdpMatcher {
@@ -62,11 +65,18 @@ class EdpMatcher {
   /// footprint scenario list selected for one EID.
   [[nodiscard]] EidScenarioList SelectScenariosFor(Eid eid) const;
 
+  /// Registry the baseline's counters accumulate into (the configured one,
+  /// or the matcher-owned fallback).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return config_.metrics != nullptr ? *config_.metrics : own_metrics_;
+  }
+
  private:
   const EScenarioSet& e_scenarios_;
   const VScenarioSet& v_scenarios_;
   EdpConfig config_;
   std::vector<Eid> universe_;
+  obs::MetricsRegistry own_metrics_;  // used when config_.metrics is null
   FeatureGallery gallery_;
   std::unique_ptr<mapreduce::MapReduceEngine> engine_;
   // presence_[uidx][window] = scenario the EID appears in (inclusively)

@@ -42,6 +42,14 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool::ParallelForPlan ThreadPool::PlanFor(std::size_t count,
+                                                std::size_t workers) noexcept {
+  if (count == 0 || workers == 0) return {};
+  const std::size_t max_tasks = 4 * workers;
+  const std::size_t chunk = std::max<std::size_t>(1, count / max_tasks);
+  return {chunk, std::min(max_tasks, (count + chunk - 1) / chunk)};
+}
+
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -49,11 +57,7 @@ void ThreadPool::ParallelFor(std::size_t count,
   // future per element: ~4 tasks per worker pull disjoint index chunks off
   // a shared atomic cursor, so scheduling overhead is O(tasks), not
   // O(count), and stragglers are load-balanced by the chunk granularity.
-  const std::size_t max_tasks = 4 * size();
-  const std::size_t chunk =
-      std::max<std::size_t>(1, count / (4 * max_tasks));
-  const std::size_t tasks =
-      std::min(max_tasks, (count + chunk - 1) / chunk);
+  const auto [chunk, tasks] = PlanFor(count, size());
 
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
   const auto drain = [cursor, count, chunk, &fn] {

@@ -42,6 +42,16 @@ class ThreadPool {
     return future;
   }
 
+  /// Chunking decision for a ParallelFor over `count` indices on `workers`
+  /// threads: `tasks` range tasks of `chunk` indices each (the last task may
+  /// be short). Exposed so tests can pin the schedule.
+  struct ParallelForPlan {
+    std::size_t chunk{0};
+    std::size_t tasks{0};
+  };
+  static ParallelForPlan PlanFor(std::size_t count,
+                                 std::size_t workers) noexcept;
+
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// complete; the calling thread participates. Work is submitted as at
   /// most 4 x size() chunked range tasks striding a shared atomic cursor

@@ -1,0 +1,45 @@
+#include "core/match_counters.hpp"
+
+namespace evm {
+
+MatchCounterSnapshot SnapshotMatchCounters(
+    const obs::MetricsRegistry& registry) {
+  MatchCounterSnapshot s;
+  s.splitting_iterations = registry.CounterValue(kCtrSplittingIterations);
+  s.refine_rounds = registry.CounterValue(kCtrRefineRounds);
+  s.feature_comparisons = registry.CounterValue(kCtrFeatureComparisons);
+  s.scenarios_processed = registry.CounterValue(kCtrScenariosProcessed);
+  s.gallery_extractions = registry.CounterValue(kCtrGalleryExtractions);
+  s.e_stage_seconds = registry.Latency(kLatEStage).total_seconds;
+  s.v_stage_seconds = registry.Latency(kLatVStage).total_seconds;
+  return s;
+}
+
+void ApplyMatchCounterDelta(const MatchCounterSnapshot& before,
+                            const MatchCounterSnapshot& after,
+                            MatchStats& stats) {
+  stats.splitting_iterations = static_cast<std::size_t>(
+      after.splitting_iterations - before.splitting_iterations);
+  stats.refine_rounds =
+      static_cast<std::size_t>(after.refine_rounds - before.refine_rounds);
+  stats.feature_comparisons =
+      after.feature_comparisons - before.feature_comparisons;
+  stats.scenarios_processed =
+      after.scenarios_processed - before.scenarios_processed;
+  stats.features_extracted =
+      after.gallery_extractions - before.gallery_extractions;
+  stats.e_stage_seconds = after.e_stage_seconds - before.e_stage_seconds;
+  stats.v_stage_seconds = after.v_stage_seconds - before.v_stage_seconds;
+}
+
+void PublishDerivedStats(obs::MetricsRegistry* registry,
+                         const MatchStats& stats) {
+  if (registry == nullptr) return;
+  registry->gauge(kGaugeDistinctScenarios)
+      .Set(static_cast<double>(stats.distinct_scenarios));
+  registry->gauge(kGaugeAvgScenariosPerEid).Set(stats.avg_scenarios_per_eid);
+  registry->gauge(kGaugeUndistinguishedEids)
+      .Set(static_cast<double>(stats.undistinguished_eids));
+}
+
+}  // namespace evm

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
+#include "core/match_counters.hpp"
 
 namespace evm {
 
@@ -16,36 +16,55 @@ EvMatcher::EvMatcher(const EScenarioSet& e_scenarios,
       v_scenarios_(v_scenarios),
       config_(config),
       universe_(CollectUniverse(e_scenarios)),
-      gallery_(oracle) {
+      gallery_(oracle, &metrics(), config_.trace) {
   if (config_.execution == ExecutionMode::kMapReduce) {
     EVM_CHECK_MSG(config_.split.mode == SplitMode::kWindowSignature,
                   "MapReduce execution requires the window-signature mode");
+    // The engine shares the matcher's registry/recorder unless the caller
+    // wired its own, so mr.* counters land next to the match.* ones.
+    if (config_.engine.metrics == nullptr) config_.engine.metrics = &metrics();
+    if (config_.engine.trace == nullptr) config_.engine.trace = config_.trace;
     engine_ = std::make_unique<mapreduce::MapReduceEngine>(config_.engine);
   }
 }
 
 SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
-                                 std::uint64_t seed) const {
+                                 std::uint64_t seed) {
+  obs::StageSpan span(config_.trace, "e-split", metrics().latency(kLatEStage));
+  obs::AmbientParentScope ambient(config_.trace, span.id());
   SplitConfig split = config_.split;
   split.seed = seed;
-  if (engine_ != nullptr) {
-    return ParallelSetSplitter(e_scenarios_, split, *engine_)
-        .Run(universe_, targets);
-  }
-  return SetSplitter(e_scenarios_, split).Run(universe_, targets);
+  SplitOutcome outcome =
+      engine_ != nullptr
+          ? ParallelSetSplitter(e_scenarios_, split, *engine_, config_.trace)
+                .Run(universe_, targets)
+          : SetSplitter(e_scenarios_, split, config_.trace)
+                .Run(universe_, targets);
+  // Accumulated per split pass, so refine rounds' windows count too.
+  metrics()
+      .counter(kCtrSplittingIterations)
+      .Add(outcome.windows_consumed);
+  return outcome;
 }
 
 void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
-                          std::vector<MatchResult>& results,
-                          MatchStats& stats) {
+                          std::vector<MatchResult>& results) {
+  obs::MetricsRegistry& reg = metrics();
+  obs::TraceRecorder* const trace = config_.trace;
+  obs::StageSpan span(trace, "v-filter", reg.latency(kLatVStage));
+  obs::AmbientParentScope ambient(trace, span.id());
+  const obs::Counter comparisons = reg.counter(kCtrFeatureComparisons);
+  const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
+
   results.resize(lists.size());
   if (engine_ == nullptr) {
     VidFilterCounters counters;
     for (std::size_t i = 0; i < lists.size(); ++i) {
       results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
-                             config_.filter);
+                             config_.filter, trace);
     }
-    stats.feature_comparisons += counters.feature_comparisons;
+    comparisons.Add(counters.feature_comparisons);
+    processed.Add(counters.scenarios_processed);
     return;
   }
 
@@ -78,34 +97,29 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
   engine_->pool().ParallelFor(lists.size(), [&](std::size_t i) {
     VidFilterCounters counters;
     results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
-                             config_.filter);
+                           config_.filter, trace);
     std::lock_guard<std::mutex> lock(counters_mutex);
     total.feature_comparisons += counters.feature_comparisons;
     total.scenarios_processed += counters.scenarios_processed;
   });
-  stats.feature_comparisons += total.feature_comparisons;
+  comparisons.Add(total.feature_comparisons);
+  processed.Add(total.scenarios_processed);
 }
 
 MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
+  obs::MetricsRegistry& reg = metrics();
   MatchReport report;
-  StageTimer e_timer;
-  StageTimer v_timer;
-  const std::uint64_t extracted_before = gallery_.ExtractionCount();
+  const MatchCounterSnapshot before = SnapshotMatchCounters(reg);
+  obs::StageSpan match_span(config_.trace, "match");
+  obs::AmbientParentScope match_ambient(config_.trace, match_span.id());
 
-  SplitOutcome outcome;
-  {
-    ScopedStage stage(e_timer);
-    outcome = RunSplit(targets, config_.split.seed);
-  }
-  report.stats.splitting_iterations = outcome.windows_consumed;
-  {
-    ScopedStage stage(v_timer);
-    RunFilter(outcome.lists, report.results, report.stats);
-  }
+  SplitOutcome outcome = RunSplit(targets, config_.split.seed);
+  RunFilter(outcome.lists, report.results);
 
   // Matching refining (Algorithm 2): re-split and re-filter the EIDs whose
   // result is not acceptable, over a fresh window order.
   if (config_.refine.enabled) {
+    const obs::Counter refine_rounds = reg.counter(kCtrRefineRounds);
     for (std::size_t round = 1; round <= config_.refine.max_rounds; ++round) {
       std::vector<std::size_t> pending;
       for (std::size_t i = 0; i < report.results.size(); ++i) {
@@ -120,18 +134,11 @@ MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
       retry.reserve(pending.size());
       for (const std::size_t i : pending) retry.push_back(targets[i]);
 
-      SplitOutcome retry_outcome;
-      {
-        ScopedStage stage(e_timer);
-        retry_outcome = RunSplit(
-            retry, config_.split.seed + 0x9e3779b9ULL * round);
-      }
+      SplitOutcome retry_outcome =
+          RunSplit(retry, config_.split.seed + 0x9e3779b9ULL * round);
       std::vector<MatchResult> retry_results;
-      {
-        ScopedStage stage(v_timer);
-        RunFilter(retry_outcome.lists, retry_results, report.stats);
-      }
-      ++report.stats.refine_rounds;
+      RunFilter(retry_outcome.lists, retry_results);
+      refine_rounds.Add();
       for (std::size_t k = 0; k < pending.size(); ++k) {
         MatchResult& old_result = report.results[pending[k]];
         const MatchResult& new_result = retry_results[k];
@@ -149,7 +156,8 @@ MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
     }
   }
 
-  // Final statistics over the lists that produced the reported results.
+  // Final statistics over the lists that produced the reported results;
+  // everything the stages counted comes out of the registry delta.
   std::unordered_set<std::uint64_t> distinct;
   std::size_t total_length = 0;
   std::size_t undistinguished = 0;
@@ -165,10 +173,8 @@ MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
           : static_cast<double>(total_length) /
                 static_cast<double>(outcome.lists.size());
   report.stats.undistinguished_eids = undistinguished;
-  report.stats.e_stage_seconds = e_timer.TotalSeconds();
-  report.stats.v_stage_seconds = v_timer.TotalSeconds();
-  report.stats.features_extracted =
-      gallery_.ExtractionCount() - extracted_before;
+  ApplyMatchCounterDelta(before, SnapshotMatchCounters(reg), report.stats);
+  PublishDerivedStats(&reg, report.stats);
   report.scenario_lists = std::move(outcome.lists);
   return report;
 }

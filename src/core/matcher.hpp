@@ -21,6 +21,8 @@
 #include "core/types.hpp"
 #include "core/vid_filter.hpp"
 #include "mapreduce/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vsense/gallery.hpp"
 #include "vsense/v_scenario.hpp"
 #include "vsense/visual_oracle.hpp"
@@ -49,6 +51,12 @@ struct MatcherConfig {
   ExecutionMode execution{ExecutionMode::kSequential};
   /// Engine options for ExecutionMode::kMapReduce.
   mapreduce::EngineOptions engine{};
+  /// Registry the pipeline counters accumulate into; null = a matcher-owned
+  /// registry (MatchStats works either way). One run at a time per registry:
+  /// concurrent Match calls sharing a registry would interleave their deltas.
+  obs::MetricsRegistry* metrics{nullptr};
+  /// Span recorder for nested stage timing; null = no tracing.
+  obs::TraceRecorder* trace{nullptr};
 };
 
 class EvMatcher {
@@ -76,16 +84,23 @@ class EvMatcher {
     return gallery_;
   }
 
+  /// Registry every pipeline counter accumulates into (the configured one,
+  /// or the matcher-owned fallback).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return config_.metrics != nullptr ? *config_.metrics : own_metrics_;
+  }
+
  private:
   [[nodiscard]] SplitOutcome RunSplit(const std::vector<Eid>& targets,
-                                      std::uint64_t seed) const;
+                                      std::uint64_t seed);
   void RunFilter(const std::vector<EidScenarioList>& lists,
-                 std::vector<MatchResult>& results, MatchStats& stats);
+                 std::vector<MatchResult>& results);
 
   const EScenarioSet& e_scenarios_;
   const VScenarioSet& v_scenarios_;
   MatcherConfig config_;
   std::vector<Eid> universe_;
+  obs::MetricsRegistry own_metrics_;  // used when config_.metrics is null
   FeatureGallery gallery_;
   std::unique_ptr<mapreduce::MapReduceEngine> engine_;  // kMapReduce only
 };

@@ -27,8 +27,9 @@ struct EidSetInput {
 
 ParallelSetSplitter::ParallelSetSplitter(const EScenarioSet& scenarios,
                                          SplitConfig config,
-                                         mapreduce::MapReduceEngine& engine)
-    : scenarios_(scenarios), config_(config), engine_(engine) {
+                                         mapreduce::MapReduceEngine& engine,
+                                         obs::TraceRecorder* trace)
+    : scenarios_(scenarios), config_(config), engine_(engine), trace_(trace) {
   EVM_CHECK_MSG(config.mode == SplitMode::kWindowSignature,
                 "the MapReduce driver implements the window-signature mode");
 }
@@ -126,6 +127,8 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
     }
     if (!any_scenario) continue;
     ++outcome.windows_consumed;
+    // Covers the rest of this iteration: both engine jobs and the merge.
+    obs::StageSpan window_span(trace_, "e-split.window");
 
     // ---- map + reduce: eid -> sorted list of set ids holding it ----
     using SetIdList = std::vector<std::uint64_t>;

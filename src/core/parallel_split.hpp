@@ -34,9 +34,11 @@ class ParallelSetSplitter {
  public:
   /// `config.mode` must be kWindowSignature (the MapReduce semantics);
   /// practical mode skips vague evidence exactly like the sequential
-  /// splitter.
+  /// splitter. A non-null `trace` records an e-split.window span per
+  /// consumed window (the engine's per-job spans nest inside it).
   ParallelSetSplitter(const EScenarioSet& scenarios, SplitConfig config,
-                      mapreduce::MapReduceEngine& engine);
+                      mapreduce::MapReduceEngine& engine,
+                      obs::TraceRecorder* trace = nullptr);
 
   [[nodiscard]] SplitOutcome Run(const std::vector<Eid>& universe,
                                  const std::vector<Eid>& targets) const;
@@ -45,6 +47,7 @@ class ParallelSetSplitter {
   const EScenarioSet& scenarios_;
   SplitConfig config_;
   mapreduce::MapReduceEngine& engine_;
+  obs::TraceRecorder* trace_{nullptr};
 };
 
 }  // namespace evm

@@ -230,6 +230,14 @@ void RunSignatureWindow(Workspace& ws, SignatureState& state,
 // The block whose history best distinguishes `uidx`: fewest inclusive
 // members (1 = fully distinguished), requiring the EID itself to be
 // inclusive there. Returns nullptr if no block holds the EID inclusively.
+//
+// Note SplitBlockBy maintains the invariant that every EID keeps exactly
+// one inclusive copy across all blocks (vague copies turn kVague on the
+// in-scenario side; inclusive members move wholesale), so the equal-count
+// tie-break below is defensive. When it does fire, prefer the *shorter*
+// history: the candidate list carries that block's history as the
+// scenarios to verify in the V stage, and an equally-distinguishing block
+// with fewer recorded scenarios means fewer VID feature comparisons.
 const Block* BestBlockFor(const Workspace& ws, std::uint32_t uidx) {
   const Block* best = nullptr;
   std::size_t best_inclusive = 0;
@@ -239,7 +247,7 @@ const Block* BestBlockFor(const Workspace& ws, std::uint32_t uidx) {
       const std::size_t inclusive = InclusiveCount(block);
       if (best == nullptr || inclusive < best_inclusive ||
           (inclusive == best_inclusive &&
-           block.history.size() > best->history.size())) {
+           block.history.size() < best->history.size())) {
         best = &block;
         best_inclusive = inclusive;
       }
@@ -285,8 +293,9 @@ void BackfillPresence(const EScenarioSet& scenarios,
   }
 }
 
-SetSplitter::SetSplitter(const EScenarioSet& scenarios, SplitConfig config)
-    : scenarios_(scenarios), config_(config) {}
+SetSplitter::SetSplitter(const EScenarioSet& scenarios, SplitConfig config,
+                         obs::TraceRecorder* trace)
+    : scenarios_(scenarios), config_(config), trace_(trace) {}
 
 SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
                               const std::vector<Eid>& targets) const {
@@ -360,10 +369,13 @@ SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
     }
     if (relevant.empty()) continue;
     ++outcome.windows_consumed;
-    if (config_.mode == SplitMode::kBinary) {
-      RunBinaryWindow(ws, relevant, config_.practical);
-    } else {
-      RunSignatureWindow(ws, state, relevant, config_.practical);
+    {
+      obs::StageSpan span(trace_, "e-split.window");
+      if (config_.mode == SplitMode::kBinary) {
+        RunBinaryWindow(ws, relevant, config_.practical);
+      } else {
+        RunSignatureWindow(ws, state, relevant, config_.practical);
+      }
     }
     if (remaining_targets() == 0) break;
   }

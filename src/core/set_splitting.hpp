@@ -37,6 +37,7 @@
 #include "common/ids.hpp"
 #include "core/types.hpp"
 #include "esense/e_scenario.hpp"
+#include "obs/trace.hpp"
 
 namespace evm {
 
@@ -85,7 +86,9 @@ void BackfillPresence(const EScenarioSet& scenarios,
 
 class SetSplitter {
  public:
-  SetSplitter(const EScenarioSet& scenarios, SplitConfig config);
+  /// A non-null `trace` records an e-split.window span per consumed window.
+  SetSplitter(const EScenarioSet& scenarios, SplitConfig config,
+              obs::TraceRecorder* trace = nullptr);
 
   /// Distinguishes every EID of `targets` within `universe` (targets must be
   /// a subset of universe). Passing targets == universe performs the paper's
@@ -96,6 +99,7 @@ class SetSplitter {
  private:
   const EScenarioSet& scenarios_;
   SplitConfig config_;
+  obs::TraceRecorder* trace_{nullptr};
 };
 
 }  // namespace evm

@@ -59,6 +59,9 @@ struct MatchStats {
   std::uint64_t features_extracted{0};
   /// Pairwise feature similarity evaluations performed.
   std::uint64_t feature_comparisons{0};
+  /// Non-empty V-Scenarios visited by VID filtering, summed over EIDs —
+  /// reuse counted per visit (unlike distinct_scenarios).
+  std::uint64_t scenarios_processed{0};
   /// Matching-refining rounds executed (practical setting, Algorithm 2).
   std::size_t refine_rounds{0};
 

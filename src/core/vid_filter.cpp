@@ -13,7 +13,9 @@ namespace evm {
 MatchResult FilterVid(const EidScenarioList& list,
                       const VScenarioSet& v_scenarios, FeatureGallery& gallery,
                       VidFilterCounters& counters,
-                      const VidFilterOptions& options) {
+                      const VidFilterOptions& options,
+                      obs::TraceRecorder* trace) {
+  obs::StageSpan span(trace, "v-filter.eid");
   MatchResult result;
   result.eid = list.eid;
 

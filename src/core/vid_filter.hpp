@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "vsense/gallery.hpp"
 #include "vsense/v_scenario.hpp"
 
@@ -45,11 +46,13 @@ struct VidFilterOptions {
 /// Runs VID filtering for one EID's scenario list. `gallery` provides (and
 /// caches) the observation features; scenarios missing from `v_scenarios`
 /// or with no detections are skipped. Returns an unresolved result when no
-/// usable scenario remains.
+/// usable scenario remains. A non-null `trace` records a v-filter.eid span
+/// per call.
 [[nodiscard]] MatchResult FilterVid(const EidScenarioList& list,
                                     const VScenarioSet& v_scenarios,
                                     FeatureGallery& gallery,
                                     VidFilterCounters& counters,
-                                    const VidFilterOptions& options = {});
+                                    const VidFilterOptions& options = {},
+                                    obs::TraceRecorder* trace = nullptr);
 
 }  // namespace evm

@@ -2,21 +2,80 @@
 // Per-job execution counters, mirroring the task/IO counters a Hadoop or
 // Spark UI would show. Tests use these to verify scheduling behaviour
 // (retries after injected failures, shuffle volume, task counts).
+//
+// The engine accumulates these in an obs::MetricsRegistry under the mr.*
+// names below; JobCounters is the per-job *view*, computed as the registry
+// delta across one Run() (see SnapshotJobCounters / DeltaJobCounters).
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace evm::mapreduce {
+
+inline constexpr char kMrMapTasks[] = "mr.map_tasks";
+inline constexpr char kMrMapAttempts[] = "mr.map_attempts";
+inline constexpr char kMrReduceTasks[] = "mr.reduce_tasks";
+inline constexpr char kMrReduceAttempts[] = "mr.reduce_attempts";
+inline constexpr char kMrInjectedMapFailures[] = "mr.injected_map_failures";
+inline constexpr char kMrInjectedReduceFailures[] =
+    "mr.injected_reduce_failures";
+inline constexpr char kMrInputRecords[] = "mr.input_records";
+inline constexpr char kMrShuffledRecords[] = "mr.shuffled_records";
+inline constexpr char kMrShuffledBytes[] = "mr.shuffled_bytes";
+inline constexpr char kMrOutputRecords[] = "mr.output_records";
 
 struct JobCounters {
   std::uint64_t map_tasks{0};
   std::uint64_t map_attempts{0};
   std::uint64_t reduce_tasks{0};
   std::uint64_t reduce_attempts{0};
+  std::uint64_t injected_map_failures{0};
+  std::uint64_t injected_reduce_failures{0};
+  /// Sum of the two injected_* counters (kept for callers that only care
+  /// whether any failure fired).
   std::uint64_t injected_failures{0};
   std::uint64_t input_records{0};
   std::uint64_t shuffled_records{0};
   std::uint64_t shuffled_bytes{0};
   std::uint64_t output_records{0};
 };
+
+/// Current mr.* values of `registry` as a JobCounters.
+inline JobCounters SnapshotJobCounters(const obs::MetricsRegistry& registry) {
+  JobCounters c;
+  c.map_tasks = registry.CounterValue(kMrMapTasks);
+  c.map_attempts = registry.CounterValue(kMrMapAttempts);
+  c.reduce_tasks = registry.CounterValue(kMrReduceTasks);
+  c.reduce_attempts = registry.CounterValue(kMrReduceAttempts);
+  c.injected_map_failures = registry.CounterValue(kMrInjectedMapFailures);
+  c.injected_reduce_failures = registry.CounterValue(kMrInjectedReduceFailures);
+  c.injected_failures = c.injected_map_failures + c.injected_reduce_failures;
+  c.input_records = registry.CounterValue(kMrInputRecords);
+  c.shuffled_records = registry.CounterValue(kMrShuffledRecords);
+  c.shuffled_bytes = registry.CounterValue(kMrShuffledBytes);
+  c.output_records = registry.CounterValue(kMrOutputRecords);
+  return c;
+}
+
+/// Counter movement between two snapshots (after - before, memberwise).
+inline JobCounters DeltaJobCounters(const JobCounters& before,
+                                    const JobCounters& after) {
+  JobCounters d;
+  d.map_tasks = after.map_tasks - before.map_tasks;
+  d.map_attempts = after.map_attempts - before.map_attempts;
+  d.reduce_tasks = after.reduce_tasks - before.reduce_tasks;
+  d.reduce_attempts = after.reduce_attempts - before.reduce_attempts;
+  d.injected_map_failures =
+      after.injected_map_failures - before.injected_map_failures;
+  d.injected_reduce_failures =
+      after.injected_reduce_failures - before.injected_reduce_failures;
+  d.injected_failures = d.injected_map_failures + d.injected_reduce_failures;
+  d.input_records = after.input_records - before.input_records;
+  d.shuffled_records = after.shuffled_records - before.shuffled_records;
+  d.shuffled_bytes = after.shuffled_bytes - before.shuffled_bytes;
+  d.output_records = after.output_records - before.output_records;
+  return d;
+}
 
 }  // namespace evm::mapreduce

@@ -33,6 +33,8 @@
 #include "mapreduce/codec.hpp"
 #include "mapreduce/counters.hpp"
 #include "mapreduce/partitioner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace evm::mapreduce {
 
@@ -49,6 +51,11 @@ struct EngineOptions {
   int max_attempts{3};
   /// Number of map tasks; 0 = 4 x workers (capped by the input size).
   std::size_t target_map_tasks{0};
+  /// Registry the mr.* counters accumulate into; null = an engine-owned
+  /// registry (last_counters() works either way).
+  obs::MetricsRegistry* metrics{nullptr};
+  /// Span recorder for map/shuffle/reduce phase timing; null = no tracing.
+  obs::TraceRecorder* trace{nullptr};
 };
 
 /// Collects (key, value) emissions of one map task, serialized per reduce
@@ -90,9 +97,23 @@ class MapReduceEngine {
                        const std::vector<In>& inputs, std::size_t num_reducers,
                        MapFn&& map_fn, ReduceFn&& reduce_fn) {
     EVM_CHECK_MSG(num_reducers > 0, "need at least one reducer");
-    JobCounters counters;
-    counters.input_records = inputs.size();
-    counters.reduce_tasks = num_reducers;
+    obs::MetricsRegistry& reg = registry();
+    obs::TraceRecorder* const trace = options_.trace;
+    const JobCounters before = SnapshotJobCounters(reg);
+
+    obs::StageSpan job_span(trace, "mapreduce:" + job_name);
+    obs::AmbientParentScope job_ambient(trace, job_span.id());
+
+    const obs::Counter c_map_attempts = reg.counter(kMrMapAttempts);
+    const obs::Counter c_reduce_attempts = reg.counter(kMrReduceAttempts);
+    const obs::Counter c_injected_map = reg.counter(kMrInjectedMapFailures);
+    const obs::Counter c_injected_reduce =
+        reg.counter(kMrInjectedReduceFailures);
+    const obs::Counter c_shuffled_records = reg.counter(kMrShuffledRecords);
+    const obs::Counter c_shuffled_bytes = reg.counter(kMrShuffledBytes);
+    const obs::Counter c_output_records = reg.counter(kMrOutputRecords);
+    reg.counter(kMrInputRecords).Add(inputs.size());
+    reg.counter(kMrReduceTasks).Add(num_reducers);
 
     // ---- split ----
     std::size_t num_map_tasks =
@@ -100,100 +121,103 @@ class MapReduceEngine {
                                       : 4 * pool_.size();
     num_map_tasks = std::min(num_map_tasks, inputs.size());
     if (num_map_tasks == 0) num_map_tasks = inputs.empty() ? 0 : 1;
-    counters.map_tasks = num_map_tasks;
+    reg.counter(kMrMapTasks).Add(num_map_tasks);
 
     // shuffle[r][m] = serialized pairs emitted by map task m for partition r.
     std::vector<std::vector<std::vector<unsigned char>>> shuffle(num_reducers);
     for (auto& partition : shuffle) partition.resize(num_map_tasks);
 
-    std::atomic<std::uint64_t> map_attempts{0};
-    std::atomic<std::uint64_t> injected{0};
-    std::atomic<std::uint64_t> shuffled_records{0};
-    std::atomic<std::uint64_t> shuffled_bytes{0};
-
     // ---- map ----
-    pool_.ParallelFor(num_map_tasks, [&](std::size_t m) {
-      const std::size_t begin = m * inputs.size() / num_map_tasks;
-      const std::size_t end = (m + 1) * inputs.size() / num_map_tasks;
-      for (int attempt = 1;; ++attempt) {
-        map_attempts.fetch_add(1, std::memory_order_relaxed);
-        std::vector<BinaryWriter> parts(num_reducers);
-        std::uint64_t emitted = 0;
-        Emitter<K, V> emitter(parts, emitted);
-        for (std::size_t i = begin; i < end; ++i) map_fn(inputs[i], emitter);
-        if (InjectFailure(job_name, "map", m, attempt,
-                          options_.map_failure_prob)) {
-          injected.fetch_add(1, std::memory_order_relaxed);
-          EVM_CHECK_MSG(attempt < options_.max_attempts,
-                        "map task exceeded max attempts");
-          continue;  // crash: the task's uncommitted output is discarded
+    {
+      obs::StageSpan map_phase(trace, "map", reg.latency("mr.map_seconds"));
+      obs::AmbientParentScope map_ambient(trace, map_phase.id());
+      pool_.ParallelFor(num_map_tasks, [&](std::size_t m) {
+        const std::size_t begin = m * inputs.size() / num_map_tasks;
+        const std::size_t end = (m + 1) * inputs.size() / num_map_tasks;
+        for (int attempt = 1;; ++attempt) {
+          obs::StageSpan task_span(trace, "map.task");
+          c_map_attempts.Add();
+          std::vector<BinaryWriter> parts(num_reducers);
+          std::uint64_t emitted = 0;
+          Emitter<K, V> emitter(parts, emitted);
+          for (std::size_t i = begin; i < end; ++i) map_fn(inputs[i], emitter);
+          if (InjectFailure(job_name, "map", m, attempt,
+                            options_.map_failure_prob)) {
+            c_injected_map.Add();
+            EVM_CHECK_MSG(attempt < options_.max_attempts,
+                          "map task exceeded max attempts");
+            continue;  // crash: the task's uncommitted output is discarded
+          }
+          for (std::size_t r = 0; r < num_reducers; ++r) {
+            c_shuffled_bytes.Add(parts[r].bytes().size());
+            shuffle[r][m] = parts[r].Take();  // this task's private slot
+          }
+          c_shuffled_records.Add(emitted);
+          break;
         }
-        for (std::size_t r = 0; r < num_reducers; ++r) {
-          shuffled_bytes.fetch_add(parts[r].bytes().size(),
-                                   std::memory_order_relaxed);
-          shuffle[r][m] = parts[r].Take();  // this task's private slot
-        }
-        shuffled_records.fetch_add(emitted, std::memory_order_relaxed);
-        break;
-      }
-    });
+      });
+    }
 
     // ---- shuffle + sort + reduce ----
     std::vector<std::vector<Out>> outputs(num_reducers);
-    std::atomic<std::uint64_t> reduce_attempts{0};
-    pool_.ParallelFor(num_reducers, [&](std::size_t r) {
-      for (int attempt = 1;; ++attempt) {
-        reduce_attempts.fetch_add(1, std::memory_order_relaxed);
-        std::vector<std::pair<K, V>> records;
-        for (const auto& buffer : shuffle[r]) {
-          BinaryReader reader(buffer.data(), buffer.size());
-          while (!reader.AtEnd()) {
-            K key = Codec<K>::Decode(reader);
-            V value = Codec<V>::Decode(reader);
-            records.emplace_back(std::move(key), std::move(value));
+    {
+      obs::StageSpan reduce_phase(trace, "reduce",
+                                  reg.latency("mr.reduce_seconds"));
+      obs::AmbientParentScope reduce_ambient(trace, reduce_phase.id());
+      pool_.ParallelFor(num_reducers, [&](std::size_t r) {
+        for (int attempt = 1;; ++attempt) {
+          c_reduce_attempts.Add();
+          std::vector<std::pair<K, V>> records;
+          {
+            obs::StageSpan shuffle_span(trace, "shuffle");
+            for (const auto& buffer : shuffle[r]) {
+              BinaryReader reader(buffer.data(), buffer.size());
+              while (!reader.AtEnd()) {
+                K key = Codec<K>::Decode(reader);
+                V value = Codec<V>::Decode(reader);
+                records.emplace_back(std::move(key), std::move(value));
+              }
+            }
+            std::stable_sort(records.begin(), records.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
           }
-        }
-        std::stable_sort(records.begin(), records.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first < b.first;
-                         });
-        std::vector<Out> out;
-        std::size_t i = 0;
-        while (i < records.size()) {
-          std::size_t j = i;
-          std::vector<V> values;
-          // equal keys are adjacent after the sort
-          while (j < records.size() && !(records[i].first < records[j].first)) {
-            values.push_back(std::move(records[j].second));
-            ++j;
+          obs::StageSpan task_span(trace, "reduce.task");
+          std::vector<Out> out;
+          std::size_t i = 0;
+          while (i < records.size()) {
+            std::size_t j = i;
+            std::vector<V> values;
+            // equal keys are adjacent after the sort
+            while (j < records.size() &&
+                   !(records[i].first < records[j].first)) {
+              values.push_back(std::move(records[j].second));
+              ++j;
+            }
+            reduce_fn(records[i].first, std::move(values), out);
+            i = j;
           }
-          reduce_fn(records[i].first, std::move(values), out);
-          i = j;
+          if (InjectFailure(job_name, "reduce", r, attempt,
+                            options_.reduce_failure_prob)) {
+            c_injected_reduce.Add();
+            EVM_CHECK_MSG(attempt < options_.max_attempts,
+                          "reduce task exceeded max attempts");
+            continue;
+          }
+          outputs[r] = std::move(out);
+          break;
         }
-        if (InjectFailure(job_name, "reduce", r, attempt,
-                          options_.reduce_failure_prob)) {
-          injected.fetch_add(1, std::memory_order_relaxed);
-          EVM_CHECK_MSG(attempt < options_.max_attempts,
-                        "reduce task exceeded max attempts");
-          continue;
-        }
-        outputs[r] = std::move(out);
-        break;
-      }
-    });
+      });
+    }
 
     std::vector<Out> result;
     for (auto& partition : outputs) {
-      counters.output_records += partition.size();
+      c_output_records.Add(partition.size());
       result.insert(result.end(), std::make_move_iterator(partition.begin()),
                     std::make_move_iterator(partition.end()));
     }
-    counters.map_attempts = map_attempts.load();
-    counters.reduce_attempts = reduce_attempts.load();
-    counters.injected_failures = injected.load();
-    counters.shuffled_records = shuffled_records.load();
-    counters.shuffled_bytes = shuffled_bytes.load();
-    last_counters_ = counters;
+    last_counters_ = DeltaJobCounters(before, SnapshotJobCounters(reg));
     return result;
   }
 
@@ -217,6 +241,11 @@ class MapReduceEngine {
   }
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  /// Registry the engine accumulates mr.* counters into (the configured one,
+  /// or the engine-owned fallback).
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
+    return options_.metrics != nullptr ? *options_.metrics : own_metrics_;
+  }
 
  private:
   [[nodiscard]] bool InjectFailure(const std::string& job, const char* stage,
@@ -229,6 +258,7 @@ class MapReduceEngine {
   }
 
   EngineOptions options_;
+  obs::MetricsRegistry own_metrics_;  // used when options_.metrics is null
   ThreadPool pool_;
   JobCounters last_counters_;
 };

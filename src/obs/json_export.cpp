@@ -1,0 +1,84 @@
+#include "obs/json_export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace evm::obs {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void WriteTraceJson(std::ostream& os, const MetricsSnapshot& metrics,
+                    const std::vector<SpanRecord>& spans) {
+  os << "{\n  \"schema\": \"evm-trace-v1\",\n";
+
+  os << "  \"counters\": [\n";
+  std::size_t i = 0;
+  for (const auto& [name, value] : metrics.counters) {
+    os << "    {\"name\": \"" << Escape(name) << "\", \"value\": " << value
+       << "}" << (++i < metrics.counters.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"gauges\": [\n";
+  i = 0;
+  for (const auto& [name, value] : metrics.gauges) {
+    os << "    {\"name\": \"" << Escape(name) << "\", \"value\": " << Num(value)
+       << "}" << (++i < metrics.gauges.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"latencies\": [\n";
+  i = 0;
+  for (const auto& [name, summary] : metrics.latencies) {
+    os << "    {\"name\": \"" << Escape(name)
+       << "\", \"count\": " << summary.count
+       << ", \"total_seconds\": " << Num(summary.total_seconds)
+       << ", \"min_seconds\": " << Num(summary.min_seconds)
+       << ", \"max_seconds\": " << Num(summary.max_seconds) << "}"
+       << (++i < metrics.latencies.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"spans\": [\n";
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    const SpanRecord& span = spans[s];
+    os << "    {\"name\": \"" << Escape(span.name) << "\", \"id\": " << span.id
+       << ", \"parent\": " << span.parent
+       << ", \"start_seconds\": " << Num(span.start_seconds)
+       << ", \"duration_seconds\": " << Num(span.duration_seconds) << "}"
+       << (s + 1 < spans.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+bool WriteTraceJson(const std::string& path, const MetricsRegistry* metrics,
+                    const TraceRecorder* trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTraceJson(out, metrics != nullptr ? metrics->Snapshot() : MetricsSnapshot{},
+                 trace != nullptr ? trace->Spans() : std::vector<SpanRecord>{});
+  return out.good();
+}
+
+}  // namespace evm::obs

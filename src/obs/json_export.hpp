@@ -1,0 +1,36 @@
+#pragma once
+// Trace/metrics JSON exporter. The emitted document extends the BENCH_*.json
+// idiom (arrays of {"name": ..., numeric fields...} objects, no JSON library
+// required on either side) with the span forest:
+//
+//   {
+//     "schema": "evm-trace-v1",
+//     "counters":  [ {"name": "...", "value": N}, ... ],
+//     "gauges":    [ {"name": "...", "value": X}, ... ],
+//     "latencies": [ {"name": "...", "count": N, "total_seconds": X,
+//                     "min_seconds": X, "max_seconds": X}, ... ],
+//     "spans":     [ {"name": "...", "id": N, "parent": N,
+//                     "start_seconds": X, "duration_seconds": X}, ... ]
+//   }
+//
+// Entries are name-sorted (counters/gauges/latencies) or id-ordered (spans),
+// so the file is deterministic for a deterministic run.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evm::obs {
+
+void WriteTraceJson(std::ostream& os, const MetricsSnapshot& metrics,
+                    const std::vector<SpanRecord>& spans);
+
+/// Convenience: snapshots `metrics`/`trace` (either may be null) and writes
+/// to `path`. Returns false when the file cannot be opened.
+bool WriteTraceJson(const std::string& path, const MetricsRegistry* metrics,
+                    const TraceRecorder* trace);
+
+}  // namespace evm::obs

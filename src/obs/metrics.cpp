@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+namespace evm::obs {
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+std::uint64_t ToNanos(double seconds) noexcept {
+  if (seconds <= 0.0) return 0;
+  return static_cast<std::uint64_t>(seconds * kNanosPerSecond);
+}
+
+double ToSeconds(std::uint64_t nanos) noexcept {
+  return static_cast<double>(nanos) / kNanosPerSecond;
+}
+
+LatencySummary SummarizeCell(const LatencyStat::Cell& cell) {
+  LatencySummary summary;
+  summary.count = cell.count.load(std::memory_order_relaxed);
+  summary.total_seconds =
+      ToSeconds(cell.total_nanos.load(std::memory_order_relaxed));
+  if (summary.count > 0) {
+    summary.min_seconds =
+        ToSeconds(cell.min_nanos.load(std::memory_order_relaxed));
+    summary.max_seconds =
+        ToSeconds(cell.max_nanos.load(std::memory_order_relaxed));
+  }
+  return summary;
+}
+
+}  // namespace
+
+void LatencyStat::Record(double seconds) const noexcept {
+  if (cell_ == nullptr) return;
+  const std::uint64_t nanos = ToNanos(seconds);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  cell_->total_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t observed = cell_->min_nanos.load(std::memory_order_relaxed);
+  while (nanos < observed &&
+         !cell_->min_nanos.compare_exchange_weak(observed, nanos,
+                                                 std::memory_order_relaxed)) {
+  }
+  observed = cell_->max_nanos.load(std::memory_order_relaxed);
+  while (nanos > observed &&
+         !cell_->max_nanos.compare_exchange_weak(observed, nanos,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counter(&counters_[name]);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Gauge(&gauges_[name]);
+}
+
+LatencyStat MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LatencyStat(&latencies_[name]);
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0
+                               : it->second.load(std::memory_order_relaxed);
+}
+
+LatencySummary MetricsRegistry::Latency(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = latencies_.find(name);
+  return it == latencies_.end() ? LatencySummary{} : SummarizeCell(it->second);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, cell] : counters_) {
+    snapshot.counters.emplace(name, cell.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snapshot.gauges.emplace(name, cell.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : latencies_) {
+    snapshot.latencies.emplace(name, SummarizeCell(cell));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, cell] : counters_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : gauges_) {
+    cell.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : latencies_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.total_nanos.store(0, std::memory_order_relaxed);
+    cell.min_nanos.store(std::numeric_limits<std::uint64_t>::max(),
+                         std::memory_order_relaxed);
+    cell.max_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace evm::obs

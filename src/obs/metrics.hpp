@@ -1,0 +1,148 @@
+#pragma once
+// MetricsRegistry — the counter/gauge/latency substrate of the observability
+// layer. Pipeline components no longer hand-thread statistics through their
+// call graphs; they obtain named handles from a registry once and bump them
+// on the hot path with relaxed atomics. `MatchStats` and `JobCounters` are
+// *views* over registry deltas (see core/match_counters.hpp and the
+// MapReduce engine), so every execution mode reports through one path.
+//
+// Cost model: a handle is a single pointer into registry-owned storage. A
+// default-constructed (inactive) handle makes every operation a predictable
+// null-check — components wired to "no registry" pay one branch, no clock
+// reads, no locks. Handle resolution (`counter(name)` etc.) takes the
+// registry mutex and should happen at setup time, not per event.
+//
+// Storage lives in node-based maps, so handles stay valid for the registry's
+// lifetime regardless of later registrations; Reset() zeroes values in place
+// rather than erasing nodes for the same reason.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace evm::obs {
+
+/// Monotonic counter handle. Inactive (default-constructed) handles drop
+/// every Add().
+class Counter {
+ public:
+  Counter() = default;
+
+  void Add(std::uint64_t delta = 1) const noexcept {
+    if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool active() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) noexcept : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_{nullptr};
+};
+
+/// Last-write-wins gauge handle for derived, non-monotonic quantities
+/// (e.g. distinct scenarios of the latest run).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(double value) const noexcept {
+    if (cell_ != nullptr) cell_->store(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool active() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<double>* cell) noexcept : cell_(cell) {}
+  std::atomic<double>* cell_{nullptr};
+};
+
+/// Aggregated view of one latency statistic.
+struct LatencySummary {
+  std::uint64_t count{0};
+  double total_seconds{0.0};
+  double min_seconds{0.0};
+  double max_seconds{0.0};
+};
+
+/// Histogram-ish latency handle: count / total / min / max over recorded
+/// durations. Totals are delta-able across snapshots (count and total are
+/// monotonic), which is what per-run stage times are built from.
+class LatencyStat {
+ public:
+  LatencyStat() = default;
+
+  void Record(double seconds) const noexcept;
+
+  [[nodiscard]] bool active() const noexcept { return cell_ != nullptr; }
+
+  /// Backing storage; owned by a MetricsRegistry.
+  struct Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_nanos{0};
+    std::atomic<std::uint64_t> min_nanos{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max_nanos{0};
+  };
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyStat(Cell* cell) noexcept : cell_(cell) {}
+  Cell* cell_{nullptr};
+};
+
+/// Point-in-time copy of every registered metric, name-sorted (the JSON
+/// exporter serializes exactly this).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencySummary> latencies;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create handles. Thread-safe; resolve once, not per event.
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] LatencyStat latency(const std::string& name);
+
+  /// Current value of a counter (0 when never registered).
+  [[nodiscard]] std::uint64_t CounterValue(const std::string& name) const;
+  /// Current summary of a latency stat (zeroes when never registered).
+  [[nodiscard]] LatencySummary Latency(const std::string& name) const;
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value in place; previously issued handles stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::atomic<std::uint64_t>> counters_;
+  std::map<std::string, std::atomic<double>> gauges_;
+  std::map<std::string, LatencyStat::Cell> latencies_;
+};
+
+/// Null-safe handle resolution for components wired to an optional registry.
+[[nodiscard]] inline Counter GetCounter(MetricsRegistry* registry,
+                                        const std::string& name) {
+  return registry != nullptr ? registry->counter(name) : Counter{};
+}
+[[nodiscard]] inline Gauge GetGauge(MetricsRegistry* registry,
+                                    const std::string& name) {
+  return registry != nullptr ? registry->gauge(name) : Gauge{};
+}
+[[nodiscard]] inline LatencyStat GetLatency(MetricsRegistry* registry,
+                                            const std::string& name) {
+  return registry != nullptr ? registry->latency(name) : LatencyStat{};
+}
+
+}  // namespace evm::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace evm::obs {
+namespace {
+
+struct OpenSpan {
+  const TraceRecorder* recorder;
+  std::uint32_t id;
+};
+
+// Per-thread stack of open spans. Entries for different recorders may
+// interleave (e.g. nested recorders in tests); parent lookup scans for the
+// nearest entry of the requesting recorder.
+thread_local std::vector<OpenSpan> t_open_spans;
+
+}  // namespace
+
+std::uint32_t TraceRecorder::BeginSpanAt(std::string name,
+                                         clock::time_point start) {
+  std::uint32_t parent = 0;
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->recorder == this) {
+      parent = it->id;
+      break;
+    }
+  }
+  if (parent == 0) parent = ambient_parent_.load(std::memory_order_acquire);
+
+  std::uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = static_cast<std::uint32_t>(spans_.size() + 1);
+    SpanRecord record;
+    record.name = std::move(name);
+    record.id = id;
+    record.parent = parent;
+    record.start_seconds =
+        std::chrono::duration<double>(start - epoch_).count();
+    spans_.push_back(std::move(record));
+  }
+  t_open_spans.push_back(OpenSpan{this, id});
+  return id;
+}
+
+void TraceRecorder::EndSpanWith(std::uint32_t id, double duration_seconds) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->recorder == this && it->id == id) {
+      t_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= 1 && id <= spans_.size()) {
+    spans_[id - 1].duration_seconds = duration_seconds;
+  }
+}
+
+std::vector<SpanRecord> TraceRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+StageSpan::StageSpan(TraceRecorder* trace, std::string name, LatencyStat stat)
+    : trace_(trace), stat_(stat) {
+  if (trace_ == nullptr && !stat_.active()) return;
+  timed_ = true;
+  start_ = TraceRecorder::clock::now();
+  if (trace_ != nullptr) id_ = trace_->BeginSpanAt(std::move(name), start_);
+}
+
+StageSpan::~StageSpan() {
+  if (!timed_) return;
+  const double seconds =
+      std::chrono::duration<double>(TraceRecorder::clock::now() - start_)
+          .count();
+  stat_.Record(seconds);
+  if (trace_ != nullptr) trace_->EndSpanWith(id_, seconds);
+}
+
+AmbientParentScope::AmbientParentScope(TraceRecorder* trace,
+                                       std::uint32_t span_id)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  previous_ = trace_->ambient_parent_.exchange(span_id,
+                                               std::memory_order_acq_rel);
+}
+
+AmbientParentScope::~AmbientParentScope() {
+  if (trace_ == nullptr) return;
+  trace_->ambient_parent_.store(previous_, std::memory_order_release);
+}
+
+}  // namespace evm::obs

@@ -1,0 +1,108 @@
+#pragma once
+// Stage tracing: a thread-safe recorder of nested, timed spans and the
+// StageSpan RAII guard the pipeline instruments itself with. A run trace is
+// a forest of spans — E-split per window, V-filter per EID, MapReduce
+// map/shuffle/reduce phases, gallery extractions — that the JSON exporter
+// dumps alongside the counter registry.
+//
+// Nesting: each thread keeps a stack of its open spans, so a span begun on
+// the thread that owns an enclosing span parents naturally. Work fanned out
+// to pool workers has an empty stack there; the orchestrating code brackets
+// the fan-out with an AmbientParentScope naming the span such orphan spans
+// should attach to (e.g. the v-filter phase around a ParallelFor over EIDs).
+//
+// Cost: a null recorder makes StageSpan construction a branch — no clock
+// read, no lock, no string. With a recorder installed, Begin/End take one
+// mutex acquisition each; tracing is a diagnosis mode, not a hot-path tax.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace evm::obs {
+
+/// One completed (or still-open, duration 0) span of the trace.
+struct SpanRecord {
+  std::string name;
+  /// 1-based span id; 0 is reserved for "no span".
+  std::uint32_t id{0};
+  /// Id of the enclosing span, 0 for roots.
+  std::uint32_t parent{0};
+  /// Start offset from the recorder's construction, seconds.
+  double start_seconds{0.0};
+  double duration_seconds{0.0};
+};
+
+class TraceRecorder {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  TraceRecorder() : epoch_(clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span that started at `start`; infers the parent from this
+  /// thread's open-span stack, falling back to the ambient parent. Returns
+  /// the span id. Prefer StageSpan over calling this directly.
+  std::uint32_t BeginSpanAt(std::string name, clock::time_point start);
+
+  /// Closes span `id` with the measured duration.
+  void EndSpanWith(std::uint32_t id, double duration_seconds);
+
+  /// Copy of every span recorded so far (open spans have duration 0).
+  [[nodiscard]] std::vector<SpanRecord> Spans() const;
+
+  [[nodiscard]] std::size_t SpanCount() const;
+
+ private:
+  friend class AmbientParentScope;
+
+  clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  /// Parent assigned to spans begun on threads with no open span of their
+  /// own — set by AmbientParentScope around worker fan-outs.
+  std::atomic<std::uint32_t> ambient_parent_{0};
+};
+
+/// RAII guard charging its lifetime to a trace span and, optionally, a
+/// LatencyStat — one clock-read pair serves both. With a null recorder and
+/// an inactive stat the guard does nothing at all.
+class StageSpan {
+ public:
+  StageSpan(TraceRecorder* trace, std::string name, LatencyStat stat = {});
+  ~StageSpan();
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// The recorded span's id (0 when tracing is off).
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  TraceRecorder* trace_{nullptr};
+  LatencyStat stat_;
+  std::uint32_t id_{0};
+  bool timed_{false};
+  TraceRecorder::clock::time_point start_{};
+};
+
+/// Scoped override of the recorder's ambient parent: spans begun on threads
+/// with no open span (pool workers) attach to `span_id` while this scope is
+/// alive. Null-safe; restores the previous ambient parent on destruction.
+class AmbientParentScope {
+ public:
+  AmbientParentScope(TraceRecorder* trace, std::uint32_t span_id);
+  ~AmbientParentScope();
+  AmbientParentScope(const AmbientParentScope&) = delete;
+  AmbientParentScope& operator=(const AmbientParentScope&) = delete;
+
+ private:
+  TraceRecorder* trace_{nullptr};
+  std::uint32_t previous_{0};
+};
+
+}  // namespace evm::obs

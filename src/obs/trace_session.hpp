@@ -1,0 +1,76 @@
+#pragma once
+// TraceSession — the `--trace out.json` plumbing shared by the example
+// binaries and the bench harnesses. ExtractTraceFlag() strips the flag from
+// argv before the binary's own argument parsing runs; a TraceSession then
+// hands out registry/recorder pointers (null when tracing is off, keeping
+// the instrumented code on its zero-cost path) and dumps the JSON at exit.
+
+#include <iostream>
+#include <string>
+
+#include "obs/json_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evm::obs {
+
+/// Scans argv for "--trace FILE" or "--trace=FILE", removes it, and returns
+/// the file path ("" when absent).
+inline std::string ExtractTraceFlag(int& argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      path = arg.substr(8);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return path;
+}
+
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path) : path_(std::move(path)) {}
+  /// Writes the trace on scope exit if no explicit Write() happened, so
+  /// early-return paths still produce a file.
+  ~TraceSession() {
+    if (!written_) Write();
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Registry/recorder to wire into configs; null when tracing is off.
+  [[nodiscard]] MetricsRegistry* metrics() noexcept {
+    return enabled() ? &registry_ : nullptr;
+  }
+  [[nodiscard]] TraceRecorder* trace() noexcept {
+    return enabled() ? &recorder_ : nullptr;
+  }
+
+  /// Writes the trace JSON; no-op when tracing is off.
+  void Write() {
+    written_ = true;
+    if (!enabled()) return;
+    if (WriteTraceJson(path_, &registry_, &recorder_)) {
+      std::cout << "[trace] wrote " << path_ << " (" << recorder_.SpanCount()
+                << " spans)\n";
+    } else {
+      std::cerr << "[trace] failed to write " << path_ << "\n";
+    }
+  }
+
+ private:
+  std::string path_;
+  bool written_{false};
+  MetricsRegistry registry_;
+  TraceRecorder recorder_;
+};
+
+}  // namespace evm::obs

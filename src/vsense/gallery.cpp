@@ -17,12 +17,14 @@ FeatureGallery::Entry& FeatureGallery::Resolve(const VScenario& scenario) {
       it->second = std::make_shared<Entry>();
     } else {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter_.Add();
     }
     entry = it->second;
   }
   // Single-flight: exactly one caller extracts, concurrent first touches of
   // the same scenario wait here instead of duplicating the render + extract.
   std::call_once(entry->once, [&] {
+    obs::StageSpan span(trace_, "gallery.extract", extract_latency_);
     entry->features.reserve(scenario.observations.size());
     for (const VObservation& obs : scenario.observations) {
       entry->features.push_back(oracle_.Extract(obs));
@@ -30,6 +32,7 @@ FeatureGallery::Entry& FeatureGallery::Resolve(const VScenario& scenario) {
     entry->block = FeatureBlock(entry->features);
     extractions_.fetch_add(scenario.observations.size(),
                            std::memory_order_relaxed);
+    extractions_counter_.Add(scenario.observations.size());
     entry->ready.store(true, std::memory_order_release);
   });
   return *entry;

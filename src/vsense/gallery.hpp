@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "mapreduce/dfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vsense/feature_block.hpp"
 #include "vsense/features.hpp"
 #include "vsense/v_scenario.hpp"
@@ -39,7 +41,18 @@ class FeatureGallery {
   /// land in one shard.
   static constexpr std::size_t kShards = 16;
 
-  explicit FeatureGallery(const VisualOracle& oracle) : oracle_(oracle) {}
+  /// When `metrics` is given, extractions/hits are additionally published as
+  /// the gallery.extractions / gallery.hits counters and each cache-miss
+  /// extraction charges the gallery.extract latency stat; `trace` adds a
+  /// gallery.extract span per miss.
+  explicit FeatureGallery(const VisualOracle& oracle,
+                          obs::MetricsRegistry* metrics = nullptr,
+                          obs::TraceRecorder* trace = nullptr)
+      : oracle_(oracle),
+        trace_(trace),
+        extractions_counter_(obs::GetCounter(metrics, "gallery.extractions")),
+        hits_counter_(obs::GetCounter(metrics, "gallery.hits")),
+        extract_latency_(obs::GetLatency(metrics, "gallery.extract")) {}
 
   /// Features of every observation of `scenario`, extracting them on first
   /// touch. Thread-safe and single-flight: concurrent first touches of the
@@ -101,6 +114,10 @@ class FeatureGallery {
   Entry& Resolve(const VScenario& scenario);
 
   const VisualOracle& oracle_;
+  obs::TraceRecorder* trace_{nullptr};
+  obs::Counter extractions_counter_;
+  obs::Counter hits_counter_;
+  obs::LatencyStat extract_latency_;
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> extractions_{0};
   std::atomic<std::uint64_t> hits_{0};

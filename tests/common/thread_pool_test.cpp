@@ -61,6 +61,43 @@ TEST(ThreadPoolTest, ParallelForCallerParticipatesWhileWorkersAreBusy) {
   for (auto& f : blockers) f.get();
 }
 
+TEST(ThreadPoolTest, PlanForPinsChunkAndTaskCounts) {
+  // The chunk divisor is 4 x workers (the task-count target), NOT
+  // 4 x (4 x workers). The old code divided by 4 * max_tasks and produced
+  // chunks 16x too small, i.e. 16x the intended scheduling overhead.
+  using Plan = ThreadPool::ParallelForPlan;
+  auto expect_plan = [](Plan plan, std::size_t chunk, std::size_t tasks) {
+    EXPECT_EQ(plan.chunk, chunk);
+    EXPECT_EQ(plan.tasks, tasks);
+  };
+  expect_plan(ThreadPool::PlanFor(1000, 8), 31, 32);     // 1000/32 = 31
+  expect_plan(ThreadPool::PlanFor(100000, 4), 6250, 16);  // exact division
+  expect_plan(ThreadPool::PlanFor(10, 8), 1, 10);    // fewer items than tasks
+  expect_plan(ThreadPool::PlanFor(32, 8), 1, 32);    // exactly max tasks
+  expect_plan(ThreadPool::PlanFor(33, 8), 1, 32);    // task cap binds
+  expect_plan(ThreadPool::PlanFor(0, 8), 0, 0);
+  expect_plan(ThreadPool::PlanFor(1000, 0), 0, 0);
+}
+
+TEST(ThreadPoolTest, PlanForInvariantsAcrossSizes) {
+  for (const std::size_t count : {1u, 10u, 31u, 32u, 33u, 1000u, 4096u}) {
+    for (const std::size_t workers : {1u, 4u, 8u}) {
+      const auto plan = ThreadPool::PlanFor(count, workers);
+      ASSERT_GT(plan.chunk, 0u);
+      ASSERT_GT(plan.tasks, 0u);
+      // Scheduling overhead is bounded by the 4x-workers task target.
+      EXPECT_LE(plan.tasks, 4 * workers);
+      // No task is born with an empty range (the cursor starts below count
+      // for every submitted task).
+      EXPECT_LT((plan.tasks - 1) * plan.chunk, count);
+      // When the cap does not bind, the tasks tile the whole range.
+      if (plan.tasks < 4 * workers) {
+        EXPECT_GE(plan.tasks * plan.chunk, count);
+      }
+    }
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });

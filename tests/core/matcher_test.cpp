@@ -130,6 +130,65 @@ TEST(MatcherTest, RefiningRecoversFromMissingVids) {
   EXPECT_GE(MatchAccuracy(refined.results, dataset.truth), base);
 }
 
+TEST(MatcherTest, RefineRoundsAccumulateSplittingIterations) {
+  // Regression: splitting_iterations used to be overwritten by the last
+  // refine round's window count instead of accumulating across rounds.
+  DatasetConfig config = EasyConfig(19);
+  config.v_missing_rate = 0.15;  // force vote disagreement so refining fires
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 40, 2);
+
+  MatcherConfig plain;
+  EvMatcher no_refine(dataset.e_scenarios, dataset.v_scenarios,
+                      dataset.oracle, plain);
+  const MatchReport base = no_refine.Match(targets);
+
+  MatcherConfig refining = plain;
+  refining.refine.enabled = true;
+  refining.refine.max_rounds = 2;
+  refining.refine.min_majority = 1.0;  // retry every non-unanimous EID
+  EvMatcher with_refine(dataset.e_scenarios, dataset.v_scenarios,
+                        dataset.oracle, refining);
+  const MatchReport refined = with_refine.Match(targets);
+
+  ASSERT_GE(refined.stats.refine_rounds, 1u);
+  // The refine rounds each consume at least one window on top of the
+  // initial split, so the accumulated count must strictly exceed the
+  // no-refine run's.
+  EXPECT_GT(refined.stats.splitting_iterations,
+            base.stats.splitting_iterations);
+}
+
+TEST(MatcherTest, SerialAndMapReduceReportIdenticalStats) {
+  // MatchStats is a view over registry deltas, so both execution modes must
+  // report the exact same counts (timing fields excluded, of course).
+  const Dataset dataset = GenerateDataset(EasyConfig(20));
+  const auto targets = SampleTargets(dataset, 30, 5);
+
+  MatcherConfig serial_config;
+  EvMatcher serial(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                   serial_config);
+  const MatchStats a = serial.Match(targets).stats;
+
+  MatcherConfig mr_config;
+  mr_config.execution = ExecutionMode::kMapReduce;
+  mr_config.engine.workers = 4;
+  EvMatcher mapreduce(dataset.e_scenarios, dataset.v_scenarios,
+                      dataset.oracle, mr_config);
+  const MatchStats b = mapreduce.Match(targets).stats;
+
+  EXPECT_EQ(a.distinct_scenarios, b.distinct_scenarios);
+  EXPECT_DOUBLE_EQ(a.avg_scenarios_per_eid, b.avg_scenarios_per_eid);
+  EXPECT_EQ(a.splitting_iterations, b.splitting_iterations);
+  EXPECT_EQ(a.undistinguished_eids, b.undistinguished_eids);
+  EXPECT_EQ(a.features_extracted, b.features_extracted);
+  EXPECT_EQ(a.feature_comparisons, b.feature_comparisons);
+  EXPECT_EQ(a.scenarios_processed, b.scenarios_processed);
+  EXPECT_EQ(a.refine_rounds, b.refine_rounds);
+  // Regression: the serial path used to drop scenarios_processed entirely.
+  EXPECT_GT(a.scenarios_processed, 0u);
+}
+
 TEST(MatcherTest, StatsTimersArePopulated) {
   const Dataset dataset = GenerateDataset(EasyConfig(18));
   EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,

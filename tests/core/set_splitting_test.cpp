@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "common/rng.hpp"
@@ -222,6 +223,38 @@ TEST(SetSplittingTest, PracticalBinaryVagueGoesToBothChildren) {
     const EScenario* scenario = set.Find(id);
     ASSERT_NE(scenario, nullptr);
     EXPECT_TRUE(scenario->ContainsInclusive(Eid{1}));
+  }
+}
+
+TEST(SetSplittingTest, BinaryCandidateListsArePinnedAndMinimal) {
+  // Pins the V-load of the binary candidate lists: BestBlockFor hands each
+  // target its block's history (the scenarios that effectively split it
+  // out) and BackfillPresence then pads short lists with presence
+  // scenarios. On this fixture that converges — for every window order — to
+  // exactly the scenarios each EID appears in, and never more. A regression
+  // that picked a longer-history block or recorded ineffective scenarios
+  // (s1 = {3,4} never splits anything when window 0 runs first) would
+  // inflate these sets.
+  const EScenarioSet set = MakeScenarioSet(
+      2, {{0, 0, {1, 2}}, {0, 1, {3, 4}}, {1, 0, {1}}, {1, 1, {3}}});
+  const auto universe = CollectUniverse(set);
+  SplitConfig config;
+  config.mode = SplitMode::kBinary;
+  const auto outcome = SetSplitter(set, config).Run(universe, universe);
+
+  EXPECT_EQ(outcome.undistinguished, 0u);
+  ASSERT_EQ(outcome.lists.size(), 4u);
+  // Scenario ids: s0=(w0,c0){1,2}, s1=(w0,c1){3,4}, s2=(w1,c0){1},
+  // s3=(w1,c1){3}.
+  const std::map<std::uint64_t, std::set<std::uint64_t>> expected = {
+      {1, {0, 2}}, {2, {0}}, {3, {1, 3}}, {4, {1}}};
+  for (const auto& list : outcome.lists) {
+    EXPECT_TRUE(list.distinguished);
+    std::set<std::uint64_t> got;
+    for (const ScenarioId id : list.scenarios) got.insert(id.value());
+    EXPECT_EQ(got.size(), list.scenarios.size()) << "duplicate scenarios";
+    EXPECT_EQ(got, expected.at(list.eid.value()))
+        << "candidate list of EID " << list.eid.value();
   }
 }
 

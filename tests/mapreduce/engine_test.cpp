@@ -127,6 +127,101 @@ TEST(EngineTest, FailureInjectionMatchesResultWithoutFailures) {
   EXPECT_EQ(RunWordCount(clean, lines, 4), RunWordCount(flaky, lines, 4));
 }
 
+TEST(EngineTest, MapFailureCountersBalanceExactly) {
+  // With only map failures injected, every extra map attempt is accounted
+  // for by an injected failure, and the reduce side is untouched.
+  MapReduceEngine engine({.workers = 4,
+                          .seed = 21,
+                          .map_failure_prob = 0.5,
+                          .max_attempts = 30});
+  std::vector<std::string> lines;
+  for (int i = 0; i < 60; ++i) lines.push_back("w" + std::to_string(i % 9));
+  RunWordCount(engine, lines, 4);
+  const JobCounters& c = engine.last_counters();
+  EXPECT_GT(c.injected_map_failures, 0u);
+  EXPECT_EQ(c.map_attempts, c.map_tasks + c.injected_map_failures);
+  EXPECT_EQ(c.injected_reduce_failures, 0u);
+  EXPECT_EQ(c.reduce_attempts, c.reduce_tasks);
+  EXPECT_EQ(c.injected_failures,
+            c.injected_map_failures + c.injected_reduce_failures);
+}
+
+TEST(EngineTest, MapAndReduceFailureCountersBalanceIndependently) {
+  MapReduceEngine engine({.workers = 4,
+                          .seed = 2,  // injects on both sides (deterministic)
+                          .map_failure_prob = 0.4,
+                          .reduce_failure_prob = 0.4,
+                          .max_attempts = 30});
+  std::vector<std::string> lines;
+  for (int i = 0; i < 60; ++i) lines.push_back("w" + std::to_string(i % 9));
+  RunWordCount(engine, lines, 4);
+  const JobCounters& c = engine.last_counters();
+  EXPECT_GT(c.injected_map_failures, 0u);
+  EXPECT_GT(c.injected_reduce_failures, 0u);
+  EXPECT_EQ(c.map_attempts, c.map_tasks + c.injected_map_failures);
+  EXPECT_EQ(c.reduce_attempts, c.reduce_tasks + c.injected_reduce_failures);
+}
+
+TEST(EngineTest, ShuffleCountersUnaffectedByRetries) {
+  // A crashed attempt's uncommitted shuffle output must be discarded: the
+  // committed record/byte counts are identical with and without failures.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 80; ++i) lines.push_back("k" + std::to_string(i % 11));
+  MapReduceEngine clean({.workers = 3, .target_map_tasks = 6});
+  RunWordCount(clean, lines, 4);
+  MapReduceEngine flaky({.workers = 3,
+                         .seed = 13,
+                         .map_failure_prob = 0.5,
+                         .reduce_failure_prob = 0.3,
+                         .max_attempts = 30,
+                         .target_map_tasks = 6});
+  RunWordCount(flaky, lines, 4);
+  const JobCounters& a = clean.last_counters();
+  const JobCounters& b = flaky.last_counters();
+  EXPECT_GT(b.injected_failures, 0u);
+  EXPECT_EQ(a.shuffled_records, b.shuffled_records);
+  EXPECT_EQ(a.shuffled_bytes, b.shuffled_bytes);
+  EXPECT_EQ(a.input_records, b.input_records);
+  EXPECT_EQ(a.output_records, b.output_records);
+}
+
+TEST(EngineTest, OutputIdenticalAcrossRetrySchedules) {
+  // Different failure seeds produce different retry schedules; the job
+  // output must be byte-identical regardless.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) {
+    lines.push_back("a" + std::to_string(i % 13) + " b" +
+                    std::to_string(i % 4));
+  }
+  std::vector<std::vector<WordCount>> results;
+  for (const std::uint64_t seed : {2u, 77u, 4242u}) {
+    MapReduceEngine engine({.workers = 4,
+                            .seed = seed,
+                            .map_failure_prob = 0.45,
+                            .reduce_failure_prob = 0.25,
+                            .max_attempts = 40});
+    results.push_back(RunWordCount(engine, lines, 5));
+    EXPECT_GT(engine.last_counters().injected_failures, 0u);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(EngineTest, CountersAccumulateIntoSharedRegistry) {
+  // When a registry is injected, mr.* counters accumulate across jobs while
+  // last_counters() still reports the per-job delta.
+  obs::MetricsRegistry registry;
+  MapReduceEngine engine(
+      {.workers = 2, .target_map_tasks = 3, .metrics = &registry});
+  const std::vector<std::string> lines = {"a b", "b c", "c d", "d e"};
+  RunWordCount(engine, lines, 2);
+  EXPECT_EQ(engine.last_counters().map_tasks, 3u);
+  RunWordCount(engine, lines, 2);
+  EXPECT_EQ(engine.last_counters().map_tasks, 3u);  // per-job, not total
+  EXPECT_EQ(registry.CounterValue(kMrMapTasks), 6u);  // accumulated
+  EXPECT_EQ(registry.CounterValue(kMrInputRecords), 8u);
+}
+
 TEST(EngineTest, ExhaustedAttemptsThrows) {
   MapReduceEngine engine({.workers = 2,
                           .seed = 1,

@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_export.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_session.hpp"
+
+namespace evm::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CounterAccumulatesAndIsFindOrCreate) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("x");
+  Counter b = registry.counter("x");  // same cell
+  a.Add();
+  b.Add(41);
+  EXPECT_EQ(registry.CounterValue("x"), 42u);
+  EXPECT_EQ(registry.CounterValue("never-registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, InactiveHandlesAreNoops) {
+  Counter counter;
+  Gauge gauge;
+  LatencyStat latency;
+  EXPECT_FALSE(counter.active());
+  EXPECT_FALSE(gauge.active());
+  EXPECT_FALSE(latency.active());
+  // Must not crash; nothing to observe.
+  counter.Add(7);
+  gauge.Set(1.0);
+  latency.Record(0.5);
+}
+
+TEST(MetricsRegistryTest, NullSafeGettersReturnInactiveHandles) {
+  EXPECT_FALSE(GetCounter(nullptr, "x").active());
+  EXPECT_FALSE(GetGauge(nullptr, "x").active());
+  EXPECT_FALSE(GetLatency(nullptr, "x").active());
+  MetricsRegistry registry;
+  EXPECT_TRUE(GetCounter(&registry, "x").active());
+}
+
+TEST(MetricsRegistryTest, LatencySummaryTracksCountTotalMinMax) {
+  MetricsRegistry registry;
+  LatencyStat stat = registry.latency("stage");
+  stat.Record(0.25);
+  stat.Record(0.75);
+  stat.Record(0.5);
+  const LatencySummary summary = registry.Latency("stage");
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_NEAR(summary.total_seconds, 1.5, 1e-6);
+  EXPECT_NEAR(summary.min_seconds, 0.25, 1e-6);
+  EXPECT_NEAR(summary.max_seconds, 0.75, 1e-6);
+  EXPECT_EQ(registry.Latency("never").count, 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(3);
+  registry.gauge("g").Set(2.5);
+  registry.latency("l").Record(0.1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("c"), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("g"), 2.5);
+  EXPECT_EQ(snapshot.latencies.at("l").count, 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceKeepingHandlesValid) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("c");
+  LatencyStat latency = registry.latency("l");
+  counter.Add(5);
+  latency.Record(1.0);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("c"), 0u);
+  EXPECT_EQ(registry.Latency("l").count, 0u);
+  // Handles issued before Reset() still point at live storage.
+  counter.Add(2);
+  latency.Record(0.5);
+  EXPECT_EQ(registry.CounterValue("c"), 2u);
+  const LatencySummary summary = registry.Latency("l");
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_NEAR(summary.min_seconds, 0.5, 1e-6);
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      const Counter counter = registry.counter("hot");
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("hot"),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder / StageSpan
+
+TEST(TraceTest, NestedSpansOnOneThreadParentNaturally) {
+  TraceRecorder trace;
+  std::uint32_t outer_id = 0;
+  {
+    StageSpan outer(&trace, "outer");
+    outer_id = outer.id();
+    StageSpan inner(&trace, "inner");
+    EXPECT_NE(inner.id(), 0u);
+  }
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, outer_id);
+  EXPECT_GE(spans[0].duration_seconds, spans[1].duration_seconds);
+}
+
+TEST(TraceTest, AmbientParentAdoptsSpansFromForeignThreads) {
+  TraceRecorder trace;
+  {
+    StageSpan phase(&trace, "phase");
+    AmbientParentScope ambient(&trace, phase.id());
+    std::thread worker([&trace] { StageSpan task(&trace, "task"); });
+    worker.join();
+  }
+  // After the scope, foreign-thread spans are roots again.
+  std::thread late([&trace] { StageSpan orphan(&trace, "orphan"); });
+  late.join();
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "task");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "orphan");
+  EXPECT_EQ(spans[2].parent, 0u);
+}
+
+TEST(TraceTest, NullRecorderStageSpanIsInertButStatStillRecords) {
+  StageSpan plain(nullptr, "nothing");
+  EXPECT_EQ(plain.id(), 0u);
+
+  MetricsRegistry registry;
+  {
+    StageSpan timed(nullptr, "stat-only", registry.latency("l"));
+  }
+  EXPECT_EQ(registry.Latency("l").count, 1u);
+}
+
+TEST(TraceTest, StageSpanFeedsItsLatencyStat) {
+  TraceRecorder trace;
+  MetricsRegistry registry;
+  {
+    StageSpan span(&trace, "work", registry.latency("work"));
+  }
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const LatencySummary summary = registry.Latency("work");
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_NEAR(summary.total_seconds, spans[0].duration_seconds, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+
+TEST(JsonExportTest, DocumentHasSchemaAndAllSections) {
+  MetricsRegistry registry;
+  registry.counter("match.comparisons").Add(7);
+  registry.gauge("match.avg").Set(1.5);
+  registry.latency("stage.e").Record(0.25);
+  TraceRecorder trace;
+  {
+    StageSpan outer(&trace, "match");
+    StageSpan inner(&trace, "e-split");
+  }
+  std::ostringstream os;
+  WriteTraceJson(os, registry.Snapshot(), trace.Spans());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"evm-trace-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"match.comparisons\", \"value\": 7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"match.avg\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage.e\", \"count\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"e-split\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonExportTest, EmptyRegistryAndTraceProduceEmptySections) {
+  std::ostringstream os;
+  WriteTraceJson(os, MetricsSnapshot{}, {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"evm-trace-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"name\""), std::string::npos);  // no entries at all
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ---------------------------------------------------------------------------
+// --trace flag plumbing
+
+TEST(TraceSessionTest, ExtractTraceFlagStripsBothSpellings) {
+  {
+    std::string a0 = "bin", a1 = "--trace", a2 = "out.json", a3 = "100";
+    char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data()};
+    int argc = 4;
+    EXPECT_EQ(ExtractTraceFlag(argc, argv), "out.json");
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "100");
+  }
+  {
+    std::string a0 = "bin", a1 = "--trace=t.json";
+    char* argv[] = {a0.data(), a1.data()};
+    int argc = 2;
+    EXPECT_EQ(ExtractTraceFlag(argc, argv), "t.json");
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    std::string a0 = "bin", a1 = "--other";
+    char* argv[] = {a0.data(), a1.data()};
+    int argc = 2;
+    EXPECT_EQ(ExtractTraceFlag(argc, argv), "");
+    EXPECT_EQ(argc, 2);
+  }
+}
+
+TEST(TraceSessionTest, DisabledSessionHandsOutNulls) {
+  TraceSession session("");
+  EXPECT_FALSE(session.enabled());
+  EXPECT_EQ(session.metrics(), nullptr);
+  EXPECT_EQ(session.trace(), nullptr);
+  session.Write();  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace evm::obs
