@@ -1,0 +1,81 @@
+// Streaming pipeline microbench: sustained ingest throughput and
+// record-to-match latency percentiles of the StreamDriver, emitted as
+// BENCH_stream.json for the cross-PR perf trajectory.
+//
+// The replay is unpaced over blocking queues, so the measured rate is what
+// the pipeline itself sustains (ingest + windowing + incremental matching),
+// not a generator artifact. Latency percentiles come from the
+// stream.record_to_match histogram: queue admission -> completion of the
+// incremental pass that first covered the record's window.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "stream/counters.hpp"
+#include "stream/replay.hpp"
+#include "stream/stream_driver.hpp"
+
+int main() {
+  using namespace evm;
+  bench::PrintHeader("micro: streaming pipeline",
+                     "Sustained records/s and record-to-match latency of the "
+                     "online pipeline (unpaced replay, blocking queues).");
+
+  DatasetConfig config;
+  config.population = 400;
+  config.ticks = 600;
+  config.seed = bench::kDatasetSeed;
+  const Dataset dataset = GenerateDataset(config);
+  const auto targets = SampleTargets(dataset, 80, bench::kTargetSeed);
+
+  stream::StreamDriverConfig driver_config;
+  driver_config.e_queue = {8192, stream::BackpressurePolicy::kBlock};
+  driver_config.v_queue = {8192, stream::BackpressurePolicy::kBlock};
+  driver_config.store.scenario =
+      EScenarioConfig{dataset.config.window_ticks, dataset.config.vague_width_m,
+                      dataset.config.inclusive_threshold,
+                      dataset.config.vague_threshold};
+  driver_config.match.targets = targets;
+  driver_config.v_workers = 4;
+
+  stream::StreamDriver driver(dataset.grid, dataset.oracle, driver_config);
+  driver.Start();
+  const auto start = std::chrono::steady_clock::now();
+  const stream::ReplayOutcome replay = ReplayDataset(dataset, driver);
+  const MatchReport report = driver.Drain();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const double total_records =
+      static_cast<double>(replay.e_pushed + replay.v_pushed);
+  const double records_per_second = total_records / seconds;
+  obs::MetricsRegistry& reg = driver.metrics();
+  const obs::LatencySummary latency = reg.Latency(stream::kLatRecordToMatch);
+  const obs::LatencySummary seal = reg.Latency(stream::kLatSeal);
+
+  std::cout << "records        " << static_cast<std::uint64_t>(total_records)
+            << " (" << replay.e_pushed << " E + " << replay.v_pushed
+            << " V)\n";
+  std::cout << "sustained      " << records_per_second << " records/s over "
+            << seconds << " s\n";
+  std::cout << "record->match  p50 " << latency.p50_seconds * 1e3
+            << " ms   p95 " << latency.p95_seconds * 1e3 << " ms   p99 "
+            << latency.p99_seconds * 1e3 << " ms\n";
+  std::cout << "windows sealed " << reg.CounterValue(stream::kCtrWindowsSealed)
+            << " (mean seal "
+            << (seal.count > 0 ? seal.total_seconds / seal.count * 1e6 : 0.0)
+            << " us)\n";
+  std::cout << "matched        " << report.results.size() << " targets\n";
+
+  bench::WriteBenchJson(
+      "BENCH_stream.json",
+      {{"stream.replay.sustained", 1e9 / records_per_second,
+        records_per_second},
+       {"stream.record_to_match.p50", latency.p50_seconds * 1e9, 0.0},
+       {"stream.record_to_match.p95", latency.p95_seconds * 1e9, 0.0},
+       {"stream.record_to_match.p99", latency.p99_seconds * 1e9, 0.0}});
+  std::cout << "\nwrote BENCH_stream.json\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#pragma once
+// The reusable stages of one matching pass, factored out of EvMatcher so the
+// batch matcher and the streaming IncrementalMatcher (src/stream) run the
+// exact same instrumented pipeline. Three layers:
+//
+//  * RunSplitStage / RunFilterStage — one E-split / one V-filter over an
+//    explicit scenario store, with the span + counter instrumentation the
+//    batch matcher always had. The filter stage optionally fans out across a
+//    ThreadPool (per-EID FilterVid calls are independent; the shared gallery
+//    is single-flight, so parallel scheduling cannot change any result).
+//
+//  * RunMatchPass — the full skeleton of EvMatcher::Match: split, filter,
+//    the matching-refining loop (Algorithm 2) and the registry-delta
+//    statistics, parameterized over how the two stages execute (sequential,
+//    pooled, or MapReduce-backed via the hooks). Because the skeleton is
+//    shared, every execution mode counts and refines identically — which is
+//    what makes the stream driver's drain output byte-identical to a batch
+//    match over the same records.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/set_splitting.hpp"
+#include "core/types.hpp"
+#include "core/vid_filter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "vsense/gallery.hpp"
+#include "vsense/v_scenario.hpp"
+
+namespace evm {
+
+/// Matching-refining policy (paper Algorithm 2). A result is acceptable
+/// when it is resolved and a strict majority of its scenarios agree on one
+/// VID; otherwise the EID is re-queued for another splitting pass over
+/// fresh scenarios, up to max_rounds.
+struct RefineConfig {
+  bool enabled{false};
+  std::size_t max_rounds{2};
+  double min_majority{0.5};
+};
+
+/// Runs sequential set splitting for `targets` over `scenarios`, recording
+/// the e-split span / stage.e latency and accumulating
+/// match.splitting_iterations — exactly what EvMatcher::RunSplit does in
+/// sequential mode. `config.seed` is used as given (callers perturb it per
+/// refine round).
+[[nodiscard]] SplitOutcome RunSplitStage(const EScenarioSet& scenarios,
+                                         const SplitConfig& config,
+                                         const std::vector<Eid>& universe,
+                                         const std::vector<Eid>& targets,
+                                         obs::MetricsRegistry& metrics,
+                                         obs::TraceRecorder* trace);
+
+/// Runs VID filtering for every list, recording the v-filter span / stage.v
+/// latency and accumulating match.feature_comparisons /
+/// match.scenarios_processed. A non-null `pool` fans the per-EID FilterVid
+/// calls out with ParallelFor; results and counter totals are identical
+/// either way.
+void RunFilterStage(const std::vector<EidScenarioList>& lists,
+                    const VScenarioSet& v_scenarios, FeatureGallery& gallery,
+                    const VidFilterOptions& options,
+                    std::vector<MatchResult>& results,
+                    obs::MetricsRegistry& metrics, obs::TraceRecorder* trace,
+                    ThreadPool* pool = nullptr);
+
+/// Stage execution hooks for RunMatchPass. The split hook receives the
+/// (sub)set of targets to split and the seed for this pass; the filter hook
+/// fills one result per list.
+using SplitStageFn = std::function<SplitOutcome(const std::vector<Eid>& targets,
+                                                std::uint64_t seed)>;
+using FilterStageFn =
+    std::function<void(const std::vector<EidScenarioList>& lists,
+                       std::vector<MatchResult>& results)>;
+
+/// The full match pass: split + filter + matching refining + stats derived
+/// from the registry delta. This is EvMatcher::Match with the two stages
+/// abstracted; the stream drain calls it with sequential/pooled stages over
+/// the windowed store and obtains batch-identical reports.
+[[nodiscard]] MatchReport RunMatchPass(const std::vector<Eid>& targets,
+                                       const RefineConfig& refine,
+                                       std::uint64_t base_seed,
+                                       const SplitStageFn& split,
+                                       const FilterStageFn& filter,
+                                       obs::MetricsRegistry& metrics,
+                                       obs::TraceRecorder* trace);
+
+}  // namespace evm

@@ -30,16 +30,17 @@ EvMatcher::EvMatcher(const EScenarioSet& e_scenarios,
 
 SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
                                  std::uint64_t seed) {
-  obs::StageSpan span(config_.trace, "e-split", metrics().latency(kLatEStage));
-  obs::AmbientParentScope ambient(config_.trace, span.id());
   SplitConfig split = config_.split;
   split.seed = seed;
+  if (engine_ == nullptr) {
+    return RunSplitStage(e_scenarios_, split, universe_, targets, metrics(),
+                         config_.trace);
+  }
+  obs::StageSpan span(config_.trace, "e-split", metrics().latency(kLatEStage));
+  obs::AmbientParentScope ambient(config_.trace, span.id());
   SplitOutcome outcome =
-      engine_ != nullptr
-          ? ParallelSetSplitter(e_scenarios_, split, *engine_, config_.trace)
-                .Run(universe_, targets)
-          : SetSplitter(e_scenarios_, split, config_.trace)
-                .Run(universe_, targets);
+      ParallelSetSplitter(e_scenarios_, split, *engine_, config_.trace)
+          .Run(universe_, targets);
   // Accumulated per split pass, so refine rounds' windows count too.
   metrics()
       .counter(kCtrSplittingIterations)
@@ -49,6 +50,11 @@ SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
 
 void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
                           std::vector<MatchResult>& results) {
+  if (engine_ == nullptr) {
+    RunFilterStage(lists, v_scenarios_, gallery_, config_.filter, results,
+                   metrics(), config_.trace);
+    return;
+  }
   obs::MetricsRegistry& reg = metrics();
   obs::TraceRecorder* const trace = config_.trace;
   obs::StageSpan span(trace, "v-filter", reg.latency(kLatVStage));
@@ -57,16 +63,6 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
   const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
 
   results.resize(lists.size());
-  if (engine_ == nullptr) {
-    VidFilterCounters counters;
-    for (std::size_t i = 0; i < lists.size(); ++i) {
-      results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
-                             config_.filter, trace);
-    }
-    comparisons.Add(counters.feature_comparisons);
-    processed.Add(counters.scenarios_processed);
-    return;
-  }
 
   // Parallel V stage (paper Sec. V-C).
   // Stage 1: fan feature extraction out across mappers, one task per
@@ -107,76 +103,14 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
 }
 
 MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
-  obs::MetricsRegistry& reg = metrics();
-  MatchReport report;
-  const MatchCounterSnapshot before = SnapshotMatchCounters(reg);
-  obs::StageSpan match_span(config_.trace, "match");
-  obs::AmbientParentScope match_ambient(config_.trace, match_span.id());
-
-  SplitOutcome outcome = RunSplit(targets, config_.split.seed);
-  RunFilter(outcome.lists, report.results);
-
-  // Matching refining (Algorithm 2): re-split and re-filter the EIDs whose
-  // result is not acceptable, over a fresh window order.
-  if (config_.refine.enabled) {
-    const obs::Counter refine_rounds = reg.counter(kCtrRefineRounds);
-    for (std::size_t round = 1; round <= config_.refine.max_rounds; ++round) {
-      std::vector<std::size_t> pending;
-      for (std::size_t i = 0; i < report.results.size(); ++i) {
-        const MatchResult& r = report.results[i];
-        if (!r.resolved ||
-            r.majority_fraction <= config_.refine.min_majority) {
-          pending.push_back(i);
-        }
-      }
-      if (pending.empty()) break;
-      std::vector<Eid> retry;
-      retry.reserve(pending.size());
-      for (const std::size_t i : pending) retry.push_back(targets[i]);
-
-      SplitOutcome retry_outcome =
-          RunSplit(retry, config_.split.seed + 0x9e3779b9ULL * round);
-      std::vector<MatchResult> retry_results;
-      RunFilter(retry_outcome.lists, retry_results);
-      refine_rounds.Add();
-      for (std::size_t k = 0; k < pending.size(); ++k) {
-        MatchResult& old_result = report.results[pending[k]];
-        const MatchResult& new_result = retry_results[k];
-        const bool better =
-            new_result.resolved &&
-            (!old_result.resolved ||
-             new_result.majority_fraction > old_result.majority_fraction ||
-             (new_result.majority_fraction == old_result.majority_fraction &&
-              new_result.confidence > old_result.confidence));
-        if (better) {
-          old_result = new_result;
-          outcome.lists[pending[k]] = retry_outcome.lists[k];
-        }
-      }
-    }
-  }
-
-  // Final statistics over the lists that produced the reported results;
-  // everything the stages counted comes out of the registry delta.
-  std::unordered_set<std::uint64_t> distinct;
-  std::size_t total_length = 0;
-  std::size_t undistinguished = 0;
-  for (const EidScenarioList& list : outcome.lists) {
-    total_length += list.scenarios.size();
-    if (!list.distinguished) ++undistinguished;
-    for (const ScenarioId id : list.scenarios) distinct.insert(id.value());
-  }
-  report.stats.distinct_scenarios = distinct.size();
-  report.stats.avg_scenarios_per_eid =
-      outcome.lists.empty()
-          ? 0.0
-          : static_cast<double>(total_length) /
-                static_cast<double>(outcome.lists.size());
-  report.stats.undistinguished_eids = undistinguished;
-  ApplyMatchCounterDelta(before, SnapshotMatchCounters(reg), report.stats);
-  PublishDerivedStats(&reg, report.stats);
-  report.scenario_lists = std::move(outcome.lists);
-  return report;
+  return RunMatchPass(
+      targets, config_.refine, config_.split.seed,
+      [this](const std::vector<Eid>& subset, std::uint64_t seed) {
+        return RunSplit(subset, seed);
+      },
+      [this](const std::vector<EidScenarioList>& lists,
+             std::vector<MatchResult>& results) { RunFilter(lists, results); },
+      metrics(), config_.trace);
 }
 
 MatchReport EvMatcher::MatchOne(Eid eid) { return Match({eid}); }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/match_stages.hpp"
 #include "core/parallel_split.hpp"
 #include "core/set_splitting.hpp"
 #include "core/types.hpp"
@@ -28,16 +29,6 @@
 #include "vsense/visual_oracle.hpp"
 
 namespace evm {
-
-/// Matching-refining policy (paper Algorithm 2). A result is acceptable
-/// when it is resolved and a strict majority of its scenarios agree on one
-/// VID; otherwise the EID is re-queued for another splitting pass over
-/// fresh scenarios, up to max_rounds.
-struct RefineConfig {
-  bool enabled{false};
-  std::size_t max_rounds{2};
-  double min_majority{0.5};
-};
 
 enum class ExecutionMode {
   kSequential,

@@ -14,6 +14,27 @@ std::optional<EidAttr> EScenario::AttrOf(Eid eid) const noexcept {
   return it->attr;
 }
 
+std::vector<EidEntry> ClassifyEntries(
+    const std::unordered_map<std::uint64_t, EidOccurrence>& counts,
+    const EScenarioConfig& config) {
+  const auto window_len = static_cast<double>(config.window_ticks);
+  std::vector<EidEntry> entries;
+  for (const auto& [eid_value, occurrence] : counts) {
+    const double frac =
+        (occurrence.inclusive_hits + occurrence.vague_hits) / window_len;
+    if (frac >= config.inclusive_threshold &&
+        occurrence.inclusive_hits >= occurrence.vague_hits) {
+      entries.push_back({Eid{eid_value}, EidAttr::kInclusive});
+    } else if (frac >= config.vague_threshold) {
+      entries.push_back({Eid{eid_value}, EidAttr::kVague});
+    }
+    // else: occasional appearance -> exclusive, dropped.
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+  return entries;
+}
+
 EScenarioSet::EScenarioSet(std::size_t cell_count, std::int64_t window_ticks)
     : cell_count_(cell_count), window_ticks_(window_ticks) {
   EVM_CHECK(cell_count > 0);
@@ -31,6 +52,24 @@ void EScenarioSet::Add(EScenario scenario) {
   window_count_ = std::max(window_count_, window + 1);
   index_.emplace(scenario.id.value(), scenarios_.size());
   scenarios_.push_back(std::move(scenario));
+}
+
+std::size_t EScenarioSet::RemoveWindow(std::size_t window_index) {
+  std::size_t removed = 0;
+  for (std::size_t c = 0; c < cell_count_; ++c) {
+    const std::uint64_t id = IdFor(window_index, CellId{c}).value();
+    const auto it = index_.find(id);
+    if (it == index_.end()) continue;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    if (pos + 1 != scenarios_.size()) {
+      scenarios_[pos] = std::move(scenarios_.back());
+      index_[scenarios_[pos].id.value()] = pos;
+    }
+    scenarios_.pop_back();
+    ++removed;
+  }
+  return removed;
 }
 
 const EScenario* EScenarioSet::Find(ScenarioId id) const noexcept {
@@ -57,14 +96,11 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
             config.vague_threshold <= config.inclusive_threshold);
   EScenarioSet set(grid.CellCount(), config.window_ticks);
 
-  struct Counts {
-    std::int32_t inclusive_hits{0};
-    std::int32_t vague_hits{0};
-  };
   // (window, cell) -> (eid -> counts). Windows are visited in order because
   // the log is time-sorted, but we aggregate fully before emitting to stay
   // robust to interleaving.
-  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, Counts>>
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, EidOccurrence>>
       buckets;
   for (const ERecord& record : log.records()) {
     const auto window =
@@ -73,7 +109,7 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
     const ZoneClass zone =
         ClassifyZone(grid, cell, record.position, config.vague_width_m);
     const std::uint64_t slot = set.IdFor(window, cell).value();
-    Counts& counts = buckets[slot][record.eid.value()];
+    EidOccurrence& counts = buckets[slot][record.eid.value()];
     if (zone == ZoneClass::kInclusive) {
       ++counts.inclusive_hits;
     } else {
@@ -86,9 +122,7 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
   for (const auto& [slot, eids] : buckets) slots.push_back(slot);
   std::sort(slots.begin(), slots.end());
 
-  const auto window_len = static_cast<double>(config.window_ticks);
   for (const std::uint64_t slot : slots) {
-    const auto& eids = buckets[slot];
     EScenario scenario;
     scenario.id = ScenarioId{slot};
     const std::size_t window = set.WindowOf(scenario.id);
@@ -97,20 +131,8 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
         TimeWindow{Tick{static_cast<std::int64_t>(window) * config.window_ticks},
                    Tick{(static_cast<std::int64_t>(window) + 1) *
                         config.window_ticks}};
-    for (const auto& [eid_value, counts] : eids) {
-      const double frac =
-          (counts.inclusive_hits + counts.vague_hits) / window_len;
-      if (frac >= config.inclusive_threshold &&
-          counts.inclusive_hits >= counts.vague_hits) {
-        scenario.entries.push_back({Eid{eid_value}, EidAttr::kInclusive});
-      } else if (frac >= config.vague_threshold) {
-        scenario.entries.push_back({Eid{eid_value}, EidAttr::kVague});
-      }
-      // else: occasional appearance -> exclusive, dropped.
-    }
+    scenario.entries = ClassifyEntries(buckets[slot], config);
     if (scenario.entries.empty()) continue;
-    std::sort(scenario.entries.begin(), scenario.entries.end(),
-              [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
     set.Add(std::move(scenario));
   }
   return set;

@@ -66,6 +66,25 @@ struct EScenarioConfig {
   double vague_threshold{0.2};
 };
 
+/// Per-EID occurrence counts inside one (window, cell) aggregation bucket —
+/// the raw material the classification rules run over. Maintained
+/// incrementally by the streaming store and per-bucket by the batch builder.
+struct EidOccurrence {
+  std::int32_t inclusive_hits{0};
+  std::int32_t vague_hits{0};
+};
+
+/// Applies the inclusive/vague/exclusive classification rules of
+/// BuildEScenarios to one fully aggregated bucket: EIDs at or above the
+/// inclusive threshold (with inclusive-zone evidence dominating) are
+/// inclusive, ones at or above the vague threshold are vague, the rest are
+/// dropped. Returns entries sorted by EID — exactly the entry list the batch
+/// builder would emit for the same counts, which is what the streaming
+/// store's seal step relies on for batch equivalence.
+[[nodiscard]] std::vector<EidEntry> ClassifyEntries(
+    const std::unordered_map<std::uint64_t, EidOccurrence>& counts,
+    const EScenarioConfig& config);
+
 /// The full set of E-Scenarios of a dataset, indexed by id and by
 /// (window index, cell). Scenario ids are `window_index * cell_count +
 /// cell`, shared with the corresponding V-Scenarios.
@@ -74,6 +93,13 @@ class EScenarioSet {
   EScenarioSet(std::size_t cell_count, std::int64_t window_ticks);
 
   void Add(EScenario scenario);
+
+  /// Removes every scenario of one window index (streaming retention
+  /// expiry). window_count() is intentionally left unchanged so scenario
+  /// ids and the splitter's window permutation stay stable; AtWindow() of a
+  /// removed window is simply empty. Returns the number of scenarios
+  /// removed.
+  std::size_t RemoveWindow(std::size_t window_index);
 
   [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
   [[nodiscard]] const std::vector<EScenario>& scenarios() const noexcept {

@@ -55,7 +55,10 @@ void WriteTraceJson(std::ostream& os, const MetricsSnapshot& metrics,
        << "\", \"count\": " << summary.count
        << ", \"total_seconds\": " << Num(summary.total_seconds)
        << ", \"min_seconds\": " << Num(summary.min_seconds)
-       << ", \"max_seconds\": " << Num(summary.max_seconds) << "}"
+       << ", \"max_seconds\": " << Num(summary.max_seconds)
+       << ", \"p50_seconds\": " << Num(summary.p50_seconds)
+       << ", \"p95_seconds\": " << Num(summary.p95_seconds)
+       << ", \"p99_seconds\": " << Num(summary.p99_seconds) << "}"
        << (++i < metrics.latencies.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -1,5 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace evm::obs {
 namespace {
 
@@ -14,27 +17,80 @@ double ToSeconds(std::uint64_t nanos) noexcept {
   return static_cast<double>(nanos) / kNanosPerSecond;
 }
 
+// Quantile estimate from the bucket counts: find the bucket holding the
+// target rank, geometrically interpolate inside it, clamp to [min, max].
+double EstimateQuantileNanos(
+    const std::array<std::uint64_t, LatencyStat::kBuckets>& buckets,
+    std::uint64_t count, double q, std::uint64_t min_nanos,
+    std::uint64_t max_nanos) {
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count));  // 0-based rank floor(q * n)
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < LatencyStat::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] <= rank) {
+      cumulative += buckets[b];
+      continue;
+    }
+    const double lower = b == 0 ? 0.0
+                                : static_cast<double>(
+                                      LatencyStat::BucketUpperNanos(b - 1));
+    const double upper = static_cast<double>(LatencyStat::BucketUpperNanos(b));
+    const double within = (static_cast<double>(rank - cumulative) + 0.5) /
+                          static_cast<double>(buckets[b]);
+    const double estimate = lower + (upper - lower) * within;
+    return std::min(static_cast<double>(max_nanos),
+                    std::max(static_cast<double>(min_nanos), estimate));
+  }
+  return static_cast<double>(max_nanos);
+}
+
 LatencySummary SummarizeCell(const LatencyStat::Cell& cell) {
   LatencySummary summary;
   summary.count = cell.count.load(std::memory_order_relaxed);
   summary.total_seconds =
       ToSeconds(cell.total_nanos.load(std::memory_order_relaxed));
   if (summary.count > 0) {
-    summary.min_seconds =
-        ToSeconds(cell.min_nanos.load(std::memory_order_relaxed));
-    summary.max_seconds =
-        ToSeconds(cell.max_nanos.load(std::memory_order_relaxed));
+    const std::uint64_t min_nanos =
+        cell.min_nanos.load(std::memory_order_relaxed);
+    const std::uint64_t max_nanos =
+        cell.max_nanos.load(std::memory_order_relaxed);
+    summary.min_seconds = ToSeconds(min_nanos);
+    summary.max_seconds = ToSeconds(max_nanos);
+    std::array<std::uint64_t, LatencyStat::kBuckets> buckets;
+    std::uint64_t bucketed = 0;
+    for (std::size_t b = 0; b < LatencyStat::kBuckets; ++b) {
+      buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+      bucketed += buckets[b];
+    }
+    // Summarizing concurrently with Record() can observe the count ahead of
+    // the bucket increment; quantile ranks must agree with bucket totals.
+    if (bucketed > 0) {
+      summary.p50_seconds = ToSeconds(static_cast<std::uint64_t>(
+          EstimateQuantileNanos(buckets, bucketed, 0.50, min_nanos, max_nanos)));
+      summary.p95_seconds = ToSeconds(static_cast<std::uint64_t>(
+          EstimateQuantileNanos(buckets, bucketed, 0.95, min_nanos, max_nanos)));
+      summary.p99_seconds = ToSeconds(static_cast<std::uint64_t>(
+          EstimateQuantileNanos(buckets, bucketed, 0.99, min_nanos, max_nanos)));
+    }
   }
   return summary;
 }
 
 }  // namespace
 
+std::size_t LatencyStat::BucketOf(std::uint64_t nanos) noexcept {
+  const auto bits = static_cast<std::size_t>(std::bit_width(nanos));
+  if (bits <= kMinBits) return 0;
+  return std::min(kBuckets - 1, bits - kMinBits);
+}
+
 void LatencyStat::Record(double seconds) const noexcept {
   if (cell_ == nullptr) return;
   const std::uint64_t nanos = ToNanos(seconds);
   cell_->count.fetch_add(1, std::memory_order_relaxed);
   cell_->total_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  cell_->buckets[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
   std::uint64_t observed = cell_->min_nanos.load(std::memory_order_relaxed);
   while (nanos < observed &&
          !cell_->min_nanos.compare_exchange_weak(observed, nanos,
@@ -104,6 +160,9 @@ void MetricsRegistry::Reset() {
     cell.min_nanos.store(std::numeric_limits<std::uint64_t>::max(),
                          std::memory_order_relaxed);
     cell.max_nanos.store(0, std::memory_order_relaxed);
+    for (auto& bucket : cell.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
   }
 }
 

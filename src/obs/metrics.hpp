@@ -16,6 +16,7 @@
 // lifetime regardless of later registrations; Reset() zeroes values in place
 // rather than erasing nodes for the same reason.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -61,17 +62,25 @@ class Gauge {
   std::atomic<double>* cell_{nullptr};
 };
 
-/// Aggregated view of one latency statistic.
+/// Aggregated view of one latency statistic. Percentiles are estimated from
+/// the log-scale bucket histogram (see LatencyStat::Cell): exact bucket
+/// selection, geometric interpolation within the bucket, clamped to the
+/// observed [min, max] — so a one-sample distribution reports that sample
+/// for every quantile.
 struct LatencySummary {
   std::uint64_t count{0};
   double total_seconds{0.0};
   double min_seconds{0.0};
   double max_seconds{0.0};
+  double p50_seconds{0.0};
+  double p95_seconds{0.0};
+  double p99_seconds{0.0};
 };
 
-/// Histogram-ish latency handle: count / total / min / max over recorded
-/// durations. Totals are delta-able across snapshots (count and total are
-/// monotonic), which is what per-run stage times are built from.
+/// Latency handle: count / total / min / max plus a fixed-bucket log-scale
+/// histogram over recorded durations. Totals are delta-able across snapshots
+/// (count and total are monotonic), which is what per-run stage times are
+/// built from; the histogram is what p50/p95/p99 are estimated from.
 class LatencyStat {
  public:
   LatencyStat() = default;
@@ -80,6 +89,19 @@ class LatencyStat {
 
   [[nodiscard]] bool active() const noexcept { return cell_ != nullptr; }
 
+  /// Histogram geometry: bucket b >= 1 spans [2^(kMinBits+b-1),
+  /// 2^(kMinBits+b)) nanoseconds; bucket 0 catches everything under
+  /// 2^kMinBits (256 ns). 36 power-of-two buckets cover up to ~2.4 hours —
+  /// one relaxed fetch_add per Record, no per-sample storage.
+  static constexpr std::size_t kMinBits = 8;
+  static constexpr std::size_t kBuckets = 36;
+
+  [[nodiscard]] static std::size_t BucketOf(std::uint64_t nanos) noexcept;
+  /// Upper edge of bucket `b`, nanoseconds.
+  [[nodiscard]] static std::uint64_t BucketUpperNanos(std::size_t b) noexcept {
+    return std::uint64_t{1} << (kMinBits + b);
+  }
+
   /// Backing storage; owned by a MetricsRegistry.
   struct Cell {
     std::atomic<std::uint64_t> count{0};
@@ -87,6 +109,7 @@ class LatencyStat {
     std::atomic<std::uint64_t> min_nanos{
         std::numeric_limits<std::uint64_t>::max()};
     std::atomic<std::uint64_t> max_nanos{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
   };
 
  private:

@@ -1,0 +1,34 @@
+#pragma once
+// The metric vocabulary of the streaming pipeline (evm::stream). Everything
+// the driver and its queues publish goes through these names so dashboards,
+// tests and the JSON trace export agree on spelling.
+
+namespace evm::stream {
+
+// Monotonic counters.
+inline constexpr char kCtrERecords[] = "stream.e_records";
+inline constexpr char kCtrVDetections[] = "stream.v_detections";
+inline constexpr char kCtrEDropped[] = "stream.e_queue.dropped";
+inline constexpr char kCtrVDropped[] = "stream.v_queue.dropped";
+inline constexpr char kCtrERejected[] = "stream.e_queue.rejected";
+inline constexpr char kCtrVRejected[] = "stream.v_queue.rejected";
+inline constexpr char kCtrWindowsSealed[] = "stream.windows_sealed";
+inline constexpr char kCtrIncrementalPasses[] = "stream.incremental_passes";
+inline constexpr char kCtrDirtyTargets[] = "stream.dirty_targets";
+
+// Gauges (current queue occupancy; sampled on every push/pop).
+inline constexpr char kGaugeEQueueDepth[] = "stream.e_queue.depth";
+inline constexpr char kGaugeVQueueDepth[] = "stream.v_queue.depth";
+inline constexpr char kGaugeOpenWindows[] = "stream.open_windows";
+
+// Latency stats.
+/// Ingest-to-provisional-match latency: from the moment a record was
+/// accepted by its lane queue to the completion of the incremental match
+/// pass that first incorporated its (sealed) window.
+inline constexpr char kLatRecordToMatch[] = "stream.record_to_match";
+/// One seal step: watermark advance -> scenarios appended to the store.
+inline constexpr char kLatSeal[] = "stream.seal";
+/// One incremental pass: dirty-set re-split + re-filter.
+inline constexpr char kLatIncremental[] = "stream.incremental";
+
+}  // namespace evm::stream

@@ -1,0 +1,95 @@
+#include "stream/incremental_matcher.hpp"
+
+#include <algorithm>
+
+#include "stream/counters.hpp"
+
+namespace evm::stream {
+
+IncrementalMatcher::IncrementalMatcher(const WindowedScenarioStore& store,
+                                       const VisualOracle& oracle,
+                                       IncrementalMatcherConfig config,
+                                       obs::MetricsRegistry& metrics,
+                                       obs::TraceRecorder* trace,
+                                       ThreadPool* pool)
+    : store_(store),
+      config_(std::move(config)),
+      metrics_(metrics),
+      trace_(trace),
+      pool_(pool),
+      gallery_(oracle, &metrics, trace) {
+  std::sort(config_.targets.begin(), config_.targets.end());
+  config_.targets.erase(
+      std::unique(config_.targets.begin(), config_.targets.end()),
+      config_.targets.end());
+}
+
+const std::vector<Eid>& IncrementalMatcher::CurrentTargets() const {
+  return config_.targets.empty() ? store_.universe() : config_.targets;
+}
+
+std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed) {
+  if (sealed.changed_eids.empty()) return 0;
+  obs::StageSpan span(trace_, "stream.incremental",
+                      metrics_.latency(kLatIncremental));
+  obs::AmbientParentScope ambient(trace_, span.id());
+
+  // Dirty set: tracked targets whose scenario membership just changed.
+  // (Both sides are sorted.)
+  const std::vector<Eid>& targets = CurrentTargets();
+  std::vector<Eid> dirty;
+  std::set_intersection(targets.begin(), targets.end(),
+                        sealed.changed_eids.begin(),
+                        sealed.changed_eids.end(), std::back_inserter(dirty));
+  if (dirty.empty()) return 0;
+  metrics_.counter(kCtrDirtyTargets).Add(dirty.size());
+  metrics_.counter(kCtrIncrementalPasses).Add();
+
+  SplitOutcome outcome =
+      RunSplitStage(store_.e_scenarios(), config_.split, store_.universe(),
+                    dirty, metrics_, trace_);
+
+  // The V stage is the expensive one: run it only for targets whose
+  // *selected* scenario list actually changed.
+  std::vector<EidScenarioList> changed;
+  for (EidScenarioList& list : outcome.lists) {
+    auto it = last_lists_.find(list.eid.value());
+    if (it != last_lists_.end() && it->second == list.scenarios) continue;
+    last_lists_[list.eid.value()] = list.scenarios;
+    changed.push_back(std::move(list));
+  }
+  if (changed.empty()) return 0;
+
+  std::vector<MatchResult> results;
+  RunFilterStage(changed, store_.v_scenarios(), gallery_, config_.filter,
+                 results, metrics_, trace_, pool_);
+  for (MatchResult& result : results) {
+    provisional_[result.eid.value()] = std::move(result);
+  }
+  return results.size();
+}
+
+MatchReport IncrementalMatcher::Drain() {
+  const std::vector<Eid>& targets = CurrentTargets();
+  return RunMatchPass(
+      targets, config_.refine, config_.split.seed,
+      [this](const std::vector<Eid>& subset, std::uint64_t seed) {
+        SplitConfig split = config_.split;
+        split.seed = seed;
+        return RunSplitStage(store_.e_scenarios(), split, store_.universe(),
+                             subset, metrics_, trace_);
+      },
+      [this](const std::vector<EidScenarioList>& lists,
+             std::vector<MatchResult>& results) {
+        RunFilterStage(lists, store_.v_scenarios(), gallery_, config_.filter,
+                       results, metrics_, trace_, pool_);
+      },
+      metrics_, trace_);
+}
+
+const MatchResult* IncrementalMatcher::ProvisionalResult(Eid eid) const {
+  const auto it = provisional_.find(eid.value());
+  return it == provisional_.end() ? nullptr : &it->second;
+}
+
+}  // namespace evm::stream

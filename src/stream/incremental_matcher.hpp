@@ -1,0 +1,91 @@
+#pragma once
+// IncrementalMatcher — keeps match results current as the windowed store
+// grows, re-doing only the work new data can have invalidated.
+//
+// Live path (OnSealed): when windows seal, only targets whose E-Scenario
+// membership changed ("dirty" targets) are re-queued. The dirty subset is
+// re-split over the current store; V-stage filtering — the expensive stage —
+// then runs only for targets whose *selected scenario list* actually
+// changed, fanned out across the thread pool and served by the shared
+// single-flight FeatureGallery. Results are provisional: a per-target split
+// is not the same computation as a joint split over the full target set
+// (the window permutation, the ContainsTargetEid preprocess filter and the
+// early-out all depend on which targets are in flight together).
+//
+// Drain path (Drain): seals nothing itself; runs the authoritative joint
+// pass — the exact RunMatchPass skeleton the batch EvMatcher executes — over
+// the store's scenario sets. Because a fully sealed store is structurally
+// identical to the batch-built sets and the stages are the same code, the
+// drained report is byte-identical to EvMatcher::Match on the same records;
+// the gallery is already warm from the live path, so this pass is cheap.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/match_stages.hpp"
+#include "core/set_splitting.hpp"
+#include "core/types.hpp"
+#include "core/vid_filter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stream/windowed_store.hpp"
+#include "vsense/gallery.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm::stream {
+
+struct IncrementalMatcherConfig {
+  SplitConfig split{};
+  VidFilterOptions filter{};
+  RefineConfig refine{};
+  /// EIDs to keep matched; empty = universal (every EID the store has seen).
+  std::vector<Eid> targets{};
+};
+
+class IncrementalMatcher {
+ public:
+  /// `store`, `oracle`, `metrics` (and `pool`/`trace` when given) must
+  /// outlive the matcher. A null pool runs the V stage sequentially.
+  IncrementalMatcher(const WindowedScenarioStore& store,
+                     const VisualOracle& oracle,
+                     IncrementalMatcherConfig config,
+                     obs::MetricsRegistry& metrics,
+                     obs::TraceRecorder* trace = nullptr,
+                     ThreadPool* pool = nullptr);
+
+  /// Reacts to a seal step: re-splits the dirty targets and re-filters the
+  /// ones whose scenario list changed. Returns the number of targets whose
+  /// provisional result was refreshed.
+  std::size_t OnSealed(const SealResult& sealed);
+
+  /// The authoritative joint pass over the current store (see file header).
+  [[nodiscard]] MatchReport Drain();
+
+  /// Latest provisional result for `eid`; nullptr before its first pass.
+  [[nodiscard]] const MatchResult* ProvisionalResult(Eid eid) const;
+  [[nodiscard]] std::size_t provisional_count() const noexcept {
+    return provisional_.size();
+  }
+
+  [[nodiscard]] FeatureGallery& gallery() noexcept { return gallery_; }
+
+ private:
+  /// The targets this matcher tracks right now (configured list, or the
+  /// store universe under universal matching).
+  [[nodiscard]] const std::vector<Eid>& CurrentTargets() const;
+
+  const WindowedScenarioStore& store_;
+  IncrementalMatcherConfig config_;
+  obs::MetricsRegistry& metrics_;
+  obs::TraceRecorder* trace_;
+  ThreadPool* pool_;
+  FeatureGallery gallery_;
+
+  // eid -> last selected scenario list / provisional result.
+  std::unordered_map<std::uint64_t, std::vector<ScenarioId>> last_lists_;
+  std::unordered_map<std::uint64_t, MatchResult> provisional_;
+};
+
+}  // namespace evm::stream

@@ -1,0 +1,191 @@
+#pragma once
+// Bounded multi-producer / single-consumer ingest queue with configurable
+// backpressure. One instance fronts each ingestion lane (E records, V
+// detections) of the stream driver; sensor threads push concurrently, the
+// lane's consumer thread pops.
+//
+// Backpressure policies when the queue is full:
+//  * kBlock      — the producer waits for space (lossless, applies pressure
+//                  upstream; the paper's E-data is tiny, so this is the
+//                  default for the E lane).
+//  * kDropOldest — the oldest queued item is discarded to admit the new one
+//                  (bounded staleness, lossy under overload).
+//  * kReject     — the push fails and the caller keeps the item (lossy at
+//                  the edge; lets the sensor decide what to do).
+//
+// Control items (watermarks) are exempt from all three policies via
+// PushControl(): they are always admitted and never discarded by
+// kDropOldest — dropping a watermark would stall window sealing forever,
+// and dropping data is semantically fine while dropping time is not.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace evm::stream {
+
+enum class BackpressurePolicy {
+  kBlock,
+  kDropOldest,
+  kReject,
+};
+
+struct IngestQueueConfig {
+  /// Maximum queued items (control items may exceed this transiently).
+  std::size_t capacity{1024};
+  BackpressurePolicy policy{BackpressurePolicy::kBlock};
+};
+
+enum class PushResult {
+  /// Item admitted without loss.
+  kAccepted,
+  /// Item admitted; the oldest queued *data* item was discarded.
+  kAcceptedDroppedOldest,
+  /// Queue full under kReject: the item was not admitted.
+  kRejected,
+};
+
+/// T must expose `bool is_control() const` distinguishing watermarks (and
+/// other control items) from data; control items are never dropped.
+template <typename T>
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestQueueConfig config, obs::Gauge depth_gauge = {},
+                       obs::Counter dropped = {}, obs::Counter rejected = {})
+      : config_(config),
+        depth_gauge_(depth_gauge),
+        dropped_(dropped),
+        rejected_(rejected) {}
+
+  /// Pushes a data item under the configured backpressure policy.
+  /// Returns kRejected (without blocking) if the queue is already closed.
+  PushResult Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kRejected;
+    if (DataCountLocked() >= config_.capacity) {
+      switch (config_.policy) {
+        case BackpressurePolicy::kBlock:
+          space_cv_.wait(lock, [this] {
+            return closed_ || DataCountLocked() < config_.capacity;
+          });
+          if (closed_) return PushResult::kRejected;
+          break;
+        case BackpressurePolicy::kDropOldest: {
+          DropOldestDataLocked();
+          items_.push_back(std::move(item));
+          ++total_pushed_;
+          dropped_.Add();
+          ++total_dropped_;
+          depth_gauge_.Set(static_cast<double>(items_.size()));
+          lock.unlock();
+          items_cv_.notify_one();
+          return PushResult::kAcceptedDroppedOldest;
+        }
+        case BackpressurePolicy::kReject:
+          rejected_.Add();
+          ++total_rejected_;
+          return PushResult::kRejected;
+      }
+    }
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    depth_gauge_.Set(static_cast<double>(items_.size()));
+    lock.unlock();
+    items_cv_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Pushes a control item (watermark): always admitted, regardless of
+  /// capacity or policy, unless the queue is closed.
+  bool PushControl(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      control_count_ += 1;
+      depth_gauge_.Set(static_cast<double>(items_.size()));
+    }
+    items_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Returns false only in the latter case (end of stream).
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    if (out.is_control()) {
+      control_count_ -= 1;
+    }
+    depth_gauge_.Set(static_cast<double>(items_.size()));
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Closes the intake: subsequent pushes fail, blocked producers wake and
+  /// fail, and Pop drains the remaining items before returning false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t Depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::uint64_t TotalPushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_pushed_;
+  }
+  [[nodiscard]] std::uint64_t TotalDropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_dropped_;
+  }
+  [[nodiscard]] std::uint64_t TotalRejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_rejected_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t DataCountLocked() const {
+    return items_.size() - control_count_;
+  }
+
+  /// Discards the oldest data item, skipping over control items.
+  void DropOldestDataLocked() {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (!it->is_control()) {
+        items_.erase(it);
+        return;
+      }
+    }
+  }
+
+  IngestQueueConfig config_;
+  obs::Gauge depth_gauge_;
+  obs::Counter dropped_;
+  obs::Counter rejected_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable items_cv_;  // consumer waits: items available
+  std::condition_variable space_cv_;  // kBlock producers wait: space free
+  std::deque<T> items_;
+  std::size_t control_count_{0};
+  bool closed_{false};
+  std::uint64_t total_pushed_{0};
+  std::uint64_t total_dropped_{0};
+  std::uint64_t total_rejected_{0};
+};
+
+}  // namespace evm::stream

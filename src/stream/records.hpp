@@ -1,0 +1,47 @@
+#pragma once
+// The items flowing through the stream driver's two ingestion lanes. Both
+// lanes carry data interleaved with watermark control items; a watermark at
+// tick T promises "no further data with tick < T will arrive on this lane",
+// which is what licenses the store to seal windows ending at or before T.
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "esense/e_record.hpp"
+#include "vsense/v_scenario.hpp"
+
+namespace evm::stream {
+
+/// One streamed camera detection: person `observation` was filmed in `cell`
+/// during the window containing `tick`. The batch pipeline derives these
+/// from trajectories inside BuildVScenarios; the stream receives them as
+/// events (in a deployment, from the per-camera detector).
+struct VDetection {
+  Tick tick{0};
+  CellId cell;
+  VObservation observation;
+};
+
+/// E-lane queue item: an ERecord or a watermark.
+struct ELaneItem {
+  bool is_mark{false};
+  ERecord record{};
+  Tick mark{0};
+  /// Steady-clock nanos at queue admission; 0 for marks.
+  std::uint64_t ingest_nanos{0};
+
+  [[nodiscard]] bool is_control() const noexcept { return is_mark; }
+};
+
+/// V-lane queue item: a VDetection or a watermark.
+struct VLaneItem {
+  bool is_mark{false};
+  VDetection detection{};
+  Tick mark{0};
+  std::uint64_t ingest_nanos{0};
+
+  [[nodiscard]] bool is_control() const noexcept { return is_mark; }
+};
+
+}  // namespace evm::stream

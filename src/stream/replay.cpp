@@ -1,0 +1,89 @@
+#include "stream/replay.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace evm::stream {
+namespace {
+
+/// Sleeps just often enough to hold `rate` records/s without issuing
+/// micro-sleeps per record.
+class Pacer {
+ public:
+  explicit Pacer(double rate) : rate_(rate) {}
+
+  void Tick() {
+    if (rate_ <= 0.0) return;
+    ++sent_;
+    if (sent_ % kBatch != 0) return;
+    const auto target =
+        start_ + std::chrono::duration<double>(static_cast<double>(sent_) /
+                                               rate_);
+    std::this_thread::sleep_until(target);
+  }
+
+ private:
+  static constexpr std::uint64_t kBatch = 64;
+  double rate_;
+  std::uint64_t sent_{0};
+  std::chrono::steady_clock::time_point start_{
+      std::chrono::steady_clock::now()};
+};
+
+void Count(PushResult result, ReplayOutcome& outcome) {
+  if (result == PushResult::kAcceptedDroppedOldest) ++outcome.dropped;
+  if (result == PushResult::kRejected) ++outcome.rejected;
+}
+
+}  // namespace
+
+ReplayOutcome ReplayDataset(const Dataset& dataset, StreamDriver& driver,
+                            const ReplayOptions& options) {
+  // Decompose the V-Scenario set into detections. Scenario order is slot-
+  // ascending (= window-major), so the sequence is already tick-sorted.
+  std::vector<VDetection> detections;
+  detections.reserve(dataset.v_scenarios.TotalObservations());
+  for (const VScenario& scenario : dataset.v_scenarios.scenarios()) {
+    for (const VObservation& observation : scenario.observations) {
+      detections.push_back(
+          VDetection{scenario.window.begin, scenario.cell, observation});
+    }
+  }
+
+  const std::int64_t wt = dataset.config.window_ticks;
+  const std::vector<ERecord>& e_records = dataset.e_log.records();
+  ReplayOutcome outcome;
+  Pacer pacer(options.records_per_second);
+  std::int64_t watermark = 0;
+
+  std::size_t ei = 0;
+  std::size_t vi = 0;
+  while (ei < e_records.size() || vi < detections.size()) {
+    const bool take_e =
+        vi >= detections.size() ||
+        (ei < e_records.size() &&
+         e_records[ei].tick.value <= detections[vi].tick.value);
+    const std::int64_t tick =
+        take_e ? e_records[ei].tick.value : detections[vi].tick.value;
+    // Crossing into a new window: everything before its begin is final.
+    const std::int64_t boundary = (tick / wt) * wt;
+    if (boundary > watermark) {
+      watermark = boundary;
+      driver.AdvanceWatermark(Tick{watermark});
+    }
+    if (take_e) {
+      Count(driver.PushE(e_records[ei++]), outcome);
+      ++outcome.e_pushed;
+    } else {
+      Count(driver.PushV(detections[vi++]), outcome);
+      ++outcome.v_pushed;
+    }
+    pacer.Tick();
+  }
+  // Final mark: the last open windows are complete too.
+  driver.AdvanceWatermark(Tick{(watermark / wt + 2) * wt});
+  return outcome;
+}
+
+}  // namespace evm::stream

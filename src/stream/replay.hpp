@@ -1,0 +1,40 @@
+#pragma once
+// Replays a generated dataset into a StreamDriver as a time-ordered event
+// stream — the harness for streaming tests, the example and the benchmark.
+//
+// The dataset's E-log is already tick-ordered; its V-Scenarios are
+// decomposed into per-observation VDetections stamped with their window's
+// begin tick. Both are merged by tick and pushed in order, advancing the
+// driver's watermark at every window boundary crossed — exactly the
+// contract a well-behaved sensor front end provides. Replaying every record
+// and then draining therefore reproduces the batch pipeline's input
+// precisely (the drain-equivalence fixture of DESIGN.md §9).
+
+#include <cstdint>
+
+#include "dataset/generator.hpp"
+#include "stream/stream_driver.hpp"
+
+namespace evm::stream {
+
+struct ReplayOptions {
+  /// Sustained push rate over both lanes combined, records per second.
+  /// 0 = unpaced (as fast as the backpressure policy admits).
+  double records_per_second{0.0};
+};
+
+struct ReplayOutcome {
+  std::uint64_t e_pushed{0};
+  std::uint64_t v_pushed{0};
+  /// Pushes that cost an older queued record (kDropOldest lanes).
+  std::uint64_t dropped{0};
+  /// Pushes refused outright (kReject lanes).
+  std::uint64_t rejected{0};
+};
+
+/// Pushes every record of `dataset` into `driver` (which must be started),
+/// watermarking at window boundaries. Does not drain.
+ReplayOutcome ReplayDataset(const Dataset& dataset, StreamDriver& driver,
+                            const ReplayOptions& options = {});
+
+}  // namespace evm::stream

@@ -1,0 +1,167 @@
+#include "stream/stream_driver.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stream/counters.hpp"
+
+namespace evm::stream {
+
+StreamDriver::StreamDriver(const Grid& grid, const VisualOracle& oracle,
+                           StreamDriverConfig config)
+    : grid_(grid),
+      config_(config),
+      pool_(config.v_workers > 0 ? std::make_unique<ThreadPool>(config.v_workers)
+                                 : nullptr),
+      store_(grid, config.store),
+      matcher_(store_, oracle, config.match, metrics(), config.trace,
+               pool_.get()) {
+  obs::MetricsRegistry& reg = metrics();
+  e_queue_ = std::make_unique<IngestQueue<ELaneItem>>(
+      config_.e_queue, reg.gauge(kGaugeEQueueDepth),
+      reg.counter(kCtrEDropped), reg.counter(kCtrERejected));
+  v_queue_ = std::make_unique<IngestQueue<VLaneItem>>(
+      config_.v_queue, reg.gauge(kGaugeVQueueDepth),
+      reg.counter(kCtrVDropped), reg.counter(kCtrVRejected));
+}
+
+StreamDriver::~StreamDriver() { Shutdown(); }
+
+void StreamDriver::Start() {
+  EVM_CHECK_MSG(!started_, "StreamDriver::Start called twice");
+  started_ = true;
+  e_consumer_ = std::thread([this] { ConsumeE(); });
+  v_consumer_ = std::thread([this] { ConsumeV(); });
+}
+
+PushResult StreamDriver::PushE(const ERecord& record) {
+  ELaneItem item;
+  item.record = record;
+  item.ingest_nanos = NowNanos();
+  const PushResult result = e_queue_->Push(std::move(item));
+  if (result != PushResult::kRejected) {
+    metrics().counter(kCtrERecords).Add();
+  }
+  return result;
+}
+
+PushResult StreamDriver::PushV(const VDetection& detection) {
+  VLaneItem item;
+  item.detection = detection;
+  item.ingest_nanos = NowNanos();
+  const PushResult result = v_queue_->Push(std::move(item));
+  if (result != PushResult::kRejected) {
+    metrics().counter(kCtrVDetections).Add();
+  }
+  return result;
+}
+
+void StreamDriver::AdvanceWatermark(Tick tick) {
+  ELaneItem e_mark;
+  e_mark.is_mark = true;
+  e_mark.mark = tick;
+  VLaneItem v_mark;
+  v_mark.is_mark = true;
+  v_mark.mark = tick;
+  // Control pushes are exempt from backpressure: dropping data is
+  // acceptable under overload, dropping time would stall sealing forever.
+  e_queue_->PushControl(std::move(e_mark));
+  v_queue_->PushControl(std::move(v_mark));
+}
+
+void StreamDriver::ConsumeE() {
+  ELaneItem item;
+  while (e_queue_->Pop(item)) {
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    if (item.is_mark) {
+      e_watermark_ = std::max(e_watermark_, item.mark.value);
+      MaybeSeal();
+    } else {
+      const auto window = static_cast<std::size_t>(
+          item.record.tick.value / config_.store.scenario.window_ticks);
+      pending_stamps_[window].push_back(item.ingest_nanos);
+      store_.AppendE(item.record);
+    }
+  }
+}
+
+void StreamDriver::ConsumeV() {
+  VLaneItem item;
+  while (v_queue_->Pop(item)) {
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    if (item.is_mark) {
+      v_watermark_ = std::max(v_watermark_, item.mark.value);
+      MaybeSeal();
+    } else {
+      const auto window = static_cast<std::size_t>(
+          item.detection.tick.value / config_.store.scenario.window_ticks);
+      pending_stamps_[window].push_back(item.ingest_nanos);
+      store_.AppendV(item.detection);
+    }
+  }
+}
+
+template <typename SealFn>
+void StreamDriver::SealAndMatch(SealFn&& seal) {
+  obs::MetricsRegistry& reg = metrics();
+  SealResult sealed;
+  {
+    obs::StageSpan span(config_.trace, "stream.seal", reg.latency(kLatSeal));
+    sealed = seal();
+  }
+  if (!sealed.sealed_windows.empty()) {
+    reg.counter(kCtrWindowsSealed).Add(sealed.sealed_windows.size());
+  }
+  reg.gauge(kGaugeOpenWindows)
+      .Set(static_cast<double>(store_.open_window_count()));
+  matcher_.OnSealed(sealed);
+
+  // Every record whose window is now at or below the sealed horizon has
+  // been incorporated into the provisional results: account its latency.
+  if (!sealed.sealed_windows.empty()) {
+    const std::size_t horizon = sealed.sealed_windows.back();
+    const std::uint64_t now = NowNanos();
+    const obs::LatencyStat latency = reg.latency(kLatRecordToMatch);
+    for (auto it = pending_stamps_.begin();
+         it != pending_stamps_.end() && it->first <= horizon;
+         it = pending_stamps_.erase(it)) {
+      for (const std::uint64_t stamp : it->second) {
+        latency.Record(static_cast<double>(now - stamp) * 1e-9);
+      }
+    }
+  }
+}
+
+void StreamDriver::MaybeSeal() {
+  const std::int64_t joint = std::min(e_watermark_, v_watermark_);
+  if (joint <= joint_watermark_) return;
+  joint_watermark_ = joint;
+  SealAndMatch([&] { return store_.AdvanceWatermark(Tick{joint}); });
+}
+
+void StreamDriver::JoinConsumers() {
+  e_queue_->Close();
+  v_queue_->Close();
+  if (e_consumer_.joinable()) e_consumer_.join();
+  if (v_consumer_.joinable()) v_consumer_.join();
+}
+
+MatchReport StreamDriver::Drain() {
+  EVM_CHECK_MSG(started_, "Drain before Start");
+  if (!drained_) {
+    JoinConsumers();
+    {
+      std::lock_guard<std::mutex> lock(pipeline_mutex_);
+      SealAndMatch([&] { return store_.SealAll(); });
+    }
+    drained_report_ = matcher_.Drain();
+    drained_ = true;
+  }
+  return drained_report_;
+}
+
+void StreamDriver::Shutdown() {
+  if (started_) JoinConsumers();
+}
+
+}  // namespace evm::stream

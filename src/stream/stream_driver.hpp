@@ -1,0 +1,143 @@
+#pragma once
+// StreamDriver — the online front end of EV-Matching.
+//
+// Lifecycle:
+//   StreamDriver driver(grid, oracle, config);
+//   driver.Start();                 // spawns one consumer thread per lane
+//   driver.PushE(record);           // any thread, backpressure per config
+//   driver.PushV(detection);        //   "
+//   driver.AdvanceWatermark(tick);  // promise: no earlier data on any lane
+//   MatchReport report = driver.Drain();   // or driver.Shutdown()
+//
+// Two bounded MPSC queues (one per sensing modality) decouple producers
+// from the pipeline. Each lane has a consumer thread appending into the
+// WindowedScenarioStore under the pipeline mutex. Watermarks are pushed
+// into *both* lanes (never dropped by backpressure); the store only seals
+// up to the *joint* watermark — the minimum of the two lanes' — so a slow
+// lane holds sealing back instead of losing data to it. Every seal step
+// triggers the IncrementalMatcher's dirty-set pass, keeping provisional
+// results current.
+//
+// Drain(): closes the intake, lets both consumers finish the queued
+// backlog, seals every remaining window and runs the authoritative joint
+// match pass. The report is byte-identical to batch EvMatcher::Match over
+// the same records whenever no data was dropped (kBlock lanes, or lossy
+// lanes that never overflowed) and retention is unlimited — see DESIGN.md
+// §9 for the argument.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/types.hpp"
+#include "geo/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stream/incremental_matcher.hpp"
+#include "stream/ingest_queue.hpp"
+#include "stream/records.hpp"
+#include "stream/windowed_store.hpp"
+#include "vsense/visual_oracle.hpp"
+
+namespace evm::stream {
+
+struct StreamDriverConfig {
+  IngestQueueConfig e_queue{};
+  IngestQueueConfig v_queue{};
+  WindowedStoreConfig store{};
+  IncrementalMatcherConfig match{};
+  /// Worker threads for the V stage (0 = run it on the sealing thread).
+  std::size_t v_workers{0};
+  /// Registry the pipeline publishes into; null = driver-owned.
+  obs::MetricsRegistry* metrics{nullptr};
+  obs::TraceRecorder* trace{nullptr};
+};
+
+class StreamDriver {
+ public:
+  /// `grid` is copied; `oracle` must outlive the driver.
+  StreamDriver(const Grid& grid, const VisualOracle& oracle,
+               StreamDriverConfig config);
+  ~StreamDriver();
+
+  StreamDriver(const StreamDriver&) = delete;
+  StreamDriver& operator=(const StreamDriver&) = delete;
+
+  void Start();
+
+  /// Thread-safe producers. Return value reflects the lane's backpressure
+  /// decision; kRejected after Drain()/Shutdown().
+  PushResult PushE(const ERecord& record);
+  PushResult PushV(const VDetection& detection);
+
+  /// Declares that no data with tick < `tick` will be pushed on either lane
+  /// from now on. Watermarks must be non-decreasing per caller.
+  void AdvanceWatermark(Tick tick);
+
+  /// Closes the intake, drains both lanes, seals everything and runs the
+  /// authoritative joint match pass. Idempotent (returns the same report).
+  MatchReport Drain();
+
+  /// Stops without a final pass; queued-but-unconsumed data is discarded.
+  void Shutdown();
+
+  [[nodiscard]] const WindowedScenarioStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] IncrementalMatcher& matcher() noexcept { return matcher_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return config_.metrics != nullptr ? *config_.metrics : own_metrics_;
+  }
+  [[nodiscard]] std::uint64_t e_dropped() const { return e_queue_->TotalDropped(); }
+  [[nodiscard]] std::uint64_t v_dropped() const { return v_queue_->TotalDropped(); }
+  [[nodiscard]] std::uint64_t e_rejected() const { return e_queue_->TotalRejected(); }
+  [[nodiscard]] std::uint64_t v_rejected() const { return v_queue_->TotalRejected(); }
+
+ private:
+  static std::uint64_t NowNanos() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void ConsumeE();
+  void ConsumeV();
+  /// Called under pipeline_mutex_ whenever a lane watermark advanced.
+  void MaybeSeal();
+  /// Seals via `seal()` and runs the incremental pass + latency accounting.
+  /// Caller holds pipeline_mutex_.
+  template <typename SealFn>
+  void SealAndMatch(SealFn&& seal);
+  void JoinConsumers();
+
+  Grid grid_;
+  StreamDriverConfig config_;
+  obs::MetricsRegistry own_metrics_;  // used when config_.metrics is null
+  std::unique_ptr<ThreadPool> pool_;  // v_workers > 0 only
+  std::unique_ptr<IngestQueue<ELaneItem>> e_queue_;
+  std::unique_ptr<IngestQueue<VLaneItem>> v_queue_;
+
+  std::mutex pipeline_mutex_;
+  WindowedScenarioStore store_;
+  IncrementalMatcher matcher_;
+  std::int64_t e_watermark_{-1};
+  std::int64_t v_watermark_{-1};
+  std::int64_t joint_watermark_{-1};
+  // window -> ingest stamps of its records, drained into the
+  // record-to-match latency stat when the window's seal pass completes.
+  std::map<std::size_t, std::vector<std::uint64_t>> pending_stamps_;
+
+  std::thread e_consumer_;
+  std::thread v_consumer_;
+  bool started_{false};
+  bool drained_{false};
+  MatchReport drained_report_;
+};
+
+}  // namespace evm::stream

@@ -1,0 +1,161 @@
+#include "stream/windowed_store.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "geo/zone.hpp"
+
+namespace evm::stream {
+
+WindowedScenarioStore::WindowedScenarioStore(const Grid& grid,
+                                             WindowedStoreConfig config)
+    : grid_(grid),
+      config_(config),
+      e_scenarios_(grid.CellCount(), config.scenario.window_ticks) {
+  EVM_CHECK(config_.scenario.window_ticks > 0);
+  EVM_CHECK(config_.scenario.vague_threshold >= 0.0 &&
+            config_.scenario.vague_threshold <=
+                config_.scenario.inclusive_threshold);
+}
+
+void WindowedScenarioStore::AppendE(const ERecord& record) {
+  const std::size_t window = WindowOfTick(record.tick);
+  if (static_cast<std::int64_t>(window) <= sealed_horizon_) {
+    ++late_records_;
+    return;
+  }
+  const CellId cell = grid_.CellAt(record.position);
+  const ZoneClass zone = ClassifyZone(grid_, cell, record.position,
+                                      config_.scenario.vague_width_m);
+  const std::uint64_t slot = e_scenarios_.IdFor(window, cell).value();
+  EidOccurrence& counts = open_e_[window][slot][record.eid.value()];
+  if (zone == ZoneClass::kInclusive) {
+    ++counts.inclusive_hits;
+  } else {
+    ++counts.vague_hits;
+  }
+}
+
+void WindowedScenarioStore::AppendV(const VDetection& detection) {
+  const std::size_t window = WindowOfTick(detection.tick);
+  if (static_cast<std::int64_t>(window) <= sealed_horizon_) {
+    ++late_records_;
+    return;
+  }
+  const std::uint64_t slot =
+      e_scenarios_.IdFor(window, detection.cell).value();
+  open_v_[window][slot].push_back(detection.observation);
+}
+
+SealResult WindowedScenarioStore::AdvanceWatermark(Tick watermark) {
+  SealResult result;
+  // Window w covers ticks [w*wt, (w+1)*wt); it seals once the watermark
+  // reaches its end.
+  const std::int64_t wt = config_.scenario.window_ticks;
+  while (true) {
+    std::size_t next = std::numeric_limits<std::size_t>::max();
+    if (!open_e_.empty()) next = open_e_.begin()->first;
+    if (!open_v_.empty()) next = std::min(next, open_v_.begin()->first);
+    if (next == std::numeric_limits<std::size_t>::max()) break;
+    if (static_cast<std::int64_t>(next + 1) * wt > watermark.value) break;
+    SealWindow(next, result);
+  }
+  // Even event-less windows below the watermark count as sealed: a record
+  // arriving for one later is late (its window's seal already "happened",
+  // publishing nothing).
+  sealed_horizon_ = std::max(sealed_horizon_, watermark.value / wt - 1);
+  ExpireOld(result);
+  return result;
+}
+
+SealResult WindowedScenarioStore::SealAll() {
+  SealResult result;
+  while (!open_e_.empty() || !open_v_.empty()) {
+    std::size_t next = std::numeric_limits<std::size_t>::max();
+    if (!open_e_.empty()) next = open_e_.begin()->first;
+    if (!open_v_.empty()) next = std::min(next, open_v_.begin()->first);
+    SealWindow(next, result);
+  }
+  ExpireOld(result);
+  return result;
+}
+
+void WindowedScenarioStore::SealWindow(std::size_t window,
+                                       SealResult& result) {
+  const std::int64_t wt = config_.scenario.window_ticks;
+  const TimeWindow span{Tick{static_cast<std::int64_t>(window) * wt},
+                        Tick{(static_cast<std::int64_t>(window) + 1) * wt}};
+
+  std::vector<Eid> touched;
+  if (const auto e_it = open_e_.find(window); e_it != open_e_.end()) {
+    for (auto& [slot, counts] : e_it->second) {
+      // ClassifyEntries consumes the same unordered bucket shape the batch
+      // builder aggregates, so the emitted entry list is identical.
+      std::unordered_map<std::uint64_t, EidOccurrence> bucket(
+          counts.begin(), counts.end());
+      EScenario scenario;
+      scenario.id = ScenarioId{slot};
+      scenario.cell = CellId{slot % grid_.CellCount()};
+      scenario.window = span;
+      scenario.entries = ClassifyEntries(bucket, config_.scenario);
+      if (scenario.entries.empty()) continue;
+      for (const EidEntry& entry : scenario.entries) {
+        touched.push_back(entry.eid);
+      }
+      e_scenarios_.Add(std::move(scenario));
+    }
+    open_e_.erase(e_it);
+  }
+
+  if (const auto v_it = open_v_.find(window); v_it != open_v_.end()) {
+    for (auto& [slot, observations] : v_it->second) {
+      if (observations.empty()) continue;
+      VScenario scenario;
+      scenario.id = ScenarioId{slot};
+      scenario.cell = CellId{slot % grid_.CellCount()};
+      scenario.window = span;
+      scenario.observations = std::move(observations);
+      std::sort(scenario.observations.begin(), scenario.observations.end(),
+                [](const VObservation& a, const VObservation& b) {
+                  return a.vid < b.vid;
+                });
+      v_scenarios_.Add(std::move(scenario));
+    }
+    open_v_.erase(v_it);
+  }
+
+  // Merge this window's EIDs into the grow-only universe and the dirty set.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::vector<Eid> merged;
+  merged.reserve(universe_.size() + touched.size());
+  std::set_union(universe_.begin(), universe_.end(), touched.begin(),
+                 touched.end(), std::back_inserter(merged));
+  universe_ = std::move(merged);
+  std::vector<Eid> dirty;
+  dirty.reserve(result.changed_eids.size() + touched.size());
+  std::set_union(result.changed_eids.begin(), result.changed_eids.end(),
+                 touched.begin(), touched.end(), std::back_inserter(dirty));
+  result.changed_eids = std::move(dirty);
+
+  result.sealed_windows.push_back(window);
+  sealed_.push_back(window);
+  sealed_horizon_ =
+      std::max(sealed_horizon_, static_cast<std::int64_t>(window));
+}
+
+void WindowedScenarioStore::ExpireOld(SealResult& result) {
+  if (config_.retention_windows == 0) return;
+  while (sealed_.size() > config_.retention_windows) {
+    const std::size_t victim = sealed_.front();
+    sealed_.erase(sealed_.begin());
+    e_scenarios_.RemoveWindow(victim);
+    for (std::size_t c = 0; c < grid_.CellCount(); ++c) {
+      v_scenarios_.Remove(e_scenarios_.IdFor(victim, CellId{c}));
+    }
+    result.expired_windows.push_back(victim);
+  }
+}
+
+}  // namespace evm::stream

@@ -1,0 +1,128 @@
+#pragma once
+// WindowedScenarioStore — the stream-side owner of the EV-Scenario sets.
+//
+// Raw events append into per-window aggregation buckets (per-EID occurrence
+// counts on the E side, observation lists on the V side). When the joint
+// watermark passes a window's end, the window *seals*: its buckets run
+// through the exact classification rules of the batch builders
+// (ClassifyEntries; vid-sorted observations) and the resulting scenarios are
+// appended to the EScenarioSet / VScenarioSet, in ascending (window, cell)
+// order — the same order BuildEScenarios / BuildVScenarios emit. A store fed
+// every record of a dataset and fully sealed is therefore structurally
+// identical to the batch-built sets, which is the foundation of the stream
+// driver's drain-equivalence guarantee (DESIGN.md §9).
+//
+// Sealed windows older than the retention horizon expire: their scenarios
+// leave the sets (ids and the splitter's window permutation stay stable —
+// expired windows are simply empty). The EID universe is *not* rolled back
+// on expiry; it is the union of all EIDs ever sealed.
+//
+// Not thread-safe: the driver serializes access under its pipeline mutex.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/sim_time.hpp"
+#include "esense/e_scenario.hpp"
+#include "geo/grid.hpp"
+#include "stream/records.hpp"
+#include "vsense/v_scenario.hpp"
+
+namespace evm::stream {
+
+struct WindowedStoreConfig {
+  /// Classification thresholds + window length (shared by both sides; the
+  /// V side has no thresholds of its own because detections arrive already
+  /// classified by the camera).
+  EScenarioConfig scenario{};
+  /// Sealed windows kept before expiry; 0 = unlimited retention (required
+  /// for drain equivalence with a batch run over the full log).
+  std::size_t retention_windows{0};
+};
+
+/// What one watermark advance sealed.
+struct SealResult {
+  /// Window indices sealed by this advance, ascending.
+  std::vector<std::size_t> sealed_windows;
+  /// Distinct EIDs appearing (inclusive or vague) in the newly sealed
+  /// E-Scenarios, sorted — the dirty set for incremental re-matching.
+  std::vector<Eid> changed_eids;
+  /// Windows expired past the retention horizon, ascending.
+  std::vector<std::size_t> expired_windows;
+};
+
+class WindowedScenarioStore {
+ public:
+  WindowedScenarioStore(const Grid& grid, WindowedStoreConfig config);
+
+  /// Buffers one E record into its open window. Records at or below the
+  /// sealed horizon are late: they are counted and dropped (the window they
+  /// belong to has already been published).
+  void AppendE(const ERecord& record);
+
+  /// Buffers one V detection into its open window; same late-data rule.
+  void AppendV(const VDetection& detection);
+
+  /// Seals every open window that ends at or before `watermark` (i.e.
+  /// window w with (w+1)*window_ticks <= watermark), publishing its
+  /// scenarios, then expires windows past the retention horizon.
+  SealResult AdvanceWatermark(Tick watermark);
+
+  /// Seals everything still open, regardless of the watermark.
+  SealResult SealAll();
+
+  [[nodiscard]] const EScenarioSet& e_scenarios() const noexcept {
+    return e_scenarios_;
+  }
+  [[nodiscard]] const VScenarioSet& v_scenarios() const noexcept {
+    return v_scenarios_;
+  }
+  /// Union of all EIDs ever sealed, sorted — equals CollectUniverse over
+  /// the E-Scenario set when retention is unlimited.
+  [[nodiscard]] const std::vector<Eid>& universe() const noexcept {
+    return universe_;
+  }
+
+  [[nodiscard]] const Grid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t open_window_count() const noexcept {
+    return open_e_.size() > open_v_.size() ? open_e_.size() : open_v_.size();
+  }
+  [[nodiscard]] std::uint64_t late_records() const noexcept {
+    return late_records_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t WindowOfTick(Tick tick) const noexcept {
+    return static_cast<std::size_t>(tick.value /
+                                    config_.scenario.window_ticks);
+  }
+
+  void SealWindow(std::size_t window, SealResult& result);
+  void ExpireOld(SealResult& result);
+
+  Grid grid_;
+  WindowedStoreConfig config_;
+  EScenarioSet e_scenarios_;
+  VScenarioSet v_scenarios_;
+
+  // window -> slot(= window*cells + cell) -> per-EID occurrence counts.
+  // Ordered maps so sealing iterates windows/slots ascending — the batch
+  // builders' emission order.
+  std::map<std::size_t, std::map<std::uint64_t,
+                                 std::unordered_map<std::uint64_t,
+                                                    EidOccurrence>>>
+      open_e_;
+  // window -> slot -> buffered observations (vid-sorted at seal).
+  std::map<std::size_t, std::map<std::uint64_t, std::vector<VObservation>>>
+      open_v_;
+
+  std::vector<Eid> universe_;          // sorted, grow-only
+  std::vector<std::size_t> sealed_;    // sealed, unexpired windows, ascending
+  std::int64_t sealed_horizon_{-1};    // highest sealed window index
+  std::uint64_t late_records_{0};
+};
+
+}  // namespace evm::stream

@@ -11,6 +11,19 @@ void VScenarioSet::Add(VScenario scenario) {
   scenarios_.push_back(std::move(scenario));
 }
 
+bool VScenarioSet::Remove(ScenarioId id) {
+  const auto it = index_.find(id.value());
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != scenarios_.size()) {
+    scenarios_[pos] = std::move(scenarios_.back());
+    index_[scenarios_[pos].id.value()] = pos;
+  }
+  scenarios_.pop_back();
+  return true;
+}
+
 const VScenario* VScenarioSet::Find(ScenarioId id) const noexcept {
   const auto it = index_.find(id.value());
   return it == index_.end() ? nullptr : &scenarios_[it->second];

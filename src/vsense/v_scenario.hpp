@@ -46,6 +46,11 @@ class VScenarioSet {
 
   void Add(VScenario scenario);
 
+  /// Removes one scenario (streaming retention expiry). Returns false if the
+  /// id was not present. Pointers previously returned by Find() for *other*
+  /// scenarios may be invalidated (swap-remove) — callers must re-Find.
+  bool Remove(ScenarioId id);
+
   [[nodiscard]] const VScenario* Find(ScenarioId id) const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
   [[nodiscard]] const std::vector<VScenario>& scenarios() const noexcept {

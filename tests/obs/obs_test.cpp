@@ -63,6 +63,49 @@ TEST(MetricsRegistryTest, LatencySummaryTracksCountTotalMinMax) {
   EXPECT_EQ(registry.Latency("never").count, 0u);
 }
 
+TEST(MetricsRegistryTest, LatencyPercentilesFollowTheDistribution) {
+  MetricsRegistry registry;
+  LatencyStat stat = registry.latency("stage");
+  // 95 fast samples around 1 us, 4 at 1 ms, one 100 ms outlier.
+  for (int i = 0; i < 95; ++i) stat.Record(1e-6);
+  for (int i = 0; i < 4; ++i) stat.Record(1e-3);
+  stat.Record(0.1);
+  const LatencySummary summary = registry.Latency("stage");
+  ASSERT_EQ(summary.count, 100u);
+  // Buckets are powers of two, so estimates are exact to within one bucket
+  // (a factor of two) — assert the right order of magnitude.
+  EXPECT_GE(summary.p50_seconds, 0.5e-6);
+  EXPECT_LE(summary.p50_seconds, 2.5e-6);
+  EXPECT_GE(summary.p95_seconds, 0.5e-3);
+  EXPECT_LE(summary.p95_seconds, 2.5e-3);
+  EXPECT_GE(summary.p99_seconds, 0.05);
+  EXPECT_LE(summary.p99_seconds, 0.1);
+  // All quantiles stay inside the observed range.
+  EXPECT_GE(summary.p50_seconds, summary.min_seconds);
+  EXPECT_LE(summary.p99_seconds, summary.max_seconds);
+}
+
+TEST(MetricsRegistryTest, SingleSamplePercentilesAreThatSample) {
+  MetricsRegistry registry;
+  registry.latency("one").Record(0.25);
+  const LatencySummary summary = registry.Latency("one");
+  EXPECT_DOUBLE_EQ(summary.p50_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(summary.p95_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(summary.p99_seconds, 0.25);
+}
+
+TEST(MetricsRegistryTest, PercentilesAreMonotoneAcrossQuantiles) {
+  MetricsRegistry registry;
+  LatencyStat stat = registry.latency("mono");
+  for (int i = 1; i <= 1000; ++i) {
+    stat.Record(static_cast<double>(i) * 1e-6);
+  }
+  const LatencySummary summary = registry.Latency("mono");
+  EXPECT_LE(summary.p50_seconds, summary.p95_seconds);
+  EXPECT_LE(summary.p95_seconds, summary.p99_seconds);
+  EXPECT_LE(summary.p99_seconds, summary.max_seconds);
+}
+
 TEST(MetricsRegistryTest, SnapshotContainsEveryKind) {
   MetricsRegistry registry;
   registry.counter("c").Add(3);
@@ -194,6 +237,8 @@ TEST(JsonExportTest, DocumentHasSchemaAndAllSections) {
   EXPECT_NE(json.find("\"name\": \"match.avg\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"stage.e\", \"count\": 1"),
             std::string::npos);
+  EXPECT_NE(json.find("\"p50_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"e-split\""), std::string::npos);
   // Balanced braces/brackets as a cheap well-formedness check.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

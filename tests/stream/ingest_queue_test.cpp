@@ -1,0 +1,177 @@
+#include "stream/ingest_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace evm::stream {
+namespace {
+
+/// Minimal queue payload with the is_control() contract.
+struct Item {
+  int value{0};
+  bool control{false};
+  [[nodiscard]] bool is_control() const noexcept { return control; }
+};
+
+IngestQueueConfig Config(std::size_t capacity, BackpressurePolicy policy) {
+  IngestQueueConfig config;
+  config.capacity = capacity;
+  config.policy = policy;
+  return config;
+}
+
+TEST(IngestQueueTest, FifoWithinCapacity) {
+  IngestQueue<Item> queue(Config(8, BackpressurePolicy::kBlock));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(queue.Push(Item{i}), PushResult::kAccepted);
+  }
+  Item out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Pop(out));
+    EXPECT_EQ(out.value, i);
+  }
+  EXPECT_EQ(queue.TotalPushed(), 5u);
+  EXPECT_EQ(queue.TotalDropped(), 0u);
+}
+
+TEST(IngestQueueTest, BlockPolicyWaitsForSpaceAndLosesNothing) {
+  IngestQueue<Item> queue(Config(4, BackpressurePolicy::kBlock));
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) queue.Push(Item{i});
+  });
+  std::vector<int> seen;
+  Item out;
+  while (static_cast<int>(seen.size()) < kItems && queue.Pop(out)) {
+    seen.push_back(out.value);
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(queue.TotalDropped(), 0u);
+  EXPECT_EQ(queue.TotalRejected(), 0u);
+}
+
+TEST(IngestQueueTest, DropOldestDiscardsFromTheFront) {
+  IngestQueue<Item> queue(Config(4, BackpressurePolicy::kDropOldest));
+  for (int i = 0; i < 10; ++i) {
+    const PushResult result = queue.Push(Item{i});
+    if (i < 4) {
+      EXPECT_EQ(result, PushResult::kAccepted);
+    } else {
+      EXPECT_EQ(result, PushResult::kAcceptedDroppedOldest);
+    }
+  }
+  EXPECT_EQ(queue.TotalDropped(), 6u);
+  Item out;
+  for (int expected = 6; expected < 10; ++expected) {
+    ASSERT_TRUE(queue.Pop(out));
+    EXPECT_EQ(out.value, expected);
+  }
+  EXPECT_EQ(queue.Depth(), 0u);
+}
+
+TEST(IngestQueueTest, RejectRefusesWhenFull) {
+  IngestQueue<Item> queue(Config(2, BackpressurePolicy::kReject));
+  EXPECT_EQ(queue.Push(Item{0}), PushResult::kAccepted);
+  EXPECT_EQ(queue.Push(Item{1}), PushResult::kAccepted);
+  EXPECT_EQ(queue.Push(Item{2}), PushResult::kRejected);
+  EXPECT_EQ(queue.TotalRejected(), 1u);
+  EXPECT_EQ(queue.Depth(), 2u);
+}
+
+TEST(IngestQueueTest, ControlItemsBypassCapacityAndSurviveDropOldest) {
+  IngestQueue<Item> queue(Config(2, BackpressurePolicy::kDropOldest));
+  EXPECT_EQ(queue.Push(Item{0}), PushResult::kAccepted);
+  EXPECT_EQ(queue.Push(Item{1}), PushResult::kAccepted);
+  // Control admitted above capacity.
+  EXPECT_TRUE(queue.PushControl(Item{100, true}));
+  EXPECT_EQ(queue.Depth(), 3u);
+  // Next data push drops the oldest *data* item (0), never the mark.
+  EXPECT_EQ(queue.Push(Item{2}), PushResult::kAcceptedDroppedOldest);
+  Item out;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out.value, 1);
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_TRUE(out.control);
+  EXPECT_EQ(out.value, 100);
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out.value, 2);
+}
+
+TEST(IngestQueueTest, ControlItemsBypassRejectPolicy) {
+  IngestQueue<Item> queue(Config(1, BackpressurePolicy::kReject));
+  EXPECT_EQ(queue.Push(Item{0}), PushResult::kAccepted);
+  EXPECT_EQ(queue.Push(Item{1}), PushResult::kRejected);
+  EXPECT_TRUE(queue.PushControl(Item{2, true}));
+  EXPECT_EQ(queue.Depth(), 2u);
+}
+
+TEST(IngestQueueTest, CloseWakesBlockedProducerAndDrainsRest) {
+  IngestQueue<Item> queue(Config(1, BackpressurePolicy::kBlock));
+  EXPECT_EQ(queue.Push(Item{0}), PushResult::kAccepted);
+  std::atomic<bool> blocked_push_returned{false};
+  PushResult blocked_result = PushResult::kAccepted;
+  std::thread producer([&] {
+    blocked_result = queue.Push(Item{1});  // blocks: queue is full
+    blocked_push_returned.store(true);
+  });
+  // Give the producer time to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(blocked_push_returned.load());
+  EXPECT_EQ(blocked_result, PushResult::kRejected);
+  // The already-queued item still drains before end-of-stream.
+  Item out;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out.value, 0);
+  EXPECT_FALSE(queue.Pop(out));
+  EXPECT_EQ(queue.Push(Item{9}), PushResult::kRejected);
+}
+
+TEST(IngestQueueTest, ManyProducersOneConsumer) {
+  IngestQueue<Item> queue(Config(16, BackpressurePolicy::kBlock));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(Item{p * kPerProducer + i});
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  Item out;
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    ASSERT_TRUE(queue.Pop(out));
+    ASSERT_GE(out.value, 0);
+    ASSERT_LT(out.value, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(out.value)]);
+    seen[static_cast<std::size_t>(out.value)] = true;
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(queue.TotalPushed(), static_cast<std::uint64_t>(kProducers) *
+                                     kPerProducer);
+  EXPECT_EQ(queue.Depth(), 0u);
+}
+
+TEST(IngestQueueTest, DepthGaugeTracksOccupancy) {
+  obs::MetricsRegistry registry;
+  IngestQueue<Item> queue(Config(8, BackpressurePolicy::kBlock),
+                          registry.gauge("q.depth"));
+  queue.Push(Item{0});
+  queue.Push(Item{1});
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges.at("q.depth"), 2.0);
+  Item out;
+  ASSERT_TRUE(queue.Pop(out));
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges.at("q.depth"), 1.0);
+}
+
+}  // namespace
+}  // namespace evm::stream

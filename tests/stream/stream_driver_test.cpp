@@ -1,0 +1,238 @@
+#include "stream/stream_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "stream/counters.hpp"
+#include "stream/replay.hpp"
+
+namespace evm::stream {
+namespace {
+
+DatasetConfig SmallConfig(std::uint64_t seed) {
+  DatasetConfig config;
+  config.population = 50;
+  config.ticks = 200;
+  config.cell_size_m = 250.0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<Eid> SampleTargets(const Dataset& dataset, std::size_t stride) {
+  const std::vector<Eid> all = dataset.AllEids();
+  std::vector<Eid> targets;
+  for (std::size_t i = 0; i < all.size(); i += stride) {
+    targets.push_back(all[i]);
+  }
+  return targets;
+}
+
+StreamDriverConfig DriverConfigFor(const Dataset& dataset,
+                                   const MatcherConfig& matcher,
+                                   std::vector<Eid> targets,
+                                   BackpressurePolicy policy) {
+  StreamDriverConfig config;
+  // Unconstrained queues: lossy policies must not actually lose anything
+  // for drain equivalence to be claimable.
+  config.e_queue = {1u << 20, policy};
+  config.v_queue = {1u << 20, policy};
+  config.store.scenario =
+      EScenarioConfig{dataset.config.window_ticks,
+                      dataset.config.vague_width_m,
+                      dataset.config.inclusive_threshold,
+                      dataset.config.vague_threshold};
+  config.match.split = matcher.split;
+  config.match.filter = matcher.filter;
+  config.match.refine = matcher.refine;
+  config.match.targets = std::move(targets);
+  config.v_workers = 2;
+  return config;
+}
+
+/// Byte-for-byte equality of everything a MatchReport derives
+/// deterministically (excludes wall-clock seconds and cache-dependent
+/// extraction counts).
+void ExpectIdenticalReports(const MatchReport& streamed,
+                            const MatchReport& batch) {
+  ASSERT_EQ(streamed.results.size(), batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const MatchResult& a = streamed.results[i];
+    const MatchResult& b = batch.results[i];
+    EXPECT_EQ(a.eid, b.eid);
+    EXPECT_EQ(a.chosen_per_scenario, b.chosen_per_scenario);
+    EXPECT_EQ(a.reported_vid, b.reported_vid);
+    EXPECT_EQ(a.confidence, b.confidence);  // exact, not NEAR
+    EXPECT_EQ(a.majority_fraction, b.majority_fraction);
+    EXPECT_EQ(a.resolved, b.resolved);
+  }
+  ASSERT_EQ(streamed.scenario_lists.size(), batch.scenario_lists.size());
+  for (std::size_t i = 0; i < batch.scenario_lists.size(); ++i) {
+    EXPECT_EQ(streamed.scenario_lists[i].eid, batch.scenario_lists[i].eid);
+    EXPECT_EQ(streamed.scenario_lists[i].scenarios,
+              batch.scenario_lists[i].scenarios);
+    EXPECT_EQ(streamed.scenario_lists[i].distinguished,
+              batch.scenario_lists[i].distinguished);
+  }
+  EXPECT_EQ(streamed.stats.distinct_scenarios, batch.stats.distinct_scenarios);
+  EXPECT_EQ(streamed.stats.avg_scenarios_per_eid,
+            batch.stats.avg_scenarios_per_eid);
+  EXPECT_EQ(streamed.stats.splitting_iterations,
+            batch.stats.splitting_iterations);
+  EXPECT_EQ(streamed.stats.undistinguished_eids,
+            batch.stats.undistinguished_eids);
+  EXPECT_EQ(streamed.stats.feature_comparisons,
+            batch.stats.feature_comparisons);
+  EXPECT_EQ(streamed.stats.scenarios_processed,
+            batch.stats.scenarios_processed);
+  EXPECT_EQ(streamed.stats.refine_rounds, batch.stats.refine_rounds);
+}
+
+TEST(StreamDriverTest, DrainMatchesBatchAcrossSeedsAndPolicies) {
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const Dataset dataset = GenerateDataset(SmallConfig(seed));
+    const std::vector<Eid> targets = SampleTargets(dataset, 5);
+
+    MatcherConfig batch_config;
+    EvMatcher batch(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    batch_config);
+    const MatchReport expected = batch.Match(targets);
+
+    for (const BackpressurePolicy policy :
+         {BackpressurePolicy::kBlock, BackpressurePolicy::kDropOldest}) {
+      StreamDriver driver(
+          dataset.grid, dataset.oracle,
+          DriverConfigFor(dataset, batch_config, targets, policy));
+      driver.Start();
+      const ReplayOutcome replay = ReplayDataset(dataset, driver);
+      const MatchReport streamed = driver.Drain();
+
+      // The lossy policy must not have actually lost anything, or the
+      // equivalence claim would be vacuous.
+      EXPECT_EQ(replay.dropped, 0u);
+      EXPECT_EQ(replay.rejected, 0u);
+      EXPECT_EQ(driver.e_dropped() + driver.v_dropped(), 0u);
+      ExpectIdenticalReports(streamed, expected);
+    }
+  }
+}
+
+TEST(StreamDriverTest, UniversalDrainMatchesBatch) {
+  const Dataset dataset = GenerateDataset(SmallConfig(34));
+  MatcherConfig batch_config;
+  EvMatcher batch(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                  batch_config);
+  const MatchReport expected = batch.MatchUniversal();
+
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config, /*targets=*/{},
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  ReplayDataset(dataset, driver);
+  ExpectIdenticalReports(driver.Drain(), expected);
+}
+
+TEST(StreamDriverTest, PracticalSettingWithRefineMatchesBatch) {
+  DatasetConfig dataset_config = SmallConfig(35);
+  dataset_config.vague_width_m = 20.0;
+  dataset_config.e_noise_sigma_m = 5.0;
+  const Dataset dataset = GenerateDataset(dataset_config);
+  const std::vector<Eid> targets = SampleTargets(dataset, 4);
+
+  MatcherConfig batch_config;
+  batch_config.split.practical = true;
+  batch_config.refine.enabled = true;
+  EvMatcher batch(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                  batch_config);
+  const MatchReport expected = batch.Match(targets);
+
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config, targets,
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  ReplayDataset(dataset, driver);
+  ExpectIdenticalReports(driver.Drain(), expected);
+}
+
+TEST(StreamDriverTest, LivePathProducesProvisionalResultsBeforeDrain) {
+  const Dataset dataset = GenerateDataset(SmallConfig(36));
+  const std::vector<Eid> targets = SampleTargets(dataset, 5);
+  MatcherConfig batch_config;
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config, targets,
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  ReplayDataset(dataset, driver);
+
+  // The consumers process asynchronously; poll briefly for the first
+  // incremental pass instead of relying on Drain's final one.
+  for (int i = 0; i < 200 && driver.matcher().provisional_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(driver.matcher().provisional_count(), 0u);
+  (void)driver.Drain();
+  EXPECT_GT(driver.matcher().provisional_count(), 0u);
+  const MatchResult* provisional =
+      driver.matcher().ProvisionalResult(targets.front());
+  ASSERT_NE(provisional, nullptr);
+  EXPECT_EQ(provisional->eid, targets.front());
+}
+
+TEST(StreamDriverTest, PublishesStreamMetrics) {
+  const Dataset dataset = GenerateDataset(SmallConfig(37));
+  MatcherConfig batch_config;
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config,
+                                      SampleTargets(dataset, 5),
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  const ReplayOutcome replay = ReplayDataset(dataset, driver);
+  (void)driver.Drain();
+
+  obs::MetricsRegistry& reg = driver.metrics();
+  EXPECT_EQ(reg.CounterValue(kCtrERecords), replay.e_pushed);
+  EXPECT_EQ(reg.CounterValue(kCtrVDetections), replay.v_pushed);
+  EXPECT_GT(reg.CounterValue(kCtrWindowsSealed), 0u);
+  EXPECT_GT(reg.CounterValue(kCtrIncrementalPasses), 0u);
+  // Every consumed record's ingest-to-match latency was accounted.
+  const obs::LatencySummary latency = reg.Latency(kLatRecordToMatch);
+  EXPECT_EQ(latency.count, replay.e_pushed + replay.v_pushed);
+  EXPECT_GT(latency.p95_seconds, 0.0);
+  EXPECT_GT(reg.Latency(kLatSeal).count, 0u);
+}
+
+TEST(StreamDriverTest, DrainIsIdempotentAndRejectsLatePushes) {
+  const Dataset dataset = GenerateDataset(SmallConfig(38));
+  MatcherConfig batch_config;
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config,
+                                      SampleTargets(dataset, 5),
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  ReplayDataset(dataset, driver);
+  const MatchReport first = driver.Drain();
+  EXPECT_EQ(driver.PushE(dataset.e_log.records().front()),
+            PushResult::kRejected);
+  const MatchReport second = driver.Drain();
+  ExpectIdenticalReports(second, first);
+}
+
+TEST(StreamDriverTest, ShutdownWithoutDrainStopsCleanly) {
+  const Dataset dataset = GenerateDataset(SmallConfig(39));
+  MatcherConfig batch_config;
+  StreamDriver driver(dataset.grid, dataset.oracle,
+                      DriverConfigFor(dataset, batch_config,
+                                      SampleTargets(dataset, 5),
+                                      BackpressurePolicy::kBlock));
+  driver.Start();
+  for (std::size_t i = 0; i < 100 && i < dataset.e_log.size(); ++i) {
+    driver.PushE(dataset.e_log.records()[i]);
+  }
+  driver.Shutdown();  // no final pass, no crash; destructor is a no-op then
+}
+
+}  // namespace
+}  // namespace evm::stream

@@ -1,0 +1,184 @@
+#include "stream/windowed_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/set_splitting.hpp"
+#include "dataset/generator.hpp"
+
+namespace evm::stream {
+namespace {
+
+DatasetConfig SmallConfig(std::uint64_t seed) {
+  DatasetConfig config;
+  config.population = 60;
+  config.ticks = 200;
+  config.cell_size_m = 250.0;
+  config.seed = seed;
+  return config;
+}
+
+WindowedStoreConfig StoreConfigFor(const DatasetConfig& config) {
+  WindowedStoreConfig store;
+  store.scenario = EScenarioConfig{config.window_ticks, config.vague_width_m,
+                                   config.inclusive_threshold,
+                                   config.vague_threshold};
+  return store;
+}
+
+/// Feeds every record of the dataset into the store, batch-order agnostic.
+void FeedAll(const Dataset& dataset, WindowedScenarioStore& store) {
+  for (const ERecord& record : dataset.e_log.records()) {
+    store.AppendE(record);
+  }
+  for (const VScenario& scenario : dataset.v_scenarios.scenarios()) {
+    for (const VObservation& observation : scenario.observations) {
+      store.AppendV(
+          VDetection{scenario.window.begin, scenario.cell, observation});
+    }
+  }
+}
+
+void ExpectStructurallyEqual(const EScenarioSet& streamed,
+                             const EScenarioSet& batch) {
+  ASSERT_EQ(streamed.size(), batch.size());
+  ASSERT_EQ(streamed.window_count(), batch.window_count());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const EScenario& a = streamed.scenarios()[i];
+    const EScenario& b = batch.scenarios()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.cell, b.cell);
+    EXPECT_EQ(a.window.begin, b.window.begin);
+    EXPECT_EQ(a.window.end, b.window.end);
+    EXPECT_EQ(a.entries, b.entries) << "scenario " << b.id.value();
+  }
+}
+
+void ExpectStructurallyEqual(const VScenarioSet& streamed,
+                             const VScenarioSet& batch) {
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const VScenario& a = streamed.scenarios()[i];
+    const VScenario& b = batch.scenarios()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.cell, b.cell);
+    ASSERT_EQ(a.observations.size(), b.observations.size());
+    for (std::size_t k = 0; k < b.observations.size(); ++k) {
+      EXPECT_EQ(a.observations[k].vid, b.observations[k].vid);
+      EXPECT_EQ(a.observations[k].render_seed, b.observations[k].render_seed);
+    }
+  }
+}
+
+TEST(WindowedStoreTest, FullySealedStoreEqualsBatchBuilders) {
+  for (const std::uint64_t seed : {21u, 22u}) {
+    const Dataset dataset = GenerateDataset(SmallConfig(seed));
+    WindowedScenarioStore store(dataset.grid,
+                                StoreConfigFor(dataset.config));
+    FeedAll(dataset, store);
+    store.SealAll();
+
+    ExpectStructurallyEqual(store.e_scenarios(), dataset.e_scenarios);
+    ExpectStructurallyEqual(store.v_scenarios(), dataset.v_scenarios);
+    EXPECT_EQ(store.universe(), CollectUniverse(dataset.e_scenarios));
+  }
+}
+
+TEST(WindowedStoreTest, PracticalSettingStoreEqualsBatchBuilders) {
+  DatasetConfig config = SmallConfig(23);
+  config.vague_width_m = 20.0;
+  config.e_noise_sigma_m = 5.0;
+  const Dataset dataset = GenerateDataset(config);
+  WindowedScenarioStore store(dataset.grid, StoreConfigFor(dataset.config));
+  FeedAll(dataset, store);
+  store.SealAll();
+  ExpectStructurallyEqual(store.e_scenarios(), dataset.e_scenarios);
+  ExpectStructurallyEqual(store.v_scenarios(), dataset.v_scenarios);
+}
+
+TEST(WindowedStoreTest, IncrementalWatermarksReachTheSameSets) {
+  const Dataset dataset = GenerateDataset(SmallConfig(24));
+  WindowedScenarioStore store(dataset.grid, StoreConfigFor(dataset.config));
+  FeedAll(dataset, store);
+  // Seal in several watermark steps instead of one SealAll.
+  const std::int64_t wt = dataset.config.window_ticks;
+  const auto total = static_cast<std::int64_t>(dataset.config.ticks);
+  std::size_t sealed = 0;
+  for (std::int64_t mark = wt * 3; mark <= total + wt; mark += wt * 3) {
+    sealed += store.AdvanceWatermark(Tick{mark}).sealed_windows.size();
+  }
+  EXPECT_GT(sealed, 0u);
+  ExpectStructurallyEqual(store.e_scenarios(), dataset.e_scenarios);
+  ExpectStructurallyEqual(store.v_scenarios(), dataset.v_scenarios);
+}
+
+/// Appends `eid` at enough ticks of window `w` to classify inclusive.
+void FillWindow(WindowedScenarioStore& store, Eid eid, std::int64_t w) {
+  for (std::int64_t t = 0; t < 7; ++t) {
+    store.AppendE(ERecord{eid, Tick{w * 10 + t}, {50.0, 50.0}});
+  }
+}
+
+TEST(WindowedStoreTest, WatermarkSealsOnlyCoveredWindows) {
+  const Grid grid(2, 2, 100.0);
+  WindowedStoreConfig config;
+  config.scenario.window_ticks = 10;
+  WindowedScenarioStore store(grid, config);
+  FillWindow(store, Eid{1}, 0);
+  FillWindow(store, Eid{1}, 1);
+
+  // Watermark 10 covers window 0 only ([0, 10)).
+  SealResult first = store.AdvanceWatermark(Tick{10});
+  ASSERT_EQ(first.sealed_windows.size(), 1u);
+  EXPECT_EQ(first.sealed_windows[0], 0u);
+  ASSERT_EQ(first.changed_eids.size(), 1u);
+  EXPECT_EQ(first.changed_eids[0], Eid{1});
+  EXPECT_EQ(store.e_scenarios().size(), 1u);
+
+  // Watermark 19 still does not cover window 1 ([10, 20)).
+  EXPECT_TRUE(store.AdvanceWatermark(Tick{19}).sealed_windows.empty());
+  SealResult second = store.AdvanceWatermark(Tick{20});
+  ASSERT_EQ(second.sealed_windows.size(), 1u);
+  EXPECT_EQ(second.sealed_windows[0], 1u);
+}
+
+TEST(WindowedStoreTest, LateRecordsAreCountedAndDropped) {
+  const Grid grid(2, 2, 100.0);
+  WindowedStoreConfig config;
+  config.scenario.window_ticks = 10;
+  WindowedScenarioStore store(grid, config);
+  FillWindow(store, Eid{1}, 0);
+  store.AdvanceWatermark(Tick{20});  // seals windows 0 and 1
+  EXPECT_EQ(store.late_records(), 0u);
+  store.AppendE(ERecord{Eid{2}, Tick{7}, {50.0, 50.0}});   // window 0: late
+  store.AppendE(ERecord{Eid{2}, Tick{12}, {50.0, 50.0}});  // window 1: late
+  EXPECT_EQ(store.late_records(), 2u);
+  FillWindow(store, Eid{2}, 2);  // window 2: still open
+  const SealResult result = store.SealAll();
+  ASSERT_EQ(result.sealed_windows.size(), 1u);
+  EXPECT_EQ(result.sealed_windows[0], 2u);
+}
+
+TEST(WindowedStoreTest, RetentionExpiresOldWindowsButKeepsUniverse) {
+  const Grid grid(2, 2, 100.0);
+  WindowedStoreConfig config;
+  config.scenario.window_ticks = 10;
+  config.retention_windows = 2;
+  WindowedScenarioStore store(grid, config);
+  for (std::int64_t w = 0; w < 5; ++w) {
+    FillWindow(store, Eid{static_cast<std::uint64_t>(w)}, w);
+  }
+  const SealResult result = store.SealAll();
+  EXPECT_EQ(result.sealed_windows.size(), 5u);
+  ASSERT_EQ(result.expired_windows.size(), 3u);
+  EXPECT_EQ(result.expired_windows[0], 0u);
+  // Only the 2 newest windows keep scenarios; ids stay stable.
+  EXPECT_EQ(store.e_scenarios().size(), 2u);
+  EXPECT_TRUE(store.e_scenarios().AtWindow(0).empty());
+  EXPECT_FALSE(store.e_scenarios().AtWindow(4).empty());
+  // window_count and the universe are not rolled back.
+  EXPECT_EQ(store.e_scenarios().window_count(), 5u);
+  EXPECT_EQ(store.universe().size(), 5u);
+}
+
+}  // namespace
+}  // namespace evm::stream
