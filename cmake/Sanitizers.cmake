@@ -1,0 +1,40 @@
+# Maps an EVM_SANITIZE value to compiler/linker flags.
+#
+# The validation is factored out of the top-level CMakeLists so it can be
+# exercised headlessly: tools/sanitize_option_test.cmake runs this function
+# in script mode (ctest SanitizeOption.Validation) over every accepted and
+# rejected value without configuring the whole project.
+#
+# evm_sanitizer_flags(<value> <out_flags_var> <out_error_var>)
+#   <value>      one of: "", thread, address, undefined, "address,undefined"
+#   <out_flags>  ;-list of flags for both compile and link steps
+#   <out_error>  empty on success, else a human-readable message (the caller
+#                decides whether that is FATAL_ERROR or a test assertion)
+#
+# UBSan runs with -fno-sanitize-recover=all: any undefined-behaviour report
+# aborts the process, so a green test suite proves the absence of reports,
+# not just the absence of crashes.
+function(evm_sanitizer_flags value out_flags out_error)
+  set(flags "")
+  set(error "")
+  if(value STREQUAL "")
+    # No instrumentation.
+  elseif(value STREQUAL "thread")
+    set(flags -fsanitize=thread)
+  elseif(value STREQUAL "address")
+    set(flags -fsanitize=address)
+  elseif(value STREQUAL "undefined")
+    set(flags -fsanitize=undefined -fno-sanitize-recover=all)
+  elseif(value STREQUAL "address,undefined")
+    set(flags -fsanitize=address,undefined -fno-sanitize-recover=all)
+  else()
+    set(error "EVM_SANITIZE must be one of '', 'thread', 'address', "
+              "'undefined', 'address,undefined'; got '${value}'")
+    string(CONCAT error ${error})
+  endif()
+  if(NOT flags STREQUAL "")
+    list(APPEND flags -g -fno-omit-frame-pointer)
+  endif()
+  set(${out_flags} "${flags}" PARENT_SCOPE)
+  set(${out_error} "${error}" PARENT_SCOPE)
+endfunction()

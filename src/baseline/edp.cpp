@@ -1,11 +1,11 @@
 #include "baseline/edp.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "core/match_counters.hpp"
 
@@ -153,12 +153,12 @@ MatchReport EdpMatcher::Match(const std::vector<Eid>& targets) {
     const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
     VidFilterCounters total;
     if (engine_ != nullptr) {
-      std::mutex counters_mutex;
+      common::Mutex counters_mutex;
       engine_->pool().ParallelFor(targets.size(), [&](std::size_t i) {
         VidFilterCounters counters;
         report.results[i] = FilterVid(report.scenario_lists[i], v_scenarios_,
                                       gallery_, counters, {}, trace);
-        std::lock_guard<std::mutex> lock(counters_mutex);
+        common::MutexLock lock(counters_mutex);
         total.feature_comparisons += counters.feature_comparisons;
         total.scenarios_processed += counters.scenarios_processed;
       });

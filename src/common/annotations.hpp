@@ -1,0 +1,78 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros (EVM_-prefixed so they can't
+// collide with other libraries' spellings). Under clang the macros expand to
+// the analysis attributes and `-Wthread-safety -Werror=thread-safety`
+// (EVM_THREAD_SAFETY=ON, see the CI clang job) turns every lock-discipline
+// violation into a compile error; under gcc they expand to nothing, so the
+// annotated code is plain C++ with zero overhead.
+//
+// The vocabulary follows the canonical mutex.h from the clang documentation:
+//   EVM_CAPABILITY        — the type is a lockable capability (mutex)
+//   EVM_SCOPED_CAPABILITY — RAII type that acquires in ctor / releases in dtor
+//   EVM_GUARDED_BY(mu)    — field may only be touched while holding mu
+//   EVM_PT_GUARDED_BY(mu) — pointee may only be touched while holding mu
+//   EVM_REQUIRES(mu)      — caller must hold mu (exclusive) to call
+//   EVM_REQUIRES_SHARED   — caller must hold mu at least shared
+//   EVM_ACQUIRE / EVM_RELEASE / EVM_TRY_ACQUIRE (+ _SHARED variants)
+//   EVM_EXCLUDES(mu)      — caller must NOT hold mu (anti-deadlock)
+//   EVM_ACQUIRED_BEFORE / EVM_ACQUIRED_AFTER — global lock ordering
+//
+// Annotated wrappers over the std primitives live in common/mutex.hpp;
+// DESIGN.md §10 maps each capability to the state it guards.
+
+#if defined(__clang__) && !defined(SWIG)
+#define EVM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EVM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define EVM_CAPABILITY(x) EVM_THREAD_ANNOTATION(capability(x))
+
+#define EVM_SCOPED_CAPABILITY EVM_THREAD_ANNOTATION(scoped_lockable)
+
+#define EVM_GUARDED_BY(x) EVM_THREAD_ANNOTATION(guarded_by(x))
+
+#define EVM_PT_GUARDED_BY(x) EVM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define EVM_ACQUIRED_BEFORE(...) \
+  EVM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define EVM_ACQUIRED_AFTER(...) \
+  EVM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define EVM_REQUIRES(...) \
+  EVM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define EVM_REQUIRES_SHARED(...) \
+  EVM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define EVM_ACQUIRE(...) EVM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define EVM_ACQUIRE_SHARED(...) \
+  EVM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define EVM_RELEASE(...) EVM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define EVM_RELEASE_SHARED(...) \
+  EVM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define EVM_RELEASE_GENERIC(...) \
+  EVM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define EVM_TRY_ACQUIRE(...) \
+  EVM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EVM_TRY_ACQUIRE_SHARED(...) \
+  EVM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EVM_EXCLUDES(...) EVM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define EVM_ASSERT_CAPABILITY(x) EVM_THREAD_ANNOTATION(assert_capability(x))
+
+#define EVM_ASSERT_SHARED_CAPABILITY(x) \
+  EVM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define EVM_RETURN_CAPABILITY(x) EVM_THREAD_ANNOTATION(lock_returned(x))
+
+#define EVM_NO_THREAD_SAFETY_ANALYSIS \
+  EVM_THREAD_ANNOTATION(no_thread_safety_analysis)

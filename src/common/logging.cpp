@@ -8,9 +8,9 @@ Logger& Logger::Instance() {
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (level < level_) return;
+  if (level < this->level()) return;
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::clog << "[" << kNames[static_cast<int>(level)] << "] " << message
             << '\n';
 }

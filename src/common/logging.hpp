@@ -2,10 +2,13 @@
 // Minimal leveled logger. Defaults to Warning so library code is silent in
 // tests and benches; examples raise the level to Info for narration.
 
+#include <atomic>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace evm {
 
@@ -16,15 +19,22 @@ class Logger {
  public:
   static Logger& Instance();
 
-  void SetLevel(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void SetLevel(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
-  void Write(LogLevel level, const std::string& message);
+  void Write(LogLevel level, const std::string& message) EVM_EXCLUDES(mutex_);
 
  private:
   Logger() = default;
-  LogLevel level_{LogLevel::kWarning};
-  std::mutex mutex_;
+  /// Atomic so SetLevel from a driver thread doesn't race the unlocked
+  /// level check on Write's fast path.
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  /// Serializes the interleaving-prone std::clog writes.
+  common::Mutex mutex_;
 };
 
 namespace detail {

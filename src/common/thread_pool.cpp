@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -29,12 +29,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      common::MutexLock lock(mutex_);
+      // Wait loop written inline (not a predicate lambda) so the analysis
+      // sees the guarded reads happen under mutex_.
+      while (!stopping_ && queue_.empty()) cv_.Wait(lock);
+      if (queue_.empty()) return;  // stopping, backlog drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -3,14 +3,15 @@
 // engine (src/mapreduce): map/reduce/merge tasks are submitted as jobs and
 // the pool plays the role of the paper's cluster worker machines.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace evm {
 
@@ -32,13 +33,13 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool::Submit after shutdown");
       }
       queue_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
@@ -66,10 +67,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_{false};
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ EVM_GUARDED_BY(mutex_);
+  bool stopping_ EVM_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace evm

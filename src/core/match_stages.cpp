@@ -1,8 +1,8 @@
 #include "core/match_stages.hpp"
 
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.hpp"
 #include "core/match_counters.hpp"
 
 namespace evm {
@@ -45,13 +45,13 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
     return;
   }
 
-  std::mutex counters_mutex;
+  common::Mutex counters_mutex;
   VidFilterCounters total;
   pool->ParallelFor(lists.size(), [&](std::size_t i) {
     VidFilterCounters counters;
     results[i] = FilterVid(lists[i], v_scenarios, gallery, counters,
                            options, trace);
-    std::lock_guard<std::mutex> lock(counters_mutex);
+    common::MutexLock lock(counters_mutex);
     total.feature_comparisons += counters.feature_comparisons;
     total.scenarios_processed += counters.scenarios_processed;
   });

@@ -1,10 +1,10 @@
 #include "core/matcher.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "core/match_counters.hpp"
 
 namespace evm {
@@ -88,13 +88,13 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
 
   // Stage 2: per-EID feature comparison, one map task per EID — each EID's
   // selected V-Scenarios are conveyed to the same worker.
-  std::mutex counters_mutex;
+  common::Mutex counters_mutex;
   VidFilterCounters total;
   engine_->pool().ParallelFor(lists.size(), [&](std::size_t i) {
     VidFilterCounters counters;
     results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
                            config_.filter, trace);
-    std::lock_guard<std::mutex> lock(counters_mutex);
+    common::MutexLock lock(counters_mutex);
     total.feature_comparisons += counters.feature_comparisons;
     total.scenarios_processed += counters.scenarios_processed;
   });

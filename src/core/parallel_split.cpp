@@ -158,9 +158,6 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
     // ---- apply the refined partition ----
     // Group the merge output by parent block; a parent refines iff it has
     // more than one signature group.
-    std::unordered_map<std::uint64_t,
-                       std::vector<const std::pair<SetIdList, SetIdList>*>>
-        by_parent;
     // Re-shape for stable processing: (setids, members) sorted by setids.
     std::vector<std::pair<SetIdList, SetIdList>> groups;
     groups.reserve(merged.size());
@@ -170,11 +167,25 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
     }
     std::sort(groups.begin(), groups.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Group by parent block. The parent block id is the leading set id, so
+    // in the sorted `groups` every parent's groups are adjacent: one sweep
+    // yields parent runs in ascending parent-id order. (A hash map here
+    // would make child block *numbering* follow hash-iteration order —
+    // harmless to list contents but nondeterministic in traces and across
+    // platforms.)
+    std::vector<std::pair<std::uint64_t,
+                          std::vector<const std::pair<SetIdList, SetIdList>*>>>
+        by_parent;
     for (const auto& group : groups) {
       EVM_CHECK_MSG(!group.first.empty() &&
                         group.first.front() < kScenarioIdOffset,
                     "merge group lost its parent block id");
-      by_parent[group.first.front()].push_back(&group);
+      const std::uint64_t parent_of_group = group.first.front();
+      if (by_parent.empty() || by_parent.back().first != parent_of_group) {
+        by_parent.emplace_back(parent_of_group, std::vector<const std::pair<
+                                                    SetIdList, SetIdList>*>{});
+      }
+      by_parent.back().second.push_back(&group);
     }
 
     for (auto& [parent_id, parent_groups] : by_parent) {
@@ -236,6 +247,7 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
   BackfillPresence(scenarios_, outcome.lists);
 
   outcome.recorded.reserve(recorded.size());
+  // det-ok: drained into a vector and sorted on the next line
   for (const std::uint64_t id : recorded) outcome.recorded.emplace_back(id);
   std::sort(outcome.recorded.begin(), outcome.recorded.end());
   return outcome;

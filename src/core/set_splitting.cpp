@@ -267,6 +267,7 @@ std::vector<Eid> CollectUniverse(const EScenarioSet& scenarios) {
   }
   std::vector<Eid> universe;
   universe.reserve(seen.size());
+  // det-ok: drained into a vector and sorted on the next line
   for (const std::uint64_t v : seen) universe.emplace_back(v);
   std::sort(universe.begin(), universe.end());
   return universe;
@@ -403,6 +404,7 @@ SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
   BackfillPresence(scenarios_, outcome.lists);
 
   outcome.recorded.reserve(ws.recorded.size());
+  // det-ok: drained into a vector and sorted on the next line
   for (const std::uint64_t id : ws.recorded) {
     outcome.recorded.emplace_back(id);
   }

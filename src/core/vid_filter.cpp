@@ -146,6 +146,7 @@ MatchResult FilterVid(const EidScenarioList& list,
 
   std::uint64_t majority_vid = 0;
   std::size_t majority_count = 0;
+  // det-ok: fold is order-independent — max count with smallest-vid tie-break
   for (const auto& [vid, count] : votes) {
     if (count > majority_count ||
         (count == majority_count && vid < majority_vid)) {

@@ -19,6 +19,7 @@ std::vector<EidEntry> ClassifyEntries(
     const EScenarioConfig& config) {
   const auto window_len = static_cast<double>(config.window_ticks);
   std::vector<EidEntry> entries;
+  // det-ok: entries are sorted by eid before returning
   for (const auto& [eid_value, occurrence] : counts) {
     const double frac =
         (occurrence.inclusive_hits + occurrence.vague_hits) / window_len;
@@ -119,6 +120,7 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
 
   std::vector<std::uint64_t> slots;
   slots.reserve(buckets.size());
+  // det-ok: keys drained into `slots` and sorted on the next line
   for (const auto& [slot, eids] : buckets) slots.push_back(slot);
   std::sort(slots.begin(), slots.end());
 

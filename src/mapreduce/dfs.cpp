@@ -5,34 +5,34 @@
 namespace evm::mapreduce {
 
 void Dfs::Write(const std::string& name, std::vector<Block> blocks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::WriterMutexLock lock(mutex_);
   datasets_[name] = std::move(blocks);
 }
 
 void Dfs::Append(const std::string& name, Block block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::WriterMutexLock lock(mutex_);
   datasets_[name].push_back(std::move(block));
 }
 
 std::optional<std::vector<Block>> Dfs::Read(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   const auto it = datasets_.find(name);
   if (it == datasets_.end()) return std::nullopt;
   return it->second;
 }
 
 bool Dfs::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   return datasets_.contains(name);
 }
 
 bool Dfs::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::WriterMutexLock lock(mutex_);
   return datasets_.erase(name) > 0;
 }
 
 std::vector<std::string> Dfs::List() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
   for (const auto& [name, blocks] : datasets_) names.push_back(name);
@@ -41,7 +41,7 @@ std::vector<std::string> Dfs::List() const {
 }
 
 std::uint64_t Dfs::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [name, blocks] : datasets_) {
     for (const auto& block : blocks) total += block.size();

@@ -10,11 +10,13 @@
 // cluster.
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace evm::mapreduce {
 
@@ -23,30 +25,36 @@ using Block = std::vector<unsigned char>;
 class Dfs {
  public:
   /// Writes (or atomically replaces) a dataset.
-  void Write(const std::string& name, std::vector<Block> blocks);
+  void Write(const std::string& name, std::vector<Block> blocks)
+      EVM_EXCLUDES(mutex_);
 
   /// Appends one block to a dataset, creating it if absent.
-  void Append(const std::string& name, Block block);
+  void Append(const std::string& name, Block block) EVM_EXCLUDES(mutex_);
 
   /// Reads a whole dataset; nullopt if it does not exist.
   [[nodiscard]] std::optional<std::vector<Block>> Read(
-      const std::string& name) const;
+      const std::string& name) const EVM_EXCLUDES(mutex_);
 
   /// True if the dataset exists.
-  [[nodiscard]] bool Exists(const std::string& name) const;
+  [[nodiscard]] bool Exists(const std::string& name) const
+      EVM_EXCLUDES(mutex_);
 
   /// Deletes a dataset; returns whether it existed.
-  bool Remove(const std::string& name);
+  bool Remove(const std::string& name) EVM_EXCLUDES(mutex_);
 
   /// Names of all datasets, sorted.
-  [[nodiscard]] std::vector<std::string> List() const;
+  [[nodiscard]] std::vector<std::string> List() const EVM_EXCLUDES(mutex_);
 
   /// Total bytes stored across all datasets.
-  [[nodiscard]] std::uint64_t TotalBytes() const;
+  [[nodiscard]] std::uint64_t TotalBytes() const EVM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::vector<Block>> datasets_;
+  /// Reader/writer capability: MapReduce stage boundaries are read-heavy
+  /// (every map task Read()s its partition), so lookups share the lock and
+  /// only Write/Append/Remove serialize.
+  mutable common::SharedMutex mutex_;
+  std::unordered_map<std::string, std::vector<Block>> datasets_
+      EVM_GUARDED_BY(mutex_);
 };
 
 }  // namespace evm::mapreduce

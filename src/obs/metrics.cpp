@@ -104,35 +104,35 @@ void LatencyStat::Record(double seconds) const noexcept {
 }
 
 Counter MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return Counter(&counters_[name]);
 }
 
 Gauge MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return Gauge(&gauges_[name]);
 }
 
 LatencyStat MetricsRegistry::latency(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return LatencyStat(&latencies_[name]);
 }
 
 std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0
                                : it->second.load(std::memory_order_relaxed);
 }
 
 LatencySummary MetricsRegistry::Latency(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = latencies_.find(name);
   return it == latencies_.end() ? LatencySummary{} : SummarizeCell(it->second);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   for (const auto& [name, cell] : counters_) {
     snapshot.counters.emplace(name, cell.load(std::memory_order_relaxed));
@@ -147,7 +147,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& [name, cell] : counters_) {
     cell.store(0, std::memory_order_relaxed);
   }

@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace evm::obs {
 
@@ -133,25 +135,32 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Find-or-create handles. Thread-safe; resolve once, not per event.
-  [[nodiscard]] Counter counter(const std::string& name);
-  [[nodiscard]] Gauge gauge(const std::string& name);
-  [[nodiscard]] LatencyStat latency(const std::string& name);
+  [[nodiscard]] Counter counter(const std::string& name) EVM_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge gauge(const std::string& name) EVM_EXCLUDES(mutex_);
+  [[nodiscard]] LatencyStat latency(const std::string& name)
+      EVM_EXCLUDES(mutex_);
 
   /// Current value of a counter (0 when never registered).
-  [[nodiscard]] std::uint64_t CounterValue(const std::string& name) const;
+  [[nodiscard]] std::uint64_t CounterValue(const std::string& name) const
+      EVM_EXCLUDES(mutex_);
   /// Current summary of a latency stat (zeroes when never registered).
-  [[nodiscard]] LatencySummary Latency(const std::string& name) const;
+  [[nodiscard]] LatencySummary Latency(const std::string& name) const
+      EVM_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot Snapshot() const;
+  [[nodiscard]] MetricsSnapshot Snapshot() const EVM_EXCLUDES(mutex_);
 
   /// Zeroes every value in place; previously issued handles stay valid.
-  void Reset();
+  void Reset() EVM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::atomic<std::uint64_t>> counters_;
-  std::map<std::string, std::atomic<double>> gauges_;
-  std::map<std::string, LatencyStat::Cell> latencies_;
+  /// Guards the map *structure* only. Handles escape as raw pointers into
+  /// node-based map cells on purpose: cell mutation is lock-free relaxed
+  /// atomics, and nodes are never erased, so the pointers stay valid.
+  mutable common::Mutex mutex_;
+  std::map<std::string, std::atomic<std::uint64_t>> counters_
+      EVM_GUARDED_BY(mutex_);
+  std::map<std::string, std::atomic<double>> gauges_ EVM_GUARDED_BY(mutex_);
+  std::map<std::string, LatencyStat::Cell> latencies_ EVM_GUARDED_BY(mutex_);
 };
 
 /// Null-safe handle resolution for components wired to an optional registry.

@@ -30,7 +30,7 @@ std::uint32_t TraceRecorder::BeginSpanAt(std::string name,
 
   std::uint32_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     id = static_cast<std::uint32_t>(spans_.size() + 1);
     SpanRecord record;
     record.name = std::move(name);
@@ -51,19 +51,19 @@ void TraceRecorder::EndSpanWith(std::uint32_t id, double duration_seconds) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (id >= 1 && id <= spans_.size()) {
     spans_[id - 1].duration_seconds = duration_seconds;
   }
 }
 
 std::vector<SpanRecord> TraceRecorder::Spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return spans_;
 }
 
 std::size_t TraceRecorder::SpanCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return spans_.size();
 }
 

@@ -15,12 +15,14 @@
 // read, no lock, no string. With a recorder installed, Begin/End take one
 // mutex acquisition each; tracing is a diagnosis mode, not a hot-path tax.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace evm::obs {
@@ -48,22 +50,24 @@ class TraceRecorder {
   /// Opens a span that started at `start`; infers the parent from this
   /// thread's open-span stack, falling back to the ambient parent. Returns
   /// the span id. Prefer StageSpan over calling this directly.
-  std::uint32_t BeginSpanAt(std::string name, clock::time_point start);
+  std::uint32_t BeginSpanAt(std::string name, clock::time_point start)
+      EVM_EXCLUDES(mutex_);
 
   /// Closes span `id` with the measured duration.
-  void EndSpanWith(std::uint32_t id, double duration_seconds);
+  void EndSpanWith(std::uint32_t id, double duration_seconds)
+      EVM_EXCLUDES(mutex_);
 
   /// Copy of every span recorded so far (open spans have duration 0).
-  [[nodiscard]] std::vector<SpanRecord> Spans() const;
+  [[nodiscard]] std::vector<SpanRecord> Spans() const EVM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t SpanCount() const;
+  [[nodiscard]] std::size_t SpanCount() const EVM_EXCLUDES(mutex_);
 
  private:
   friend class AmbientParentScope;
 
   clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
+  mutable common::Mutex mutex_;
+  std::vector<SpanRecord> spans_ EVM_GUARDED_BY(mutex_);
   /// Parent assigned to spans begun on threads with no open span of their
   /// own — set by AmbientParentScope around worker fan-outs.
   std::atomic<std::uint32_t> ambient_parent_{0};

@@ -63,8 +63,11 @@ std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed) {
   std::vector<MatchResult> results;
   RunFilterStage(changed, store_.v_scenarios(), gallery_, config_.filter,
                  results, metrics_, trace_, pool_);
-  for (MatchResult& result : results) {
-    provisional_[result.eid.value()] = std::move(result);
+  {
+    common::MutexLock lock(provisional_mutex_);
+    for (MatchResult& result : results) {
+      provisional_[result.eid.value()] = std::move(result);
+    }
   }
   return results.size();
 }
@@ -87,9 +90,12 @@ MatchReport IncrementalMatcher::Drain() {
       metrics_, trace_);
 }
 
-const MatchResult* IncrementalMatcher::ProvisionalResult(Eid eid) const {
+std::optional<MatchResult> IncrementalMatcher::ProvisionalResult(
+    Eid eid) const {
+  common::MutexLock lock(provisional_mutex_);
   const auto it = provisional_.find(eid.value());
-  return it == provisional_.end() ? nullptr : &it->second;
+  if (it == provisional_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace evm::stream

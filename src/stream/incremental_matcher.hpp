@@ -20,8 +20,12 @@
 // the gallery is already warm from the live path, so this pass is cheap.
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 #include "common/thread_pool.hpp"
 #include "core/match_stages.hpp"
@@ -63,9 +67,15 @@ class IncrementalMatcher {
   /// The authoritative joint pass over the current store (see file header).
   [[nodiscard]] MatchReport Drain();
 
-  /// Latest provisional result for `eid`; nullptr before its first pass.
-  [[nodiscard]] const MatchResult* ProvisionalResult(Eid eid) const;
-  [[nodiscard]] std::size_t provisional_count() const noexcept {
+  /// Latest provisional result for `eid`; empty before its first pass.
+  /// Returns a copy: the live path may refresh the entry at any moment, so
+  /// a pointer into the map would race with the consumer thread (found by
+  /// TSan when this returned `const MatchResult*`).
+  [[nodiscard]] std::optional<MatchResult> ProvisionalResult(Eid eid) const
+      EVM_EXCLUDES(provisional_mutex_);
+  [[nodiscard]] std::size_t provisional_count() const
+      EVM_EXCLUDES(provisional_mutex_) {
+    common::MutexLock lock(provisional_mutex_);
     return provisional_.size();
   }
 
@@ -83,9 +93,15 @@ class IncrementalMatcher {
   ThreadPool* pool_;
   FeatureGallery gallery_;
 
-  // eid -> last selected scenario list / provisional result.
+  // eid -> last selected scenario list. Only touched by OnSealed/Drain,
+  // which the driver already serializes under its pipeline mutex.
   std::unordered_map<std::uint64_t, std::vector<ScenarioId>> last_lists_;
-  std::unordered_map<std::uint64_t, MatchResult> provisional_;
+  /// Leaf lock for the provisional-result surface: the consumer thread
+  /// publishes refreshed results (under the driver's pipeline mutex) while
+  /// any caller thread polls ProvisionalResult()/provisional_count() live.
+  mutable common::Mutex provisional_mutex_;
+  std::unordered_map<std::uint64_t, MatchResult> provisional_
+      EVM_GUARDED_BY(provisional_mutex_);
 };
 
 }  // namespace evm::stream

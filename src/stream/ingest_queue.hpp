@@ -18,11 +18,11 @@
 // kDropOldest — dropping a watermark would stall window sealing forever,
 // and dropping data is semantically fine while dropping time is not.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace evm::stream {
@@ -62,15 +62,15 @@ class IngestQueue {
 
   /// Pushes a data item under the configured backpressure policy.
   /// Returns kRejected (without blocking) if the queue is already closed.
-  PushResult Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  PushResult Push(T item) EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     if (closed_) return PushResult::kRejected;
     if (DataCountLocked() >= config_.capacity) {
       switch (config_.policy) {
         case BackpressurePolicy::kBlock:
-          space_cv_.wait(lock, [this] {
-            return closed_ || DataCountLocked() < config_.capacity;
-          });
+          while (!closed_ && DataCountLocked() >= config_.capacity) {
+            space_cv_.Wait(lock);
+          }
           if (closed_) return PushResult::kRejected;
           break;
         case BackpressurePolicy::kDropOldest: {
@@ -80,8 +80,8 @@ class IngestQueue {
           dropped_.Add();
           ++total_dropped_;
           depth_gauge_.Set(static_cast<double>(items_.size()));
-          lock.unlock();
-          items_cv_.notify_one();
+          lock.Unlock();
+          items_cv_.NotifyOne();
           return PushResult::kAcceptedDroppedOldest;
         }
         case BackpressurePolicy::kReject:
@@ -93,30 +93,30 @@ class IngestQueue {
     items_.push_back(std::move(item));
     ++total_pushed_;
     depth_gauge_.Set(static_cast<double>(items_.size()));
-    lock.unlock();
-    items_cv_.notify_one();
+    lock.Unlock();
+    items_cv_.NotifyOne();
     return PushResult::kAccepted;
   }
 
   /// Pushes a control item (watermark): always admitted, regardless of
   /// capacity or policy, unless the queue is closed.
-  bool PushControl(T item) {
+  bool PushControl(T item) EVM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       control_count_ += 1;
       depth_gauge_.Set(static_cast<double>(items_.size()));
     }
-    items_cv_.notify_one();
+    items_cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
   /// Returns false only in the latter case (end of stream).
-  bool Pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T& out) EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) items_cv_.Wait(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -124,46 +124,46 @@ class IngestQueue {
       control_count_ -= 1;
     }
     depth_gauge_.Set(static_cast<double>(items_.size()));
-    lock.unlock();
-    space_cv_.notify_one();
+    lock.Unlock();
+    space_cv_.NotifyOne();
     return true;
   }
 
   /// Closes the intake: subsequent pushes fail, blocked producers wake and
   /// fail, and Pop drains the remaining items before returning false.
-  void Close() {
+  void Close() EVM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       closed_ = true;
     }
-    items_cv_.notify_all();
-    space_cv_.notify_all();
+    items_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
-  [[nodiscard]] std::size_t Depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t Depth() const EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return items_.size();
   }
-  [[nodiscard]] std::uint64_t TotalPushed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::uint64_t TotalPushed() const EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return total_pushed_;
   }
-  [[nodiscard]] std::uint64_t TotalDropped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::uint64_t TotalDropped() const EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return total_dropped_;
   }
-  [[nodiscard]] std::uint64_t TotalRejected() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::uint64_t TotalRejected() const EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return total_rejected_;
   }
 
  private:
-  [[nodiscard]] std::size_t DataCountLocked() const {
+  [[nodiscard]] std::size_t DataCountLocked() const EVM_REQUIRES(mutex_) {
     return items_.size() - control_count_;
   }
 
   /// Discards the oldest data item, skipping over control items.
-  void DropOldestDataLocked() {
+  void DropOldestDataLocked() EVM_REQUIRES(mutex_) {
     for (auto it = items_.begin(); it != items_.end(); ++it) {
       if (!it->is_control()) {
         items_.erase(it);
@@ -177,15 +177,15 @@ class IngestQueue {
   obs::Counter dropped_;
   obs::Counter rejected_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable items_cv_;  // consumer waits: items available
-  std::condition_variable space_cv_;  // kBlock producers wait: space free
-  std::deque<T> items_;
-  std::size_t control_count_{0};
-  bool closed_{false};
-  std::uint64_t total_pushed_{0};
-  std::uint64_t total_dropped_{0};
-  std::uint64_t total_rejected_{0};
+  mutable common::Mutex mutex_;
+  common::CondVar items_cv_;  // consumer waits: items available
+  common::CondVar space_cv_;  // kBlock producers wait: space free
+  std::deque<T> items_ EVM_GUARDED_BY(mutex_);
+  std::size_t control_count_ EVM_GUARDED_BY(mutex_){0};
+  bool closed_ EVM_GUARDED_BY(mutex_){false};
+  std::uint64_t total_pushed_ EVM_GUARDED_BY(mutex_){0};
+  std::uint64_t total_dropped_ EVM_GUARDED_BY(mutex_){0};
+  std::uint64_t total_rejected_ EVM_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace evm::stream

@@ -72,7 +72,7 @@ void StreamDriver::AdvanceWatermark(Tick tick) {
 void StreamDriver::ConsumeE() {
   ELaneItem item;
   while (e_queue_->Pop(item)) {
-    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    common::MutexLock lock(pipeline_mutex_);
     if (item.is_mark) {
       e_watermark_ = std::max(e_watermark_, item.mark.value);
       MaybeSeal();
@@ -88,7 +88,7 @@ void StreamDriver::ConsumeE() {
 void StreamDriver::ConsumeV() {
   VLaneItem item;
   while (v_queue_->Pop(item)) {
-    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    common::MutexLock lock(pipeline_mutex_);
     if (item.is_mark) {
       v_watermark_ = std::max(v_watermark_, item.mark.value);
       MaybeSeal();
@@ -151,7 +151,7 @@ MatchReport StreamDriver::Drain() {
   if (!drained_) {
     JoinConsumers();
     {
-      std::lock_guard<std::mutex> lock(pipeline_mutex_);
+      common::MutexLock lock(pipeline_mutex_);
       SealAndMatch([&] { return store_.SealAll(); });
     }
     drained_report_ = matcher_.Drain();

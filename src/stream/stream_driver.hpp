@@ -29,10 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "core/types.hpp"
 #include "geo/grid.hpp"
@@ -109,11 +110,10 @@ class StreamDriver {
   void ConsumeE();
   void ConsumeV();
   /// Called under pipeline_mutex_ whenever a lane watermark advanced.
-  void MaybeSeal();
+  void MaybeSeal() EVM_REQUIRES(pipeline_mutex_);
   /// Seals via `seal()` and runs the incremental pass + latency accounting.
-  /// Caller holds pipeline_mutex_.
   template <typename SealFn>
-  void SealAndMatch(SealFn&& seal);
+  void SealAndMatch(SealFn&& seal) EVM_REQUIRES(pipeline_mutex_);
   void JoinConsumers();
 
   Grid grid_;
@@ -123,15 +123,22 @@ class StreamDriver {
   std::unique_ptr<IngestQueue<ELaneItem>> e_queue_;
   std::unique_ptr<IngestQueue<VLaneItem>> v_queue_;
 
-  std::mutex pipeline_mutex_;
+  /// Guards the whole pipeline while the lane consumers run. store_ and
+  /// matcher_ are mutated under it too, but are not annotated: after
+  /// JoinConsumers() the owner thread reads them exclusively (store() /
+  /// Drain()), a phase change the analysis cannot express. Lock ordering:
+  /// pipeline_mutex_ is acquired first, gallery shard locks and registry
+  /// locks nest inside the seal pass (see DESIGN.md §10).
+  common::Mutex pipeline_mutex_;
   WindowedScenarioStore store_;
   IncrementalMatcher matcher_;
-  std::int64_t e_watermark_{-1};
-  std::int64_t v_watermark_{-1};
-  std::int64_t joint_watermark_{-1};
+  std::int64_t e_watermark_ EVM_GUARDED_BY(pipeline_mutex_){-1};
+  std::int64_t v_watermark_ EVM_GUARDED_BY(pipeline_mutex_){-1};
+  std::int64_t joint_watermark_ EVM_GUARDED_BY(pipeline_mutex_){-1};
   // window -> ingest stamps of its records, drained into the
   // record-to-match latency stat when the window's seal pass completes.
-  std::map<std::size_t, std::vector<std::uint64_t>> pending_stamps_;
+  std::map<std::size_t, std::vector<std::uint64_t>> pending_stamps_
+      EVM_GUARDED_BY(pipeline_mutex_);
 
   std::thread e_consumer_;
   std::thread v_consumer_;

@@ -10,7 +10,7 @@ FeatureGallery::Entry& FeatureGallery::Resolve(const VScenario& scenario) {
   Shard& shard = shards_[ShardOf(scenario.id.value())];
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     auto [it, inserted] =
         shard.cache.try_emplace(scenario.id.value(), nullptr);
     if (inserted) {
@@ -50,7 +50,7 @@ const FeatureBlock& FeatureGallery::Block(const VScenario& scenario) {
 std::size_t FeatureGallery::CachedScenarioCount() const {
   std::size_t count = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     count += shard.cache.size();
   }
   return count;
@@ -58,7 +58,7 @@ std::size_t FeatureGallery::CachedScenarioCount() const {
 
 void FeatureGallery::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     shard.cache.clear();
   }
   extractions_.store(0, std::memory_order_relaxed);
@@ -71,7 +71,8 @@ std::size_t FeatureGallery::ExportTo(mapreduce::Dfs& dfs,
   // is deterministic regardless of shard/bucket iteration order.
   std::vector<std::pair<std::uint64_t, std::shared_ptr<Entry>>> snapshot;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
+    // det-ok: snapshot is sorted by scenario id below before export
     for (const auto& [scenario_id, entry] : shard.cache) {
       if (entry->ready.load(std::memory_order_acquire)) {
         snapshot.emplace_back(scenario_id, entry);
@@ -121,7 +122,7 @@ std::size_t FeatureGallery::ImportFrom(const mapreduce::Dfs& dfs,
     entry->ready.store(true, std::memory_order_release);
 
     Shard& shard = shards_[ShardOf(scenario_id)];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    common::MutexLock lock(shard.mutex);
     if (shard.cache.try_emplace(scenario_id, std::move(entry)).second) {
       ++loaded;
     }

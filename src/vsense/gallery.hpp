@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "mapreduce/dfs.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -97,10 +99,14 @@ class FeatureGallery {
     FeatureBlock block;
   };
   struct Shard {
-    mutable std::mutex mutex;
+    mutable common::Mutex mutex;
     // shared_ptr so an entry outlives the shard lock while being filled and
-    // returned references stay stable across rehashing.
-    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache;
+    // returned references stay stable across rehashing. Shard locks are
+    // leaves: never hold one while touching another shard or any other
+    // capability (extraction happens outside the lock, under the entry's
+    // once_flag).
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache
+        EVM_GUARDED_BY(mutex);
   };
 
   static std::size_t ShardOf(std::uint64_t scenario_id) noexcept {

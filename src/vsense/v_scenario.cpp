@@ -70,7 +70,13 @@ VScenarioSet BuildVScenarios(const std::vector<TrackedFigure>& figures,
         const CellId cell = grid.CellAt(figure.trajectory->At(Tick{t}));
         ++presence[cell.value()];
       }
-      for (const auto& [cell_value, count] : presence) {
+      // Visit cells in sorted order: the miss_rng draw below consumes one
+      // Bernoulli sample per qualifying cell, so hash-order iteration would
+      // tie the miss pattern to the platform's unordered_map layout.
+      std::vector<std::pair<std::uint64_t, std::int64_t>> cell_counts(
+          presence.begin(), presence.end());
+      std::sort(cell_counts.begin(), cell_counts.end());
+      for (const auto& [cell_value, count] : cell_counts) {
         const double fraction = static_cast<double>(count) /
                                 static_cast<double>(config.window_ticks);
         if (fraction < config.presence_fraction) continue;
@@ -87,6 +93,7 @@ VScenarioSet BuildVScenarios(const std::vector<TrackedFigure>& figures,
 
   std::vector<std::uint64_t> slots;
   slots.reserve(buckets.size());
+  // det-ok: keys drained into `slots` and sorted on the next line
   for (const auto& [slot, obs] : buckets) slots.push_back(slot);
   std::sort(slots.begin(), slots.end());
   for (const std::uint64_t slot : slots) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -43,6 +46,38 @@ TEST(StageTimerTest, ScopedStageChargesItsLifetime) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GE(timer.TotalSeconds(), 0.008);
+}
+
+// Regression: level_ used to be a plain enum read by Write() while
+// SetLevel() stored it from another thread — a data race TSan flags even
+// though the torn values happened to be benign. level_ is atomic now; this
+// test drives the exact SetLevel/Write interleaving under the `concurrency`
+// label so the TSan job re-proves it on every run.
+TEST(LoggingTest, ConcurrentSetLevelAndWriteIsRaceFree) {
+  Logger& logger = Logger::Instance();
+  const LogLevel previous = logger.level();
+  std::atomic<bool> stop{false};
+
+  // Swallow the emitted lines so the interleaving doesn't flood stderr.
+  std::ostringstream sink;
+  std::streambuf* old_buf = std::clog.rdbuf(sink.rdbuf());
+
+  std::thread toggler([&] {
+    for (int i = 0; i < 500; ++i) {
+      logger.SetLevel(i % 2 == 0 ? LogLevel::kError : LogLevel::kInfo);
+    }
+    stop.store(true);
+  });
+  std::thread writer([&] {
+    while (!stop.load()) {
+      EVM_INFO << "poke";  // races SetLevel unless level_ is atomic
+    }
+  });
+  toggler.join();
+  writer.join();
+  std::clog.rdbuf(old_buf);
+  logger.SetLevel(previous);
+  SUCCEED();
 }
 
 TEST(LoggingTest, LevelFiltersMessages) {

@@ -1,0 +1,41 @@
+// Negative compile test: this translation unit violates the lock discipline
+// on purpose and MUST NOT compile under -Werror=thread-safety. It is built
+// only by the clang EVM_THREAD_SAFETY configuration, through a ctest entry
+// marked WILL_FAIL (tests/CMakeLists.txt): the test is green exactly when
+// the compiler rejects this file, proving the annotations are live and the
+// analysis is actually enforcing EVM_GUARDED_BY.
+//
+// If this file ever compiles under clang with thread-safety errors enabled,
+// the verification layer is dead weight — fail loudly.
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION: touches balance_ without holding mu_.
+  void DepositUnlocked(int amount) { balance_ += amount; }
+
+  // VIOLATION: acquires without releasing on this path.
+  void LockAndLeak() EVM_EXCLUDES(mu_) { mu_.Lock(); }
+
+  // Correctly guarded, for contrast.
+  int Balance() EVM_EXCLUDES(mu_) {
+    evm::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  evm::common::Mutex mu_;
+  int balance_ EVM_GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.DepositUnlocked(1);
+  return account.Balance();
+}

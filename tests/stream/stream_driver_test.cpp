@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -175,9 +176,12 @@ TEST(StreamDriverTest, LivePathProducesProvisionalResultsBeforeDrain) {
   EXPECT_GT(driver.matcher().provisional_count(), 0u);
   (void)driver.Drain();
   EXPECT_GT(driver.matcher().provisional_count(), 0u);
-  const MatchResult* provisional =
+  // Regression (TSan): the live reads above overlap the consumer thread's
+  // result refresh; ProvisionalResult must copy under the matcher's
+  // provisional lock, never hand out a pointer into the live map.
+  const std::optional<MatchResult> provisional =
       driver.matcher().ProvisionalResult(targets.front());
-  ASSERT_NE(provisional, nullptr);
+  ASSERT_TRUE(provisional.has_value());
   EXPECT_EQ(provisional->eid, targets.front());
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Single entry point for the static verification layer — exactly what the CI
+# tidy-lint job runs, so "tools/check.sh passes locally" means that job is
+# green. Usage:
+#
+#   tools/check.sh [build-dir]       # default build dir: build
+#
+# Runs, in order:
+#   1. determinism lint self-test (the rules still catch seeded violations)
+#   2. determinism lint over src/
+#   3. EVM_SANITIZE option validation
+#   4. clang-tidy over src/ (skipped with a note if clang-tidy is not
+#      installed — the container toolchain is gcc-only; CI installs clang)
+#
+# No build is required for steps 1-3; step 4 needs a configured build dir
+# with compile_commands.json (any compiler: the compile database only feeds
+# clang-tidy's parser).
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+PYTHON="${PYTHON:-python3}"
+CMAKE="${CMAKE:-cmake}"
+failures=0
+
+step() {
+  echo "==> $1"
+  shift
+  if "$@"; then
+    echo "    PASS"
+  else
+    echo "    FAIL: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+step "determinism lint: self-test" "$PYTHON" tools/lint.py --self-test
+step "determinism lint: src/" "$PYTHON" tools/lint.py --root .
+step "sanitizer option validation" "$CMAKE" -P tools/sanitize_option_test.cmake
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    step "clang-tidy" "$PYTHON" tools/lint.py --root . --tidy \
+      --require-tidy -p "$BUILD_DIR"
+  else
+    echo "==> clang-tidy: SKIP ($BUILD_DIR/compile_commands.json missing;" \
+      "configure with cmake -B $BUILD_DIR first)"
+  fi
+else
+  echo "==> clang-tidy: SKIP (not installed)"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: $failures step(s) failed" >&2
+  exit 1
+fi
+echo "check.sh: all steps passed"

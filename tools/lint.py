@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Project lint: determinism rules over the match pipeline + clang-tidy driver.
+
+The match pipeline promises bit-reproducible output (DESIGN.md §10): the
+batch/stream equivalence tests and the paper-accuracy tables only mean
+something if a run is a pure function of (input trace, seed, config). Three
+classes of nondeterminism have bitten or nearly bitten this codebase, and
+this lint rejects them at review time instead of debug time:
+
+  banned-random      rand()/srand()/std::random_device anywhere in src/
+                     outside common/rng (the single seeded entropy source).
+  wall-clock         system_clock / time() / gettimeofday / localtime in the
+                     deterministic subsystems (src/core, src/esense,
+                     src/vsense, src/stream). steady_clock is fine: it is
+                     used for latency metrics, never for match decisions.
+  unordered-iter     ranged-for over a std::unordered_{map,set} in the
+                     deterministic subsystems. Hash-order iteration feeding
+                     output order is the classic silent determinism bug;
+                     iteration that is genuinely order-independent (pure
+                     accumulation, sorted right after) is annotated at the
+                     loop with `// det-ok: <reason>`.
+
+Suppression: a `det-ok:` comment (with a reason) on the flagged line or the
+line directly above it. Suppressions are part of the invariant map — grep
+them to audit every intentionally unordered loop.
+
+Usage:
+  tools/lint.py --root .                 # determinism rules over src/
+  tools/lint.py --root . --tidy -p build # + clang-tidy (needs compile db)
+  tools/lint.py --self-test              # prove the rules catch violations
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Subsystems whose behaviour must be a pure function of (input, seed, config).
+DETERMINISTIC_DIRS = ("src/core", "src/esense", "src/vsense", "src/stream")
+# The single place allowed to own entropy.
+RNG_ALLOWLIST = ("src/common/rng.hpp", "src/common/rng.cpp")
+
+SUPPRESS_TOKEN = "det-ok:"
+
+RANDOM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand() is unseeded global state"),
+    (re.compile(r"\bsrand\s*\("), "srand() mutates global RNG state"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic entropy"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "system_clock is a wall clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday reads the wall clock"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\)"),
+     "time() reads the wall clock"),
+    (re.compile(r"\b(?:localtime|gmtime)(?:_r)?\s*\("),
+     "calendar time depends on the host"),
+]
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGED_FOR = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)", re.DOTALL)
+TRAILING_IDENT = re.compile(r"(\w+)\s*$")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments (preserving newlines) so patterns never match prose."""
+
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2 if i + 1 < n else 1
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("..")
+                    i += 2
+                    continue
+                out.append(text[i] if text[i] == "\n" else ".")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressed(raw_lines: list[str], line: int) -> bool:
+    """det-ok on the flagged line or the line directly above."""
+
+    for candidate in (line - 1, line - 2):
+        if 0 <= candidate < len(raw_lines) and SUPPRESS_TOKEN in raw_lines[candidate]:
+            return True
+    return False
+
+
+def source_files(root: Path, subdirs: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for sub in subdirs:
+        base = root / sub
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.hpp")))
+            files.extend(sorted(base.rglob("*.cpp")))
+    return files
+
+
+def collect_unordered_names(code_by_file: dict[Path, str]) -> set[str]:
+    """Names declared (or bound as parameters) with an unordered type."""
+
+    names: set[str] = set()
+    for code in code_by_file.values():
+        for match in UNORDERED_DECL.finditer(code):
+            # Walk the template argument list to its closing '>'.
+            depth, i = 1, match.end()
+            while i < len(code) and depth > 0:
+                if code[i] == "<":
+                    depth += 1
+                elif code[i] == ">":
+                    depth -= 1
+                i += 1
+            # Skip refs/pointers/whitespace, then take the declared name.
+            rest = code[i:i + 120]
+            m = re.match(r"\s*[&*]*\s*(\w+)", rest)
+            if m and not m.group(1)[0].isdigit():
+                names.add(m.group(1))
+    return names
+
+
+def check_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # Rule 1: banned randomness anywhere under src/ except common/rng.
+    allow = {root / p for p in RNG_ALLOWLIST}
+    for path in source_files(root, ("src",)):
+        if path in allow:
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw)
+        for pattern, why in RANDOM_PATTERNS:
+            for match in pattern.finditer(code):
+                line = line_of(code, match.start())
+                if not suppressed(raw_lines, line):
+                    findings.append(Finding(
+                        path.relative_to(root), line, "banned-random",
+                        f"{why}; route randomness through common/rng"))
+
+    # Rules 2 and 3 apply to the deterministic subsystems only.
+    det_files = source_files(root, DETERMINISTIC_DIRS)
+    code_by_file = {
+        p: strip_comments(p.read_text(encoding="utf-8", errors="replace"))
+        for p in det_files
+    }
+    unordered_names = collect_unordered_names(code_by_file)
+
+    for path, code in code_by_file.items():
+        raw_lines = path.read_text(
+            encoding="utf-8", errors="replace").splitlines()
+        rel = path.relative_to(root)
+
+        for pattern, why in WALL_CLOCK_PATTERNS:
+            for match in pattern.finditer(code):
+                line = line_of(code, match.start())
+                if not suppressed(raw_lines, line):
+                    findings.append(Finding(
+                        rel, line, "wall-clock",
+                        f"{why}; match stages must not read wall time"))
+
+        for match in RANGED_FOR.finditer(code):
+            ident = TRAILING_IDENT.search(match.group(2).strip())
+            if ident is None or ident.group(1) not in unordered_names:
+                continue
+            line = line_of(code, match.start())
+            if not suppressed(raw_lines, line):
+                findings.append(Finding(
+                    rel, line, "unordered-iter",
+                    f"iterates unordered container '{ident.group(1)}' in hash "
+                    "order; sort first, or annotate the loop with "
+                    "'// det-ok: <why order cannot reach output>'"))
+
+    findings.sort(key=lambda f: (str(f.path), f.line))
+    return findings
+
+
+def run_tidy(root: Path, build_dir: str, required: bool) -> int:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        message = "clang-tidy not found on PATH"
+        if required:
+            print(f"lint: error: {message}", file=sys.stderr)
+            return 2
+        print(f"lint: note: {message}; skipping tidy pass")
+        return 0
+    compile_db = Path(build_dir) / "compile_commands.json"
+    if not compile_db.is_file():
+        print(f"lint: error: {compile_db} missing "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+    sources = [str(p) for p in source_files(root, ("src",))
+               if p.suffix == ".cpp"]
+    print(f"lint: clang-tidy over {len(sources)} files...")
+    result = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", "--warnings-as-errors=*", *sources],
+        cwd=root)
+    return 1 if result.returncode != 0 else 0
+
+
+def self_test() -> int:
+    """Seeds violations into a scratch tree; every rule must fire, clean and
+    suppressed code must not."""
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        (root / "src/core").mkdir(parents=True)
+        (root / "src/stream").mkdir(parents=True)
+        (root / "src/common").mkdir(parents=True)
+
+        (root / "src/core/bad_random.cpp").write_text(
+            "#include <random>\n"
+            "int Draw() {\n"
+            "  std::random_device rd;  // nondeterministic seed\n"
+            "  return rand() + static_cast<int>(rd());\n"
+            "}\n")
+        (root / "src/stream/bad_clock.cpp").write_text(
+            "#include <chrono>\n"
+            "long Stamp() {\n"
+            "  return std::chrono::system_clock::now()"
+            ".time_since_epoch().count();\n"
+            "}\n")
+        (root / "src/core/bad_iter.cpp").write_text(
+            "#include <unordered_map>\n"
+            "#include <vector>\n"
+            "std::vector<int> Keys(const std::unordered_map<int, int>& table) {\n"
+            "  std::vector<int> keys;\n"
+            "  for (const auto& [key, value] : table) keys.push_back(key);\n"
+            "  return keys;\n"
+            "}\n")
+        (root / "src/core/clean.cpp").write_text(
+            "#include <chrono>\n"
+            "#include <unordered_set>\n"
+            "// rand() in a comment must not fire\n"
+            "std::size_t Count(const std::unordered_set<int>& seen) {\n"
+            "  std::size_t n = 0;\n"
+            "  // det-ok: pure count, order cannot reach output\n"
+            "  for (const int value : seen) n += value >= 0 ? 1 : 1;\n"
+            "  return n + static_cast<std::size_t>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch().count() & 0);\n"
+            "}\n")
+        (root / "src/common/rng.cpp").write_text(
+            "#include <random>\n"
+            "unsigned Seed() { std::random_device rd; return rd(); }\n")
+
+        findings = check_tree(root)
+        got = {(str(f.path), f.rule) for f in findings}
+        expected = {
+            ("src/core/bad_random.cpp", "banned-random"),
+            ("src/stream/bad_clock.cpp", "wall-clock"),
+            ("src/core/bad_iter.cpp", "unordered-iter"),
+        }
+        failures = []
+        for want in expected:
+            if want not in got:
+                failures.append(f"expected finding missing: {want}")
+        for path, rule in got:
+            if path in ("src/core/clean.cpp", "src/common/rng.cpp"):
+                failures.append(f"false positive: {path} [{rule}]")
+        # bad_random.cpp must fire for both rand() and random_device.
+        random_hits = [f for f in findings
+                       if str(f.path) == "src/core/bad_random.cpp"]
+        if len(random_hits) < 2:
+            failures.append(
+                f"expected 2 banned-random hits, got {len(random_hits)}")
+
+        for f in findings:
+            print(f"  seeded: {f}")
+        if failures:
+            for failure in failures:
+                print(f"self-test FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"self-test passed: {len(findings)} seeded findings caught, "
+              "clean/suppressed files quiet")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/)")
+    parser.add_argument("--tidy", action="store_true",
+                        help="also run clang-tidy (needs a compile database)")
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--require-tidy", action="store_true",
+                        help="fail (not skip) when clang-tidy is unavailable")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the determinism rules catch seeded bugs")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"lint: error: {root} has no src/", file=sys.stderr)
+        return 2
+
+    findings = check_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} determinism finding(s)", file=sys.stderr)
+        return 1
+    print("lint: determinism rules clean")
+
+    if args.tidy:
+        return run_tidy(root, args.build_dir, args.require_tidy)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

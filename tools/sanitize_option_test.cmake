@@ -1,0 +1,48 @@
+# Validates evm_sanitizer_flags (cmake/Sanitizers.cmake) in script mode:
+#   cmake -P tools/sanitize_option_test.cmake
+# Registered with ctest as SanitizeOption.Validation. Exits non-zero on the
+# first expectation that does not hold.
+
+cmake_minimum_required(VERSION 3.20)
+include(${CMAKE_CURRENT_LIST_DIR}/../cmake/Sanitizers.cmake)
+
+set(failures 0)
+
+function(expect_accepted value expected_flags)
+  evm_sanitizer_flags("${value}" flags error)
+  if(NOT error STREQUAL "")
+    message(SEND_ERROR "'${value}' should be accepted, got error: ${error}")
+  elseif(NOT flags STREQUAL expected_flags)
+    message(SEND_ERROR
+      "'${value}': expected flags '${expected_flags}', got '${flags}'")
+  else()
+    message(STATUS "ok: '${value}' -> '${flags}'")
+  endif()
+endfunction()
+
+function(expect_rejected value)
+  evm_sanitizer_flags("${value}" flags error)
+  if(error STREQUAL "")
+    message(SEND_ERROR
+      "'${value}' should be rejected but produced flags '${flags}'")
+  else()
+    message(STATUS "ok: '${value}' rejected (${error})")
+  endif()
+endfunction()
+
+expect_accepted("" "")
+expect_accepted(thread
+  "-fsanitize=thread;-g;-fno-omit-frame-pointer")
+expect_accepted(address
+  "-fsanitize=address;-g;-fno-omit-frame-pointer")
+expect_accepted(undefined
+  "-fsanitize=undefined;-fno-sanitize-recover=all;-g;-fno-omit-frame-pointer")
+expect_accepted("address,undefined"
+  "-fsanitize=address,undefined;-fno-sanitize-recover=all;-g;-fno-omit-frame-pointer")
+
+expect_rejected(bogus)
+expect_rejected("thread,address")   # TSan cannot combine with ASan
+expect_rejected("Thread")           # case-sensitive on purpose
+expect_rejected("undefined,address")  # only the documented spelling
+
+message(STATUS "sanitize option validation passed")
