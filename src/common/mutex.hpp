@@ -24,6 +24,7 @@
 //   while (!ready_) cv_.Wait(lock);
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -194,6 +195,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed wait; returns false on timeout. Like Wait(), the lock is released
+  /// while blocked and reacquired before returning either way. Used by
+  /// loops that service both notifications and their own timers (e.g. the
+  /// MapReduce scheduler's retry backoff queue).
+  bool WaitFor(MutexLock& lock, std::chrono::nanoseconds timeout) {
+    assert(lock.owns_);
+    std::unique_lock<std::mutex> native(lock.mu_->mu_, std::adopt_lock);
+    const bool notified = cv_.wait_for(native, timeout) ==
+                          std::cv_status::no_timeout;
+    native.release();
+    return notified;
   }
 
   void NotifyOne() noexcept { cv_.notify_one(); }

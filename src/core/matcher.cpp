@@ -86,18 +86,30 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
       [](const std::uint64_t&, std::vector<std::uint64_t>&&,
          std::vector<std::uint64_t>&) {});
 
-  // Stage 2: per-EID feature comparison, one map task per EID — each EID's
-  // selected V-Scenarios are conveyed to the same worker.
+  // Stage 2: per-EID feature comparison, one scheduler task per EID — each
+  // EID's selected V-Scenarios are conveyed to the same worker, and the
+  // engine's fault-tolerance (retries, deadlines, speculative backups)
+  // covers the comparison work. The result slot and the shared totals are
+  // published only by the attempt that wins the commit, so counters stay
+  // retry- and speculation-invariant.
   common::Mutex counters_mutex;
   VidFilterCounters total;
-  engine_->pool().ParallelFor(lists.size(), [&](std::size_t i) {
-    VidFilterCounters counters;
-    results[i] = FilterVid(lists[i], v_scenarios_, gallery_, counters,
-                           config_.filter, trace);
-    common::MutexLock lock(counters_mutex);
-    total.feature_comparisons += counters.feature_comparisons;
-    total.scenarios_processed += counters.scenarios_processed;
-  });
+  std::vector<mapreduce::TaskFn> tasks;
+  tasks.reserve(lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    tasks.push_back([&, i](const mapreduce::AttemptContext& ctx) {
+      VidFilterCounters counters;
+      MatchResult result = FilterVid(lists[i], v_scenarios_, gallery_,
+                                     counters, config_.filter, trace);
+      if (!ctx.ClaimCommit()) return mapreduce::AttemptStatus::kCommitLost;
+      results[i] = std::move(result);
+      common::MutexLock lock(counters_mutex);
+      total.feature_comparisons += counters.feature_comparisons;
+      total.scenarios_processed += counters.scenarios_processed;
+      return mapreduce::AttemptStatus::kSuccess;
+    });
+  }
+  engine_->RunTasks("ev-filter", "filter", tasks);
   comparisons.Add(total.feature_comparisons);
   processed.Add(total.scenarios_processed);
 }

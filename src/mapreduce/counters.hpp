@@ -1,11 +1,20 @@
 #pragma once
 // Per-job execution counters, mirroring the task/IO counters a Hadoop or
 // Spark UI would show. Tests use these to verify scheduling behaviour
-// (retries after injected failures, shuffle volume, task counts).
+// (retries after injected failures, speculative backups, shuffle spill
+// volume, task counts).
 //
-// The engine accumulates these in an obs::MetricsRegistry under the mr.*
-// names below; JobCounters is the per-job *view*, computed as the registry
-// delta across one Run() (see SnapshotJobCounters / DeltaJobCounters).
+// The engine and scheduler accumulate these in an obs::MetricsRegistry under
+// the mr.* names below; JobCounters is the per-job *view*, computed as the
+// registry delta across one Run() (see SnapshotJobCounters /
+// DeltaJobCounters).
+//
+// Documented invariants (DESIGN.md §11), per stage s in {map, reduce}:
+//   s_attempts == s_tasks + s_retries + s_speculative          (always)
+//   s_retries  == injected_s_failures                          (speculation
+//                 and deadlines off, no quarantine)
+//   shuffled_* and output_records are retry- and speculation-invariant:
+//                 only committed attempts count.
 
 #include <cstdint>
 
@@ -15,29 +24,49 @@ namespace evm::mapreduce {
 
 inline constexpr char kMrMapTasks[] = "mr.map_tasks";
 inline constexpr char kMrMapAttempts[] = "mr.map_attempts";
+inline constexpr char kMrMapRetries[] = "mr.map_retries";
+inline constexpr char kMrMapSpeculative[] = "mr.map_speculative";
 inline constexpr char kMrReduceTasks[] = "mr.reduce_tasks";
 inline constexpr char kMrReduceAttempts[] = "mr.reduce_attempts";
+inline constexpr char kMrReduceRetries[] = "mr.reduce_retries";
+inline constexpr char kMrReduceSpeculative[] = "mr.reduce_speculative";
 inline constexpr char kMrInjectedMapFailures[] = "mr.injected_map_failures";
 inline constexpr char kMrInjectedReduceFailures[] =
     "mr.injected_reduce_failures";
+inline constexpr char kMrSpeculativeWins[] = "mr.speculative_wins";
+inline constexpr char kMrDeadlineMisses[] = "mr.deadline_misses";
+inline constexpr char kMrQuarantinedTasks[] = "mr.quarantined_tasks";
 inline constexpr char kMrInputRecords[] = "mr.input_records";
 inline constexpr char kMrShuffledRecords[] = "mr.shuffled_records";
 inline constexpr char kMrShuffledBytes[] = "mr.shuffled_bytes";
+inline constexpr char kMrSpilledBytes[] = "mr.spilled_bytes";
+inline constexpr char kMrSpillReadBytes[] = "mr.spill_read_bytes";
 inline constexpr char kMrOutputRecords[] = "mr.output_records";
 
 struct JobCounters {
   std::uint64_t map_tasks{0};
   std::uint64_t map_attempts{0};
+  std::uint64_t map_retries{0};
+  std::uint64_t map_speculative{0};
   std::uint64_t reduce_tasks{0};
   std::uint64_t reduce_attempts{0};
+  std::uint64_t reduce_retries{0};
+  std::uint64_t reduce_speculative{0};
   std::uint64_t injected_map_failures{0};
   std::uint64_t injected_reduce_failures{0};
   /// Sum of the two injected_* counters (kept for callers that only care
   /// whether any failure fired).
   std::uint64_t injected_failures{0};
+  std::uint64_t speculative_wins{0};
+  std::uint64_t deadline_misses{0};
+  std::uint64_t quarantined_tasks{0};
   std::uint64_t input_records{0};
   std::uint64_t shuffled_records{0};
   std::uint64_t shuffled_bytes{0};
+  /// Bytes of committed map output checkpointed to the Dfs (the shuffle
+  /// spill reducers re-read on retry instead of re-running maps).
+  std::uint64_t spilled_bytes{0};
+  std::uint64_t spill_read_bytes{0};
   std::uint64_t output_records{0};
 };
 
@@ -46,14 +75,23 @@ inline JobCounters SnapshotJobCounters(const obs::MetricsRegistry& registry) {
   JobCounters c;
   c.map_tasks = registry.CounterValue(kMrMapTasks);
   c.map_attempts = registry.CounterValue(kMrMapAttempts);
+  c.map_retries = registry.CounterValue(kMrMapRetries);
+  c.map_speculative = registry.CounterValue(kMrMapSpeculative);
   c.reduce_tasks = registry.CounterValue(kMrReduceTasks);
   c.reduce_attempts = registry.CounterValue(kMrReduceAttempts);
+  c.reduce_retries = registry.CounterValue(kMrReduceRetries);
+  c.reduce_speculative = registry.CounterValue(kMrReduceSpeculative);
   c.injected_map_failures = registry.CounterValue(kMrInjectedMapFailures);
   c.injected_reduce_failures = registry.CounterValue(kMrInjectedReduceFailures);
   c.injected_failures = c.injected_map_failures + c.injected_reduce_failures;
+  c.speculative_wins = registry.CounterValue(kMrSpeculativeWins);
+  c.deadline_misses = registry.CounterValue(kMrDeadlineMisses);
+  c.quarantined_tasks = registry.CounterValue(kMrQuarantinedTasks);
   c.input_records = registry.CounterValue(kMrInputRecords);
   c.shuffled_records = registry.CounterValue(kMrShuffledRecords);
   c.shuffled_bytes = registry.CounterValue(kMrShuffledBytes);
+  c.spilled_bytes = registry.CounterValue(kMrSpilledBytes);
+  c.spill_read_bytes = registry.CounterValue(kMrSpillReadBytes);
   c.output_records = registry.CounterValue(kMrOutputRecords);
   return c;
 }
@@ -64,16 +102,25 @@ inline JobCounters DeltaJobCounters(const JobCounters& before,
   JobCounters d;
   d.map_tasks = after.map_tasks - before.map_tasks;
   d.map_attempts = after.map_attempts - before.map_attempts;
+  d.map_retries = after.map_retries - before.map_retries;
+  d.map_speculative = after.map_speculative - before.map_speculative;
   d.reduce_tasks = after.reduce_tasks - before.reduce_tasks;
   d.reduce_attempts = after.reduce_attempts - before.reduce_attempts;
+  d.reduce_retries = after.reduce_retries - before.reduce_retries;
+  d.reduce_speculative = after.reduce_speculative - before.reduce_speculative;
   d.injected_map_failures =
       after.injected_map_failures - before.injected_map_failures;
   d.injected_reduce_failures =
       after.injected_reduce_failures - before.injected_reduce_failures;
   d.injected_failures = d.injected_map_failures + d.injected_reduce_failures;
+  d.speculative_wins = after.speculative_wins - before.speculative_wins;
+  d.deadline_misses = after.deadline_misses - before.deadline_misses;
+  d.quarantined_tasks = after.quarantined_tasks - before.quarantined_tasks;
   d.input_records = after.input_records - before.input_records;
   d.shuffled_records = after.shuffled_records - before.shuffled_records;
   d.shuffled_bytes = after.shuffled_bytes - before.shuffled_bytes;
+  d.spilled_bytes = after.spilled_bytes - before.spilled_bytes;
+  d.spill_read_bytes = after.spill_read_bytes - before.spill_read_bytes;
   d.output_records = after.output_records - before.output_records;
   return d;
 }

@@ -21,6 +21,21 @@ std::optional<std::vector<Block>> Dfs::Read(const std::string& name) const {
   return it->second;
 }
 
+std::optional<Block> Dfs::ReadBlock(const std::string& name,
+                                    std::size_t index) const {
+  common::ReaderMutexLock lock(mutex_);
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end() || index >= it->second.size()) return std::nullopt;
+  return it->second[index];
+}
+
+std::optional<std::size_t> Dfs::BlockCount(const std::string& name) const {
+  common::ReaderMutexLock lock(mutex_);
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) return std::nullopt;
+  return it->second.size();
+}
+
 bool Dfs::Exists(const std::string& name) const {
   common::ReaderMutexLock lock(mutex_);
   return datasets_.contains(name);

@@ -35,6 +35,17 @@ class Dfs {
   [[nodiscard]] std::optional<std::vector<Block>> Read(
       const std::string& name) const EVM_EXCLUDES(mutex_);
 
+  /// Reads one block of a dataset; nullopt if the dataset does not exist or
+  /// has fewer blocks. Reducers use this to fetch only their partition of a
+  /// spilled map output instead of copying the whole dataset.
+  [[nodiscard]] std::optional<Block> ReadBlock(const std::string& name,
+                                               std::size_t index) const
+      EVM_EXCLUDES(mutex_);
+
+  /// Number of blocks in a dataset; nullopt if it does not exist.
+  [[nodiscard]] std::optional<std::size_t> BlockCount(
+      const std::string& name) const EVM_EXCLUDES(mutex_);
+
   /// True if the dataset exists.
   [[nodiscard]] bool Exists(const std::string& name) const
       EVM_EXCLUDES(mutex_);

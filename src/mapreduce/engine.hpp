@@ -5,14 +5,23 @@
 // the input is *split* into map tasks, *map* functions emit (key, value)
 // pairs, pairs are *shuffled* (serialized, hash-partitioned, sorted and
 // grouped by key) and *reduce* functions aggregate each group. A thread pool
-// plays the role of the cluster's worker machines; task scheduling, failure
-// injection and task re-execution are handled here, the in-memory Dfs plays
-// the distributed file system.
+// plays the role of the cluster's worker machines; the TaskScheduler
+// (scheduler.hpp) owns task placement, retries, deadlines and speculative
+// backups, and the in-memory Dfs plays the distributed file system.
 //
-// Determinism: map task m writes its shuffle output into slot [r][m], so the
-// value order within each key group is (map task, input order) — independent
-// of thread interleaving. Reduce outputs are concatenated in partition order
-// and are key-sorted within a partition, so job output is a pure function of
+// Shuffle durability: a committed map task spills its partitioned output to
+// the Dfs under "spill/<job>#<run>/map-<m>" (one block per reduce
+// partition). Reducers fetch their partition with Dfs::ReadBlock, so a
+// failed reduce attempt re-reads the spill instead of re-running maps — the
+// paper's framework stores all intermediate data in the underlying DFS for
+// exactly this reason.
+//
+// Determinism: map task m owns spill dataset m, a reducer reads datasets in
+// map-task order, so the value order within each key group is (map task,
+// input order) — independent of thread interleaving, retries, or which
+// attempt wins a speculative race (attempt bodies are pure up to the commit
+// gate). Reduce outputs are concatenated in partition order and are
+// key-sorted within a partition, so job output is a pure function of
 // (inputs, functions, num_reducers).
 //
 // Requirements: K and V (and Out) need Codec<> specializations; K needs
@@ -21,8 +30,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -32,7 +43,11 @@
 #include "common/thread_pool.hpp"
 #include "mapreduce/codec.hpp"
 #include "mapreduce/counters.hpp"
+#include "mapreduce/dfs.hpp"
+#include "mapreduce/injection_env.hpp"
 #include "mapreduce/partitioner.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "mapreduce/task.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -41,16 +56,25 @@ namespace evm::mapreduce {
 struct EngineOptions {
   /// Worker threads (the "cluster size"). 0 = hardware concurrency.
   std::size_t workers{0};
-  /// Seed for deterministic failure injection.
+  /// Seed for deterministic failure/straggler injection and retry jitter.
   std::uint64_t seed{0};
   /// Probability that a map / reduce task attempt crashes after doing its
   /// work but before committing it (tests re-execution idempotence).
   double map_failure_prob{0.0};
   double reduce_failure_prob{0.0};
-  /// Attempts per task before the job is failed.
+  /// Probability that a task's *first* attempt is an injected straggler: it
+  /// sleeps straggler_delay before doing its work, giving deadline
+  /// relaunches and speculative backups something to beat.
+  double map_straggler_prob{0.0};
+  double reduce_straggler_prob{0.0};
+  std::chrono::milliseconds straggler_delay{60};
+  /// Attempts per task before the exhaust policy applies.
   int max_attempts{3};
   /// Number of map tasks; 0 = 4 x workers (capped by the input size).
   std::size_t target_map_tasks{0};
+  /// Scheduler tuning (exhaust policy, backoff, deadline, speculation).
+  /// seed and max_attempts above override the copies in here.
+  SchedulerOptions scheduler{};
   /// Registry the mr.* counters accumulate into; null = an engine-owned
   /// registry (last_counters() works either way).
   obs::MetricsRegistry* metrics{nullptr};
@@ -81,16 +105,24 @@ class Emitter {
 class MapReduceEngine {
  public:
   explicit MapReduceEngine(EngineOptions options = {})
-      : options_(options), pool_(options.workers) {
-    EVM_CHECK(options.max_attempts >= 1);
-    EVM_CHECK(options.map_failure_prob >= 0.0 && options.map_failure_prob < 1.0);
-    EVM_CHECK(options.reduce_failure_prob >= 0.0 &&
-              options.reduce_failure_prob < 1.0);
+      : options_(WithEnvOverrides(std::move(options))),
+        pool_(options_.workers) {
+    EVM_CHECK(options_.max_attempts >= 1);
+    EVM_CHECK(options_.map_failure_prob >= 0.0 &&
+              options_.map_failure_prob < 1.0);
+    EVM_CHECK(options_.reduce_failure_prob >= 0.0 &&
+              options_.reduce_failure_prob < 1.0);
+    EVM_CHECK(options_.map_straggler_prob >= 0.0 &&
+              options_.map_straggler_prob < 1.0);
+    EVM_CHECK(options_.reduce_straggler_prob >= 0.0 &&
+              options_.reduce_straggler_prob < 1.0);
   }
 
   /// Runs one job. MapFn: void(const In&, Emitter<K, V>&).
   /// ReduceFn: void(const K&, std::vector<V>&&, std::vector<Out>&).
-  /// Returns the concatenated reduce outputs (deterministic order).
+  /// Returns the concatenated reduce outputs (deterministic order). Under
+  /// ExhaustPolicy::kQuarantine the output omits quarantined partitions and
+  /// the gaps are listed in last_map_report() / last_reduce_report().
   template <typename K, typename V, typename Out, typename In, typename MapFn,
             typename ReduceFn>
   std::vector<Out> Run(const std::string& job_name,
@@ -104,16 +136,15 @@ class MapReduceEngine {
     obs::StageSpan job_span(trace, "mapreduce:" + job_name);
     obs::AmbientParentScope job_ambient(trace, job_span.id());
 
-    const obs::Counter c_map_attempts = reg.counter(kMrMapAttempts);
-    const obs::Counter c_reduce_attempts = reg.counter(kMrReduceAttempts);
     const obs::Counter c_injected_map = reg.counter(kMrInjectedMapFailures);
     const obs::Counter c_injected_reduce =
         reg.counter(kMrInjectedReduceFailures);
     const obs::Counter c_shuffled_records = reg.counter(kMrShuffledRecords);
     const obs::Counter c_shuffled_bytes = reg.counter(kMrShuffledBytes);
+    const obs::Counter c_spilled_bytes = reg.counter(kMrSpilledBytes);
+    const obs::Counter c_spill_read_bytes = reg.counter(kMrSpillReadBytes);
     const obs::Counter c_output_records = reg.counter(kMrOutputRecords);
     reg.counter(kMrInputRecords).Add(inputs.size());
-    reg.counter(kMrReduceTasks).Add(num_reducers);
 
     // ---- split ----
     std::size_t num_map_tasks =
@@ -121,41 +152,65 @@ class MapReduceEngine {
                                       : 4 * pool_.size();
     num_map_tasks = std::min(num_map_tasks, inputs.size());
     if (num_map_tasks == 0) num_map_tasks = inputs.empty() ? 0 : 1;
-    reg.counter(kMrMapTasks).Add(num_map_tasks);
 
-    // shuffle[r][m] = serialized pairs emitted by map task m for partition r.
-    std::vector<std::vector<std::vector<unsigned char>>> shuffle(num_reducers);
-    for (auto& partition : shuffle) partition.resize(num_map_tasks);
+    // One spill dataset per map task, unique per engine run so a job name
+    // reused across windows can never read a stale spill.
+    const std::string spill_prefix =
+        "spill/" + job_name + "#" +
+        std::to_string(run_serial_.fetch_add(1, std::memory_order_relaxed));
+    const auto spill_name = [&spill_prefix](std::size_t m) {
+      return spill_prefix + "/map-" + std::to_string(m);
+    };
+    // Spill datasets are scratch: drop them however the job ends.
+    struct SpillGuard {
+      Dfs& dfs;
+      const std::string& prefix;
+      std::size_t count;
+      ~SpillGuard() {
+        for (std::size_t m = 0; m < count; ++m) {
+          dfs.Remove(prefix + "/map-" + std::to_string(m));
+        }
+      }
+    } spill_guard{dfs_, spill_prefix, num_map_tasks};
+
+    TaskScheduler scheduler(pool_, SchedulerRunOptions(), &reg, trace);
 
     // ---- map ----
     {
       obs::StageSpan map_phase(trace, "map", reg.latency("mr.map_seconds"));
       obs::AmbientParentScope map_ambient(trace, map_phase.id());
-      pool_.ParallelFor(num_map_tasks, [&](std::size_t m) {
-        const std::size_t begin = m * inputs.size() / num_map_tasks;
-        const std::size_t end = (m + 1) * inputs.size() / num_map_tasks;
-        for (int attempt = 1;; ++attempt) {
-          obs::StageSpan task_span(trace, "map.task");
-          c_map_attempts.Add();
+      std::vector<TaskFn> map_tasks;
+      map_tasks.reserve(num_map_tasks);
+      for (std::size_t m = 0; m < num_map_tasks; ++m) {
+        map_tasks.push_back([&, m](const AttemptContext& ctx) {
+          MaybeStraggle(job_name, "map-straggler", m, ctx,
+                        options_.map_straggler_prob);
+          const std::size_t begin = m * inputs.size() / num_map_tasks;
+          const std::size_t end = (m + 1) * inputs.size() / num_map_tasks;
           std::vector<BinaryWriter> parts(num_reducers);
           std::uint64_t emitted = 0;
           Emitter<K, V> emitter(parts, emitted);
           for (std::size_t i = begin; i < end; ++i) map_fn(inputs[i], emitter);
-          if (InjectFailure(job_name, "map", m, attempt,
+          if (InjectFailure(job_name, "map", m, ctx.attempt(),
                             options_.map_failure_prob)) {
             c_injected_map.Add();
-            EVM_CHECK_MSG(attempt < options_.max_attempts,
-                          "map task exceeded max attempts");
-            continue;  // crash: the task's uncommitted output is discarded
+            return AttemptStatus::kFailed;  // uncommitted output is discarded
           }
+          if (!ctx.ClaimCommit()) return AttemptStatus::kCommitLost;
+          std::vector<Block> blocks(num_reducers);
+          std::uint64_t bytes = 0;
           for (std::size_t r = 0; r < num_reducers; ++r) {
-            c_shuffled_bytes.Add(parts[r].bytes().size());
-            shuffle[r][m] = parts[r].Take();  // this task's private slot
+            blocks[r] = parts[r].Take();
+            bytes += blocks[r].size();
           }
+          dfs_.Write(spill_name(m), std::move(blocks));
+          c_shuffled_bytes.Add(bytes);
+          c_spilled_bytes.Add(bytes);
           c_shuffled_records.Add(emitted);
-          break;
-        }
-      });
+          return AttemptStatus::kSuccess;
+        });
+      }
+      last_map_report_ = scheduler.Run(job_name, "map", map_tasks);
     }
 
     // ---- shuffle + sort + reduce ----
@@ -164,14 +219,23 @@ class MapReduceEngine {
       obs::StageSpan reduce_phase(trace, "reduce",
                                   reg.latency("mr.reduce_seconds"));
       obs::AmbientParentScope reduce_ambient(trace, reduce_phase.id());
-      pool_.ParallelFor(num_reducers, [&](std::size_t r) {
-        for (int attempt = 1;; ++attempt) {
-          c_reduce_attempts.Add();
+      std::vector<TaskFn> reduce_tasks;
+      reduce_tasks.reserve(num_reducers);
+      for (std::size_t r = 0; r < num_reducers; ++r) {
+        reduce_tasks.push_back([&, r](const AttemptContext& ctx) {
+          MaybeStraggle(job_name, "reduce-straggler", r, ctx,
+                        options_.reduce_straggler_prob);
           std::vector<std::pair<K, V>> records;
+          std::uint64_t read_bytes = 0;
           {
             obs::StageSpan shuffle_span(trace, "shuffle");
-            for (const auto& buffer : shuffle[r]) {
-              BinaryReader reader(buffer.data(), buffer.size());
+            for (std::size_t m = 0; m < num_map_tasks; ++m) {
+              // A quarantined map task has no spill; its records are the
+              // job's explicit degradation gap.
+              const auto block = dfs_.ReadBlock(spill_name(m), r);
+              if (!block) continue;
+              read_bytes += block->size();
+              BinaryReader reader(block->data(), block->size());
               while (!reader.AtEnd()) {
                 K key = Codec<K>::Decode(reader);
                 V value = Codec<V>::Decode(reader);
@@ -183,7 +247,6 @@ class MapReduceEngine {
                                return a.first < b.first;
                              });
           }
-          obs::StageSpan task_span(trace, "reduce.task");
           std::vector<Out> out;
           std::size_t i = 0;
           while (i < records.size()) {
@@ -198,17 +261,18 @@ class MapReduceEngine {
             reduce_fn(records[i].first, std::move(values), out);
             i = j;
           }
-          if (InjectFailure(job_name, "reduce", r, attempt,
+          if (InjectFailure(job_name, "reduce", r, ctx.attempt(),
                             options_.reduce_failure_prob)) {
             c_injected_reduce.Add();
-            EVM_CHECK_MSG(attempt < options_.max_attempts,
-                          "reduce task exceeded max attempts");
-            continue;
+            return AttemptStatus::kFailed;
           }
+          if (!ctx.ClaimCommit()) return AttemptStatus::kCommitLost;
           outputs[r] = std::move(out);
-          break;
-        }
-      });
+          c_spill_read_bytes.Add(read_bytes);
+          return AttemptStatus::kSuccess;
+        });
+      }
+      last_reduce_report_ = scheduler.Run(job_name, "reduce", reduce_tasks);
     }
 
     std::vector<Out> result;
@@ -236,11 +300,36 @@ class MapReduceEngine {
                           });
   }
 
+  /// Runs caller-provided tasks (no map/reduce framing) through the
+  /// engine's scheduler with the engine's fault-tolerance options — how
+  /// pipeline stages outside the MapReduce template (e.g. the V-side filter)
+  /// get retries, speculation and degradation. Counters land under
+  /// "mr.<stage>_*" in registry().
+  SchedulerReport RunTasks(const std::string& job, const std::string& stage,
+                           const std::vector<TaskFn>& tasks) {
+    TaskScheduler scheduler(pool_, SchedulerRunOptions(), &registry(),
+                            options_.trace);
+    return scheduler.Run(job, stage, tasks);
+  }
+
   [[nodiscard]] const JobCounters& last_counters() const noexcept {
     return last_counters_;
   }
+  /// Scheduler accounting for the last Run()'s map / reduce stage.
+  [[nodiscard]] const SchedulerReport& last_map_report() const noexcept {
+    return last_map_report_;
+  }
+  [[nodiscard]] const SchedulerReport& last_reduce_report() const noexcept {
+    return last_reduce_report_;
+  }
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  /// The engine's distributed-file-system stand-in (shuffle spill lives
+  /// here during a Run).
+  [[nodiscard]] Dfs& dfs() noexcept { return dfs_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
   /// Registry the engine accumulates mr.* counters into (the configured one,
   /// or the engine-owned fallback).
   [[nodiscard]] obs::MetricsRegistry& registry() noexcept {
@@ -248,6 +337,38 @@ class MapReduceEngine {
   }
 
  private:
+  /// Applies EVM_MR_INJECT_* environment overrides (injection_env.hpp).
+  [[nodiscard]] static EngineOptions WithEnvOverrides(EngineOptions options) {
+    const InjectionOverrides env = ReadInjectionEnv();
+    if (env.map_failure_prob) options.map_failure_prob = *env.map_failure_prob;
+    if (env.reduce_failure_prob) {
+      options.reduce_failure_prob = *env.reduce_failure_prob;
+    }
+    if (env.map_straggler_prob) {
+      options.map_straggler_prob = *env.map_straggler_prob;
+    }
+    if (env.reduce_straggler_prob) {
+      options.reduce_straggler_prob = *env.reduce_straggler_prob;
+    }
+    if (env.straggler_delay_ms) {
+      options.straggler_delay = std::chrono::milliseconds(
+          static_cast<std::int64_t>(*env.straggler_delay_ms));
+    }
+    if (env.seed) options.seed = *env.seed;
+    if (env.max_attempts) options.max_attempts = *env.max_attempts;
+    if (env.speculation) options.scheduler.speculation = *env.speculation;
+    return options;
+  }
+
+  /// Scheduler options for one stage run: the sub-struct, with the engine's
+  /// seed / attempt budget taking precedence.
+  [[nodiscard]] SchedulerOptions SchedulerRunOptions() const {
+    SchedulerOptions scheduler = options_.scheduler;
+    scheduler.seed = options_.seed;
+    scheduler.max_attempts = options_.max_attempts;
+    return scheduler;
+  }
+
   [[nodiscard]] bool InjectFailure(const std::string& job, const char* stage,
                                    std::size_t task, int attempt,
                                    double prob) const {
@@ -257,10 +378,29 @@ class MapReduceEngine {
     return rng.NextDouble() < prob;
   }
 
+  /// Injected straggler: first attempts drawn by the seeded schedule sleep
+  /// before working. Retries and speculative backups of the same task run
+  /// at full speed, so a backup can win the commit race — the output is
+  /// byte-identical either way because attempt bodies are pure.
+  void MaybeStraggle(const std::string& job, const char* stream,
+                     std::size_t task, const AttemptContext& ctx,
+                     double prob) const {
+    if (prob <= 0.0 || ctx.attempt() != 1) return;
+    Rng rng(DeriveSeed(options_.seed ^ std::hash<std::string>{}(job), stream,
+                       task));
+    if (rng.NextDouble() < prob) {
+      std::this_thread::sleep_for(options_.straggler_delay);
+    }
+  }
+
   EngineOptions options_;
   obs::MetricsRegistry own_metrics_;  // used when options_.metrics is null
   ThreadPool pool_;
+  Dfs dfs_;
+  std::atomic<std::uint64_t> run_serial_{0};
   JobCounters last_counters_;
+  SchedulerReport last_map_report_;
+  SchedulerReport last_reduce_report_;
 };
 
 }  // namespace evm::mapreduce

@@ -1,0 +1,138 @@
+#include "mapreduce/injection_env.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.hpp"
+
+extern "C" char** environ;  // POSIX; used to reject unknown EVM_MR_INJECT_*.
+
+namespace evm::mapreduce {
+namespace {
+
+constexpr std::string_view kPrefix = "EVM_MR_INJECT_";
+
+constexpr std::array<std::string_view, 8> kKnownNames = {
+    "EVM_MR_INJECT_MAP_FAILURES",      "EVM_MR_INJECT_REDUCE_FAILURES",
+    "EVM_MR_INJECT_MAP_STRAGGLERS",    "EVM_MR_INJECT_REDUCE_STRAGGLERS",
+    "EVM_MR_INJECT_STRAGGLER_DELAY_MS", "EVM_MR_INJECT_SEED",
+    "EVM_MR_INJECT_MAX_ATTEMPTS",      "EVM_MR_INJECT_SPECULATION",
+};
+
+[[noreturn]] void Reject(const std::string& name, const std::string& value,
+                         const std::string& expected) {
+  throw Error("invalid " + name + "='" + value + "': expected " + expected);
+}
+
+double ParseProb(const std::string& name, const std::string& value) {
+  double prob = 0.0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, prob);
+  if (ec != std::errc{} || ptr != end || !(prob >= 0.0) || prob >= 1.0) {
+    Reject(name, value, "a probability in [0, 1)");
+  }
+  return prob;
+}
+
+std::uint64_t ParseU64(const std::string& name, const std::string& value) {
+  std::uint64_t parsed = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, parsed);
+  if (ec != std::errc{} || ptr != end) {
+    Reject(name, value, "a non-negative integer");
+  }
+  return parsed;
+}
+
+bool ParseBool(const std::string& name, const std::string& value) {
+  if (value == "0" || value == "off" || value == "false") return false;
+  if (value == "1" || value == "on" || value == "true") return true;
+  Reject(name, value, "one of 0|1|on|off|true|false");
+}
+
+}  // namespace
+
+InjectionOverrides ParseInjectionEnv(
+    const EnvLookup& lookup, const std::vector<std::string>& known_names) {
+  for (const auto& name : known_names) {
+    bool known = false;
+    for (const auto candidate : kKnownNames) known |= (name == candidate);
+    if (!known) {
+      std::string accepted;
+      for (const auto candidate : kKnownNames) {
+        if (!accepted.empty()) accepted += ", ";
+        accepted += candidate;
+      }
+      throw Error("unknown injection variable '" + name +
+                  "'; accepted: " + accepted);
+    }
+  }
+
+  InjectionOverrides overrides;
+  const auto get = [&lookup](std::string_view name) {
+    return lookup(std::string(name));
+  };
+  if (const auto v = get("EVM_MR_INJECT_MAP_FAILURES")) {
+    overrides.map_failure_prob = ParseProb("EVM_MR_INJECT_MAP_FAILURES", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_REDUCE_FAILURES")) {
+    overrides.reduce_failure_prob =
+        ParseProb("EVM_MR_INJECT_REDUCE_FAILURES", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_MAP_STRAGGLERS")) {
+    overrides.map_straggler_prob =
+        ParseProb("EVM_MR_INJECT_MAP_STRAGGLERS", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_REDUCE_STRAGGLERS")) {
+    overrides.reduce_straggler_prob =
+        ParseProb("EVM_MR_INJECT_REDUCE_STRAGGLERS", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_STRAGGLER_DELAY_MS")) {
+    overrides.straggler_delay_ms =
+        ParseU64("EVM_MR_INJECT_STRAGGLER_DELAY_MS", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_SEED")) {
+    overrides.seed = ParseU64("EVM_MR_INJECT_SEED", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_MAX_ATTEMPTS")) {
+    const std::uint64_t parsed =
+        ParseU64("EVM_MR_INJECT_MAX_ATTEMPTS", *v);
+    if (parsed < 1 || parsed > 1'000'000) {
+      Reject("EVM_MR_INJECT_MAX_ATTEMPTS", *v,
+             "an attempt budget in [1, 1000000]");
+    }
+    overrides.max_attempts = static_cast<int>(parsed);
+  }
+  if (const auto v = get("EVM_MR_INJECT_SPECULATION")) {
+    overrides.speculation = ParseBool("EVM_MR_INJECT_SPECULATION", *v);
+  }
+  return overrides;
+}
+
+std::vector<std::string> ListInjectionEnvNames() {
+  std::vector<std::string> names;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string_view pair(*entry);
+    const auto eq = pair.find('=');
+    const std::string_view name = pair.substr(0, eq);
+    if (name.substr(0, kPrefix.size()) == kPrefix) {
+      names.emplace_back(name);
+    }
+  }
+  return names;
+}
+
+InjectionOverrides ReadInjectionEnv() {
+  const auto lookup =
+      [](const std::string& name) -> std::optional<std::string> {
+    const char* value = std::getenv(name.c_str());
+    if (value == nullptr) return std::nullopt;
+    return std::string(value);
+  };
+  return ParseInjectionEnv(lookup, ListInjectionEnvNames());
+}
+
+}  // namespace evm::mapreduce

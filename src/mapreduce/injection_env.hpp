@@ -1,0 +1,71 @@
+#pragma once
+// Environment overrides for the engine's failure/straggler injection knobs.
+//
+// The nightly soak sweeps injection rates across many seeds; rebuilding (or
+// even re-templating a test binary) per rate would make that sweep
+// impractical. Instead every EngineOptions injection knob can be overridden
+// by an EVM_MR_INJECT_* environment variable, read once per engine
+// construction:
+//
+//   EVM_MR_INJECT_MAP_FAILURES=<p>        map attempt crash probability
+//   EVM_MR_INJECT_REDUCE_FAILURES=<p>     reduce attempt crash probability
+//   EVM_MR_INJECT_MAP_STRAGGLERS=<p>      map straggler probability
+//   EVM_MR_INJECT_REDUCE_STRAGGLERS=<p>   reduce straggler probability
+//   EVM_MR_INJECT_STRAGGLER_DELAY_MS=<n>  injected straggler sleep
+//   EVM_MR_INJECT_SEED=<n>                injection schedule seed
+//   EVM_MR_INJECT_MAX_ATTEMPTS=<n>        attempt budget per task (>= 1)
+//   EVM_MR_INJECT_SPECULATION=<0|1>       force speculation off/on
+//
+// Probabilities must parse as doubles in [0, 1); counts as non-negative
+// integers. Like EVM_SANITIZE in cmake/Sanitizers.cmake, values are
+// *validated, not coerced*: a malformed value or an unrecognized
+// EVM_MR_INJECT_* name throws evm::Error naming the offender, so a typo in a
+// CI matrix fails loudly instead of silently running the un-swept
+// configuration.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace evm::mapreduce {
+
+/// Parsed override set; unset fields leave the EngineOptions value alone.
+struct InjectionOverrides {
+  std::optional<double> map_failure_prob;
+  std::optional<double> reduce_failure_prob;
+  std::optional<double> map_straggler_prob;
+  std::optional<double> reduce_straggler_prob;
+  std::optional<std::uint64_t> straggler_delay_ms;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> max_attempts;
+  std::optional<bool> speculation;
+
+  [[nodiscard]] bool Any() const noexcept {
+    return map_failure_prob || reduce_failure_prob || map_straggler_prob ||
+           reduce_straggler_prob || straggler_delay_ms || seed ||
+           max_attempts || speculation;
+  }
+};
+
+/// Environment lookup: returns the value for a variable name, or nullopt
+/// when unset. Injectable so tests do not mutate the process environment.
+using EnvLookup =
+    std::function<std::optional<std::string>(const std::string&)>;
+
+/// Parses the EVM_MR_INJECT_* variables via `lookup`. `known_names` is the
+/// full set of EVM_MR_INJECT_* names visible in the environment (used to
+/// reject typos); pass the result of ListInjectionEnvNames() or, in tests,
+/// the names you set. Throws Error on malformed values or unknown names.
+[[nodiscard]] InjectionOverrides ParseInjectionEnv(
+    const EnvLookup& lookup, const std::vector<std::string>& known_names);
+
+/// Every environment variable name starting with EVM_MR_INJECT_.
+[[nodiscard]] std::vector<std::string> ListInjectionEnvNames();
+
+/// Reads the process environment. Equivalent to
+/// ParseInjectionEnv(getenv, ListInjectionEnvNames()).
+[[nodiscard]] InjectionOverrides ReadInjectionEnv();
+
+}  // namespace evm::mapreduce

@@ -1,0 +1,106 @@
+#pragma once
+// Work-stealing ready queue for task attempts.
+//
+// One shard per scheduler worker. A worker pushes follow-up work (retries
+// becoming due, speculative backups) onto its own shard and pops from its
+// own shard front — LIFO, so freshly produced work stays cache-warm — and
+// when its shard is empty it steals from the *back* of a sibling shard, the
+// classic Chase–Lev orientation that keeps owner and thief off the same end.
+// Shards are mutex-per-shard rather than lock-free: attempts are
+// coarse-grained (a whole map partition), so the queue is nowhere near hot
+// enough to justify an ABA-proof deque, and the annotated mutexes keep the
+// lock discipline machine-checked.
+//
+// Stealing starts from the shard after the thief's and wraps, so repeated
+// victims rotate instead of hammering shard 0.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace evm::mapreduce {
+
+/// One schedulable attempt: which task, which launch index, and whether it
+/// is a speculative backup.
+struct AttemptRef {
+  std::uint32_t task{0};
+  int attempt{1};
+  bool speculative{false};
+};
+
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(std::size_t shards) {
+    shards_.reserve(shards == 0 ? 1 : shards);
+    for (std::size_t i = 0; i < (shards == 0 ? 1 : shards); ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Pushes onto `home`'s shard (modulo the shard count, so callers can pass
+  /// any worker index).
+  void Push(std::size_t home, AttemptRef ref) {
+    Shard& shard = *shards_[home % shards_.size()];
+    common::MutexLock lock(shard.mutex);
+    shard.items.push_back(ref);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Pops for worker `self`: own shard front first, then steals from the
+  /// back of the other shards, rotating the first victim. Returns nullopt
+  /// when every shard is empty.
+  [[nodiscard]] std::optional<AttemptRef> Pop(std::size_t self) {
+    const std::size_t n = shards_.size();
+    const std::size_t home = self % n;
+    {
+      Shard& shard = *shards_[home];
+      common::MutexLock lock(shard.mutex);
+      if (!shard.items.empty()) {
+        AttemptRef ref = shard.items.front();
+        shard.items.pop_front();
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return ref;
+      }
+    }
+    for (std::size_t step = 1; step < n; ++step) {
+      Shard& victim = *shards_[(home + step) % n];
+      common::MutexLock lock(victim.mutex);
+      if (!victim.items.empty()) {
+        AttemptRef ref = victim.items.back();
+        victim.items.pop_back();
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return ref;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate total backlog (relaxed reads; exact only at quiescence).
+  [[nodiscard]] std::size_t ApproxSize() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    common::Mutex mutex;
+    std::deque<AttemptRef> items EVM_GUARDED_BY(mutex);
+  };
+
+  // unique_ptr per shard: Shard holds a Mutex (immovable) and the vector
+  // must be sized at construction without copying shards around.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace evm::mapreduce

@@ -1,0 +1,426 @@
+#include "mapreduce/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <future>
+
+#include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/rng.hpp"
+#include "mapreduce/counters.hpp"
+#include "mapreduce/ready_queue.hpp"
+
+namespace evm::mapreduce {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// How often an idle worker re-evaluates deadlines and stragglers, and the
+/// longest it parks between checks.
+constexpr std::int64_t kScanIntervalNs = 200'000;    // 0.2 ms
+constexpr std::int64_t kMaxIdleWaitNs = 1'000'000;   // 1 ms
+constexpr std::int64_t kMinIdleWaitNs = 50'000;      // 0.05 ms
+
+std::int64_t ToNanos(std::chrono::microseconds us) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(us).count();
+}
+
+}  // namespace
+
+struct TaskScheduler::RunState {
+  RunState(const std::vector<TaskFn>& task_fns, std::size_t shards)
+      : tasks(task_fns),
+        entries(task_fns.size()),
+        ready(shards),
+        start(Clock::now()) {}
+
+  /// Per-task bookkeeping. `committed` is the lock-free exactly-once commit
+  /// gate (AttemptContext::ClaimCommit CASes it); everything else is only
+  /// touched under RunState::mutex — attempt scheduling is orders of
+  /// magnitude rarer than attempt execution, so a single coarse lock keeps
+  /// the launched/outstanding/terminal transitions trivially consistent.
+  struct Entry {
+    std::atomic<bool> committed{false};
+    int launched{0};     // attempts reserved: first + retries + speculative
+    int outstanding{0};  // reserved minus finished
+    int speculative{0};
+    bool terminal{false};  // committed or quarantined
+    std::int64_t first_start_ns{-1};  // oldest attempt's start; -1 = none yet
+  };
+
+  [[nodiscard]] std::int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start)
+        .count();
+  }
+
+  [[nodiscard]] bool Done() const noexcept {
+    return remaining.load(std::memory_order_acquire) == 0 ||
+           job_failed.load(std::memory_order_acquire);
+  }
+
+  const std::vector<TaskFn>& tasks;
+  std::vector<Entry> entries;
+  ReadyQueue ready;
+  const Clock::time_point start;
+
+  std::string job;
+  std::string stage;
+  std::string task_span_name;
+
+  common::Mutex mutex;
+  common::CondVar cv;
+
+  struct Timer {
+    std::int64_t due_ns;
+    AttemptRef ref;
+  };
+  // Min-heap on due_ns (std::push_heap with operator> comparator).
+  std::vector<Timer> timers EVM_GUARDED_BY(mutex);
+  /// Durations of committed attempts — the speculation watermark input.
+  std::vector<std::int64_t> completed_ns EVM_GUARDED_BY(mutex);
+  std::vector<std::size_t> quarantined EVM_GUARDED_BY(mutex);
+  std::int64_t last_scan_ns EVM_GUARDED_BY(mutex){0};
+  std::exception_ptr first_exception EVM_GUARDED_BY(mutex);
+  bool exhausted_fail EVM_GUARDED_BY(mutex){false};
+  std::size_t exhausted_task EVM_GUARDED_BY(mutex){0};
+
+  // Report accounting (under mutex; plain ints).
+  std::uint64_t attempts EVM_GUARDED_BY(mutex){0};
+  std::uint64_t retries EVM_GUARDED_BY(mutex){0};
+  std::uint64_t deadline_misses EVM_GUARDED_BY(mutex){0};
+  std::uint64_t speculative_launched EVM_GUARDED_BY(mutex){0};
+  std::uint64_t speculative_wins EVM_GUARDED_BY(mutex){0};
+  std::uint64_t failures EVM_GUARDED_BY(mutex){0};
+
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> job_failed{false};
+
+  // Registry handles, resolved once per Run.
+  obs::Counter c_attempts;
+  obs::Counter c_retries;
+  obs::Counter c_speculative;
+  obs::Counter c_speculative_wins;
+  obs::Counter c_deadline_misses;
+  obs::Counter c_quarantined;
+
+  obs::TraceRecorder* trace{nullptr};
+};
+
+TaskScheduler::TaskScheduler(ThreadPool& pool, SchedulerOptions options,
+                             obs::MetricsRegistry* metrics,
+                             obs::TraceRecorder* trace)
+    : pool_(pool), options_(options), metrics_(metrics), trace_(trace) {
+  EVM_CHECK(options_.max_attempts >= 1);
+  EVM_CHECK(options_.max_speculative_per_task >= 0);
+  EVM_CHECK(options_.speculation_multiplier >= 1.0);
+  EVM_CHECK(options_.speculation_min_completed > 0.0 &&
+            options_.speculation_min_completed <= 1.0);
+}
+
+std::int64_t TaskScheduler::BackoffNanos(const RunState& state,
+                                         std::size_t task,
+                                         int retry_index) const {
+  const std::int64_t base = ToNanos(options_.backoff_base);
+  const std::int64_t cap = std::max(base, ToNanos(options_.backoff_cap));
+  // base * 2^(retry-1), saturating at the cap.
+  std::int64_t backoff = base;
+  for (int i = 1; i < retry_index && backoff < cap; ++i) backoff *= 2;
+  backoff = std::min(backoff, cap);
+  // Deterministic jitter in [0.5, 1.0): a pure function of the schedule key,
+  // so two runs with the same (seed, job, tasks) retry at identical offsets.
+  Rng rng(DeriveSeed(options_.seed ^ std::hash<std::string>{}(state.job),
+                     "backoff",
+                     task * 1024 + static_cast<std::uint64_t>(retry_index)));
+  return static_cast<std::int64_t>(static_cast<double>(backoff) *
+                                   (0.5 + 0.5 * rng.NextDouble()));
+}
+
+void TaskScheduler::ExhaustLocked(RunState& state, std::size_t task) const {
+  state.mutex.AssertHeld();
+  RunState::Entry& entry = state.entries[task];
+  entry.terminal = true;
+  if (options_.exhaust == ExhaustPolicy::kQuarantine) {
+    state.quarantined.push_back(task);
+    state.c_quarantined.Add();
+    state.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    if (state.Done()) state.cv.NotifyAll();
+  } else {
+    state.exhausted_fail = true;
+    state.exhausted_task = task;
+    state.job_failed.store(true, std::memory_order_release);
+    state.cv.NotifyAll();
+  }
+}
+
+void TaskScheduler::ServiceTimersLocked(RunState& state,
+                                        std::int64_t now_ns) const {
+  state.mutex.AssertHeld();
+  const auto later = [](const RunState::Timer& a, const RunState::Timer& b) {
+    return a.due_ns > b.due_ns;
+  };
+  while (!state.timers.empty() && state.timers.front().due_ns <= now_ns) {
+    std::pop_heap(state.timers.begin(), state.timers.end(), later);
+    const AttemptRef ref = state.timers.back().ref;
+    state.timers.pop_back();
+    state.ready.Push(ref.task, ref);
+    state.cv.NotifyOne();
+  }
+}
+
+void TaskScheduler::LaunchBackupsLocked(RunState& state,
+                                        std::int64_t now_ns) const {
+  state.mutex.AssertHeld();
+  const std::int64_t deadline_ns = ToNanos(options_.task_deadline);
+  const bool speculate = options_.speculation &&
+                         options_.max_speculative_per_task > 0;
+  if (deadline_ns <= 0 && !speculate) return;
+  if (now_ns - state.last_scan_ns < kScanIntervalNs) return;
+  state.last_scan_ns = now_ns;
+
+  // Speculation watermark: p95 of committed attempt durations, once enough
+  // of the job finished for the estimate to mean anything.
+  std::int64_t straggler_age_ns = -1;
+  if (speculate) {
+    const auto completed = state.completed_ns.size();
+    const auto needed = static_cast<std::size_t>(std::max(
+        3.0, options_.speculation_min_completed *
+                 static_cast<double>(state.tasks.size())));
+    if (completed >= needed) {
+      std::vector<std::int64_t> sample = state.completed_ns;
+      const std::size_t idx =
+          std::min(sample.size() - 1,
+                   static_cast<std::size_t>(0.95 * (sample.size() - 1) + 0.5));
+      std::nth_element(sample.begin(), sample.begin() + idx, sample.end());
+      const auto p95 = static_cast<double>(sample[idx]);
+      straggler_age_ns = std::max(
+          ToNanos(options_.speculation_min_age),
+          static_cast<std::int64_t>(options_.speculation_multiplier * p95));
+    }
+  }
+
+  for (std::size_t t = 0; t < state.entries.size(); ++t) {
+    RunState::Entry& entry = state.entries[t];
+    if (entry.terminal || entry.outstanding == 0 || entry.first_start_ns < 0 ||
+        entry.launched >= options_.max_attempts) {
+      continue;
+    }
+    const std::int64_t age = now_ns - entry.first_start_ns;
+    // Deadline relaunch: the k-th relaunch waits for k elapsed deadlines so
+    // a stuck attempt cannot burn the whole budget in one scan.
+    if (deadline_ns > 0 && age > deadline_ns * entry.launched) {
+      entry.launched += 1;
+      entry.outstanding += 1;
+      state.retries += 1;
+      state.deadline_misses += 1;
+      state.attempts += 1;
+      state.c_retries.Add();
+      state.c_deadline_misses.Add();
+      state.c_attempts.Add();
+      state.ready.Push(t, AttemptRef{static_cast<std::uint32_t>(t),
+                                     entry.launched, false});
+      state.cv.NotifyOne();
+      continue;
+    }
+    if (straggler_age_ns >= 0 &&
+        entry.speculative < options_.max_speculative_per_task &&
+        age > straggler_age_ns) {
+      entry.launched += 1;
+      entry.outstanding += 1;
+      entry.speculative += 1;
+      state.speculative_launched += 1;
+      state.attempts += 1;
+      state.c_speculative.Add();
+      state.c_attempts.Add();
+      state.ready.Push(t, AttemptRef{static_cast<std::uint32_t>(t),
+                                     entry.launched, true});
+      state.cv.NotifyOne();
+    }
+  }
+}
+
+void TaskScheduler::Execute(RunState& state, const AttemptRef& ref) const {
+  RunState::Entry& entry = state.entries[ref.task];
+  bool skip = false;
+  {
+    common::MutexLock lock(state.mutex);
+    // A backup queued just before a sibling committed (or the job failed)
+    // is stale; account it as finished without running the body.
+    if (entry.terminal || state.job_failed.load(std::memory_order_relaxed)) {
+      skip = true;
+    } else if (entry.first_start_ns < 0) {
+      entry.first_start_ns = state.NowNs();
+    }
+  }
+
+  AttemptStatus status = AttemptStatus::kCommitLost;
+  std::int64_t duration_ns = 0;
+  std::exception_ptr thrown;
+  if (!skip) {
+    obs::StageSpan span(state.trace, state.task_span_name);
+    const AttemptContext context(ref.task, ref.attempt, ref.speculative,
+                                 &entry.committed);
+    const std::int64_t begin = state.NowNs();
+    try {
+      status = state.tasks[ref.task](context);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    duration_ns = state.NowNs() - begin;
+  }
+
+  common::MutexLock lock(state.mutex);
+  entry.outstanding -= 1;
+  if (thrown != nullptr) {
+    if (state.first_exception == nullptr) state.first_exception = thrown;
+    state.job_failed.store(true, std::memory_order_release);
+    state.cv.NotifyAll();
+    return;
+  }
+  if (skip) return;
+
+  switch (status) {
+    case AttemptStatus::kSuccess:
+      if (!entry.terminal) {
+        entry.terminal = true;
+        state.completed_ns.push_back(duration_ns);
+        if (ref.speculative) {
+          state.speculative_wins += 1;
+          state.c_speculative_wins.Add();
+        }
+        state.remaining.fetch_sub(1, std::memory_order_acq_rel);
+        if (state.Done()) state.cv.NotifyAll();
+      }
+      break;
+    case AttemptStatus::kCommitLost:
+      break;
+    case AttemptStatus::kFailed: {
+      state.failures += 1;
+      if (entry.terminal ||
+          entry.committed.load(std::memory_order_acquire)) {
+        break;  // a sibling already published; the failure is moot
+      }
+      if (entry.launched < options_.max_attempts) {
+        entry.launched += 1;
+        entry.outstanding += 1;
+        state.retries += 1;
+        state.attempts += 1;
+        state.c_retries.Add();
+        state.c_attempts.Add();
+        const std::int64_t due =
+            state.NowNs() + BackoffNanos(state, ref.task, entry.launched - 1);
+        state.timers.push_back(
+            {due, AttemptRef{static_cast<std::uint32_t>(ref.task),
+                             entry.launched, false}});
+        std::push_heap(state.timers.begin(), state.timers.end(),
+                       [](const RunState::Timer& a, const RunState::Timer& b) {
+                         return a.due_ns > b.due_ns;
+                       });
+        state.cv.NotifyOne();
+      }
+      break;
+    }
+  }
+  // Exhaustion fires only when nothing for this task is queued or running
+  // anymore — a speculative sibling may still land after a final failure.
+  if (!entry.terminal && entry.outstanding == 0 &&
+      entry.launched >= options_.max_attempts &&
+      !entry.committed.load(std::memory_order_acquire)) {
+    ExhaustLocked(state, ref.task);
+  }
+}
+
+void TaskScheduler::DrainLoop(RunState& state, std::size_t self) const {
+  for (;;) {
+    {
+      common::MutexLock lock(state.mutex);
+      if (state.Done()) return;
+      const std::int64_t now = state.NowNs();
+      ServiceTimersLocked(state, now);
+      LaunchBackupsLocked(state, now);
+    }
+    if (auto ref = state.ready.Pop(self)) {
+      Execute(state, *ref);
+      continue;
+    }
+    common::MutexLock lock(state.mutex);
+    if (state.Done()) return;
+    if (state.ready.ApproxSize() > 0) continue;  // pushed since our Pop
+    const std::int64_t now = state.NowNs();
+    std::int64_t wait_ns =
+        state.timers.empty() ? kMaxIdleWaitNs
+                             : state.timers.front().due_ns - now;
+    wait_ns = std::clamp(wait_ns, kMinIdleWaitNs, kMaxIdleWaitNs);
+    state.cv.WaitFor(lock, std::chrono::nanoseconds(wait_ns));
+  }
+}
+
+SchedulerReport TaskScheduler::Run(const std::string& job,
+                                   const std::string& stage,
+                                   const std::vector<TaskFn>& tasks) {
+  SchedulerReport report;
+  report.tasks = tasks.size();
+  if (tasks.empty()) return report;
+
+  const std::size_t workers = pool_.size();
+  RunState state(tasks, workers + 1);
+  state.job = job;
+  state.stage = stage;
+  state.task_span_name = stage + ".task";
+  state.trace = trace_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("mr." + stage + "_tasks").Add(tasks.size());
+    state.c_attempts = metrics_->counter("mr." + stage + "_attempts");
+    state.c_retries = metrics_->counter("mr." + stage + "_retries");
+    state.c_speculative = metrics_->counter("mr." + stage + "_speculative");
+    state.c_speculative_wins = metrics_->counter(kMrSpeculativeWins);
+    state.c_deadline_misses = metrics_->counter(kMrDeadlineMisses);
+    state.c_quarantined = metrics_->counter(kMrQuarantinedTasks);
+  }
+
+  state.remaining.store(tasks.size(), std::memory_order_release);
+  {
+    common::MutexLock lock(state.mutex);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      RunState::Entry& entry = state.entries[t];
+      entry.launched = 1;
+      entry.outstanding = 1;
+      state.attempts += 1;
+      state.c_attempts.Add();
+      state.ready.Push(t, AttemptRef{static_cast<std::uint32_t>(t), 1, false});
+    }
+  }
+
+  std::vector<std::future<void>> drains;
+  drains.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    drains.push_back(pool_.Submit([this, &state, w] { DrainLoop(state, w); }));
+  }
+  DrainLoop(state, workers);  // the calling thread participates
+  for (auto& drain : drains) drain.get();
+
+  common::MutexLock lock(state.mutex);
+  if (state.first_exception != nullptr) {
+    std::rethrow_exception(state.first_exception);
+  }
+  if (state.exhausted_fail) {
+    throw Error(stage + " task " + std::to_string(state.exhausted_task) +
+                " exceeded max attempts (" +
+                std::to_string(options_.max_attempts) + ") in job '" + job +
+                "'");
+  }
+  report.attempts = state.attempts;
+  report.retries = state.retries;
+  report.deadline_misses = state.deadline_misses;
+  report.speculative_launched = state.speculative_launched;
+  report.speculative_wins = state.speculative_wins;
+  report.failures = state.failures;
+  report.quarantined = state.quarantined;
+  std::sort(report.quarantined.begin(), report.quarantined.end());
+  return report;
+}
+
+}  // namespace evm::mapreduce

@@ -1,0 +1,89 @@
+#pragma once
+// TaskScheduler — fault-tolerant execution of a stage's task set on the
+// shared ThreadPool.
+//
+// The paper ran the SS algorithm on a 14-node Spark/Hadoop cluster (Sec. V)
+// where the framework owns stragglers, task retries and shuffle durability.
+// This scheduler is that execution layer for the in-process engine:
+//
+//   work stealing   attempts flow through a sharded ready queue
+//                   (ready_queue.hpp): each worker drains its own shard LIFO
+//                   and steals from siblings when dry.
+//   retry           a failed attempt is relaunched after a deterministic
+//                   exponential backoff (seeded jitter, pure function of
+//                   (seed, job, task, retry index)) up to max_attempts.
+//   deadlines       a running attempt older than task_deadline gets a
+//                   relaunch; the original keeps running, first commit wins.
+//   speculation     once enough tasks completed, tasks whose oldest running
+//                   attempt is past a p95-latency watermark get one backup
+//                   attempt. Whichever attempt claims the commit first
+//                   publishes; since attempts are pure, output bytes are
+//                   identical regardless of the winner.
+//   degradation     a task that exhausts its budget either fails the job
+//                   (ExhaustPolicy::kFailJob, after outstanding attempts
+//                   drain) or is quarantined and reported, letting the job
+//                   complete with an explicit gap instead of aborting.
+//
+// Threading: Run() submits one drain loop per pool worker and participates
+// itself (like ThreadPool::ParallelFor), so a stage occupies the whole pool
+// and two Run() calls never overlap on one scheduler. All scheduling state
+// transitions happen under one job mutex; only attempt bodies run outside
+// it. Lock order: job mutex may be held while taking a ready-queue shard
+// mutex, never the reverse.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "mapreduce/task.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace evm::mapreduce {
+
+struct AttemptRef;  // ready_queue.hpp
+
+class TaskScheduler {
+ public:
+  /// `pool` must outlive the scheduler. `metrics`/`trace` may be null.
+  /// Counters land under "mr.<stage>_*" names (counters.hpp); each executed
+  /// attempt gets a "<stage>.task" span parented to the recorder's ambient
+  /// parent.
+  TaskScheduler(ThreadPool& pool, SchedulerOptions options,
+                obs::MetricsRegistry* metrics = nullptr,
+                obs::TraceRecorder* trace = nullptr);
+
+  /// Runs every task to a terminal state and returns the attempt accounting.
+  /// Throws Error when a task exhausts its budget under kFailJob, or
+  /// rethrows the first exception an attempt body threw — in both cases
+  /// only after every outstanding attempt drained.
+  SchedulerReport Run(const std::string& job, const std::string& stage,
+                      const std::vector<TaskFn>& tasks);
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const SchedulerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct RunState;
+
+  void DrainLoop(RunState& state, std::size_t self) const;
+  void Execute(RunState& state, const AttemptRef& ref) const;
+  /// Moves due retry timers to the ready queue. Caller holds state.mutex.
+  void ServiceTimersLocked(RunState& state, std::int64_t now_ns) const;
+  /// Deadline relaunches + speculative backups. Caller holds state.mutex.
+  void LaunchBackupsLocked(RunState& state, std::int64_t now_ns) const;
+  void ExhaustLocked(RunState& state, std::size_t task) const;
+  [[nodiscard]] std::int64_t BackoffNanos(const RunState& state,
+                                          std::size_t task,
+                                          int retry_index) const;
+
+  ThreadPool& pool_;
+  SchedulerOptions options_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceRecorder* trace_;
+};
+
+}  // namespace evm::mapreduce

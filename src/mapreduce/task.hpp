@@ -1,0 +1,153 @@
+#pragma once
+// Task model of the fault-tolerant scheduler (see scheduler.hpp).
+//
+// A *task* is the unit of work a MapReduce stage is split into (one map
+// partition, one reduce partition, one V-filter EID). An *attempt* is one
+// execution of a task's body; the scheduler may run several attempts of the
+// same task — failure retries after exponential backoff, deadline relaunches,
+// speculative backups for stragglers — and exactly one of them commits.
+//
+// The contract that makes re-execution safe is the same one the paper's
+// Spark/Hadoop substrate imposes: an attempt body must be a pure function of
+// the task's inputs up to the commit point, and every externally visible
+// side effect (shuffle spill, output slot, counters describing committed
+// work) must happen only after ClaimCommit() returned true. Since every
+// attempt of a task computes identical bytes, job output is independent of
+// which attempt wins the claim — the scheduler only has to guarantee the
+// claim is won exactly once.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace evm::mapreduce {
+
+/// Lifecycle of a task. Terminal states: kCompleted (one attempt committed)
+/// and kQuarantined (attempt budget exhausted without a commit).
+enum class TaskState : int {
+  kPending = 0,
+  kRunning,
+  kCompleted,
+  kQuarantined,
+};
+
+/// How one attempt ended.
+enum class AttemptStatus {
+  /// This attempt won the commit claim and published the task's output.
+  kSuccess,
+  /// The attempt finished its work but a sibling attempt had already
+  /// committed; its output was discarded.
+  kCommitLost,
+  /// The attempt crashed (failure injection) before committing; nothing it
+  /// staged is visible.
+  kFailed,
+};
+
+/// What to do with a task that exhausts its attempt budget.
+enum class ExhaustPolicy {
+  /// Abort the job with an Error once outstanding attempts drain (the
+  /// pre-scheduler engine behaviour; the matching pipeline needs every
+  /// record, so a permanently failed task must fail the match).
+  kFailJob,
+  /// Quarantine the task and complete the job without its output; the
+  /// SchedulerReport lists the quarantined task indices so the caller can
+  /// degrade gracefully (partial results with an explicit gap report).
+  kQuarantine,
+};
+
+class TaskScheduler;
+
+/// Handed to every attempt body.
+class AttemptContext {
+ public:
+  /// Index of the task within the job's task vector.
+  [[nodiscard]] std::size_t task() const noexcept { return task_; }
+  /// 1-based launch index of this attempt for its task.
+  [[nodiscard]] int attempt() const noexcept { return attempt_; }
+  /// True for speculative backup attempts (launched while the original was
+  /// still running, not because anything failed).
+  [[nodiscard]] bool speculative() const noexcept { return speculative_; }
+
+  /// The exactly-once commit gate: returns true for precisely one attempt
+  /// of this task, ever. The winner must publish the attempt's output
+  /// before returning kSuccess; losers return kCommitLost and discard.
+  [[nodiscard]] bool ClaimCommit() const noexcept {
+    bool expected = false;
+    return committed_->compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel);
+  }
+
+ private:
+  friend class TaskScheduler;
+  AttemptContext(std::size_t task, int attempt, bool speculative,
+                 std::atomic<bool>* committed) noexcept
+      : task_(task),
+        attempt_(attempt),
+        speculative_(speculative),
+        committed_(committed) {}
+
+  std::size_t task_;
+  int attempt_;
+  bool speculative_;
+  std::atomic<bool>* committed_;
+};
+
+/// One attempt body. Must be idempotent up to ClaimCommit() and safe to run
+/// concurrently with a sibling attempt of the same task.
+using TaskFn = std::function<AttemptStatus(const AttemptContext&)>;
+
+/// Scheduler tuning. The retry schedule is deterministic: backoff for retry
+/// k of task t is backoff_base * 2^(k-1) (capped) plus a jitter drawn from
+/// a seeded stream keyed by (seed, job, task, k) — a pure function of the
+/// configuration, never of wall-clock or thread interleaving.
+struct SchedulerOptions {
+  std::uint64_t seed{0};
+  /// Attempts per task (first + retries + speculative) before the task is
+  /// exhausted.
+  int max_attempts{3};
+  ExhaustPolicy exhaust{ExhaustPolicy::kFailJob};
+
+  /// Exponential backoff before a failure retry.
+  std::chrono::microseconds backoff_base{200};
+  std::chrono::microseconds backoff_cap{50'000};
+
+  /// Per-attempt deadline; zero disables. A running attempt older than the
+  /// deadline gets a relaunch (counted as a retry + deadline miss); the
+  /// original keeps running and the first commit wins.
+  std::chrono::microseconds task_deadline{0};
+
+  /// Speculative execution: once at least speculation_min_completed of the
+  /// job's tasks have completed, any task whose oldest running attempt is
+  /// older than max(speculation_min_age, speculation_multiplier * p95 of
+  /// completed attempt latencies) gets one backup attempt (up to
+  /// max_speculative_per_task).
+  bool speculation{false};
+  double speculation_min_completed{0.5};
+  double speculation_multiplier{2.0};
+  std::chrono::microseconds speculation_min_age{2'000};
+  int max_speculative_per_task{1};
+};
+
+/// Per-job execution report. Identity (holds unconditionally, including
+/// quarantine):   attempts == tasks + retries + speculative_launched
+/// With speculation and deadlines off, every retry answers one failure:
+///   retries == failures - |quarantined|
+struct SchedulerReport {
+  std::uint64_t tasks{0};
+  std::uint64_t attempts{0};
+  /// Failure retries + deadline relaunches.
+  std::uint64_t retries{0};
+  std::uint64_t deadline_misses{0};
+  std::uint64_t speculative_launched{0};
+  /// Commits won by a speculative attempt.
+  std::uint64_t speculative_wins{0};
+  /// Attempts that returned kFailed.
+  std::uint64_t failures{0};
+  /// Task indices that exhausted their budget (sorted). Non-empty only
+  /// under ExhaustPolicy::kQuarantine.
+  std::vector<std::size_t> quarantined;
+};
+
+}  // namespace evm::mapreduce

@@ -53,6 +53,38 @@ TEST(FaultToleranceTest, MatcherSurvivesInjectedEngineFailures) {
   }
 }
 
+TEST(FaultToleranceTest, MatcherUnaffectedByStragglersAndSpeculation) {
+  // Injected stragglers slow first attempts; speculative backups race them.
+  // Whoever wins the commit, the match must be identical to a clean run.
+  const Dataset dataset = GenerateDataset(SmallWorld(73));
+  const auto targets = SampleTargets(dataset, 30, 2);
+
+  MatcherConfig clean;
+  clean.execution = ExecutionMode::kMapReduce;
+  clean.engine.workers = 2;
+  EvMatcher clean_matcher(dataset.e_scenarios, dataset.v_scenarios,
+                          dataset.oracle, clean);
+  const MatchReport a = clean_matcher.Match(targets);
+
+  MatcherConfig slow = clean;
+  slow.engine.seed = 29;
+  slow.engine.map_straggler_prob = 0.1;
+  slow.engine.reduce_straggler_prob = 0.1;
+  slow.engine.straggler_delay = std::chrono::milliseconds(20);
+  slow.engine.scheduler.speculation = true;
+  slow.engine.scheduler.speculation_min_completed = 0.3;
+  EvMatcher slow_matcher(dataset.e_scenarios, dataset.v_scenarios,
+                         dataset.oracle, slow);
+  const MatchReport b = slow_matcher.Match(targets);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].reported_vid, b.results[i].reported_vid);
+    EXPECT_EQ(a.results[i].chosen_per_scenario,
+              b.results[i].chosen_per_scenario);
+  }
+}
+
 TEST(FaultToleranceTest, PipelineFailsCleanlyWhenRetriesExhaust) {
   const Dataset dataset = GenerateDataset(SmallWorld(72));
   const auto targets = SampleTargets(dataset, 10, 1);

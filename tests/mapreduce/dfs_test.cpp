@@ -62,6 +62,28 @@ TEST(DfsTest, ListIsSorted) {
   EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
 }
 
+TEST(DfsTest, ReadBlockFetchesOnePartition) {
+  Dfs dfs;
+  dfs.Write("spill/map-0", {MakeBlock({1, 2}), MakeBlock({3, 4, 5})});
+  const auto block = dfs.ReadBlock("spill/map-0", 1);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, MakeBlock({3, 4, 5}));
+}
+
+TEST(DfsTest, ReadBlockMissingDatasetOrIndexIsNullopt) {
+  Dfs dfs;
+  dfs.Write("only", {MakeBlock({9})});
+  EXPECT_FALSE(dfs.ReadBlock("absent", 0).has_value());
+  EXPECT_FALSE(dfs.ReadBlock("only", 1).has_value());
+}
+
+TEST(DfsTest, BlockCountReportsSizeOrNullopt) {
+  Dfs dfs;
+  dfs.Write("d", {MakeBlock({1}), MakeBlock({2}), MakeBlock({3})});
+  EXPECT_EQ(dfs.BlockCount("d"), 3u);
+  EXPECT_FALSE(dfs.BlockCount("missing").has_value());
+}
+
 TEST(DfsTest, TotalBytesSumsAllBlocks) {
   Dfs dfs;
   dfs.Write("a", {MakeBlock({1, 2, 3})});

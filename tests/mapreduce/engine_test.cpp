@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <string>
@@ -274,6 +276,146 @@ TEST(EngineTest, ManyReducersWithFewKeysIsFine) {
   const std::vector<std::string> lines = {"only one key here: a a a"};
   auto result = RunWordCount(engine, lines, 16);
   EXPECT_FALSE(result.empty());
+}
+
+TEST(EngineTest, ReducerFailureRecoversFromSpillWithoutMapReexecution) {
+  // A failed reduce attempt must re-read the Dfs spill, not re-run maps:
+  // with only reduce failures injected, every input passes through map_fn
+  // exactly once while the spill is read more than once.
+  std::atomic<std::uint64_t> map_calls{0};
+  MapReduceEngine engine({.workers = 3,
+                          .seed = 17,
+                          .reduce_failure_prob = 0.6,
+                          .max_attempts = 30,
+                          .target_map_tasks = 5});
+  std::vector<std::uint64_t> inputs;
+  for (std::uint64_t i = 0; i < 90; ++i) inputs.push_back(i);
+  auto groups = engine.GroupBy<std::uint64_t, std::uint64_t>(
+      "spill-recovery", inputs, 4,
+      [&map_calls](const std::uint64_t& v,
+                   Emitter<std::uint64_t, std::uint64_t>& emit) {
+        map_calls.fetch_add(1);
+        emit(v % 6, v);
+      });
+  EXPECT_EQ(groups.size(), 6u);
+  const JobCounters& c = engine.last_counters();
+  EXPECT_GT(c.injected_reduce_failures, 0u);
+  EXPECT_EQ(map_calls.load(), inputs.size());
+  EXPECT_EQ(c.map_attempts, c.map_tasks);  // maps never re-ran
+  EXPECT_EQ(c.reduce_retries, c.injected_reduce_failures);
+  EXPECT_GT(c.spilled_bytes, 0u);
+  // Committed reducers read each spill once; the retried attempts' reads
+  // are uncommitted and never counted, so read == spilled exactly.
+  EXPECT_EQ(c.spill_read_bytes, c.spilled_bytes);
+}
+
+TEST(EngineTest, SpillIsCleanedUpAfterRun) {
+  MapReduceEngine engine({.workers = 2});
+  const std::vector<std::string> lines = {"a b", "c d"};
+  RunWordCount(engine, lines, 2);
+  EXPECT_TRUE(engine.dfs().List().empty());
+}
+
+TEST(EngineTest, QuarantineDegradesGracefullyInsteadOfAborting) {
+  // Same flaky configuration that throws under kFailJob completes under
+  // kQuarantine, reporting the gap instead.
+  const std::vector<std::string> lines(20, "a");
+  const EngineOptions flaky{.workers = 2,
+                            .seed = 1,
+                            .map_failure_prob = 0.95,
+                            .max_attempts = 2,
+                            .target_map_tasks = 8};
+  {
+    MapReduceEngine engine(flaky);
+    EXPECT_THROW(RunWordCount(engine, lines, 2), Error);
+  }
+  EngineOptions degraded = flaky;
+  degraded.scheduler.exhaust = ExhaustPolicy::kQuarantine;
+  MapReduceEngine engine(degraded);
+  auto result = RunWordCount(engine, lines, 2);
+  const SchedulerReport& map_report = engine.last_map_report();
+  EXPECT_FALSE(map_report.quarantined.empty());
+  EXPECT_EQ(engine.last_counters().quarantined_tasks,
+            map_report.quarantined.size());
+  // Quarantined map partitions are absent from the output; the surviving
+  // ones still aggregate (all-quarantined yields an empty result).
+  std::uint64_t seen = 0;
+  for (const auto& [word, count] : result) seen += count;
+  EXPECT_LT(seen, lines.size());
+}
+
+TEST(EngineTest, SpeculationProducesIdenticalOutputAndBalancedCounters) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 60; ++i) lines.push_back("s" + std::to_string(i % 8));
+  MapReduceEngine clean({.workers = 4, .target_map_tasks = 10});
+  const auto expected = RunWordCount(clean, lines, 3);
+  EngineOptions slow{.workers = 4,
+                     .seed = 3,
+                     .map_straggler_prob = 0.2,
+                     .straggler_delay = std::chrono::milliseconds(200),
+                     .target_map_tasks = 10};
+  slow.scheduler.speculation = true;
+  slow.scheduler.speculation_min_completed = 0.3;
+  MapReduceEngine engine(slow);
+  EXPECT_EQ(RunWordCount(engine, lines, 3), expected);
+  const JobCounters& c = engine.last_counters();
+  EXPECT_EQ(c.map_attempts, c.map_tasks + c.map_retries + c.map_speculative);
+  EXPECT_EQ(c.reduce_attempts,
+            c.reduce_tasks + c.reduce_retries + c.reduce_speculative);
+  const SchedulerReport& map_report = engine.last_map_report();
+  EXPECT_EQ(map_report.speculative_launched, c.map_speculative);
+}
+
+TEST(EngineTest, OutputIdenticalAcrossSeedsAndFaultModes) {
+  // The PR's determinism contract: byte-identical output across seeds in
+  // each fault mode — clean, injected failures, stragglers + speculation.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 120; ++i) {
+    lines.push_back("t" + std::to_string(i % 19) + " u" +
+                    std::to_string(i % 6));
+  }
+  MapReduceEngine reference({.workers = 4});
+  const auto expected = RunWordCount(reference, lines, 5);
+  for (const std::uint64_t seed : {3u, 41u, 909u}) {
+    MapReduceEngine clean({.workers = 2, .seed = seed});
+    EXPECT_EQ(RunWordCount(clean, lines, 5), expected) << "seed " << seed;
+
+    MapReduceEngine faulty({.workers = 4,
+                            .seed = seed,
+                            .map_failure_prob = 0.4,
+                            .reduce_failure_prob = 0.3,
+                            .max_attempts = 40});
+    EXPECT_EQ(RunWordCount(faulty, lines, 5), expected) << "seed " << seed;
+
+    EngineOptions straggly{.workers = 4,
+                           .seed = seed,
+                           .map_straggler_prob = 0.15,
+                           .reduce_straggler_prob = 0.15,
+                           .straggler_delay = std::chrono::milliseconds(60)};
+    straggly.scheduler.speculation = true;
+    straggly.scheduler.speculation_min_completed = 0.3;
+    MapReduceEngine spec(straggly);
+    EXPECT_EQ(RunWordCount(spec, lines, 5), expected) << "seed " << seed;
+  }
+}
+
+TEST(EngineTest, RunTasksExposesSchedulerWithEngineOptions) {
+  MapReduceEngine engine({.workers = 2, .seed = 4, .max_attempts = 5});
+  std::vector<std::uint64_t> out(6, 0);
+  std::vector<TaskFn> tasks;
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    tasks.push_back([&out, t](const AttemptContext& ctx) {
+      if (t == 2 && ctx.attempt() < 3) return AttemptStatus::kFailed;
+      if (!ctx.ClaimCommit()) return AttemptStatus::kCommitLost;
+      out[t] = t + 1;
+      return AttemptStatus::kSuccess;
+    });
+  }
+  const SchedulerReport report = engine.RunTasks("side-job", "filter", tasks);
+  for (std::size_t t = 0; t < out.size(); ++t) EXPECT_EQ(out[t], t + 1);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(engine.registry().CounterValue("mr.filter_tasks"), 6u);
+  EXPECT_EQ(engine.registry().CounterValue("mr.filter_attempts"), 8u);
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+#include "mapreduce/injection_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace evm::mapreduce {
+namespace {
+
+/// Lookup over a fixed map; the map's keys double as the visible-name list.
+struct FakeEnv {
+  std::map<std::string, std::string> vars;
+
+  [[nodiscard]] EnvLookup Lookup() const {
+    return [this](const std::string& name) -> std::optional<std::string> {
+      const auto it = vars.find(name);
+      if (it == vars.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+  [[nodiscard]] std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    for (const auto& [name, value] : vars) names.push_back(name);
+    return names;
+  }
+};
+
+TEST(InjectionEnvTest, EmptyEnvironmentYieldsNoOverrides) {
+  const FakeEnv env;
+  const auto overrides = ParseInjectionEnv(env.Lookup(), env.Names());
+  EXPECT_FALSE(overrides.Any());
+}
+
+TEST(InjectionEnvTest, ParsesEveryKnob) {
+  const FakeEnv env{{
+      {"EVM_MR_INJECT_MAP_FAILURES", "0.25"},
+      {"EVM_MR_INJECT_REDUCE_FAILURES", "0.5"},
+      {"EVM_MR_INJECT_MAP_STRAGGLERS", "0.1"},
+      {"EVM_MR_INJECT_REDUCE_STRAGGLERS", "0"},
+      {"EVM_MR_INJECT_STRAGGLER_DELAY_MS", "120"},
+      {"EVM_MR_INJECT_SEED", "424242"},
+      {"EVM_MR_INJECT_MAX_ATTEMPTS", "17"},
+      {"EVM_MR_INJECT_SPECULATION", "on"},
+  }};
+  const auto overrides = ParseInjectionEnv(env.Lookup(), env.Names());
+  EXPECT_EQ(overrides.map_failure_prob, 0.25);
+  EXPECT_EQ(overrides.reduce_failure_prob, 0.5);
+  EXPECT_EQ(overrides.map_straggler_prob, 0.1);
+  EXPECT_EQ(overrides.reduce_straggler_prob, 0.0);
+  EXPECT_EQ(overrides.straggler_delay_ms, 120u);
+  EXPECT_EQ(overrides.seed, 424242u);
+  EXPECT_EQ(overrides.max_attempts, 17);
+  EXPECT_EQ(overrides.speculation, true);
+}
+
+TEST(InjectionEnvTest, RejectsMalformedProbability) {
+  for (const char* bad : {"1.0", "-0.1", "nan", "0.5x", "", "half"}) {
+    const FakeEnv env{{{"EVM_MR_INJECT_MAP_FAILURES", bad}}};
+    EXPECT_THROW(static_cast<void>(ParseInjectionEnv(env.Lookup(),
+                                                     env.Names())),
+                 Error)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(InjectionEnvTest, RejectsMalformedInteger) {
+  for (const char* bad : {"-3", "1e3", "12ms", ""}) {
+    const FakeEnv env{{{"EVM_MR_INJECT_STRAGGLER_DELAY_MS", bad}}};
+    EXPECT_THROW(static_cast<void>(ParseInjectionEnv(env.Lookup(),
+                                                     env.Names())),
+                 Error)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(InjectionEnvTest, RejectsZeroMaxAttempts) {
+  const FakeEnv env{{{"EVM_MR_INJECT_MAX_ATTEMPTS", "0"}}};
+  EXPECT_THROW(
+      static_cast<void>(ParseInjectionEnv(env.Lookup(), env.Names())), Error);
+}
+
+TEST(InjectionEnvTest, RejectsMalformedBool) {
+  const FakeEnv env{{{"EVM_MR_INJECT_SPECULATION", "maybe"}}};
+  EXPECT_THROW(
+      static_cast<void>(ParseInjectionEnv(env.Lookup(), env.Names())), Error);
+}
+
+TEST(InjectionEnvTest, RejectsUnknownInjectionVariable) {
+  // A typo'd name must fail loudly, not silently run the wrong sweep.
+  const FakeEnv env{{{"EVM_MR_INJECT_MAP_FALIURES", "0.5"}}};
+  try {
+    static_cast<void>(ParseInjectionEnv(env.Lookup(), env.Names()));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("EVM_MR_INJECT_MAP_FALIURES"),
+              std::string::npos);
+  }
+}
+
+TEST(InjectionEnvTest, ErrorNamesTheVariableAndValue) {
+  const FakeEnv env{{{"EVM_MR_INJECT_SEED", "abc"}}};
+  try {
+    static_cast<void>(ParseInjectionEnv(env.Lookup(), env.Names()));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("EVM_MR_INJECT_SEED"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+}
+
+/// setenv-scoped fixture: real-process-environment cases.
+class InjectionEnvProcessTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& name : set_) unsetenv(name.c_str());
+  }
+  void Set(const std::string& name, const std::string& value) {
+    setenv(name.c_str(), value.c_str(), 1);
+    set_.push_back(name);
+  }
+  std::vector<std::string> set_;
+};
+
+TEST_F(InjectionEnvProcessTest, ListFindsSetVariables) {
+  Set("EVM_MR_INJECT_SEED", "7");
+  const auto names = ListInjectionEnvNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "EVM_MR_INJECT_SEED"),
+            names.end());
+}
+
+TEST_F(InjectionEnvProcessTest, EngineAppliesOverrides) {
+  Set("EVM_MR_INJECT_MAP_FAILURES", "0.35");
+  Set("EVM_MR_INJECT_SEED", "5150");
+  Set("EVM_MR_INJECT_MAX_ATTEMPTS", "9");
+  Set("EVM_MR_INJECT_SPECULATION", "1");
+  const MapReduceEngine engine({.workers = 1});
+  EXPECT_EQ(engine.options().map_failure_prob, 0.35);
+  EXPECT_EQ(engine.options().seed, 5150u);
+  EXPECT_EQ(engine.options().max_attempts, 9);
+  EXPECT_TRUE(engine.options().scheduler.speculation);
+}
+
+TEST_F(InjectionEnvProcessTest, EngineConstructionFailsOnBadValue) {
+  Set("EVM_MR_INJECT_REDUCE_FAILURES", "2.5");
+  EXPECT_THROW(MapReduceEngine({.workers = 1}), Error);
+}
+
+}  // namespace
+}  // namespace evm::mapreduce

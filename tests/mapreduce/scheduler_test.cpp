@@ -1,0 +1,294 @@
+#include "mapreduce/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "mapreduce/ready_queue.hpp"
+#include "obs/metrics.hpp"
+
+namespace evm::mapreduce {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------- ReadyQueue
+
+TEST(ReadyQueueTest, OwnShardIsLifoFifoHybrid) {
+  // The owner pushes to the back and pops from the front of its own shard.
+  ReadyQueue queue(2);
+  queue.Push(0, {10, 1, false});
+  queue.Push(0, {11, 1, false});
+  const auto first = queue.Pop(0);
+  const auto second = queue.Pop(0);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->task, 10u);
+  EXPECT_EQ(second->task, 11u);
+  EXPECT_FALSE(queue.Pop(0).has_value());
+}
+
+TEST(ReadyQueueTest, StealsFromSiblingWhenOwnShardEmpty) {
+  ReadyQueue queue(3);
+  queue.Push(0, {7, 1, false});
+  queue.Push(0, {8, 1, false});
+  // Worker 1's shard is empty; it must steal from the back of shard 0.
+  const auto stolen = queue.Pop(1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->task, 8u);
+  // The owner still gets its front item.
+  const auto own = queue.Pop(0);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(own->task, 7u);
+}
+
+TEST(ReadyQueueTest, ApproxSizeTracksBacklog) {
+  ReadyQueue queue(4);
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+  for (std::uint32_t t = 0; t < 10; ++t) queue.Push(t, {t, 1, false});
+  EXPECT_EQ(queue.ApproxSize(), 10u);
+  std::size_t drained = 0;
+  while (queue.Pop(2)) ++drained;
+  EXPECT_EQ(drained, 10u);
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+}
+
+// -------------------------------------------------------------- TaskScheduler
+
+/// Builds tasks where task t commits value t * 31 into `out[t]`.
+/// `fail_until[t]` attempts fail before the first success; a straggler task
+/// sleeps on its first attempt only, so relaunches run at full speed.
+std::vector<TaskFn> MakeTasks(std::vector<std::uint64_t>& out,
+                              const std::vector<int>& fail_until,
+                              std::atomic<std::uint64_t>* executions = nullptr,
+                              std::size_t straggler = SIZE_MAX,
+                              milliseconds straggle_for = milliseconds(0)) {
+  std::vector<TaskFn> tasks;
+  tasks.reserve(out.size());
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    tasks.push_back([&out, &fail_until, executions, straggler, straggle_for,
+                     t](const AttemptContext& ctx) {
+      if (executions != nullptr) executions->fetch_add(1);
+      if (t == straggler && ctx.attempt() == 1) {
+        std::this_thread::sleep_for(straggle_for);
+      }
+      if (ctx.attempt() <= fail_until[t]) return AttemptStatus::kFailed;
+      if (!ctx.ClaimCommit()) return AttemptStatus::kCommitLost;
+      out[t] = t * 31;
+      return AttemptStatus::kSuccess;
+    });
+  }
+  return tasks;
+}
+
+void ExpectAllCommitted(const std::vector<std::uint64_t>& out) {
+  for (std::size_t t = 0; t < out.size(); ++t) EXPECT_EQ(out[t], t * 31);
+}
+
+void ExpectInvariant(const SchedulerReport& report) {
+  EXPECT_EQ(report.attempts,
+            report.tasks + report.retries + report.speculative_launched);
+}
+
+TEST(SchedulerTest, HealthyJobRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(pool, {});
+  std::vector<std::uint64_t> out(64, 0);
+  std::atomic<std::uint64_t> executions{0};
+  const auto report =
+      scheduler.Run("job", "map", MakeTasks(out, std::vector<int>(64, 0),
+                                            &executions));
+  ExpectAllCommitted(out);
+  EXPECT_EQ(report.tasks, 64u);
+  EXPECT_EQ(report.attempts, 64u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(executions.load(), 64u);
+  EXPECT_TRUE(report.quarantined.empty());
+  ExpectInvariant(report);
+}
+
+TEST(SchedulerTest, EmptyTaskListIsANoOp) {
+  ThreadPool pool(2);
+  TaskScheduler scheduler(pool, {});
+  const auto report = scheduler.Run("job", "map", {});
+  EXPECT_EQ(report.tasks, 0u);
+  EXPECT_EQ(report.attempts, 0u);
+}
+
+TEST(SchedulerTest, RetriesFailuresUntilSuccessWithExactAccounting) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(pool, {.seed = 7, .max_attempts = 8});
+  std::vector<std::uint64_t> out(24, 0);
+  std::vector<int> fail_until(24);
+  for (std::size_t t = 0; t < fail_until.size(); ++t) {
+    fail_until[t] = static_cast<int>(t % 4);  // 0..3 failures per task
+  }
+  const auto report =
+      scheduler.Run("job", "map", MakeTasks(out, fail_until));
+  ExpectAllCommitted(out);
+  const auto expected_retries = static_cast<std::uint64_t>(
+      std::accumulate(fail_until.begin(), fail_until.end(), 0));
+  EXPECT_EQ(report.retries, expected_retries);
+  EXPECT_EQ(report.failures, expected_retries);
+  EXPECT_EQ(report.attempts, report.tasks + expected_retries);
+  ExpectInvariant(report);
+}
+
+TEST(SchedulerTest, ReportIsIdenticalAcrossReruns) {
+  // The retry schedule is a pure function of (seed, job, tasks): two runs of
+  // the same configuration must produce identical accounting and output.
+  std::vector<SchedulerReport> reports;
+  std::vector<std::vector<std::uint64_t>> outs;
+  for (int run = 0; run < 2; ++run) {
+    ThreadPool pool(4);
+    TaskScheduler scheduler(pool, {.seed = 99, .max_attempts = 10});
+    std::vector<std::uint64_t> out(16, 0);
+    std::vector<int> fail_until(16);
+    for (std::size_t t = 0; t < 16; ++t) {
+      fail_until[t] = static_cast<int>((t * 7) % 3);
+    }
+    reports.push_back(scheduler.Run("job", "map", MakeTasks(out, fail_until)));
+    outs.push_back(out);
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+  EXPECT_EQ(reports[0].attempts, reports[1].attempts);
+  EXPECT_EQ(reports[0].retries, reports[1].retries);
+  EXPECT_EQ(reports[0].failures, reports[1].failures);
+}
+
+TEST(SchedulerTest, FailJobPolicyThrowsOnceBudgetExhausts) {
+  ThreadPool pool(2);
+  TaskScheduler scheduler(pool, {.max_attempts = 3});
+  std::vector<std::uint64_t> out(8, 0);
+  std::vector<int> fail_until(8, 0);
+  fail_until[5] = 1000;  // never succeeds
+  EXPECT_THROW(scheduler.Run("doomed", "map", MakeTasks(out, fail_until)),
+               Error);
+}
+
+TEST(SchedulerTest, QuarantinePolicyCompletesJobWithGapReport) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(
+      pool, {.max_attempts = 3, .exhaust = ExhaustPolicy::kQuarantine});
+  std::vector<std::uint64_t> out(12, 0);
+  std::vector<int> fail_until(12, 0);
+  fail_until[3] = 1000;
+  fail_until[9] = 1000;
+  const auto report =
+      scheduler.Run("degraded", "map", MakeTasks(out, fail_until));
+  EXPECT_EQ(report.quarantined, (std::vector<std::size_t>{3, 9}));
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    if (t == 3 || t == 9) {
+      EXPECT_EQ(out[t], 0u) << "quarantined task must not publish";
+    } else {
+      EXPECT_EQ(out[t], t * 31);
+    }
+  }
+  // 3 attempts burned on each quarantined task, all counted.
+  EXPECT_EQ(report.retries, 4u);
+  EXPECT_EQ(report.failures, 6u);
+  ExpectInvariant(report);
+}
+
+TEST(SchedulerTest, BodyExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  TaskScheduler scheduler(pool, {});
+  std::vector<TaskFn> tasks;
+  for (int t = 0; t < 6; ++t) {
+    tasks.push_back([t](const AttemptContext& ctx) {
+      if (t == 4) throw std::runtime_error("broken body");
+      if (!ctx.ClaimCommit()) return AttemptStatus::kCommitLost;
+      return AttemptStatus::kSuccess;
+    });
+  }
+  EXPECT_THROW(scheduler.Run("job", "map", tasks), std::runtime_error);
+}
+
+TEST(SchedulerTest, DeadlineRelaunchRecoversFromStuckAttempt) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(pool, {.max_attempts = 4,
+                                 .task_deadline = microseconds(20'000)});
+  std::vector<std::uint64_t> out(8, 0);
+  // Task 2's first attempt sleeps far past the 20 ms deadline; the relaunch
+  // runs at full speed and commits long before the original wakes.
+  const auto report = scheduler.Run(
+      "job", "map",
+      MakeTasks(out, std::vector<int>(8, 0), nullptr, 2, milliseconds(300)));
+  ExpectAllCommitted(out);
+  EXPECT_GE(report.deadline_misses, 1u);
+  EXPECT_GE(report.retries, 1u);
+  ExpectInvariant(report);
+}
+
+TEST(SchedulerTest, SpeculativeBackupWinsForStraggler) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(pool,
+                          {.max_attempts = 4,
+                           .speculation = true,
+                           .speculation_min_completed = 0.25,
+                           .speculation_min_age = microseconds(2'000)});
+  std::vector<std::uint64_t> out(16, 0);
+  const auto report = scheduler.Run(
+      "job", "map",
+      MakeTasks(out, std::vector<int>(16, 0), nullptr, 11, milliseconds(300)));
+  ExpectAllCommitted(out);
+  EXPECT_GE(report.speculative_launched, 1u);
+  EXPECT_GE(report.speculative_wins, 1u);
+  EXPECT_EQ(report.retries, 0u);  // speculation is not a retry
+  ExpectInvariant(report);
+}
+
+TEST(SchedulerTest, SpeculationOffNeverLaunchesBackups) {
+  ThreadPool pool(4);
+  TaskScheduler scheduler(pool, {});
+  std::vector<std::uint64_t> out(8, 0);
+  const auto report = scheduler.Run(
+      "job", "map",
+      MakeTasks(out, std::vector<int>(8, 0), nullptr, 1, milliseconds(60)));
+  ExpectAllCommitted(out);
+  EXPECT_EQ(report.speculative_launched, 0u);
+  EXPECT_EQ(report.attempts, report.tasks);
+}
+
+TEST(SchedulerTest, CountersLandInRegistryUnderStageNames) {
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  TaskScheduler scheduler(pool, {.max_attempts = 6}, &registry);
+  std::vector<std::uint64_t> out(10, 0);
+  std::vector<int> fail_until(10, 0);
+  fail_until[4] = 2;
+  scheduler.Run("job", "filter", MakeTasks(out, fail_until));
+  EXPECT_EQ(registry.CounterValue("mr.filter_tasks"), 10u);
+  EXPECT_EQ(registry.CounterValue("mr.filter_retries"), 2u);
+  EXPECT_EQ(registry.CounterValue("mr.filter_attempts"), 12u);
+  EXPECT_EQ(registry.CounterValue("mr.filter_speculative"), 0u);
+}
+
+TEST(SchedulerTest, InvariantHoldsAcrossRandomizedFailureSchedules) {
+  for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+    ThreadPool pool(4);
+    TaskScheduler scheduler(pool, {.seed = seed, .max_attempts = 12});
+    std::vector<std::uint64_t> out(32, 0);
+    std::vector<int> fail_until(32);
+    Rng rng(seed);
+    for (auto& f : fail_until) f = static_cast<int>(rng.NextBelow(4));
+    const auto report =
+        scheduler.Run("fuzz", "map", MakeTasks(out, fail_until));
+    ExpectAllCommitted(out);
+    ExpectInvariant(report);
+    EXPECT_EQ(report.failures, report.retries);
+  }
+}
+
+}  // namespace
+}  // namespace evm::mapreduce

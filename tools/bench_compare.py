@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly produced BENCH_*.json (bench/bench_util.hpp's
+WriteBenchJson format: a list of {"name", "ns_per_op", "items_per_second"})
+against a committed baseline and fails when any benchmark's throughput
+dropped by more than the threshold (default 10%). Throughput is
+items_per_second when the benchmark reports one, else 1/ns_per_op — so for
+every benchmark "bigger is better" and a drop is a regression.
+
+Usage:
+  tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
+  tools/bench_compare.py BASELINE CURRENT --update
+  tools/bench_compare.py --self-test
+
+--update rewrites BASELINE from CURRENT (the re-baselining path after an
+accepted perf change); the comparison is skipped. Benchmarks present only in
+CURRENT are reported as new (not failures, so adding a bench doesn't need a
+two-step dance); benchmarks present only in BASELINE fail — a silently
+vanished bench is how a regression hides.
+
+Exit codes: 0 ok, 1 regression/missing bench, 2 usage or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def load_bench(path: Path) -> dict[str, float]:
+    """Returns {benchmark name: throughput} for one BENCH_*.json file."""
+    try:
+        records = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+    if not isinstance(records, list):
+        raise SystemExit(f"bench_compare: {path}: expected a JSON list")
+    throughput: dict[str, float] = {}
+    for record in records:
+        name = record.get("name")
+        ns_per_op = float(record.get("ns_per_op", 0.0))
+        items_per_second = float(record.get("items_per_second", 0.0))
+        if not name:
+            raise SystemExit(f"bench_compare: {path}: record without a name")
+        if items_per_second > 0.0:
+            throughput[name] = items_per_second
+        elif ns_per_op > 0.0:
+            throughput[name] = 1e9 / ns_per_op
+        else:
+            raise SystemExit(
+                f"bench_compare: {path}: {name} has no usable metric")
+    return throughput
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float) -> list[str]:
+    """Returns failure messages; prints a per-bench summary line as it goes."""
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not in current "
+                            "run (removed or renamed?)")
+            continue
+        old, new = baseline[name], current[name]
+        ratio = new / old
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: throughput fell {100 * (1 - ratio):.1f}% "
+                f"({old:.3g} -> {new:.3g}, limit {100 * threshold:.0f}%)")
+        print(f"  {name}: {ratio:6.2%} of baseline  [{status}]")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: new benchmark (no baseline; run --update to pin)")
+    return failures
+
+
+def self_test() -> int:
+    """Exercises the gate against synthetic baselines; exits nonzero on bug."""
+    base = [
+        {"name": "bm_fast", "ns_per_op": 100.0, "items_per_second": 0},
+        {"name": "bm_items", "ns_per_op": 50.0, "items_per_second": 2000.0},
+    ]
+    cases = [
+        # (current records, expected failure count, label)
+        (base, 0, "identical run passes"),
+        ([{"name": "bm_fast", "ns_per_op": 105.0, "items_per_second": 0},
+          base[1]], 0, "5% slowdown passes at 10% threshold"),
+        ([{"name": "bm_fast", "ns_per_op": 200.0, "items_per_second": 0},
+          base[1]], 1, "2x slowdown fails"),
+        ([base[0],
+          {"name": "bm_items", "ns_per_op": 50.0, "items_per_second": 500.0}],
+         1, "items/s drop fails"),
+        ([base[0]], 1, "missing benchmark fails"),
+        (base + [{"name": "bm_new", "ns_per_op": 1.0,
+                  "items_per_second": 0}], 0, "new benchmark is not a failure"),
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = Path(tmp) / "base.json"
+        base_path.write_text(json.dumps(base))
+        for current, expected, label in cases:
+            cur_path = Path(tmp) / "cur.json"
+            cur_path.write_text(json.dumps(current))
+            failures = compare(load_bench(base_path), load_bench(cur_path),
+                               DEFAULT_THRESHOLD)
+            if len(failures) != expected:
+                print(f"self-test FAILED: {label}: expected {expected} "
+                      f"failure(s), got {failures}", file=sys.stderr)
+                return 1
+        # --update must leave baseline byte-equal to current.
+        cur_path = Path(tmp) / "cur.json"
+        cur_path.write_text(json.dumps(base))
+        update(base_path, cur_path)
+        if base_path.read_text() != cur_path.read_text():
+            print("self-test FAILED: --update did not copy", file=sys.stderr)
+            return 1
+    print("bench_compare self-test: all cases passed")
+    return 0
+
+
+def update(baseline: Path, current: Path) -> None:
+    shutil.copyfile(current, baseline)
+    print(f"bench_compare: baseline {baseline} updated from {current}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", type=Path)
+    parser.add_argument("current", nargs="?", type=Path)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional throughput drop "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BASELINE from CURRENT instead of "
+                             "comparing")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required unless --self-test")
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+    if args.update:
+        update(args.baseline, args.current)
+        return 0
+
+    print(f"bench_compare: {args.current} vs baseline {args.baseline} "
+          f"(threshold {100 * args.threshold:.0f}%)")
+    failures = compare(load_bench(args.baseline), load_bench(args.current),
+                       args.threshold)
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

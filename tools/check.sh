@@ -9,12 +9,16 @@
 #   1. determinism lint self-test (the rules still catch seeded violations)
 #   2. determinism lint over src/
 #   3. EVM_SANITIZE option validation
-#   4. clang-tidy over src/ (skipped with a note if clang-tidy is not
+#   4. bench-compare self-test, plus the real comparison of any
+#      $BUILD_DIR/BENCH_*.json against the committed repo-root baselines
+#      (mirrors the CI bench-regression job; skipped when no bench output
+#      exists in the build dir)
+#   5. clang-tidy over src/ (skipped with a note if clang-tidy is not
 #      installed — the container toolchain is gcc-only; CI installs clang)
 #
-# No build is required for steps 1-3; step 4 needs a configured build dir
-# with compile_commands.json (any compiler: the compile database only feeds
-# clang-tidy's parser).
+# No build is required for steps 1-4 (4 compares only if benches were run);
+# step 5 needs a configured build dir with compile_commands.json (any
+# compiler: the compile database only feeds clang-tidy's parser).
 
 set -u
 cd "$(dirname "$0")/.."
@@ -38,6 +42,17 @@ step() {
 step "determinism lint: self-test" "$PYTHON" tools/lint.py --self-test
 step "determinism lint: src/" "$PYTHON" tools/lint.py --root .
 step "sanitizer option validation" "$CMAKE" -P tools/sanitize_option_test.cmake
+step "bench compare: self-test" "$PYTHON" tools/bench_compare.py --self-test
+
+for bench_json in BENCH_core_ops.json BENCH_stream.json; do
+  if [ -f "$BUILD_DIR/$bench_json" ] && [ -f "$bench_json" ]; then
+    step "bench compare: $bench_json" "$PYTHON" tools/bench_compare.py \
+      "$bench_json" "$BUILD_DIR/$bench_json"
+  else
+    echo "==> bench compare: SKIP $bench_json (no $BUILD_DIR/$bench_json;" \
+      "run the micro benches first)"
+  fi
+done
 
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ -f "$BUILD_DIR/compile_commands.json" ]; then
