@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "bench_util.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/matcher.hpp"
 #include "core/set_splitting.hpp"
@@ -134,6 +137,83 @@ void BM_BestInBlockFused(benchmark::State& state) {
                           static_cast<std::int64_t>(obs));
 }
 BENCHMARK(BM_BestInBlockFused)->Arg(10)->Arg(50)->Arg(200);
+
+// The exact scan with the runtime-dispatched SIMD kernel but no quantized
+// shortlist — isolates the SIMD win from the int8 win.
+void BM_BestInBlockExact(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const FeatureBlock block(RandomScenarioFeatures(obs, 42));
+  Rng rng(7);
+  const FeatureVector probe_vec = RandomFeature(rng, FeatureParams{});
+  const PaddedProbe probe(probe_vec, block.stride());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestInBlockExact(probe, block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(obs));
+}
+BENCHMARK(BM_BestInBlockExact)->Arg(50)->Arg(200);
+
+// The full production path: int8 SAD shortlist + exact float re-rank.
+// items/s here over BM_BestInBlockExact is the shortlist's own speedup.
+void BM_BestInBlockQuantized(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const FeatureBlock block(RandomScenarioFeatures(obs, 42));
+  Rng rng(7);
+  const FeatureVector probe_vec = RandomFeature(rng, FeatureParams{});
+  const PaddedProbe probe(probe_vec, block.stride());
+  BlockScanStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BestInBlock(probe, block, &stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(obs));
+  state.counters["exact_row_frac"] =
+      static_cast<double>(stats.exact_rows) /
+      (static_cast<double>(state.iterations()) * static_cast<double>(obs));
+}
+BENCHMARK(BM_BestInBlockQuantized)->Arg(50)->Arg(200);
+
+// Point lookups on the open-addressing FlatMap vs std::unordered_map, keys
+// pre-spread like EID values. The splitters' uidx_of and the gallery cache
+// are exactly this access pattern.
+void BM_FlatMapLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::FlatMap<std::uint64_t, std::uint32_t> map;
+  map.Reserve(n);
+  Rng rng(13);
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextBelow(1u << 20);
+    map.Insert(keys[i], static_cast<std::uint32_t>(i));
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(keys[k]));
+    k = (k + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(1024);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  map.reserve(n);
+  Rng rng(13);
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextBelow(1u << 20);
+    map.emplace(keys[i], static_cast<std::uint32_t>(i));
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[k]));
+    k = (k + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedMapLookup)->Arg(1024);
 
 EScenarioSet RandomScenarioSet(std::size_t eids, std::size_t windows,
                                std::size_t cells, std::uint64_t seed) {

@@ -1,0 +1,276 @@
+#pragma once
+// FlatMap / FlatSet: open-addressing hash tables for the hot lookup paths
+// (gallery shards, scenario-id indexes, EID buckets, splitter workspaces).
+//
+// Layout: one contiguous slot array (power-of-two capacity) plus a byte of
+// occupancy per slot. Lookups are a multiplicative hash (Mix64) followed by
+// linear probing — one cache line instead of std::unordered_map's
+// node-per-entry pointer chase. Erase uses backward-shift deletion, so the
+// table carries no tombstones and never needs a cleanup rehash: every probe
+// chain stays as short as the live keys require. Max load factor 3/4.
+//
+// Determinism: for the integral keys the pipeline uses, Mix64 makes the
+// probe order a pure function of the inserted keys — identical on every
+// platform, unlike std::unordered_map's implementation-defined bucketing.
+// Raw iteration (begin()/end()) still visits slots in probe order, which
+// depends on insertion history, so ordered output must go through
+// ForEachSorted() — the helper the determinism lint whitelists.
+//
+// Requirements: K equality-comparable and (for ForEachSorted) <-comparable;
+// K and V default-constructible and movable. Not thread-safe; guard
+// externally like any std container.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace evm::common {
+
+/// Default hasher: Mix64 over the key's canonical 64-bit image. The
+/// finalizer's avalanche is what lets linear probing survive the pipeline's
+/// dense sequential ids (scenario ids, uidx values).
+template <typename K, typename Enable = void>
+struct FlatHash;
+
+template <typename K>
+struct FlatHash<K, std::enable_if_t<std::is_integral_v<K>>> {
+  [[nodiscard]] std::uint64_t operator()(K key) const noexcept {
+    return Mix64(static_cast<std::uint64_t>(key));
+  }
+};
+
+template <>
+struct FlatHash<std::string> {
+  [[nodiscard]] std::uint64_t operator()(
+      const std::string& key) const noexcept {
+    return Mix64(static_cast<std::uint64_t>(std::hash<std::string>{}(key)));
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  /// Probe-order iteration (const only: exposing mutable keys would let a
+  /// caller break the probe invariant). Order depends on insertion history —
+  /// use ForEachSorted for anything that reaches output.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = FlatMap::value_type;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const value_type*;
+    using reference = const value_type&;
+
+    const_iterator() = default;
+    reference operator*() const noexcept { return map_->slots_[index_]; }
+    pointer operator->() const noexcept { return &map_->slots_[index_]; }
+    const_iterator& operator++() noexcept {
+      ++index_;
+      Advance();
+      return *this;
+    }
+    friend bool operator==(const const_iterator&,
+                           const const_iterator&) = default;
+
+   private:
+    friend class FlatMap;
+    const_iterator(const FlatMap* map, std::size_t index) noexcept
+        : map_(map), index_(index) {
+      Advance();
+    }
+    void Advance() noexcept {
+      while (map_ != nullptr && index_ < map_->slots_.size() &&
+             map_->full_[index_] == 0) {
+        ++index_;
+      }
+    }
+    const FlatMap* map_{nullptr};
+    std::size_t index_{0};
+  };
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Slot count (power of two; 0 before the first insert).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  void Clear() {
+    slots_.clear();
+    full_.clear();
+    size_ = 0;
+  }
+
+  /// Ensures `n` entries fit without rehashing.
+  void Reserve(std::size_t n) {
+    std::size_t needed = kMinCapacity;
+    while (n * 4 > needed * 3) needed *= 2;
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  [[nodiscard]] V* Find(const K& key) noexcept {
+    const std::size_t i = FindIndex(key);
+    return i == kNpos ? nullptr : &slots_[i].second;
+  }
+  [[nodiscard]] const V* Find(const K& key) const noexcept {
+    const std::size_t i = FindIndex(key);
+    return i == kNpos ? nullptr : &slots_[i].second;
+  }
+  [[nodiscard]] bool Contains(const K& key) const noexcept {
+    return FindIndex(key) != kNpos;
+  }
+
+  /// Value of `key`, default-constructed on first access.
+  V& operator[](const K& key) { return *TryEmplace(key).first; }
+
+  /// Inserts a default-constructed value if the key is absent. Returns the
+  /// value slot and whether an insert happened. The pointer is valid until
+  /// the next insert or erase.
+  std::pair<V*, bool> TryEmplace(const K& key) {
+    if (!slots_.empty()) {
+      const std::size_t i = FindIndex(key);
+      if (i != kNpos) return {&slots_[i].second, false};
+    }
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (full_[i] != 0) i = (i + 1) & mask;
+    full_[i] = 1;
+    slots_[i].first = key;
+    slots_[i].second = V();
+    ++size_;
+    return {&slots_[i].second, true};
+  }
+
+  /// Inserts `value` if the key is absent; an existing value is kept
+  /// (std::unordered_map::try_emplace semantics).
+  std::pair<V*, bool> Insert(const K& key, V value) {
+    const auto result = TryEmplace(key);
+    if (result.second) *result.first = std::move(value);
+    return result;
+  }
+
+  /// Removes `key` by backward-shift deletion: the displaced tail of the
+  /// probe chain slides down over the hole, so no tombstone is left behind.
+  bool Erase(const K& key) {
+    std::size_t hole = FindIndex(key);
+    if (hole == kNpos) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask;
+      if (full_[j] == 0) break;
+      const std::size_t ideal = Hash{}(slots_[j].first) & mask;
+      // The element at j may fill the hole iff the hole lies on its probe
+      // path, i.e. it is at least as far from its ideal slot as the hole is.
+      if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    full_[hole] = 0;
+    slots_[hole] = value_type();  // release the vacated slot's resources
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, slots_.size());
+  }
+
+  /// Visits every entry in ascending key order — the deterministic
+  /// iteration helper: output built through it is independent of insertion
+  /// and probe history.
+  template <typename Fn>
+  void ForEachSorted(Fn&& fn) const {
+    std::vector<std::size_t> order;
+    order.reserve(size_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (full_[i] != 0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                return slots_[a].first < slots_[b].first;
+              });
+    for (const std::size_t i : order) fn(slots_[i].first, slots_[i].second);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t FindIndex(const K& key) const noexcept {
+    if (slots_.empty()) return kNpos;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (full_[i] != 0) {
+      if (slots_[i].first == key) return i;
+      i = (i + 1) & mask;
+    }
+    return kNpos;  // load <= 3/4 guarantees an empty slot terminates the probe
+  }
+
+  /// Tombstone-free rehash: with no deleted markers to skip, re-insertion
+  /// is a straight probe per live entry.
+  void Rehash(std::size_t capacity) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_full = std::move(full_);
+    slots_ = std::vector<value_type>(capacity);
+    full_.assign(capacity, 0);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_full[i] == 0) continue;
+      std::size_t j = Hash{}(old_slots[i].first) & mask;
+      while (full_[j] != 0) j = (j + 1) & mask;
+      slots_[j] = std::move(old_slots[i]);
+      full_[j] = 1;
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> full_;
+  std::size_t size_{0};
+};
+
+/// Open-addressing set with the same probing scheme (thin wrapper over
+/// FlatMap, which keeps one probing implementation to verify).
+template <typename K, typename Hash = FlatHash<K>>
+class FlatSet {
+ public:
+  /// Returns true if the key was newly inserted.
+  bool Insert(const K& key) { return map_.TryEmplace(key).second; }
+  [[nodiscard]] bool Contains(const K& key) const noexcept {
+    return map_.Contains(key);
+  }
+  bool Erase(const K& key) { return map_.Erase(key); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(std::size_t n) { map_.Reserve(n); }
+
+  /// Visits every key in ascending order (see FlatMap::ForEachSorted).
+  template <typename Fn>
+  void ForEachSorted(Fn&& fn) const {
+    map_.ForEachSorted([&fn](const K& key, std::uint8_t) { fn(key); });
+  }
+
+ private:
+  FlatMap<K, std::uint8_t, Hash> map_;
+};
+
+}  // namespace evm::common

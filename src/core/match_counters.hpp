@@ -18,6 +18,11 @@ inline constexpr char kCtrSplittingIterations[] = "match.splitting_iterations";
 inline constexpr char kCtrRefineRounds[] = "match.refine_rounds";
 inline constexpr char kCtrFeatureComparisons[] = "match.feature_comparisons";
 inline constexpr char kCtrScenariosProcessed[] = "match.scenarios_processed";
+// Execution-path counters of the quantized V-stage kernel (registry-only:
+// they describe how the scans ran, not what was matched, so they stay out
+// of MatchStats and its exact-equality determinism checks).
+inline constexpr char kCtrExactFeatureRows[] = "match.exact_feature_rows";
+inline constexpr char kCtrQuantizedFullScans[] = "match.quantized_full_scans";
 inline constexpr char kCtrGalleryExtractions[] = "gallery.extractions";
 // Stage latency stats (count = runs; totals delta-able across snapshots).
 inline constexpr char kLatEStage[] = "stage.e";

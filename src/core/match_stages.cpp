@@ -32,6 +32,8 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
   obs::AmbientParentScope ambient(trace, span.id());
   const obs::Counter comparisons = metrics.counter(kCtrFeatureComparisons);
   const obs::Counter processed = metrics.counter(kCtrScenariosProcessed);
+  const obs::Counter exact_rows = metrics.counter(kCtrExactFeatureRows);
+  const obs::Counter full_scans = metrics.counter(kCtrQuantizedFullScans);
 
   results.resize(lists.size());
   if (pool == nullptr) {
@@ -42,6 +44,8 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
     }
     comparisons.Add(counters.feature_comparisons);
     processed.Add(counters.scenarios_processed);
+    exact_rows.Add(counters.exact_feature_rows);
+    full_scans.Add(counters.quantized_full_scans);
     return;
   }
 
@@ -54,9 +58,13 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
     common::MutexLock lock(counters_mutex);
     total.feature_comparisons += counters.feature_comparisons;
     total.scenarios_processed += counters.scenarios_processed;
+    total.exact_feature_rows += counters.exact_feature_rows;
+    total.quantized_full_scans += counters.quantized_full_scans;
   });
   comparisons.Add(total.feature_comparisons);
   processed.Add(total.scenarios_processed);
+  exact_rows.Add(total.exact_feature_rows);
+  full_scans.Add(total.quantized_full_scans);
 }
 
 MatchReport RunMatchPass(const std::vector<Eid>& targets,

@@ -61,6 +61,8 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
   obs::AmbientParentScope ambient(trace, span.id());
   const obs::Counter comparisons = reg.counter(kCtrFeatureComparisons);
   const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
+  const obs::Counter exact_rows = reg.counter(kCtrExactFeatureRows);
+  const obs::Counter full_scans = reg.counter(kCtrQuantizedFullScans);
 
   results.resize(lists.size());
 
@@ -106,12 +108,16 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
       common::MutexLock lock(counters_mutex);
       total.feature_comparisons += counters.feature_comparisons;
       total.scenarios_processed += counters.scenarios_processed;
+      total.exact_feature_rows += counters.exact_feature_rows;
+      total.quantized_full_scans += counters.quantized_full_scans;
       return mapreduce::AttemptStatus::kSuccess;
     });
   }
   engine_->RunTasks("ev-filter", "filter", tasks);
   comparisons.Add(total.feature_comparisons);
   processed.Add(total.scenarios_processed);
+  exact_rows.Add(total.exact_feature_rows);
+  full_scans.Add(total.quantized_full_scans);
 }
 
 MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {

@@ -1,10 +1,9 @@
 #include "core/parallel_split.hpp"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 
@@ -41,18 +40,18 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
   EVM_CHECK_MSG(std::is_sorted(universe.begin(), universe.end()),
                 "universe must be sorted");
 
-  std::unordered_map<std::uint64_t, std::uint32_t> uidx_of;
-  uidx_of.reserve(universe.size());
+  common::FlatMap<std::uint64_t, std::uint32_t> uidx_of;
+  uidx_of.Reserve(universe.size());
   for (std::uint32_t i = 0; i < universe.size(); ++i) {
-    uidx_of.emplace(universe[i].value(), i);
+    uidx_of.Insert(universe[i].value(), i);
   }
   std::vector<char> is_target(universe.size(), 0);
   std::vector<std::uint32_t> target_uidx;
   for (const Eid target : targets) {
-    const auto it = uidx_of.find(target.value());
-    EVM_CHECK_MSG(it != uidx_of.end(), "target EID not in universe");
-    is_target[it->second] = 1;
-    target_uidx.push_back(it->second);
+    const std::uint32_t* uidx = uidx_of.Find(target.value());
+    EVM_CHECK_MSG(uidx != nullptr, "target EID not in universe");
+    is_target[*uidx] = 1;
+    target_uidx.push_back(*uidx);
   }
 
   std::vector<DriverBlock> blocks;
@@ -64,7 +63,7 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
     blocks.push_back(std::move(root));
   }
   std::vector<std::uint32_t> block_of(universe.size(), 0);
-  std::unordered_set<std::uint64_t> recorded;
+  common::FlatSet<std::uint64_t> recorded;
 
   // Same seeded window permutation as the sequential splitter.
   std::vector<std::size_t> window_order(scenarios_.window_count());
@@ -104,8 +103,8 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
     for (const EScenario* scenario : scenarios_.AtWindow(window)) {
       bool relevant = false;
       for (const EidEntry& entry : scenario->entries) {
-        const auto it = uidx_of.find(entry.eid.value());
-        if (it != uidx_of.end() && is_target[it->second]) {
+        const std::uint32_t* uidx = uidx_of.Find(entry.eid.value());
+        if (uidx != nullptr && is_target[*uidx]) {
           relevant = true;
           break;
         }
@@ -117,9 +116,9 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
         // Presence signatures always require inclusive evidence (see the
         // sequential splitter).
         if (entry.attr == EidAttr::kVague) continue;
-        const auto it = uidx_of.find(entry.eid.value());
-        if (it == uidx_of.end() || !eligible[it->second]) continue;
-        input.members.push_back(it->second);
+        const std::uint32_t* uidx = uidx_of.Find(entry.eid.value());
+        if (uidx == nullptr || !eligible[*uidx]) continue;
+        input.members.push_back(*uidx);
       }
       if (input.members.empty()) continue;
       any_scenario = true;
@@ -204,7 +203,7 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
           if (set_id < kScenarioIdOffset) continue;
           const std::uint64_t scenario_id = set_id - kScenarioIdOffset;
           child.history.emplace_back(scenario_id);
-          recorded.insert(scenario_id);
+          recorded.Insert(scenario_id);
         }
         child.has_target = false;
         for (const std::uint32_t m : child.members) {
@@ -247,9 +246,8 @@ SplitOutcome ParallelSetSplitter::Run(const std::vector<Eid>& universe,
   BackfillPresence(scenarios_, outcome.lists);
 
   outcome.recorded.reserve(recorded.size());
-  // det-ok: drained into a vector and sorted on the next line
-  for (const std::uint64_t id : recorded) outcome.recorded.emplace_back(id);
-  std::sort(outcome.recorded.begin(), outcome.recorded.end());
+  recorded.ForEachSorted(
+      [&](const std::uint64_t id) { outcome.recorded.emplace_back(id); });
   return outcome;
 }
 

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 
 namespace evm {
@@ -26,16 +25,16 @@ struct Block {
 
 struct Workspace {
   const std::vector<Eid>* universe{nullptr};
-  std::unordered_map<std::uint64_t, std::uint32_t> uidx_of;
+  common::FlatMap<std::uint64_t, std::uint32_t> uidx_of;
   std::vector<char> is_target;
   std::vector<Block> blocks;
-  std::unordered_set<std::uint64_t> recorded;
+  common::FlatSet<std::uint64_t> recorded;
 };
 
 bool ContainsTargetEid(const Workspace& ws, const EScenario& scenario) {
   for (const EidEntry& entry : scenario.entries) {
-    const auto it = ws.uidx_of.find(entry.eid.value());
-    if (it != ws.uidx_of.end() && ws.is_target[it->second]) return true;
+    const std::uint32_t* uidx = ws.uidx_of.Find(entry.eid.value());
+    if (uidx != nullptr && ws.is_target[*uidx]) return true;
   }
   return false;
 }
@@ -137,7 +136,7 @@ void RunBinaryWindow(Workspace& ws,
       if (ws.blocks[b].members.size() <= 1) continue;
       if (!ws.blocks[b].has_target) continue;
       if (SplitBlockBy(ws, b, *scenario, practical)) {
-        ws.recorded.insert(scenario->id.value());
+        ws.recorded.Insert(scenario->id.value());
       }
     }
   }
@@ -158,7 +157,7 @@ void RunSignatureWindow(Workspace& ws, SignatureState& state,
   // sig[uidx] = ids of the relevant scenarios the EID (confidently) appears
   // in during this window. Scenarios arrive id-sorted, so each sig vector is
   // sorted by construction.
-  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> sig;
+  common::FlatMap<std::uint32_t, std::vector<std::uint64_t>> sig;
   std::vector<std::uint32_t> touched_blocks;
   (void)practical;  // signature presence always requires inclusive evidence
   for (const EScenario* scenario : scenarios) {
@@ -167,9 +166,9 @@ void RunSignatureWindow(Workspace& ws, SignatureState& state,
       // only brushed a cell is also unlikely to have been filmed there, so
       // treating it as present would poison the V stage.
       if (entry.attr == EidAttr::kVague) continue;
-      const auto it = ws.uidx_of.find(entry.eid.value());
-      if (it == ws.uidx_of.end()) continue;
-      const std::uint32_t uidx = it->second;
+      const std::uint32_t* found = ws.uidx_of.Find(entry.eid.value());
+      if (found == nullptr) continue;
+      const std::uint32_t uidx = *found;
       const std::uint32_t b = state.block_of[uidx];
       if (ws.blocks[b].members.size() <= 1 || !ws.blocks[b].has_target) {
         continue;
@@ -189,11 +188,11 @@ void RunSignatureWindow(Workspace& ws, SignatureState& state,
     std::map<std::vector<std::uint64_t>, std::vector<Member>> groups;
     std::vector<Member> residual;
     for (const Member& m : ws.blocks[b].members) {
-      const auto it = sig.find(m.uidx);
-      if (it == sig.end()) {
+      const std::vector<std::uint64_t>* signature = sig.Find(m.uidx);
+      if (signature == nullptr) {
         residual.push_back(m);
       } else {
-        groups[it->second].push_back(m);
+        groups[*signature].push_back(m);
       }
     }
     // One signature group covering the whole block carries no information
@@ -209,7 +208,7 @@ void RunSignatureWindow(Workspace& ws, SignatureState& state,
       child.history = parent_history;
       for (const std::uint64_t scenario_id : signature) {
         child.history.push_back(ScenarioId{scenario_id});
-        ws.recorded.insert(scenario_id);
+        ws.recorded.Insert(scenario_id);
       }
       RecomputeHasTarget(ws, child);
       const auto child_index = static_cast<std::uint32_t>(ws.blocks.size());
@@ -245,9 +244,9 @@ const Block* BestBlockFor(const Workspace& ws, std::uint32_t uidx) {
     for (const Member& m : block.members) {
       if (m.uidx != uidx || m.attr != EidAttr::kInclusive) continue;
       const std::size_t inclusive = InclusiveCount(block);
-      if (best == nullptr || inclusive < best_inclusive ||
-          (inclusive == best_inclusive &&
-           block.history.size() < best->history.size())) {
+      if (internal::PreferBlock(best != nullptr, inclusive,
+                                block.history.size(), best_inclusive,
+                                best == nullptr ? 0 : best->history.size())) {
         best = &block;
         best_inclusive = inclusive;
       }
@@ -258,18 +257,29 @@ const Block* BestBlockFor(const Workspace& ws, std::uint32_t uidx) {
 
 }  // namespace
 
+namespace internal {
+
+bool PreferBlock(bool have_best, std::size_t inclusive,
+                 std::size_t history_len, std::size_t best_inclusive,
+                 std::size_t best_history_len) noexcept {
+  if (!have_best) return true;
+  if (inclusive != best_inclusive) return inclusive < best_inclusive;
+  return history_len < best_history_len;
+}
+
+}  // namespace internal
+
 std::vector<Eid> CollectUniverse(const EScenarioSet& scenarios) {
-  std::unordered_set<std::uint64_t> seen;
+  common::FlatSet<std::uint64_t> seen;
   for (const EScenario& scenario : scenarios.scenarios()) {
     for (const EidEntry& entry : scenario.entries) {
-      seen.insert(entry.eid.value());
+      seen.Insert(entry.eid.value());
     }
   }
   std::vector<Eid> universe;
   universe.reserve(seen.size());
-  // det-ok: drained into a vector and sorted on the next line
-  for (const std::uint64_t v : seen) universe.emplace_back(v);
-  std::sort(universe.begin(), universe.end());
+  seen.ForEachSorted(
+      [&](const std::uint64_t v) { universe.emplace_back(v); });
   return universe;
 }
 
@@ -307,18 +317,18 @@ SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
 
   Workspace ws;
   ws.universe = &universe;
-  ws.uidx_of.reserve(universe.size());
+  ws.uidx_of.Reserve(universe.size());
   for (std::uint32_t i = 0; i < universe.size(); ++i) {
-    ws.uidx_of.emplace(universe[i].value(), i);
+    ws.uidx_of.Insert(universe[i].value(), i);
   }
   ws.is_target.assign(universe.size(), 0);
   std::vector<std::uint32_t> target_uidx;
   target_uidx.reserve(targets.size());
   for (const Eid target : targets) {
-    const auto it = ws.uidx_of.find(target.value());
-    EVM_CHECK_MSG(it != ws.uidx_of.end(), "target EID not in universe");
-    ws.is_target[it->second] = 1;
-    target_uidx.push_back(it->second);
+    const std::uint32_t* uidx = ws.uidx_of.Find(target.value());
+    EVM_CHECK_MSG(uidx != nullptr, "target EID not in universe");
+    ws.is_target[*uidx] = 1;
+    target_uidx.push_back(*uidx);
   }
 
   // Initial partition: one set containing the whole universe.
@@ -404,11 +414,8 @@ SplitOutcome SetSplitter::Run(const std::vector<Eid>& universe,
   BackfillPresence(scenarios_, outcome.lists);
 
   outcome.recorded.reserve(ws.recorded.size());
-  // det-ok: drained into a vector and sorted on the next line
-  for (const std::uint64_t id : ws.recorded) {
-    outcome.recorded.emplace_back(id);
-  }
-  std::sort(outcome.recorded.begin(), outcome.recorded.end());
+  ws.recorded.ForEachSorted(
+      [&](const std::uint64_t id) { outcome.recorded.emplace_back(id); });
   return outcome;
 }
 

@@ -84,6 +84,21 @@ void BackfillPresence(const EScenarioSet& scenarios,
                       std::vector<EidScenarioList>& lists,
                       std::size_t min_entries = 3);
 
+namespace internal {
+/// Tie-break predicate of the splitter's BestBlockFor: true when a candidate
+/// block with `inclusive` inclusive members and `history_len` recorded
+/// scenarios should replace the current best. Fewer inclusive members wins
+/// (1 = fully distinguished); at equal counts the SHORTER history wins —
+/// the history becomes the V stage's verification list, so an equally
+/// distinguishing block with fewer scenarios means fewer feature
+/// comparisons. Exposed for direct regression testing: the tie arm is
+/// defensively unreachable through the public splitter API.
+[[nodiscard]] bool PreferBlock(bool have_best, std::size_t inclusive,
+                               std::size_t history_len,
+                               std::size_t best_inclusive,
+                               std::size_t best_history_len) noexcept;
+}  // namespace internal
+
 class SetSplitter {
  public:
   /// A non-null `trace` records an e-split.window span per consumed window.

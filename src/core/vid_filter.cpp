@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/flat_map.hpp"
 #include "vsense/feature_block.hpp"
 
 namespace evm {
@@ -85,12 +85,13 @@ MatchResult FilterVid(const EidScenarioList& list,
   // may be discounted.
   double best_prob = -1.0;
   std::size_t best_candidate = 0;
+  BlockScanStats scan_stats;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     const PaddedProbe probe(candidates[c].block->RowData(candidates[c].row),
                             candidates[c].block->RowMass(candidates[c].row));
     double prob = 1.0;
     for (const std::size_t e : score_order) {
-      prob *= BestInBlock(probe, *entries[e].block).similarity;
+      prob *= BestInBlock(probe, *entries[e].block, &scan_stats).similarity;
       counters.feature_comparisons += entries[e].block->rows();
       // The product only ever shrinks, so a candidate already below the
       // incumbent can be abandoned — same argmax, far fewer comparisons.
@@ -113,7 +114,7 @@ MatchResult FilterVid(const EidScenarioList& list,
   for (int pass = 0; pass < 2; ++pass) {
     const PaddedProbe probe(probe_vec, stride);
     for (std::size_t i = 0; i < entries.size(); ++i) {
-      nominated[i] = BestInBlock(probe, *entries[i].block).index;
+      nominated[i] = BestInBlock(probe, *entries[i].block, &scan_stats).index;
       counters.feature_comparisons += entries[i].block->rows();
     }
     if (pass == 1) break;
@@ -131,8 +132,11 @@ MatchResult FilterVid(const EidScenarioList& list,
     for (float& v : fused) v *= inv;
     probe_vec = std::move(fused);
   }
+  // All feature scans are done; fold the execution-path stats once.
+  counters.exact_feature_rows += scan_stats.exact_rows;
+  counters.quantized_full_scans += scan_stats.full_scan_fallbacks;
 
-  std::unordered_map<std::uint64_t, std::size_t> votes;
+  common::FlatMap<std::uint64_t, std::size_t> votes;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (nominated[i] < 0) continue;
     const Vid chosen =
@@ -146,14 +150,14 @@ MatchResult FilterVid(const EidScenarioList& list,
 
   std::uint64_t majority_vid = 0;
   std::size_t majority_count = 0;
-  // det-ok: fold is order-independent — max count with smallest-vid tie-break
-  for (const auto& [vid, count] : votes) {
-    if (count > majority_count ||
-        (count == majority_count && vid < majority_vid)) {
+  // Sorted visit + strict > keeps the smallest-vid tie-break: the smallest
+  // vid holding the max count is seen first.
+  votes.ForEachSorted([&](std::uint64_t vid, const std::size_t& count) {
+    if (count > majority_count) {
       majority_vid = vid;
       majority_count = count;
     }
-  }
+  });
   result.reported_vid = Vid{majority_vid};
   result.majority_fraction =
       static_cast<double>(majority_count) /

@@ -23,8 +23,18 @@ namespace evm {
 
 /// Counters accumulated across FilterVid calls.
 struct VidFilterCounters {
+  /// Feature rows *visited* by scoring/nomination scans — the paper's cost
+  /// metric. Independent of the execution strategy below, so it stays
+  /// bit-stable whether a scan ran quantized or exact.
   std::uint64_t feature_comparisons{0};
   std::uint64_t scenarios_processed{0};
+  /// Rows whose exact float kernel actually ran (shortlist survivors plus
+  /// all rows of blocks too small to quantize). The quantized shortlist's
+  /// effectiveness is 1 - exact_feature_rows / feature_comparisons.
+  std::uint64_t exact_feature_rows{0};
+  /// Quantized scans whose error bound could not exclude any row (the
+  /// shortlist degenerated to a full exact scan).
+  std::uint64_t quantized_full_scans{0};
 };
 
 /// Where the candidate pool for the probability product is drawn from.

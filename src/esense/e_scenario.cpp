@@ -15,12 +15,14 @@ std::optional<EidAttr> EScenario::AttrOf(Eid eid) const noexcept {
 }
 
 std::vector<EidEntry> ClassifyEntries(
-    const std::unordered_map<std::uint64_t, EidOccurrence>& counts,
+    const common::FlatMap<std::uint64_t, EidOccurrence>& counts,
     const EScenarioConfig& config) {
   const auto window_len = static_cast<double>(config.window_ticks);
   std::vector<EidEntry> entries;
-  // det-ok: entries are sorted by eid before returning
-  for (const auto& [eid_value, occurrence] : counts) {
+  // Sorted visit keeps the returned entries EID-ordered with no extra sort
+  // (the invariant EScenarioSet::Add checks).
+  counts.ForEachSorted([&](std::uint64_t eid_value,
+                           const EidOccurrence& occurrence) {
     const double frac =
         (occurrence.inclusive_hits + occurrence.vague_hits) / window_len;
     if (frac >= config.inclusive_threshold &&
@@ -30,9 +32,7 @@ std::vector<EidEntry> ClassifyEntries(
       entries.push_back({Eid{eid_value}, EidAttr::kVague});
     }
     // else: occasional appearance -> exclusive, dropped.
-  }
-  std::sort(entries.begin(), entries.end(),
-            [](const EidEntry& a, const EidEntry& b) { return a.eid < b.eid; });
+  });
   return entries;
 }
 
@@ -51,7 +51,7 @@ void EScenarioSet::Add(EScenario scenario) {
                 "scenario entries must be sorted by EID");
   const std::size_t window = WindowOf(scenario.id);
   window_count_ = std::max(window_count_, window + 1);
-  index_.emplace(scenario.id.value(), scenarios_.size());
+  index_.Insert(scenario.id.value(), scenarios_.size());
   scenarios_.push_back(std::move(scenario));
 }
 
@@ -59,10 +59,10 @@ std::size_t EScenarioSet::RemoveWindow(std::size_t window_index) {
   std::size_t removed = 0;
   for (std::size_t c = 0; c < cell_count_; ++c) {
     const std::uint64_t id = IdFor(window_index, CellId{c}).value();
-    const auto it = index_.find(id);
-    if (it == index_.end()) continue;
-    const std::size_t pos = it->second;
-    index_.erase(it);
+    const std::size_t* found = index_.Find(id);
+    if (found == nullptr) continue;
+    const std::size_t pos = *found;
+    index_.Erase(id);
     if (pos + 1 != scenarios_.size()) {
       scenarios_[pos] = std::move(scenarios_.back());
       index_[scenarios_[pos].id.value()] = pos;
@@ -74,8 +74,8 @@ std::size_t EScenarioSet::RemoveWindow(std::size_t window_index) {
 }
 
 const EScenario* EScenarioSet::Find(ScenarioId id) const noexcept {
-  const auto it = index_.find(id.value());
-  return it == index_.end() ? nullptr : &scenarios_[it->second];
+  const std::size_t* found = index_.Find(id.value());
+  return found == nullptr ? nullptr : &scenarios_[*found];
 }
 
 std::vector<const EScenario*> EScenarioSet::AtWindow(
@@ -100,8 +100,7 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
   // (window, cell) -> (eid -> counts). Windows are visited in order because
   // the log is time-sorted, but we aggregate fully before emitting to stay
   // robust to interleaving.
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<std::uint64_t, EidOccurrence>>
+  common::FlatMap<std::uint64_t, common::FlatMap<std::uint64_t, EidOccurrence>>
       buckets;
   for (const ERecord& record : log.records()) {
     const auto window =
@@ -120,9 +119,11 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
 
   std::vector<std::uint64_t> slots;
   slots.reserve(buckets.size());
-  // det-ok: keys drained into `slots` and sorted on the next line
-  for (const auto& [slot, eids] : buckets) slots.push_back(slot);
-  std::sort(slots.begin(), slots.end());
+  buckets.ForEachSorted(
+      [&](std::uint64_t slot, const common::FlatMap<std::uint64_t,
+                                                    EidOccurrence>&) {
+        slots.push_back(slot);
+      });
 
   for (const std::uint64_t slot : slots) {
     EScenario scenario;
@@ -133,7 +134,7 @@ EScenarioSet BuildEScenarios(const ELog& log, const Grid& grid,
         TimeWindow{Tick{static_cast<std::int64_t>(window) * config.window_ticks},
                    Tick{(static_cast<std::int64_t>(window) + 1) *
                         config.window_ticks}};
-    scenario.entries = ClassifyEntries(buckets[slot], config);
+    scenario.entries = ClassifyEntries(*buckets.Find(slot), config);
     if (scenario.entries.empty()) continue;
     set.Add(std::move(scenario));
   }

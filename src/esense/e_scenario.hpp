@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "common/sim_time.hpp"
 #include "esense/e_record.hpp"
@@ -82,7 +82,7 @@ struct EidOccurrence {
 /// builder would emit for the same counts, which is what the streaming
 /// store's seal step relies on for batch equivalence.
 [[nodiscard]] std::vector<EidEntry> ClassifyEntries(
-    const std::unordered_map<std::uint64_t, EidOccurrence>& counts,
+    const common::FlatMap<std::uint64_t, EidOccurrence>& counts,
     const EScenarioConfig& config);
 
 /// The full set of E-Scenarios of a dataset, indexed by id and by
@@ -135,7 +135,7 @@ class EScenarioSet {
   std::int64_t window_ticks_;
   std::size_t window_count_{0};
   std::vector<EScenario> scenarios_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;  // id -> position
+  common::FlatMap<std::uint64_t, std::size_t> index_;  // id -> position
 };
 
 /// Aggregates the raw E-log into E-Scenarios over `grid`.

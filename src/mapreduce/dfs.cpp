@@ -1,7 +1,5 @@
 #include "mapreduce/dfs.hpp"
 
-#include <algorithm>
-
 namespace evm::mapreduce {
 
 void Dfs::Write(const std::string& name, std::vector<Block> blocks) {
@@ -16,48 +14,52 @@ void Dfs::Append(const std::string& name, Block block) {
 
 std::optional<std::vector<Block>> Dfs::Read(const std::string& name) const {
   common::ReaderMutexLock lock(mutex_);
-  const auto it = datasets_.find(name);
-  if (it == datasets_.end()) return std::nullopt;
-  return it->second;
+  const std::vector<Block>* blocks = datasets_.Find(name);
+  if (blocks == nullptr) return std::nullopt;
+  return *blocks;
 }
 
 std::optional<Block> Dfs::ReadBlock(const std::string& name,
                                     std::size_t index) const {
   common::ReaderMutexLock lock(mutex_);
-  const auto it = datasets_.find(name);
-  if (it == datasets_.end() || index >= it->second.size()) return std::nullopt;
-  return it->second[index];
+  const std::vector<Block>* blocks = datasets_.Find(name);
+  if (blocks == nullptr || index >= blocks->size()) return std::nullopt;
+  return (*blocks)[index];
 }
 
 std::optional<std::size_t> Dfs::BlockCount(const std::string& name) const {
   common::ReaderMutexLock lock(mutex_);
-  const auto it = datasets_.find(name);
-  if (it == datasets_.end()) return std::nullopt;
-  return it->second.size();
+  const std::vector<Block>* blocks = datasets_.Find(name);
+  if (blocks == nullptr) return std::nullopt;
+  return blocks->size();
 }
 
 bool Dfs::Exists(const std::string& name) const {
   common::ReaderMutexLock lock(mutex_);
-  return datasets_.contains(name);
+  return datasets_.Contains(name);
 }
 
 bool Dfs::Remove(const std::string& name) {
   common::WriterMutexLock lock(mutex_);
-  return datasets_.erase(name) > 0;
+  return datasets_.Erase(name);
 }
 
 std::vector<std::string> Dfs::List() const {
   common::ReaderMutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
-  for (const auto& [name, blocks] : datasets_) names.push_back(name);
-  std::sort(names.begin(), names.end());
+  // Sorted visit replaces the drain-then-sort of the node-based table.
+  datasets_.ForEachSorted(
+      [&](const std::string& name, const std::vector<Block>&) {
+        names.push_back(name);
+      });
   return names;
 }
 
 std::uint64_t Dfs::TotalBytes() const {
   common::ReaderMutexLock lock(mutex_);
   std::uint64_t total = 0;
+  // det-ok: order-independent sum over the open-addressing table
   for (const auto& [name, blocks] : datasets_) {
     for (const auto& block : blocks) total += block.size();
   }

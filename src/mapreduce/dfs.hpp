@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/flat_map.hpp"
 #include "common/mutex.hpp"
 
 namespace evm::mapreduce {
@@ -64,7 +64,7 @@ class Dfs {
   /// (every map task Read()s its partition), so lookups share the lock and
   /// only Write/Append/Remove serialize.
   mutable common::SharedMutex mutex_;
-  std::unordered_map<std::string, std::vector<Block>> datasets_
+  common::FlatMap<std::string, std::vector<Block>> datasets_
       EVM_GUARDED_BY(mutex_);
 };
 

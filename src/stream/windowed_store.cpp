@@ -90,15 +90,13 @@ void WindowedScenarioStore::SealWindow(std::size_t window,
   std::vector<Eid> touched;
   if (const auto e_it = open_e_.find(window); e_it != open_e_.end()) {
     for (auto& [slot, counts] : e_it->second) {
-      // ClassifyEntries consumes the same unordered bucket shape the batch
-      // builder aggregates, so the emitted entry list is identical.
-      std::unordered_map<std::uint64_t, EidOccurrence> bucket(
-          counts.begin(), counts.end());
+      // ClassifyEntries consumes the same bucket shape the batch builder
+      // aggregates, so the emitted entry list is identical.
       EScenario scenario;
       scenario.id = ScenarioId{slot};
       scenario.cell = CellId{slot % grid_.CellCount()};
       scenario.window = span;
-      scenario.entries = ClassifyEntries(bucket, config_.scenario);
+      scenario.entries = ClassifyEntries(counts, config_.scenario);
       if (scenario.entries.empty()) continue;
       for (const EidEntry& entry : scenario.entries) {
         touched.push_back(entry.eid);

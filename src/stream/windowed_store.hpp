@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "common/sim_time.hpp"
 #include "esense/e_scenario.hpp"
@@ -109,11 +109,12 @@ class WindowedScenarioStore {
   VScenarioSet v_scenarios_;
 
   // window -> slot(= window*cells + cell) -> per-EID occurrence counts.
-  // Ordered maps so sealing iterates windows/slots ascending — the batch
-  // builders' emission order.
-  std::map<std::size_t, std::map<std::uint64_t,
-                                 std::unordered_map<std::uint64_t,
-                                                    EidOccurrence>>>
+  // Outer maps stay ordered so sealing iterates windows/slots ascending —
+  // the batch builders' emission order; the per-slot EID bucket is the hot
+  // per-record lookup and uses the open-addressing table.
+  std::map<std::size_t,
+           std::map<std::uint64_t,
+                    common::FlatMap<std::uint64_t, EidOccurrence>>>
       open_e_;
   // window -> slot -> buffered observations (vid-sorted at seal).
   std::map<std::size_t, std::map<std::uint64_t, std::vector<VObservation>>>

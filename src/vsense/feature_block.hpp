@@ -15,9 +15,11 @@
 // so no float reassociation is required.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "vsense/features.hpp"
+#include "vsense/kernels/quantized_block.hpp"
 
 namespace evm {
 
@@ -26,6 +28,11 @@ class FeatureBlock {
   /// Row stride alignment in floats; also the number of independent
   /// accumulator lanes the kernels run.
   static constexpr std::size_t kRowAlign = 8;
+
+  /// Blocks at or above this row count also build int8 companion codes and
+  /// take the SAD-shortlist scan; smaller blocks go straight to the exact
+  /// kernel (the per-call probe quantization would dominate).
+  static constexpr std::size_t kQuantizedMinRows = 16;
 
   FeatureBlock() = default;
   /// Packs `features` (all of equal, non-zero dimension) into the padded
@@ -46,8 +53,18 @@ class FeatureBlock {
   [[nodiscard]] float RowMass(std::size_t r) const noexcept {
     return mass_[r];
   }
+  /// Largest row mass — the mass term of the quantized scan's uniform cut.
+  [[nodiscard]] float MaxRowMass() const noexcept {
+    return max_mass_;
+  }
   /// Copies row r back out as an unpadded FeatureVector.
   [[nodiscard]] FeatureVector Row(std::size_t r) const;
+
+  /// Int8 companion codes (empty below kQuantizedMinRows rows).
+  [[nodiscard]] const kernels::QuantizedFeatureBlock& quantized()
+      const noexcept {
+    return quantized_;
+  }
 
  private:
   std::size_t rows_{0};
@@ -55,6 +72,8 @@ class FeatureBlock {
   std::size_t stride_{0};
   std::vector<float> data_;   // rows_ * stride_ floats, padding zeroed
   std::vector<float> mass_;   // per-row L1 mass
+  float max_mass_{0.0f};
+  kernels::QuantizedFeatureBlock quantized_;
 };
 
 /// A probe prepared for the batched kernels: zero-padded to a block's row
@@ -83,11 +102,33 @@ struct BlockMatch {
   double similarity{-1.0};
 };
 
+/// Per-scan accounting for the quantized shortlist path (folded into the
+/// match counters by FilterVid).
+struct BlockScanStats {
+  std::uint64_t exact_rows{0};          // rows re-ranked by the float kernel
+  std::uint64_t full_scan_fallbacks{0};  // scans whose bound excluded nothing
+};
+
 /// Fused best-match scan: index and similarity of the row most similar to
 /// the probe (Eq. 1 semantics, first row wins ties). The probe must be
-/// padded to the block's stride.
+/// padded to the block's stride. Large blocks take the quantized SAD
+/// shortlist + exact re-rank; the result is bit-identical to
+/// BestInBlockExact on every input (DESIGN.md §12).
+[[nodiscard]] BlockMatch BestInBlock(const PaddedProbe& probe,
+                                     const FeatureBlock& block,
+                                     BlockScanStats* stats);
 [[nodiscard]] BlockMatch BestInBlock(const PaddedProbe& probe,
                                      const FeatureBlock& block);
+
+/// Exact scan of every row with the dispatched SIMD float kernels (no
+/// shortlist). The equivalence oracle for BestInBlock's quantized path.
+[[nodiscard]] BlockMatch BestInBlockExact(const PaddedProbe& probe,
+                                          const FeatureBlock& block);
+
+/// Exact scan pinned to the scalar reference kernel regardless of dispatch —
+/// the ground truth the SIMD variants are tested against.
+[[nodiscard]] BlockMatch BestInBlockReference(const PaddedProbe& probe,
+                                              const FeatureBlock& block);
 
 /// Batched ProbInScenario: max similarity of `probe` against any row.
 /// An empty block gives 0 (the candidate certainly is not observed).

@@ -11,15 +11,14 @@ FeatureGallery::Entry& FeatureGallery::Resolve(const VScenario& scenario) {
   std::shared_ptr<Entry> entry;
   {
     common::MutexLock lock(shard.mutex);
-    auto [it, inserted] =
-        shard.cache.try_emplace(scenario.id.value(), nullptr);
+    auto [slot, inserted] = shard.cache.TryEmplace(scenario.id.value());
     if (inserted) {
-      it->second = std::make_shared<Entry>();
+      *slot = std::make_shared<Entry>();
     } else {
       hits_.fetch_add(1, std::memory_order_relaxed);
       hits_counter_.Add();
     }
-    entry = it->second;
+    entry = *slot;
   }
   // Single-flight: exactly one caller extracts, concurrent first touches of
   // the same scenario wait here instead of duplicating the render + extract.
@@ -59,7 +58,7 @@ std::size_t FeatureGallery::CachedScenarioCount() const {
 void FeatureGallery::Clear() {
   for (Shard& shard : shards_) {
     common::MutexLock lock(shard.mutex);
-    shard.cache.clear();
+    shard.cache.Clear();
   }
   extractions_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
@@ -72,12 +71,12 @@ std::size_t FeatureGallery::ExportTo(mapreduce::Dfs& dfs,
   std::vector<std::pair<std::uint64_t, std::shared_ptr<Entry>>> snapshot;
   for (const Shard& shard : shards_) {
     common::MutexLock lock(shard.mutex);
-    // det-ok: snapshot is sorted by scenario id below before export
-    for (const auto& [scenario_id, entry] : shard.cache) {
-      if (entry->ready.load(std::memory_order_acquire)) {
-        snapshot.emplace_back(scenario_id, entry);
-      }
-    }
+    shard.cache.ForEachSorted(
+        [&](std::uint64_t scenario_id, const std::shared_ptr<Entry>& entry) {
+          if (entry->ready.load(std::memory_order_acquire)) {
+            snapshot.emplace_back(scenario_id, entry);
+          }
+        });
   }
   std::sort(snapshot.begin(), snapshot.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -123,7 +122,7 @@ std::size_t FeatureGallery::ImportFrom(const mapreduce::Dfs& dfs,
 
     Shard& shard = shards_[ShardOf(scenario_id)];
     common::MutexLock lock(shard.mutex);
-    if (shard.cache.try_emplace(scenario_id, std::move(entry)).second) {
+    if (shard.cache.Insert(scenario_id, std::move(entry)).second) {
       ++loaded;
     }
   }

@@ -21,10 +21,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/flat_map.hpp"
 #include "common/mutex.hpp"
 #include "mapreduce/dfs.hpp"
 #include "obs/metrics.hpp"
@@ -105,7 +105,7 @@ class FeatureGallery {
     // leaves: never hold one while touching another shard or any other
     // capability (extraction happens outside the lock, under the entry's
     // once_flag).
-    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> cache
+    common::FlatMap<std::uint64_t, std::shared_ptr<Entry>> cache
         EVM_GUARDED_BY(mutex);
   };
 

@@ -1,0 +1,580 @@
+#include "vsense/kernels/best_in_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace evm::kernels {
+namespace {
+
+constexpr std::size_t kLanes = 8;  // FeatureBlock::kRowAlign
+
+/// The canonical 8-lane reduction tree shared by every variant.
+inline float ReduceLanes(const float acc[kLanes]) noexcept {
+  const float lo = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  const float hi = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+  return lo + hi;
+}
+
+// --- scalar reference --------------------------------------------------------
+
+float PaddedL1Scalar(const float* a, const float* b, std::size_t stride) {
+  float acc[kLanes] = {};
+  for (std::size_t i = 0; i < stride; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += std::fabs(a[i + l] - b[i + l]);
+    }
+  }
+  return ReduceLanes(acc);
+}
+
+void PaddedL1x2Scalar(const float* probe, const float* b0, const float* b1,
+                      std::size_t stride, float out[2]) {
+  out[0] = PaddedL1Scalar(probe, b0, stride);
+  out[1] = PaddedL1Scalar(probe, b1, stride);
+}
+
+std::uint64_t SadU8Scalar(const std::uint8_t* a, const std::uint8_t* b,
+                          std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    sum += static_cast<std::uint64_t>(d < 0 ? -d : d);
+  }
+  return sum;
+}
+
+void SadU8RowsScalar(const std::uint8_t* probe, const std::uint8_t* rows,
+                     std::size_t row_count, std::size_t n,
+                     std::uint32_t* out) {
+  for (std::size_t r = 0; r < row_count; ++r) {
+    out[r] = static_cast<std::uint32_t>(SadU8Scalar(probe, rows + r * n, n));
+  }
+}
+
+std::size_t ArgMinU32Scalar(const std::uint32_t* v, std::size_t n) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t CollectLeU32Scalar(const std::uint32_t* v, std::size_t n,
+                               std::uint32_t bound, std::uint32_t* out) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] <= bound) out[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+// --- x86 variants ------------------------------------------------------------
+//
+// Per-function target attributes (not global -march) keep the whole library
+// buildable for plain x86-64; only the CPUID-gated callees use wider ISAs.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) inline __m256 Abs256(__m256 x) noexcept {
+  // andnot with -0.0f clears the sign bit: fabs for every input incl. NaN.
+  return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), x);
+}
+
+__attribute__((target("avx2"))) float PaddedL1Avx2(const float* a,
+                                                   const float* b,
+                                                   std::size_t stride) {
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < stride; i += kLanes) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc = _mm256_add_ps(acc, Abs256(_mm256_sub_ps(va, vb)));
+  }
+  alignas(32) float lanes[kLanes];
+  _mm256_store_ps(lanes, acc);
+  return ReduceLanes(lanes);
+}
+
+__attribute__((target("avx2"))) void PaddedL1x2Avx2(const float* probe,
+                                                    const float* b0,
+                                                    const float* b1,
+                                                    std::size_t stride,
+                                                    float out[2]) {
+  // Two independent ymm accumulators: the probe load is shared and the two
+  // row chains overlap in the pipeline.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < stride; i += kLanes) {
+    const __m256 vp = _mm256_loadu_ps(probe + i);
+    acc0 = _mm256_add_ps(acc0, Abs256(_mm256_sub_ps(vp, _mm256_loadu_ps(b0 + i))));
+    acc1 = _mm256_add_ps(acc1, Abs256(_mm256_sub_ps(vp, _mm256_loadu_ps(b1 + i))));
+  }
+  alignas(32) float lanes[kLanes];
+  _mm256_store_ps(lanes, acc0);
+  out[0] = ReduceLanes(lanes);
+  _mm256_store_ps(lanes, acc1);
+  out[1] = ReduceLanes(lanes);
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512 Concat512(
+    __m256 lo, __m256 hi) noexcept {
+  // Widen from a zeroed zmm: gcc expands broadcast_f32x8 / castps256_ps512 /
+  // zextps256_ps512 through _mm512_undefined_* and trips -Wmaybe-uninitialized.
+  return _mm512_insertf32x8(
+      _mm512_insertf32x8(_mm512_setzero_ps(), lo, 0), hi, 1);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void PaddedL1x2Avx512(
+    const float* probe, const float* b0, const float* b1, std::size_t stride,
+    float out[2]) {
+  // Row 0 rides the low ymm half, row 1 the high half; each half performs
+  // exactly the 8-lane scheme, so extracting the halves and reducing them
+  // separately reproduces the single-row kernels bit for bit.
+  __m512 acc = _mm512_setzero_ps();
+  const __m512 sign = _mm512_set1_ps(-0.0f);
+  for (std::size_t i = 0; i < stride; i += kLanes) {
+    const __m256 vp8 = _mm256_loadu_ps(probe + i);
+    const __m512 vp = Concat512(vp8, vp8);
+    const __m512 vb =
+        Concat512(_mm256_loadu_ps(b0 + i), _mm256_loadu_ps(b1 + i));
+    acc = _mm512_add_ps(acc, _mm512_andnot_ps(sign, _mm512_sub_ps(vp, vb)));
+  }
+  alignas(64) float lanes[2 * kLanes];
+  _mm512_store_ps(lanes, acc);
+  out[0] = ReduceLanes(lanes);
+  out[1] = ReduceLanes(lanes + kLanes);
+}
+
+__attribute__((target("avx2"))) std::uint64_t SadU8Avx2(const std::uint8_t* a,
+                                                        const std::uint8_t* b,
+                                                        std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::uint64_t SadU8Avx512(
+    const std::uint8_t* a, const std::uint8_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  for (std::size_t i = 0; i < n; i += 64) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_sad_epu8(va, vb));
+  }
+  // Spelled out instead of _mm512_reduce_add_epi64: gcc's inline expansion
+  // of that intrinsic trips -Wuninitialized via _mm256_undefined_si256.
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), acc);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+/// Horizontal sum of 4 u64 SAD lanes without leaving the vector domain
+/// (a store + scalar reload per row would stall on store-forwarding).
+__attribute__((target("avx2"))) inline std::uint32_t SumSad256(
+    __m256i acc) noexcept {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                  _mm256_extracti128_si256(acc, 1));
+  const __m128i t = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si64(t));
+}
+
+__attribute__((target("avx2"))) void SadU8RowsAvx2(const std::uint8_t* probe,
+                                                   const std::uint8_t* rows,
+                                                   std::size_t row_count,
+                                                   std::size_t n,
+                                                   std::uint32_t* out) {
+  // 4 independent accumulators per stripe: one shared probe load feeds four
+  // row chains, and the vpsadbw dependency chains overlap in the pipeline.
+  std::size_t r = 0;
+  for (; r + 4 <= row_count; r += 4) {
+    const std::uint8_t* r0 = rows + r * n;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < n; i += 32) {
+      const __m256i vp =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(probe + i));
+      acc0 = _mm256_add_epi64(
+          acc0, _mm256_sad_epu8(vp, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            r0 + i))));
+      acc1 = _mm256_add_epi64(
+          acc1, _mm256_sad_epu8(vp, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            r0 + n + i))));
+      acc2 = _mm256_add_epi64(
+          acc2, _mm256_sad_epu8(vp, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            r0 + 2 * n + i))));
+      acc3 = _mm256_add_epi64(
+          acc3, _mm256_sad_epu8(vp, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            r0 + 3 * n + i))));
+    }
+    out[r] = SumSad256(acc0);
+    out[r + 1] = SumSad256(acc1);
+    out[r + 2] = SumSad256(acc2);
+    out[r + 3] = SumSad256(acc3);
+  }
+  for (; r < row_count; ++r) {
+    out[r] = static_cast<std::uint32_t>(SadU8Avx2(probe, rows + r * n, n));
+  }
+}
+
+/// Transposing horizontal sum of four 8-lane u64 SAD accumulators, written
+/// as four u32 row sums in one store. Stays in the vector domain throughout
+/// and amortizes the shuffles across the row group. Both zmm halves come
+/// from maskz extracts: _mm512_reduce_* and even _mm512_castsi512_si256
+/// expand through _mm*_undefined_* and trip gcc 12's -Wmaybe-uninitialized.
+__attribute__((target("avx512f,avx512bw"))) inline void StoreSad4x512(
+    __m512i acc0, __m512i acc1, __m512i acc2, __m512i acc3,
+    std::uint32_t* out) noexcept {
+  const __m256i b0 = _mm256_add_epi64(_mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc0, 0),
+                                      _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc0, 1));
+  const __m256i b1 = _mm256_add_epi64(_mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc1, 0),
+                                      _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc1, 1));
+  const __m256i b2 = _mm256_add_epi64(_mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc2, 0),
+                                      _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc2, 1));
+  const __m256i b3 = _mm256_add_epi64(_mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc3, 0),
+                                      _mm512_maskz_extracti64x4_epi64(static_cast<__mmask8>(-1), acc3, 1));
+  // Lane-wise transpose-add: t01 = [s0, s1 | s0', s1'] with each row's two
+  // partials split across the 128-bit halves; folding the halves yields
+  // [sum0, sum1] (and [sum2, sum3]) as u64 pairs.
+  const __m256i t01 = _mm256_add_epi64(_mm256_unpacklo_epi64(b0, b1),
+                                       _mm256_unpackhi_epi64(b0, b1));
+  const __m256i t23 = _mm256_add_epi64(_mm256_unpacklo_epi64(b2, b3),
+                                       _mm256_unpackhi_epi64(b2, b3));
+  const __m128i s01 = _mm_add_epi64(_mm256_castsi256_si128(t01),
+                                    _mm256_extracti128_si256(t01, 1));
+  const __m128i s23 = _mm_add_epi64(_mm256_castsi256_si128(t23),
+                                    _mm256_extracti128_si256(t23, 1));
+  // Each u64 sum fits u32 (255 * n < 2^32): keep the low 32 bits of every
+  // lane and store the four row sums at once.
+  const __m128i packed =
+      _mm_unpacklo_epi64(_mm_shuffle_epi32(s01, _MM_SHUFFLE(0, 0, 2, 0)),
+                         _mm_shuffle_epi32(s23, _MM_SHUFFLE(0, 0, 2, 0)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), packed);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void SadU8RowsAvx512(
+    const std::uint8_t* probe, const std::uint8_t* rows,
+    std::size_t row_count, std::size_t n, std::uint32_t* out) {
+  std::size_t r = 0;
+  for (; r + 4 <= row_count; r += 4) {
+    const std::uint8_t* r0 = rows + r * n;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < n; i += 64) {
+      const __m512i vp =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(probe + i));
+      acc0 = _mm512_add_epi64(
+          acc0, _mm512_sad_epu8(vp, _mm512_loadu_si512(
+                                        reinterpret_cast<const void*>(
+                                            r0 + i))));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_sad_epu8(vp, _mm512_loadu_si512(
+                                        reinterpret_cast<const void*>(
+                                            r0 + n + i))));
+      acc2 = _mm512_add_epi64(
+          acc2, _mm512_sad_epu8(vp, _mm512_loadu_si512(
+                                        reinterpret_cast<const void*>(
+                                            r0 + 2 * n + i))));
+      acc3 = _mm512_add_epi64(
+          acc3, _mm512_sad_epu8(vp, _mm512_loadu_si512(
+                                        reinterpret_cast<const void*>(
+                                            r0 + 3 * n + i))));
+    }
+    StoreSad4x512(acc0, acc1, acc2, acc3, out + r);
+  }
+  for (; r < row_count; ++r) {
+    out[r] = static_cast<std::uint32_t>(SadU8Avx512(probe, rows + r * n, n));
+  }
+}
+
+__attribute__((target("avx2"))) std::size_t ArgMinU32Avx2(
+    const std::uint32_t* v, std::size_t n) {
+  std::size_t i = 0;
+  std::uint32_t best_val;
+  std::size_t best_idx;
+  if (n >= 8) {
+    // Lane l tracks the first minimum among positions congruent to l: the
+    // strict unsigned less-than (le & ~eq via min_epu32) updates a lane only
+    // on improvement, so each lane keeps its earliest winner.
+    __m256i vmin = _mm256_set1_epi32(-1);  // u32 max
+    __m256i vidx = _mm256_setzero_si256();
+    __m256i cur = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i step = _mm256_set1_epi32(8);
+    for (; i + 8 <= n; i += 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(x, vmin), x);
+      const __m256i lt =
+          _mm256_andnot_si256(_mm256_cmpeq_epi32(x, vmin), le);
+      vmin = _mm256_min_epu32(vmin, x);
+      vidx = _mm256_blendv_epi8(vidx, cur, lt);
+      cur = _mm256_add_epi32(cur, step);
+    }
+    alignas(32) std::uint32_t mins[8];
+    alignas(32) std::uint32_t idxs[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(mins), vmin);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), vidx);
+    // Global first occurrence: the smallest stored index among the lanes
+    // achieving the global minimum. (An untouched lane still holds index 0
+    // with value u32max; it is only selected when the minimum IS u32max,
+    // and then v[0] == u32max, so index 0 is the correct answer.)
+    best_val = mins[0];
+    for (int l = 1; l < 8; ++l) best_val = std::min(best_val, mins[l]);
+    best_idx = n;  // larger than any stored index
+    for (int l = 0; l < 8; ++l) {
+      if (mins[l] == best_val) {
+        best_idx = std::min(best_idx, static_cast<std::size_t>(idxs[l]));
+      }
+    }
+  } else {
+    best_val = v[0];
+    best_idx = 0;
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    if (v[i] < best_val) {
+      best_val = v[i];
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+__attribute__((target("avx2"))) std::size_t CollectLeU32Avx2(
+    const std::uint32_t* v, std::size_t n, std::uint32_t bound,
+    std::uint32_t* out) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  const __m256i vb = _mm256_set1_epi32(static_cast<int>(bound));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    // Unsigned x <= bound as min_epu32(x, bound) == x (no signed-compare
+    // pitfall for sums above 2^31).
+    const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(x, vb), x);
+    auto m = static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(le)));
+    while (m != 0) {
+      out[count++] =
+          static_cast<std::uint32_t>(i + static_cast<unsigned>(__builtin_ctz(m)));
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] <= bound) out[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+#endif  // x86
+
+// --- NEON variants -----------------------------------------------------------
+
+#if defined(__aarch64__)
+
+float PaddedL1Neon(const float* a, const float* b, std::size_t stride) {
+  // Lanes 0-3 in one quad, 4-7 in the other: the same 8 independent chains.
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  for (std::size_t i = 0; i < stride; i += kLanes) {
+    acc_lo = vaddq_f32(acc_lo, vabdq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc_hi = vaddq_f32(acc_hi,
+                       vabdq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+  }
+  float lanes[kLanes];
+  vst1q_f32(lanes, acc_lo);
+  vst1q_f32(lanes + 4, acc_hi);
+  return ReduceLanes(lanes);
+}
+
+void PaddedL1x2Neon(const float* probe, const float* b0, const float* b1,
+                    std::size_t stride, float out[2]) {
+  out[0] = PaddedL1Neon(probe, b0, stride);
+  out[1] = PaddedL1Neon(probe, b1, stride);
+}
+
+std::uint64_t SadU8Neon(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; i += 16) {
+    sum += vaddlvq_u8(vabdq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  return sum;
+}
+
+void SadU8RowsNeon(const std::uint8_t* probe, const std::uint8_t* rows,
+                   std::size_t row_count, std::size_t n, std::uint32_t* out) {
+  for (std::size_t r = 0; r < row_count; ++r) {
+    out[r] = static_cast<std::uint32_t>(SadU8Neon(probe, rows + r * n, n));
+  }
+}
+
+#endif  // __aarch64__
+
+}  // namespace
+
+float PaddedL1WithIsa(Isa isa, const float* a, const float* b,
+                      std::size_t stride) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+    case Isa::kAvx512:  // the ymm kernel IS the AVX-512 single-row kernel
+      return PaddedL1Avx2(a, b, stride);
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return PaddedL1Neon(a, b, stride);
+#endif
+    default:
+      return PaddedL1Scalar(a, b, stride);
+  }
+}
+
+void PaddedL1x2WithIsa(Isa isa, const float* probe, const float* b0,
+                       const float* b1, std::size_t stride, float out[2]) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      PaddedL1x2Avx2(probe, b0, b1, stride, out);
+      return;
+    case Isa::kAvx512:
+      PaddedL1x2Avx512(probe, b0, b1, stride, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      PaddedL1x2Neon(probe, b0, b1, stride, out);
+      return;
+#endif
+    default:
+      PaddedL1x2Scalar(probe, b0, b1, stride, out);
+      return;
+  }
+}
+
+std::uint64_t SadU8WithIsa(Isa isa, const std::uint8_t* a,
+                           const std::uint8_t* b, std::size_t n) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      return SadU8Avx2(a, b, n);
+    case Isa::kAvx512:
+      return SadU8Avx512(a, b, n);
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return SadU8Neon(a, b, n);
+#endif
+    default:
+      return SadU8Scalar(a, b, n);
+  }
+}
+
+float PaddedL1(const float* a, const float* b, std::size_t stride) {
+  static const Isa isa = ActiveIsa();
+  return PaddedL1WithIsa(isa, a, b, stride);
+}
+
+void PaddedL1x2(const float* probe, const float* b0, const float* b1,
+                std::size_t stride, float out[2]) {
+  static const Isa isa = ActiveIsa();
+  PaddedL1x2WithIsa(isa, probe, b0, b1, stride, out);
+}
+
+std::uint64_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::size_t n) {
+  static const Isa isa = ActiveIsa();
+  return SadU8WithIsa(isa, a, b, n);
+}
+
+void SadU8RowsWithIsa(Isa isa, const std::uint8_t* probe,
+                      const std::uint8_t* rows, std::size_t row_count,
+                      std::size_t n, std::uint32_t* out) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      SadU8RowsAvx2(probe, rows, row_count, n, out);
+      return;
+    case Isa::kAvx512:
+      SadU8RowsAvx512(probe, rows, row_count, n, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      SadU8RowsNeon(probe, rows, row_count, n, out);
+      return;
+#endif
+    default:
+      SadU8RowsScalar(probe, rows, row_count, n, out);
+      return;
+  }
+}
+
+void SadU8Rows(const std::uint8_t* probe, const std::uint8_t* rows,
+               std::size_t row_count, std::size_t n, std::uint32_t* out) {
+  static const Isa isa = ActiveIsa();
+  SadU8RowsWithIsa(isa, probe, rows, row_count, n, out);
+}
+
+std::size_t ArgMinU32WithIsa(Isa isa, const std::uint32_t* v, std::size_t n) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+    case Isa::kAvx512:  // row counts are small; ymm is the right width
+      return ArgMinU32Avx2(v, n);
+#endif
+    default:
+      // NEON blocks take the scalar loop: these arrays are a few hundred
+      // u32s and the loop is not the sweep's bottleneck there.
+      return ArgMinU32Scalar(v, n);
+  }
+}
+
+std::size_t CollectLeU32WithIsa(Isa isa, const std::uint32_t* v, std::size_t n,
+                                std::uint32_t bound, std::uint32_t* out) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+    case Isa::kAvx512:  // row counts are small; ymm is the right width
+      return CollectLeU32Avx2(v, n, bound, out);
+#endif
+    default:
+      return CollectLeU32Scalar(v, n, bound, out);
+  }
+}
+
+std::size_t ArgMinU32(const std::uint32_t* v, std::size_t n) {
+  static const Isa isa = ActiveIsa();
+  return ArgMinU32WithIsa(isa, v, n);
+}
+
+std::size_t CollectLeU32(const std::uint32_t* v, std::size_t n,
+                         std::uint32_t bound, std::uint32_t* out) {
+  static const Isa isa = ActiveIsa();
+  return CollectLeU32WithIsa(isa, v, n, bound, out);
+}
+
+}  // namespace evm::kernels

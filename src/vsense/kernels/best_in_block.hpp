@@ -1,0 +1,76 @@
+#pragma once
+// Row kernels behind BestInBlock: explicitly vectorized L1 distance over
+// stride-padded float rows, and byte-SAD over quantized code rows.
+//
+// Exactness contract (load-bearing — the match pipeline's determinism tests
+// compare doubles with ==): every PaddedL1 variant computes, per lane l in
+// [0, 8), the float chain
+//     acc[l] = sum_i fabs(a[8i+l] - b[8i+l])
+// in ascending i order, then reduces the 8 lanes as
+//     ((acc0+acc1)+(acc2+acc3)) + ((acc4+acc5)+(acc6+acc7)).
+// A 256-bit register IS those 8 chains — vaddps/vsubps/vandps round each
+// lane exactly like the scalar ops — so AVX2, the ymm halves of AVX-512,
+// and paired NEON quads all return bit-identical floats to the scalar
+// reference for every input, including NaN/Inf. SAD variants are integer
+// and therefore trivially identical across ISAs.
+//
+// Preconditions: float rows padded to stride % 8 == 0 (FeatureBlock's
+// kRowAlign); code rows padded to n % 64 == 0 (QuantizedFeatureBlock's
+// kCodeAlign). Violations are undefined (unchecked on the hot path).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vsense/kernels/dispatch.hpp"
+
+namespace evm::kernels {
+
+/// L1 distance of two stride-padded rows on the auto-dispatched ISA.
+[[nodiscard]] float PaddedL1(const float* a, const float* b,
+                             std::size_t stride);
+
+/// One probe against two rows in a single pass (the AVX-512 variant packs
+/// both rows into one zmm; others run two accumulator sets for ILP).
+/// out[0] = L1(probe, b0), out[1] = L1(probe, b1), each bit-identical to
+/// the single-row kernel.
+void PaddedL1x2(const float* probe, const float* b0, const float* b1,
+                std::size_t stride, float out[2]);
+
+/// Sum of absolute differences of two n-byte code rows (n % 64 == 0).
+[[nodiscard]] std::uint64_t SadU8(const std::uint8_t* a, const std::uint8_t* b,
+                                  std::size_t n);
+
+/// Batched SAD: out[r] = SAD(probe, rows + r*n) for r in [0, row_count).
+/// One dispatch and a four-row inner unroll instead of a call per row — this
+/// is the shortlist sweep's hot loop. out values equal SadU8 exactly
+/// (requires 255*n < 2^32, trivially true for feature-sized rows).
+void SadU8Rows(const std::uint8_t* probe, const std::uint8_t* rows,
+               std::size_t row_count, std::size_t n, std::uint32_t* out);
+
+/// Index of the FIRST minimum of v[0, n) (n >= 1). Vectorized companion of
+/// the SAD sweep: picks the shortlist's threshold seed row.
+[[nodiscard]] std::size_t ArgMinU32(const std::uint32_t* v, std::size_t n);
+
+/// Writes the indices i with v[i] <= bound to out (ascending) and returns
+/// the count. The shortlist gather: out must hold n entries.
+std::size_t CollectLeU32(const std::uint32_t* v, std::size_t n,
+                         std::uint32_t bound, std::uint32_t* out);
+
+/// Fixed-ISA variants for the equivalence tests (and the dispatch table).
+/// Calling with an unsupported ISA is undefined (SIGILL); tests must gate
+/// on IsaSupported.
+[[nodiscard]] float PaddedL1WithIsa(Isa isa, const float* a, const float* b,
+                                    std::size_t stride);
+void PaddedL1x2WithIsa(Isa isa, const float* probe, const float* b0,
+                       const float* b1, std::size_t stride, float out[2]);
+[[nodiscard]] std::uint64_t SadU8WithIsa(Isa isa, const std::uint8_t* a,
+                                         const std::uint8_t* b, std::size_t n);
+void SadU8RowsWithIsa(Isa isa, const std::uint8_t* probe,
+                      const std::uint8_t* rows, std::size_t row_count,
+                      std::size_t n, std::uint32_t* out);
+[[nodiscard]] std::size_t ArgMinU32WithIsa(Isa isa, const std::uint32_t* v,
+                                           std::size_t n);
+std::size_t CollectLeU32WithIsa(Isa isa, const std::uint32_t* v, std::size_t n,
+                                std::uint32_t bound, std::uint32_t* out);
+
+}  // namespace evm::kernels

@@ -1,0 +1,134 @@
+#include "vsense/kernels/quantized_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace evm::kernels {
+namespace {
+
+/// Per-element residual bound of the fast probe encode, in units of scale:
+/// 0.5 from nearest rounding plus generous headroom for the float roundings
+/// in t (see QuantizeProbe's contract comment).
+constexpr double kFastElemErr = 0.502;
+
+}  // namespace
+
+std::uint8_t QuantizedFeatureBlock::EncodeValue(float x) const noexcept {
+  // std::lround (round-half-away-from-zero) is fully specified, so codes are
+  // identical on every platform; exactness never depends on this choice.
+  const long q = std::lround((static_cast<double>(x) - lo_) / scale_);
+  return static_cast<std::uint8_t>(std::clamp(q, 0L, 255L));
+}
+
+QuantizedFeatureBlock::QuantizedFeatureBlock(const float* data,
+                                             std::size_t rows,
+                                             std::size_t stride) {
+  rows_ = rows;
+  if (rows_ == 0) return;
+  stride_ = stride;
+  qstride_ = (stride + kCodeAlign - 1) / kCodeAlign * kCodeAlign;
+
+  // Code range [lo, hi] spans the block and 0.0 (the padding value), so one
+  // zero_point pads every row. hi == lo only for an all-zero block, where
+  // the placeholder scale of 1 encodes everything to code 0 with zero error.
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (std::size_t i = 0; i < rows_ * stride; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  lo_ = static_cast<double>(lo);
+  const double span = static_cast<double>(hi) - lo_;
+  scale_ = span > 0.0 ? span / 255.0 : 1.0;
+  zero_point_ = EncodeValue(0.0f);
+  lo_f_ = lo;
+  inv_scale_f_ = static_cast<float>(1.0 / scale_);
+  // The fast probe path's error analysis assumes a normal, finite
+  // reciprocal; blocks with pathological spans fall back to the exact
+  // scalar encode.
+  fast_probe_ok_ = std::isfinite(inv_scale_f_) && std::isnormal(inv_scale_f_);
+
+  codes_.assign(rows_ * qstride_, zero_point_);
+  err_.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint8_t* row_codes = codes_.data() + r * qstride_;
+    const float* row = data + r * stride;
+    double err = 0.0;
+    for (std::size_t i = 0; i < stride; ++i) {
+      const std::uint8_t q = EncodeValue(row[i]);
+      row_codes[i] = q;
+      err += std::fabs(static_cast<double>(row[i]) - (lo_ + scale_ * q));
+    }
+    err_[r] = err;
+    max_err_ = std::max(max_err_, err);
+  }
+}
+
+double QuantizedFeatureBlock::QuantizeProbe(const float* probe,
+                                            std::uint8_t* codes) const {
+  // Positions [stride, qstride) of every row hold zero_point; the probe's
+  // padding must match so those lanes SAD to zero.
+  if (fast_probe_ok_) {
+#if defined(__SSE2__)
+    // 8 floats per step: two cvttps quads packed (packs clamps to i16,
+    // packus to u8 — but the in-range check below makes clamping moot).
+    // Lane-wise SSE float ops round exactly like their scalar
+    // counterparts, so the codes match the scalar fast path bit for bit.
+    const __m128 vlo = _mm_set1_ps(lo_f_);
+    const __m128 vinv = _mm_set1_ps(inv_scale_f_);
+    const __m128 vhalf = _mm_set1_ps(0.5f);
+    const __m128 vzero = _mm_setzero_ps();
+    const __m128 vmax = _mm_set1_ps(256.0f);
+    __m128 ok = _mm_castsi128_ps(_mm_set1_epi32(-1));
+    for (std::size_t i = 0; i < stride_; i += 8) {
+      const __m128 t0 = _mm_add_ps(
+          _mm_mul_ps(_mm_sub_ps(_mm_loadu_ps(probe + i), vlo), vinv), vhalf);
+      const __m128 t1 = _mm_add_ps(
+          _mm_mul_ps(_mm_sub_ps(_mm_loadu_ps(probe + i + 4), vlo), vinv),
+          vhalf);
+      // cmpge/cmplt are false on NaN, so unordered values also force the
+      // exact fallback.
+      ok = _mm_and_ps(ok, _mm_and_ps(_mm_cmpge_ps(t0, vzero),
+                                     _mm_cmplt_ps(t0, vmax)));
+      ok = _mm_and_ps(ok, _mm_and_ps(_mm_cmpge_ps(t1, vzero),
+                                     _mm_cmplt_ps(t1, vmax)));
+      const __m128i q16 =
+          _mm_packs_epi32(_mm_cvttps_epi32(t0), _mm_cvttps_epi32(t1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(codes + i),
+                       _mm_packus_epi16(q16, q16));
+    }
+    const bool in_range = _mm_movemask_ps(ok) == 0xF;
+#else
+    bool in_range = true;
+    for (std::size_t i = 0; i < stride_; ++i) {
+      const float t = (probe[i] - lo_f_) * inv_scale_f_ + 0.5f;
+      if (!(t >= 0.0f && t < 256.0f)) {
+        in_range = false;
+        break;
+      }
+      codes[i] = static_cast<std::uint8_t>(static_cast<int>(t));
+    }
+#endif
+    if (in_range) {
+      for (std::size_t i = stride_; i < qstride_; ++i) codes[i] = zero_point_;
+      return kFastElemErr * scale_ * static_cast<double>(stride_);
+    }
+  }
+
+  // Exact path: saturating / non-finite / pathological-scale probes. Codes
+  // clamp and the residual is accumulated exactly in double.
+  double err = 0.0;
+  for (std::size_t i = 0; i < stride_; ++i) {
+    const std::uint8_t q = EncodeValue(probe[i]);
+    codes[i] = q;
+    err += std::fabs(static_cast<double>(probe[i]) - (lo_ + scale_ * q));
+  }
+  for (std::size_t i = stride_; i < qstride_; ++i) codes[i] = zero_point_;
+  return err;
+}
+
+}  // namespace evm::kernels

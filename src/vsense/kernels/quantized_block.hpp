@@ -1,0 +1,97 @@
+#pragma once
+// QuantizedFeatureBlock: int8 companion codes for a FeatureBlock, built once
+// per gallery insert and scanned with the byte-SAD kernel to shortlist rows
+// for the exact float re-rank (DESIGN.md §12).
+//
+// Code space is a single affine map shared by the whole block (a deliberate
+// deviation from per-row scales: probe and rows must live in ONE code space
+// for SAD(qp, qr) to approximate the L1 distance):
+//     encode(x) = clamp(round((x - lo) / scale), 0, 255)
+//     decode(q) = lo + scale * q
+// with lo = min(0, block min) and scale = (max(0, block max) - lo) / 255, so
+// 0.0 is always representable and the zero padding lanes encode to a shared
+// zero_point that contributes nothing to any SAD.
+//
+// Exactness does not rest on the encoder at all: each row stores its exact
+// residual mass err_r = sum_i |x_i - decode(q_i)| (accumulated in double),
+// and the probe's err_p is computed the same way at quantization time. By
+// the triangle inequality, for real-valued L1:
+//     |L1(x, y) - scale * SAD(qx, qy)| <= err_p + err_r.
+// Any row whose SAD lower bound cannot exclude it is re-ranked with the
+// exact float kernel, so clamping, saturation, and rounding choices only
+// move rows INTO the shortlist (toward the full-scan fallback), never out
+// of correctness.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace evm::kernels {
+
+class QuantizedFeatureBlock {
+ public:
+  /// Code row stride alignment in bytes: one AVX-512 SAD step, two AVX2
+  /// steps, four NEON steps — every variant runs whole unrolled rows.
+  static constexpr std::size_t kCodeAlign = 64;
+
+  QuantizedFeatureBlock() = default;
+  /// Quantizes `rows` stride-padded float rows (a FeatureBlock's storage).
+  QuantizedFeatureBlock(const float* data, std::size_t rows,
+                        std::size_t stride);
+
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  /// Padded code row stride in bytes (multiple of kCodeAlign).
+  [[nodiscard]] std::size_t qstride() const noexcept { return qstride_; }
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double min_value() const noexcept { return lo_; }
+  [[nodiscard]] std::uint8_t zero_point() const noexcept { return zero_point_; }
+
+  [[nodiscard]] const std::uint8_t* RowCodes(std::size_t r) const noexcept {
+    return codes_.data() + r * qstride_;
+  }
+  /// Exact residual mass of row r: sum_i |x_i - decode(code_i)|.
+  [[nodiscard]] double RowError(std::size_t r) const noexcept {
+    return err_[r];
+  }
+  /// Largest RowError across the block — the row term of the uniform
+  /// shortlist cut.
+  [[nodiscard]] double MaxRowError() const noexcept { return max_err_; }
+
+  [[nodiscard]] std::uint8_t EncodeValue(float x) const noexcept;
+  [[nodiscard]] float DecodeValue(std::uint8_t code) const noexcept {
+    return static_cast<float>(lo_ + scale_ * code);
+  }
+
+  /// Encodes a stride-padded probe into this block's code space. `codes`
+  /// must hold qstride() bytes; returns an upper bound on the probe's
+  /// residual mass sum_i |probe_i - decode(code_i)|.
+  ///
+  /// Hot path: float-math nearest encode (t = (x-lo)*inv_scale + 0.5f,
+  /// code = trunc t). When every t lands in [0, 256) — no clamping, no
+  /// NaN/Inf — each element's residual is at most (0.5 + eps)*scale, where
+  /// eps covers the <= 4 float roundings in t (each 2^-24 relative on
+  /// values <= 256, i.e. absolute < 1e-4 in code units), and the returned
+  /// bound is simply stride * 0.502 * scale. Otherwise the probe is
+  /// re-encoded on a scalar path with explicit clamping and the residual
+  /// accumulated exactly in double. Either way the bound is valid, and a
+  /// looser bound only shortlists MORE rows — never a wrong match.
+  double QuantizeProbe(const float* probe, std::uint8_t* codes) const;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t stride_{0};   // source float row stride
+  std::size_t qstride_{0};
+  double lo_{0.0};
+  double scale_{1.0};
+  float lo_f_{0.0f};          // == lo_ exactly (lo_ comes from a float min)
+  float inv_scale_f_{1.0f};   // float 1/scale for the fast probe encode
+  bool fast_probe_ok_{false};  // inv_scale_f_ is a normal finite float
+  double max_err_{0.0};
+  std::uint8_t zero_point_{0};
+  std::vector<std::uint8_t> codes_;  // rows_ * qstride_, padding = zero_point_
+  std::vector<double> err_;          // per-row exact residual mass
+};
+
+}  // namespace evm::kernels

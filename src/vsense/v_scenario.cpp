@@ -7,15 +7,15 @@
 namespace evm {
 
 void VScenarioSet::Add(VScenario scenario) {
-  index_.emplace(scenario.id.value(), scenarios_.size());
+  index_.Insert(scenario.id.value(), scenarios_.size());
   scenarios_.push_back(std::move(scenario));
 }
 
 bool VScenarioSet::Remove(ScenarioId id) {
-  const auto it = index_.find(id.value());
-  if (it == index_.end()) return false;
-  const std::size_t pos = it->second;
-  index_.erase(it);
+  const std::size_t* found = index_.Find(id.value());
+  if (found == nullptr) return false;
+  const std::size_t pos = *found;
+  index_.Erase(id.value());
   if (pos + 1 != scenarios_.size()) {
     scenarios_[pos] = std::move(scenarios_.back());
     index_[scenarios_[pos].id.value()] = pos;
@@ -25,8 +25,8 @@ bool VScenarioSet::Remove(ScenarioId id) {
 }
 
 const VScenario* VScenarioSet::Find(ScenarioId id) const noexcept {
-  const auto it = index_.find(id.value());
-  return it == index_.end() ? nullptr : &scenarios_[it->second];
+  const std::size_t* found = index_.Find(id.value());
+  return found == nullptr ? nullptr : &scenarios_[*found];
 }
 
 std::size_t VScenarioSet::TotalObservations() const noexcept {
@@ -56,7 +56,7 @@ VScenarioSet BuildVScenarios(const std::vector<TrackedFigure>& figures,
   const std::size_t cells = grid.CellCount();
 
   // window -> cell -> observations, filled person by person.
-  std::unordered_map<std::uint64_t, std::vector<VObservation>> buckets;
+  common::FlatMap<std::uint64_t, std::vector<VObservation>> buckets;
   for (const auto& figure : figures) {
     const auto ticks = figure.trajectory->TickCount();
     for (std::size_t w = 0; w < windows; ++w) {
@@ -65,37 +65,36 @@ VScenarioSet BuildVScenarios(const std::vector<TrackedFigure>& figures,
           begin + config.window_ticks, static_cast<std::int64_t>(ticks));
       if (begin >= end) break;
       // Count presence per cell over the window.
-      std::unordered_map<std::uint64_t, std::int64_t> presence;
+      common::FlatMap<std::uint64_t, std::int64_t> presence;
       for (std::int64_t t = begin; t < end; ++t) {
         const CellId cell = grid.CellAt(figure.trajectory->At(Tick{t}));
         ++presence[cell.value()];
       }
       // Visit cells in sorted order: the miss_rng draw below consumes one
-      // Bernoulli sample per qualifying cell, so hash-order iteration would
-      // tie the miss pattern to the platform's unordered_map layout.
-      std::vector<std::pair<std::uint64_t, std::int64_t>> cell_counts(
-          presence.begin(), presence.end());
-      std::sort(cell_counts.begin(), cell_counts.end());
-      for (const auto& [cell_value, count] : cell_counts) {
+      // Bernoulli sample per qualifying cell, so the visit order must not
+      // depend on the table's probe layout.
+      presence.ForEachSorted([&](std::uint64_t cell_value,
+                                 std::int64_t count) {
         const double fraction = static_cast<double>(count) /
                                 static_cast<double>(config.window_ticks);
-        if (fraction < config.presence_fraction) continue;
+        if (fraction < config.presence_fraction) return;
         if (config.miss_prob > 0.0 && miss_rng.Bernoulli(config.miss_prob)) {
-          continue;  // the detector missed this person in this scenario
+          return;  // the detector missed this person in this scenario
         }
         const std::uint64_t slot = w * cells + cell_value;
         buckets[slot].push_back(VObservation{
             figure.vid,
             DeriveSeed(seed, "render", slot * 0x10001ULL + figure.vid.value())});
-      }
+      });
     }
   }
 
   std::vector<std::uint64_t> slots;
   slots.reserve(buckets.size());
-  // det-ok: keys drained into `slots` and sorted on the next line
-  for (const auto& [slot, obs] : buckets) slots.push_back(slot);
-  std::sort(slots.begin(), slots.end());
+  buckets.ForEachSorted([&](std::uint64_t slot,
+                            const std::vector<VObservation>&) {
+    slots.push_back(slot);
+  });
   for (const std::uint64_t slot : slots) {
     VScenario scenario;
     scenario.id = ScenarioId{slot};

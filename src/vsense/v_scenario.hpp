@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -61,7 +61,7 @@ class VScenarioSet {
 
  private:
   std::vector<VScenario> scenarios_;
-  std::unordered_map<std::uint64_t, std::size_t> index_;
+  common::FlatMap<std::uint64_t, std::size_t> index_;
 };
 
 /// A person to film: their appearance identity and trajectory.

@@ -1,0 +1,190 @@
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace evm::common {
+namespace {
+
+TEST(FlatMapTest, BasicInsertFindErase) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7u), nullptr);
+  EXPECT_FALSE(map.Erase(7u));
+
+  map[7u] = 42;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(7u), nullptr);
+  EXPECT_EQ(*map.Find(7u), 42);
+  EXPECT_TRUE(map.Contains(7u));
+  EXPECT_FALSE(map.Contains(8u));
+
+  // operator[] on an existing key returns the same slot.
+  map[7u] += 1;
+  EXPECT_EQ(*map.Find(7u), 43);
+
+  EXPECT_TRUE(map.Erase(7u));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7u), nullptr);
+}
+
+TEST(FlatMapTest, TryEmplaceAndInsertSemantics) {
+  FlatMap<std::uint64_t, std::string> map;
+  auto [slot, inserted] = map.TryEmplace(1u);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(slot->empty());  // default-constructed
+  *slot = "first";
+
+  auto [again, inserted2] = map.TryEmplace(1u);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*again, "first");  // existing value kept
+
+  EXPECT_FALSE(map.Insert(1u, std::string("second")).second);
+  EXPECT_EQ(*map.Find(1u), "first");
+  EXPECT_TRUE(map.Insert(2u, std::string("two")).second);
+  EXPECT_EQ(*map.Find(2u), "two");
+}
+
+TEST(FlatMapTest, StringKeys) {
+  FlatMap<std::string, int> map;
+  map[std::string("alpha")] = 1;
+  map[std::string("beta")] = 2;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(std::string("alpha")), nullptr);
+  EXPECT_EQ(*map.Find(std::string("alpha")), 1);
+  EXPECT_EQ(map.Find(std::string("gamma")), nullptr);
+  EXPECT_TRUE(map.Erase(std::string("alpha")));
+  EXPECT_EQ(map.Find(std::string("alpha")), nullptr);
+  EXPECT_EQ(*map.Find(std::string("beta")), 2);
+}
+
+TEST(FlatMapTest, ClearAndReserve) {
+  FlatMap<std::uint64_t, int> map;
+  map.Reserve(100);
+  const std::size_t cap = map.capacity();
+  EXPECT_GE(cap, 128u);  // next power of two fitting 100 at load 3/4
+  for (std::uint64_t k = 0; k < 100; ++k) map[k] = static_cast<int>(k);
+  EXPECT_EQ(map.capacity(), cap);  // no rehash past the reservation
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5u), nullptr);
+}
+
+TEST(FlatMapTest, ForEachSortedVisitsAscending) {
+  FlatMap<std::uint64_t, int> map;
+  // Insertion order scrambled; ForEachSorted must come back ascending.
+  for (const std::uint64_t k : {9u, 2u, 7u, 1u, 8u, 4u}) {
+    map[k] = static_cast<int>(k * 10);
+  }
+  std::vector<std::uint64_t> keys;
+  map.ForEachSorted([&](std::uint64_t k, int v) {
+    EXPECT_EQ(v, static_cast<int>(k * 10));
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1u, 2u, 4u, 7u, 8u, 9u}));
+}
+
+TEST(FlatSetTest, BasicOperations) {
+  FlatSet<std::uint64_t> set;
+  EXPECT_TRUE(set.Insert(3u));
+  EXPECT_FALSE(set.Insert(3u));
+  EXPECT_TRUE(set.Insert(1u));
+  EXPECT_TRUE(set.Contains(3u));
+  EXPECT_FALSE(set.Contains(2u));
+  EXPECT_EQ(set.size(), 2u);
+  std::vector<std::uint64_t> keys;
+  set.ForEachSorted([&](std::uint64_t k) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1u, 3u}));
+  EXPECT_TRUE(set.Erase(3u));
+  EXPECT_FALSE(set.Erase(3u));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+// The backward-shift Erase is the one subtle piece of the table: fuzz it
+// against std::unordered_map with a key range narrow enough to force long
+// probe chains, wraparound at the table end, and repeated rehash cycles.
+TEST(FlatMapTest, FuzzAgainstUnorderedMapOracle) {
+  Rng rng(2017);
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  for (int step = 0; step < 200000; ++step) {
+    const std::uint64_t key = rng.NextBelow(512);
+    switch (rng.NextBelow(4)) {
+      case 0: {  // insert-or-keep
+        const std::uint64_t value = rng.NextBelow(1u << 20);
+        EXPECT_EQ(map.Insert(key, value).second,
+                  oracle.try_emplace(key, value).second);
+        break;
+      }
+      case 1: {  // overwrite via operator[]
+        const std::uint64_t value = rng.NextBelow(1u << 20);
+        map[key] = value;
+        oracle[key] = value;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(map.Erase(key), oracle.erase(key) > 0);
+        break;
+      default: {
+        const auto it = oracle.find(key);
+        const std::uint64_t* found = map.Find(key);
+        EXPECT_EQ(found != nullptr, it != oracle.end());
+        if (found != nullptr && it != oracle.end()) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    if (step % 4096 == 0) {
+      // Deep checks are O(n): run them periodically, not every step.
+      ASSERT_EQ(map.size(), oracle.size());
+      std::size_t iterated = 0;
+      for (const auto& [k, v] : map) {
+        const auto it = oracle.find(k);
+        ASSERT_NE(it, oracle.end());
+        ASSERT_EQ(v, it->second);
+        ++iterated;
+      }
+      ASSERT_EQ(iterated, oracle.size());
+      std::vector<std::uint64_t> sorted_keys;
+      map.ForEachSorted([&](std::uint64_t k, std::uint64_t) {
+        sorted_keys.push_back(k);
+      });
+      ASSERT_TRUE(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+      ASSERT_EQ(sorted_keys.size(), oracle.size());
+    }
+  }
+  ASSERT_EQ(map.size(), oracle.size());
+}
+
+TEST(FlatSetTest, FuzzAgainstUnorderedSetOracle) {
+  Rng rng(42);
+  FlatSet<std::uint64_t> set;
+  std::unordered_set<std::uint64_t> oracle;
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t key = rng.NextBelow(256);
+    switch (rng.NextBelow(3)) {
+      case 0:
+        EXPECT_EQ(set.Insert(key), oracle.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(set.Erase(key), oracle.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(set.Contains(key), oracle.count(key) > 0);
+        break;
+    }
+    EXPECT_EQ(set.size(), oracle.size());
+  }
+}
+
+}  // namespace
+}  // namespace evm::common

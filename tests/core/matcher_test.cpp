@@ -1,5 +1,7 @@
 #include "core/matcher.hpp"
 
+#include "core/match_counters.hpp"
+
 #include <gtest/gtest.h>
 
 #include "dataset/generator.hpp"
@@ -187,6 +189,36 @@ TEST(MatcherTest, SerialAndMapReduceReportIdenticalStats) {
   EXPECT_EQ(a.refine_rounds, b.refine_rounds);
   // Regression: the serial path used to drop scenarios_processed entirely.
   EXPECT_GT(a.scenarios_processed, 0u);
+}
+
+TEST(MatcherTest, KernelScanCountersRegisterInBothExecutionModes) {
+  // match.exact_feature_rows / match.quantized_full_scans are registry-only
+  // (shortlist composition is ISA-dependent, so they stay out of MatchStats),
+  // but both execution paths must still accumulate them; the MapReduce
+  // filter used to drop them on the floor.
+  const Dataset dataset = GenerateDataset(EasyConfig(20));
+  const auto targets = SampleTargets(dataset, 30, 5);
+
+  MatcherConfig serial_config;
+  EvMatcher serial(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                   serial_config);
+  (void)serial.Match(targets);
+  const std::uint64_t serial_rows =
+      serial.metrics().CounterValue(kCtrExactFeatureRows);
+  EXPECT_GT(serial_rows, 0u);
+
+  MatcherConfig mr_config;
+  mr_config.execution = ExecutionMode::kMapReduce;
+  mr_config.engine.workers = 4;
+  EvMatcher mapreduce(dataset.e_scenarios, dataset.v_scenarios,
+                      dataset.oracle, mr_config);
+  (void)mapreduce.Match(targets);
+  // Same process, same ISA: the scan decomposition is identical, so the two
+  // modes must agree exactly.
+  EXPECT_EQ(mapreduce.metrics().CounterValue(kCtrExactFeatureRows),
+            serial_rows);
+  EXPECT_EQ(mapreduce.metrics().CounterValue(kCtrQuantizedFullScans),
+            serial.metrics().CounterValue(kCtrQuantizedFullScans));
 }
 
 TEST(MatcherTest, StatsTimersArePopulated) {

@@ -295,6 +295,24 @@ TEST(SetSplittingTest, DeterministicForSeed) {
   EXPECT_EQ(a.recorded, b.recorded);
 }
 
+// The V stage verifies the scenarios of the winning block's history, so at
+// equal distinguishing power (inclusive count) BestBlockFor must keep the
+// block with the SHORTER history — fewer feature comparisons downstream.
+// The tie arm is defensively unreachable through the public API (every EID
+// keeps exactly one inclusive copy), hence the direct predicate test.
+TEST(SetSplittingTest, BestBlockTieBreakPrefersShorterHistory) {
+  // No incumbent: any candidate is taken.
+  EXPECT_TRUE(internal::PreferBlock(false, 5, 9, 0, 0));
+  // Fewer inclusive members always wins, history length notwithstanding.
+  EXPECT_TRUE(internal::PreferBlock(true, 1, 100, 2, 0));
+  EXPECT_FALSE(internal::PreferBlock(true, 3, 0, 2, 100));
+  // Equal counts: strictly shorter history replaces the incumbent ...
+  EXPECT_TRUE(internal::PreferBlock(true, 2, 3, 2, 4));
+  // ... equal or longer keeps it (first-wins on full ties).
+  EXPECT_FALSE(internal::PreferBlock(true, 2, 4, 2, 4));
+  EXPECT_FALSE(internal::PreferBlock(true, 2, 5, 2, 4));
+}
+
 TEST(SetSplittingTest, RejectsBadInputs) {
   const EScenarioSet set = MakeScenarioSet(1, {{0, 0, {0, 1}}});
   SetSplitter splitter(set, Signature());

@@ -122,9 +122,9 @@ TEST_F(VidFilterFixture, GalleryIsReusedAcrossCalls) {
   set.Add(MakeVScenario(0, {0, 1}));
   set.Add(MakeVScenario(1, {0, 2}));
   EidScenarioList list{Eid{1}, {ScenarioId{0}, ScenarioId{1}}, true};
-  FilterVid(list, set, gallery_, counters_);
+  (void)FilterVid(list, set, gallery_, counters_);
   const std::uint64_t after_first = gallery_.ExtractionCount();
-  FilterVid(list, set, gallery_, counters_);
+  (void)FilterVid(list, set, gallery_, counters_);
   EXPECT_EQ(gallery_.ExtractionCount(), after_first);
 }
 

@@ -70,7 +70,7 @@ TEST(FeatureBlockTest, DimensionMismatchThrows) {
   Rng rng(3);
   const FeatureBlock block(RandomScenario(rng, 2, 16));
   const FeatureVector probe = RandomFeature(rng, 24);
-  EXPECT_THROW(BestSimilarityInBlock(probe, block), Error);
+  EXPECT_THROW((void)BestSimilarityInBlock(probe, block), Error);
   EXPECT_THROW((void)FeatureBlock({RandomFeature(rng, 8),
                                    RandomFeature(rng, 16)}),
                Error);

@@ -1,0 +1,370 @@
+// Equivalence suite for the V-stage SIMD kernels (DESIGN.md §12): every ISA
+// variant must be BIT-identical to the scalar reference — not merely close —
+// because the match pipeline's determinism tests compare similarities with
+// operator==. The quantized shortlist path is likewise required to reproduce
+// the exact scan's BlockMatch on every input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "vsense/feature_block.hpp"
+#include "vsense/kernels/best_in_block.hpp"
+#include "vsense/kernels/dispatch.hpp"
+#include "vsense/kernels/quantized_block.hpp"
+
+namespace evm {
+namespace {
+
+using kernels::Isa;
+
+const Isa kAllIsas[] = {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon};
+
+std::vector<float> RandomPaddedRow(Rng& rng, std::size_t dim,
+                                   std::size_t stride, float amplitude) {
+  std::vector<float> row(stride, 0.0f);
+  for (std::size_t i = 0; i < dim; ++i) {
+    row[i] = amplitude * (static_cast<float>(rng.NextDouble()) - 0.25f);
+  }
+  return row;
+}
+
+FeatureVector RandomFeature(Rng& rng, std::size_t dim) {
+  FeatureVector f(dim);
+  float sum = 0.0f;
+  for (float& v : f) {
+    v = static_cast<float>(rng.NextDouble());
+    sum += v;
+  }
+  for (float& v : f) v /= sum;
+  return f;
+}
+
+std::vector<FeatureVector> RandomScenario(Rng& rng, std::size_t rows,
+                                          std::size_t dim) {
+  std::vector<FeatureVector> features;
+  features.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    features.push_back(RandomFeature(rng, dim));
+  }
+  return features;
+}
+
+/// The quantized shortlist result must equal the reference scan exactly:
+/// same index and the same double, bit for bit.
+void ExpectIdenticalMatch(const FeatureVector& probe,
+                          const FeatureBlock& block, const char* context) {
+  const PaddedProbe padded(probe, block.stride());
+  const BlockMatch expect = BestInBlockReference(padded, block);
+  const BlockMatch exact = BestInBlockExact(padded, block);
+  BlockScanStats stats;
+  const BlockMatch fast = BestInBlock(padded, block, &stats);
+  EXPECT_EQ(exact.index, expect.index) << context;
+  EXPECT_EQ(exact.similarity, expect.similarity) << context;
+  EXPECT_EQ(fast.index, expect.index) << context;
+  EXPECT_EQ(fast.similarity, expect.similarity) << context;
+  EXPECT_LE(stats.exact_rows, block.rows()) << context;
+}
+
+// --- per-ISA row kernels -----------------------------------------------------
+
+TEST(KernelEquivalenceTest, PaddedL1BitIdenticalAcrossIsas) {
+  Rng rng(11);
+  for (const std::size_t stride : {8u, 16u, 64u, 144u, 152u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      // Amplitudes well past the unit-mass histograms the pipeline emits,
+      // negatives included: the contract is bit-equality for all floats.
+      const float amp = trial < 4 ? 1.0f : 1000.0f;
+      const auto a = RandomPaddedRow(rng, stride, stride, amp);
+      const auto b = RandomPaddedRow(rng, stride, stride, amp);
+      const float ref =
+          kernels::PaddedL1WithIsa(Isa::kScalar, a.data(), b.data(), stride);
+      for (const Isa isa : kAllIsas) {
+        if (!kernels::IsaSupported(isa)) continue;
+        EXPECT_EQ(kernels::PaddedL1WithIsa(isa, a.data(), b.data(), stride),
+                  ref)
+            << kernels::IsaName(isa) << " stride=" << stride;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, PaddedL1x2MatchesSingleRowKernels) {
+  Rng rng(12);
+  for (const std::size_t stride : {8u, 72u, 144u}) {
+    const auto probe = RandomPaddedRow(rng, stride, stride, 1.0f);
+    const auto b0 = RandomPaddedRow(rng, stride, stride, 1.0f);
+    const auto b1 = RandomPaddedRow(rng, stride, stride, 1.0f);
+    const float ref0 =
+        kernels::PaddedL1WithIsa(Isa::kScalar, probe.data(), b0.data(), stride);
+    const float ref1 =
+        kernels::PaddedL1WithIsa(Isa::kScalar, probe.data(), b1.data(), stride);
+    for (const Isa isa : kAllIsas) {
+      if (!kernels::IsaSupported(isa)) continue;
+      float out[2] = {-1.0f, -1.0f};
+      kernels::PaddedL1x2WithIsa(isa, probe.data(), b0.data(), b1.data(),
+                                 stride, out);
+      EXPECT_EQ(out[0], ref0) << kernels::IsaName(isa);
+      EXPECT_EQ(out[1], ref1) << kernels::IsaName(isa);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SadU8IdenticalAcrossIsas) {
+  Rng rng(13);
+  for (const std::size_t n : {64u, 128u, 320u}) {
+    std::vector<std::uint8_t> a(n);
+    std::vector<std::uint8_t> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+      b[i] = static_cast<std::uint8_t>(rng.NextBelow(256));
+    }
+    const std::uint64_t ref =
+        kernels::SadU8WithIsa(Isa::kScalar, a.data(), b.data(), n);
+    for (const Isa isa : kAllIsas) {
+      if (!kernels::IsaSupported(isa)) continue;
+      EXPECT_EQ(kernels::SadU8WithIsa(isa, a.data(), b.data(), n), ref)
+          << kernels::IsaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SadU8RowsMatchesPerRowSad) {
+  Rng rng(17);
+  for (const std::size_t n : {64u, 192u, 320u}) {
+    // Row counts straddling the four-row unroll and its tails.
+    for (const std::size_t rows : {1u, 3u, 4u, 7u, 33u}) {
+      std::vector<std::uint8_t> probe(n);
+      std::vector<std::uint8_t> data(rows * n);
+      for (auto& v : probe) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+      for (auto& v : data) v = static_cast<std::uint8_t>(rng.NextBelow(256));
+      std::vector<std::uint32_t> out(rows, 0xdeadbeef);
+      for (const Isa isa : kAllIsas) {
+        if (!kernels::IsaSupported(isa)) continue;
+        kernels::SadU8RowsWithIsa(isa, probe.data(), data.data(), rows, n,
+                                  out.data());
+        for (std::size_t r = 0; r < rows; ++r) {
+          EXPECT_EQ(out[r], kernels::SadU8WithIsa(Isa::kScalar, probe.data(),
+                                                  data.data() + r * n, n))
+              << kernels::IsaName(isa) << " n=" << n << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ArgMinU32FindsFirstMinimumAcrossIsas) {
+  Rng rng(18);
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 40u, 200u}) {
+    for (int trial = 0; trial < 16; ++trial) {
+      // Small value range to force duplicate minima (the first-occurrence
+      // tie-break is the part worth stressing).
+      std::vector<std::uint32_t> v(n);
+      for (auto& x : v) x = rng.NextBelow(trial < 8 ? 4 : 1u << 30);
+      const std::size_t ref = kernels::ArgMinU32WithIsa(Isa::kScalar, v.data(), n);
+      for (const Isa isa : kAllIsas) {
+        if (!kernels::IsaSupported(isa)) continue;
+        EXPECT_EQ(kernels::ArgMinU32WithIsa(isa, v.data(), n), ref)
+            << kernels::IsaName(isa) << " n=" << n;
+      }
+    }
+  }
+  // All-max input: every lane of the vectorized variant stays untouched.
+  std::vector<std::uint32_t> top(24, 0xffffffffu);
+  for (const Isa isa : kAllIsas) {
+    if (!kernels::IsaSupported(isa)) continue;
+    EXPECT_EQ(kernels::ArgMinU32WithIsa(isa, top.data(), top.size()), 0u);
+  }
+}
+
+TEST(KernelEquivalenceTest, CollectLeU32MatchesScalarAcrossIsas) {
+  Rng rng(19);
+  for (const std::size_t n : {1u, 8u, 13u, 200u}) {
+    for (const std::uint32_t bound : {0u, 2u, 100u, 0xffffffffu}) {
+      std::vector<std::uint32_t> v(n);
+      for (auto& x : v) x = rng.NextBelow(8);
+      std::vector<std::uint32_t> ref(n);
+      const std::size_t ref_count = kernels::CollectLeU32WithIsa(
+          Isa::kScalar, v.data(), n, bound, ref.data());
+      for (const Isa isa : kAllIsas) {
+        if (!kernels::IsaSupported(isa)) continue;
+        std::vector<std::uint32_t> out(n, 0xdeadbeef);
+        const std::size_t count = kernels::CollectLeU32WithIsa(
+            isa, v.data(), n, bound, out.data());
+        ASSERT_EQ(count, ref_count) << kernels::IsaName(isa) << " n=" << n;
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], ref[i]) << kernels::IsaName(isa) << " n=" << n;
+        }
+      }
+    }
+  }
+  // Values past 2^31: the comparison must be unsigned (a signed vector
+  // compare would misorder these).
+  std::vector<std::uint32_t> big = {0x7fffffffu, 0x80000000u, 0xc0000000u,
+                                    0x00000001u, 0xffffffffu, 0x80000001u,
+                                    0x90000000u, 0x00000000u};
+  for (const Isa isa : kAllIsas) {
+    if (!kernels::IsaSupported(isa)) continue;
+    std::vector<std::uint32_t> out(big.size(), 0xdeadbeef);
+    const std::size_t count = kernels::CollectLeU32WithIsa(
+        isa, big.data(), big.size(), 0x80000000u, out.data());
+    ASSERT_EQ(count, 4u) << kernels::IsaName(isa);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 1u);
+    EXPECT_EQ(out[2], 3u);
+    EXPECT_EQ(out[3], 7u);
+  }
+  // Same unsigned pitfall for the argmin lane compares.
+  std::vector<std::uint32_t> ba = {0x80000000u, 0x7fffffffu, 0xffffffffu,
+                                   0x80000001u, 0x7ffffffeu, 0x90000000u,
+                                   0xa0000000u, 0xb0000000u, 0x7ffffffeu};
+  for (const Isa isa : kAllIsas) {
+    if (!kernels::IsaSupported(isa)) continue;
+    EXPECT_EQ(kernels::ArgMinU32WithIsa(isa, ba.data(), ba.size()), 4u)
+        << kernels::IsaName(isa);
+  }
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+TEST(KernelEquivalenceTest, ParseIsaOverrideValidatesInput) {
+  EXPECT_EQ(kernels::ParseIsaOverride(nullptr), std::nullopt);
+  EXPECT_EQ(kernels::ParseIsaOverride(""), std::nullopt);
+  EXPECT_EQ(kernels::ParseIsaOverride("auto"), std::nullopt);
+  EXPECT_EQ(kernels::ParseIsaOverride("scalar"), Isa::kScalar);
+  EXPECT_THROW((void)kernels::ParseIsaOverride("sse9"), Error);
+  EXPECT_THROW((void)kernels::ParseIsaOverride("AVX2"), Error);
+#if defined(__x86_64__) || defined(__i386__)
+  // NEON can never be forced on an x86 host: unsupported, not unknown.
+  EXPECT_THROW((void)kernels::ParseIsaOverride("neon"), Error);
+#endif
+  EXPECT_TRUE(kernels::IsaSupported(kernels::ActiveIsa()));
+}
+
+// --- quantized shortlist vs exact scan ---------------------------------------
+
+TEST(KernelEquivalenceTest, QuantizedMatchesExactAcrossSeedsAndDims) {
+  // Dims deliberately not multiples of 8/16 alongside the paper's 144; all
+  // row counts at or above kQuantizedMinRows so the shortlist path runs.
+  const std::size_t dims[] = {7, 13, 63, 144, 145};
+  const std::size_t sizes[] = {16, 33, 128};
+  for (const std::uint64_t seed : {1u, 2017u, 99991u}) {
+    Rng rng(seed);
+    for (const std::size_t dim : dims) {
+      for (const std::size_t rows : sizes) {
+        const auto features = RandomScenario(rng, rows, dim);
+        const FeatureBlock block(features);
+        ASSERT_FALSE(block.quantized().empty());
+        for (int trial = 0; trial < 4; ++trial) {
+          const FeatureVector probe =
+              trial % 2 == 0 ? RandomFeature(rng, dim)
+                             : features[rng.NextBelow(features.size())];
+          ExpectIdenticalMatch(probe, block, "random scenario");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, QuantizedHandlesDegenerateRows) {
+  Rng rng(7);
+  const std::size_t dim = 24;
+  // All-zero rows, saturating magnitudes (values far outside the shared
+  // code range of the remaining rows), constants, and negatives — err
+  // masses absorb every encode clamp, so the match must stay identical.
+  std::vector<FeatureVector> features;
+  features.push_back(FeatureVector(dim, 0.0f));
+  features.push_back(FeatureVector(dim, 1e6f));
+  features.push_back(FeatureVector(dim, -1e6f));
+  features.push_back(FeatureVector(dim, 0.5f));
+  while (features.size() < FeatureBlock::kQuantizedMinRows + 4) {
+    features.push_back(RandomFeature(rng, dim));
+  }
+  const FeatureBlock block(features);
+  ASSERT_FALSE(block.quantized().empty());
+  ExpectIdenticalMatch(FeatureVector(dim, 0.0f), block, "zero probe");
+  ExpectIdenticalMatch(FeatureVector(dim, 2e6f), block, "saturating probe");
+  ExpectIdenticalMatch(FeatureVector(dim, -3.0f), block, "negative probe");
+  ExpectIdenticalMatch(RandomFeature(rng, dim), block, "unit probe");
+}
+
+// First-wins tie-breaking survives the shortlist: with the best row
+// duplicated, the reported index must be the FIRST occurrence even though
+// both duplicates SAD to the same bound.
+TEST(KernelEquivalenceTest, QuantizedKeepsFirstWinsTies) {
+  Rng rng(8);
+  const std::size_t dim = 48;
+  auto features = RandomScenario(rng, FeatureBlock::kQuantizedMinRows + 8, dim);
+  const FeatureVector target = RandomFeature(rng, dim);
+  features[5] = target;
+  features[17] = target;
+  const FeatureBlock block(features);
+  const PaddedProbe probe(target, block.stride());
+  const BlockMatch fast = BestInBlock(probe, block);
+  const BlockMatch ref = BestInBlockReference(probe, block);
+  EXPECT_EQ(ref.index, 5);
+  EXPECT_EQ(fast.index, 5);
+  EXPECT_EQ(fast.similarity, ref.similarity);
+  EXPECT_EQ(fast.similarity, 1.0);
+}
+
+TEST(KernelEquivalenceTest, ScanStatsAccountForBothPaths) {
+  Rng rng(9);
+  const std::size_t dim = 32;
+  // Below the quantization threshold: pure exact path, every row counted.
+  const FeatureBlock small(RandomScenario(rng, 4, dim));
+  EXPECT_TRUE(small.quantized().empty());
+  BlockScanStats stats;
+  (void)BestInBlock(PaddedProbe(RandomFeature(rng, dim), small.stride()),
+                    small, &stats);
+  EXPECT_EQ(stats.exact_rows, 4u);
+  EXPECT_EQ(stats.full_scan_fallbacks, 0u);
+
+  // All rows identical: every SAD ties, nothing can be excluded, and the
+  // scan must report a full-scan fallback while staying exact.
+  const FeatureVector same = RandomFeature(rng, dim);
+  const std::vector<FeatureVector> clones(
+      FeatureBlock::kQuantizedMinRows, same);
+  const FeatureBlock uniform(clones);
+  ASSERT_FALSE(uniform.quantized().empty());
+  stats = BlockScanStats{};
+  const BlockMatch match = BestInBlock(
+      PaddedProbe(same, uniform.stride()), uniform, &stats);
+  EXPECT_EQ(match.index, 0);
+  EXPECT_EQ(match.similarity, 1.0);
+  EXPECT_EQ(stats.exact_rows, uniform.rows());
+  EXPECT_EQ(stats.full_scan_fallbacks, 1u);
+}
+
+TEST(KernelEquivalenceTest, QuantizedBlockInvariants) {
+  Rng rng(10);
+  const auto features = RandomScenario(rng, 20, 30);
+  const FeatureBlock block(features);
+  const kernels::QuantizedFeatureBlock& q = block.quantized();
+  ASSERT_FALSE(q.empty());
+  EXPECT_EQ(q.rows(), block.rows());
+  EXPECT_EQ(q.qstride() % kernels::QuantizedFeatureBlock::kCodeAlign, 0u);
+  EXPECT_GE(q.qstride(), block.stride());
+  // Padding bytes hold the zero point on every row, so padded lanes cancel
+  // in any SAD; residual masses are nonnegative by construction.
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    for (std::size_t i = block.stride(); i < q.qstride(); ++i) {
+      EXPECT_EQ(q.RowCodes(r)[i], q.zero_point());
+    }
+    EXPECT_GE(q.RowError(r), 0.0);
+  }
+  // 0.0 (the padding value) encodes to the shared zero point, and
+  // decode(encode(x)) stays within one code step for in-range x (values
+  // outside the block's range saturate and are covered by the err masses).
+  EXPECT_EQ(q.EncodeValue(0.0f), q.zero_point());
+  const float x = features[0][0];
+  EXPECT_LE(std::fabs(q.DecodeValue(q.EncodeValue(x)) - x),
+            static_cast<float>(q.scale()));
+}
+
+}  // namespace
+}  // namespace evm

@@ -19,6 +19,18 @@ this lint rejects them at review time instead of debug time:
                      iteration that is genuinely order-independent (pure
                      accumulation, sorted right after) is annotated at the
                      loop with `// det-ok: <reason>`.
+  unordered-in-migrated
+                     any std::unordered_* in a file listed in MIGRATED_FILES.
+                     Those hot paths were moved to common::FlatMap/FlatSet
+                     (open addressing, DESIGN.md §12); reintroducing a node
+                     hash table silently reverts the optimization, so this
+                     rule is NOT det-ok suppressible.
+  flatmap-iter       ranged-for over a common::FlatMap/FlatSet in the
+                     deterministic subsystems. FlatMap iterators walk probe
+                     order (insertion/hash dependent); deterministic
+                     consumers must use ForEachSorted, which visits keys in
+                     ascending order. Order-independent accumulation may be
+                     annotated with `// det-ok: <reason>`.
 
 Suppression: a `det-ok:` comment (with a reason) on the flagged line or the
 line directly above it. Suppressions are part of the invariant map — grep
@@ -47,6 +59,24 @@ DETERMINISTIC_DIRS = ("src/core", "src/esense", "src/vsense", "src/stream")
 # The single place allowed to own entropy.
 RNG_ALLOWLIST = ("src/common/rng.hpp", "src/common/rng.cpp")
 
+# Hot-path files migrated from std::unordered_* to common::FlatMap/FlatSet.
+# std::unordered_* may not reappear in these (rule unordered-in-migrated).
+MIGRATED_FILES = (
+    "src/core/parallel_split.cpp",
+    "src/core/set_splitting.cpp",
+    "src/core/vid_filter.cpp",
+    "src/esense/e_scenario.cpp",
+    "src/esense/e_scenario.hpp",
+    "src/mapreduce/dfs.cpp",
+    "src/mapreduce/dfs.hpp",
+    "src/stream/windowed_store.cpp",
+    "src/stream/windowed_store.hpp",
+    "src/vsense/gallery.cpp",
+    "src/vsense/gallery.hpp",
+    "src/vsense/v_scenario.cpp",
+    "src/vsense/v_scenario.hpp",
+)
+
 SUPPRESS_TOKEN = "det-ok:"
 
 RANDOM_PATTERNS = [
@@ -66,6 +96,8 @@ WALL_CLOCK_PATTERNS = [
 ]
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+UNORDERED_ANY = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+FLATMAP_DECL = re.compile(r"\bFlat(?:Map|Set)\s*<")
 RANGED_FOR = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)", re.DOTALL)
 TRAILING_IDENT = re.compile(r"(\w+)\s*$")
 
@@ -141,12 +173,13 @@ def source_files(root: Path, subdirs: tuple[str, ...]) -> list[Path]:
     return files
 
 
-def collect_unordered_names(code_by_file: dict[Path, str]) -> set[str]:
-    """Names declared (or bound as parameters) with an unordered type."""
+def collect_decl_names(code_by_file: dict[Path, str],
+                       decl_pattern: re.Pattern[str]) -> set[str]:
+    """Names declared (or bound as parameters) with a matching type."""
 
     names: set[str] = set()
     for code in code_by_file.values():
-        for match in UNORDERED_DECL.finditer(code):
+        for match in decl_pattern.finditer(code):
             # Walk the template argument list to its closing '>'.
             depth, i = 1, match.end()
             while i < len(code) and depth > 0:
@@ -163,7 +196,8 @@ def collect_unordered_names(code_by_file: dict[Path, str]) -> set[str]:
     return names
 
 
-def check_tree(root: Path) -> list[Finding]:
+def check_tree(root: Path,
+               migrated: tuple[str, ...] = MIGRATED_FILES) -> list[Finding]:
     findings: list[Finding] = []
 
     # Rule 1: banned randomness anywhere under src/ except common/rng.
@@ -182,13 +216,34 @@ def check_tree(root: Path) -> list[Finding]:
                         path.relative_to(root), line, "banned-random",
                         f"{why}; route randomness through common/rng"))
 
+    # Rule: migrated hot-path files must not reintroduce std::unordered_*.
+    # Not det-ok suppressible — a node hash table here is a silent perf
+    # regression even when the iteration order is harmless.
+    for rel_str in migrated:
+        path = root / rel_str
+        if not path.is_file():
+            findings.append(Finding(
+                Path(rel_str), 1, "unordered-in-migrated",
+                "file listed in MIGRATED_FILES does not exist; update the "
+                "list in tools/lint.py"))
+            continue
+        code = strip_comments(
+            path.read_text(encoding="utf-8", errors="replace"))
+        for match in UNORDERED_ANY.finditer(code):
+            findings.append(Finding(
+                Path(rel_str), line_of(code, match.start()),
+                "unordered-in-migrated",
+                "std::unordered_* in a FlatMap-migrated hot path; use "
+                "common::FlatMap/FlatSet (not suppressible)"))
+
     # Rules 2 and 3 apply to the deterministic subsystems only.
     det_files = source_files(root, DETERMINISTIC_DIRS)
     code_by_file = {
         p: strip_comments(p.read_text(encoding="utf-8", errors="replace"))
         for p in det_files
     }
-    unordered_names = collect_unordered_names(code_by_file)
+    unordered_names = collect_decl_names(code_by_file, UNORDERED_DECL)
+    flatmap_names = collect_decl_names(code_by_file, FLATMAP_DECL)
 
     for path, code in code_by_file.items():
         raw_lines = path.read_text(
@@ -205,15 +260,23 @@ def check_tree(root: Path) -> list[Finding]:
 
         for match in RANGED_FOR.finditer(code):
             ident = TRAILING_IDENT.search(match.group(2).strip())
-            if ident is None or ident.group(1) not in unordered_names:
+            if ident is None:
                 continue
+            name = ident.group(1)
             line = line_of(code, match.start())
-            if not suppressed(raw_lines, line):
+            if name in unordered_names and not suppressed(raw_lines, line):
                 findings.append(Finding(
                     rel, line, "unordered-iter",
-                    f"iterates unordered container '{ident.group(1)}' in hash "
+                    f"iterates unordered container '{name}' in hash "
                     "order; sort first, or annotate the loop with "
                     "'// det-ok: <why order cannot reach output>'"))
+            if name in flatmap_names and not suppressed(raw_lines, line):
+                findings.append(Finding(
+                    rel, line, "flatmap-iter",
+                    f"iterates FlatMap/FlatSet '{name}' in probe order; use "
+                    "ForEachSorted for deterministic visitation, or annotate "
+                    "the loop with '// det-ok: <why order cannot reach "
+                    "output>'"))
 
     findings.sort(key=lambda f: (str(f.path), f.line))
     return findings
@@ -287,20 +350,46 @@ def self_test() -> int:
         (root / "src/common/rng.cpp").write_text(
             "#include <random>\n"
             "unsigned Seed() { std::random_device rd; return rd(); }\n")
+        (root / "src/core/bad_flat_iter.cpp").write_text(
+            "#include \"common/flat_map.hpp\"\n"
+            "int Sum(const common::FlatMap<int, int>& ftable) {\n"
+            "  int sum = 0;\n"
+            "  for (const auto& [key, value] : ftable) sum += value;\n"
+            "  return sum;\n"
+            "}\n")
+        (root / "src/core/clean_flat_iter.cpp").write_text(
+            "#include \"common/flat_map.hpp\"\n"
+            "int Count(const common::FlatSet<int>& seen) {\n"
+            "  int n = 0;\n"
+            "  // det-ok: pure count, order cannot reach output\n"
+            "  for (const int value : seen) n += value >= 0 ? 1 : 1;\n"
+            "  return n;\n"
+            "}\n")
+        # det-ok must NOT silence the migrated-file rule.
+        (root / "src/core/bad_migrated.cpp").write_text(
+            "#include <unordered_map>\n"
+            "// det-ok: trying to sneak a hash table back in\n"
+            "std::unordered_map<int, int> Table() { return {}; }\n")
 
-        findings = check_tree(root)
+        findings = check_tree(
+            root, migrated=("src/core/bad_migrated.cpp",
+                            "src/core/missing_migrated.cpp"))
         got = {(str(f.path), f.rule) for f in findings}
         expected = {
             ("src/core/bad_random.cpp", "banned-random"),
             ("src/stream/bad_clock.cpp", "wall-clock"),
             ("src/core/bad_iter.cpp", "unordered-iter"),
+            ("src/core/bad_flat_iter.cpp", "flatmap-iter"),
+            ("src/core/bad_migrated.cpp", "unordered-in-migrated"),
+            ("src/core/missing_migrated.cpp", "unordered-in-migrated"),
         }
         failures = []
         for want in expected:
             if want not in got:
                 failures.append(f"expected finding missing: {want}")
         for path, rule in got:
-            if path in ("src/core/clean.cpp", "src/common/rng.cpp"):
+            if path in ("src/core/clean.cpp", "src/core/clean_flat_iter.cpp",
+                        "src/common/rng.cpp"):
                 failures.append(f"false positive: {path} [{rule}]")
         # bad_random.cpp must fire for both rand() and random_device.
         random_hits = [f for f in findings
