@@ -67,6 +67,51 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
   full_scans.Add(total.quantized_full_scans);
 }
 
+void RunFilterStageScheduled(const std::vector<EidScenarioList>& lists,
+                             const VScenarioSet& v_scenarios,
+                             FeatureGallery& gallery,
+                             const VidFilterOptions& options,
+                             std::vector<MatchResult>& results,
+                             obs::MetricsRegistry& metrics,
+                             obs::TraceRecorder* trace,
+                             mapreduce::TaskScheduler& scheduler) {
+  obs::StageSpan span(trace, "v-filter", metrics.latency(kLatVStage));
+  obs::AmbientParentScope ambient(trace, span.id());
+  const obs::Counter comparisons = metrics.counter(kCtrFeatureComparisons);
+  const obs::Counter processed = metrics.counter(kCtrScenariosProcessed);
+  const obs::Counter exact_rows = metrics.counter(kCtrExactFeatureRows);
+  const obs::Counter full_scans = metrics.counter(kCtrQuantizedFullScans);
+
+  results.resize(lists.size());
+  common::Mutex counters_mutex;
+  VidFilterCounters total;
+  std::vector<mapreduce::TaskFn> tasks;
+  tasks.reserve(lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    tasks.push_back([&, i](const mapreduce::AttemptContext& ctx) {
+      // Pure up to the commit point: the result slot and the shared totals
+      // are published only by the attempt that wins the claim, keeping
+      // counters retry- and speculation-invariant.
+      VidFilterCounters counters;
+      MatchResult result =
+          FilterVid(lists[i], v_scenarios, gallery, counters, options, trace);
+      if (!ctx.ClaimCommit()) return mapreduce::AttemptStatus::kCommitLost;
+      results[i] = std::move(result);
+      common::MutexLock lock(counters_mutex);
+      total.feature_comparisons += counters.feature_comparisons;
+      total.scenarios_processed += counters.scenarios_processed;
+      total.exact_feature_rows += counters.exact_feature_rows;
+      total.quantized_full_scans += counters.quantized_full_scans;
+      return mapreduce::AttemptStatus::kSuccess;
+    });
+  }
+  scheduler.Run("stream-filter", "filter", tasks);
+  comparisons.Add(total.feature_comparisons);
+  processed.Add(total.scenarios_processed);
+  exact_rows.Add(total.exact_feature_rows);
+  full_scans.Add(total.quantized_full_scans);
+}
+
 MatchReport RunMatchPass(const std::vector<Eid>& targets,
                          const RefineConfig& refine, std::uint64_t base_seed,
                          const SplitStageFn& split, const FilterStageFn& filter,

@@ -25,6 +25,7 @@
 #include "core/set_splitting.hpp"
 #include "core/types.hpp"
 #include "core/vid_filter.hpp"
+#include "mapreduce/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "vsense/gallery.hpp"
@@ -65,6 +66,21 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
                     std::vector<MatchResult>& results,
                     obs::MetricsRegistry& metrics, obs::TraceRecorder* trace,
                     ThreadPool* pool = nullptr);
+
+/// RunFilterStage, but executed as one TaskScheduler task per EID instead of
+/// a plain ParallelFor — each FilterVid call becomes a retryable,
+/// speculation-eligible attempt whose result slot and counter contribution
+/// publish only on ClaimCommit(), so the scheduler's fault tolerance (and
+/// the stream driver's off-consumer-thread V stage) cannot change any
+/// result or count. Span/latency instrumentation matches RunFilterStage.
+void RunFilterStageScheduled(const std::vector<EidScenarioList>& lists,
+                             const VScenarioSet& v_scenarios,
+                             FeatureGallery& gallery,
+                             const VidFilterOptions& options,
+                             std::vector<MatchResult>& results,
+                             obs::MetricsRegistry& metrics,
+                             obs::TraceRecorder* trace,
+                             mapreduce::TaskScheduler& scheduler);
 
 /// Stage execution hooks for RunMatchPass. The split hook receives the
 /// (sub)set of targets to split and the seed for this pass; the filter hook

@@ -37,6 +37,12 @@ struct MatchResult {
   double majority_fraction{0.0};
   /// False when no scenario list / no candidates were available.
   bool resolved{false};
+  /// True when this result was produced by the streaming pipeline's E-only
+  /// degradation tier (V stage skipped under load shedding, SLIM-style):
+  /// the scenario membership is fresh but the VID evidence is stale or
+  /// absent, so the result is low-confidence. Batch and drain passes never
+  /// set this.
+  bool e_only{false};
 };
 
 /// Aggregate statistics of one matching run.

@@ -1,0 +1,128 @@
+#pragma once
+// Admission control for the streaming front door: per-tenant token-bucket
+// quotas applied *before* a record reaches its lane queue. Backpressure
+// (ingest_queue.hpp) protects the pipeline from aggregate overload;
+// admission control protects tenants from each other — a misbehaving sensor
+// fleet exhausts its own bucket and gets kThrottled while everyone else's
+// traffic still flows.
+//
+// Buckets refill continuously at `rate_per_second` up to `burst` tokens;
+// one data record costs one token. Time is injected by the caller as a
+// monotonic nanosecond clock (the driver passes its steady-clock reading;
+// tests pass synthetic time), so the controller itself stays a pure function
+// of (config, call sequence, clock values) — no hidden clock reads.
+//
+// Thread safety: Admit() may be called from any producer thread. Tenant
+// buckets are created lazily under the registry mutex on first sight and
+// never removed, so the per-push fast path is one mutex-protected bucket
+// update with no map rehash hazards (node-based map, like MetricsRegistry).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace evm::stream {
+
+using TenantId = std::uint64_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Quota of one tenant (or the default applied to unknown tenants).
+struct TenantQuota {
+  /// Sustained admitted records per second. <= 0 disables throttling for
+  /// the tenant (unlimited).
+  double rate_per_second{0.0};
+  /// Bucket capacity: the largest burst admitted at once.
+  double burst{1.0};
+};
+
+struct AdmissionConfig {
+  /// Master switch; when false every Admit() succeeds without accounting.
+  bool enabled{false};
+  /// Quota applied to tenants without an explicit override.
+  TenantQuota default_quota{};
+  /// Per-tenant overrides.
+  std::vector<std::pair<TenantId, TenantQuota>> overrides{};
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config)
+      : config_(std::move(config)) {
+    for (const auto& [tenant, quota] : config_.overrides) {
+      common::MutexLock lock(mutex_);
+      BucketFor(tenant, quota);
+    }
+  }
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// True if `tenant` may push one record at monotonic time `now_nanos`
+  /// (consuming a token); false when its bucket is empty. Disabled
+  /// controllers admit everything.
+  bool Admit(TenantId tenant, std::uint64_t now_nanos) EVM_EXCLUDES(mutex_) {
+    if (!config_.enabled) return true;
+    common::MutexLock lock(mutex_);
+    Bucket& bucket = BucketFor(tenant, config_.default_quota);
+    if (bucket.quota.rate_per_second <= 0.0) return true;
+    Refill(bucket, now_nanos);
+    if (bucket.tokens < 1.0) {
+      ++bucket.throttled;
+      return false;
+    }
+    bucket.tokens -= 1.0;
+    return true;
+  }
+
+  /// Total pushes refused for `tenant` so far.
+  [[nodiscard]] std::uint64_t ThrottledCount(TenantId tenant) const
+      EVM_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    const auto it = buckets_.find(tenant);
+    return it == buckets_.end() ? 0 : it->second.throttled;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  struct Bucket {
+    TenantQuota quota{};
+    double tokens{0.0};
+    std::uint64_t last_refill_nanos{0};
+    bool primed{false};  // first Admit() stamps the clock, bucket starts full
+    std::uint64_t throttled{0};
+  };
+
+  Bucket& BucketFor(TenantId tenant, const TenantQuota& quota)
+      EVM_REQUIRES(mutex_) {
+    const auto it = buckets_.find(tenant);
+    if (it != buckets_.end()) return it->second;
+    Bucket bucket;
+    bucket.quota = quota;
+    bucket.tokens = quota.burst;
+    return buckets_.emplace(tenant, bucket).first->second;
+  }
+
+  static void Refill(Bucket& bucket, std::uint64_t now_nanos) {
+    if (!bucket.primed) {
+      bucket.primed = true;
+      bucket.last_refill_nanos = now_nanos;
+      return;
+    }
+    if (now_nanos <= bucket.last_refill_nanos) return;  // clock must not rewind
+    const double elapsed_s =
+        static_cast<double>(now_nanos - bucket.last_refill_nanos) * 1e-9;
+    bucket.tokens += elapsed_s * bucket.quota.rate_per_second;
+    if (bucket.tokens > bucket.quota.burst) bucket.tokens = bucket.quota.burst;
+    bucket.last_refill_nanos = now_nanos;
+  }
+
+  AdmissionConfig config_;
+  mutable common::Mutex mutex_;
+  std::map<TenantId, Bucket> buckets_ EVM_GUARDED_BY(mutex_);
+};
+
+}  // namespace evm::stream

@@ -15,11 +15,24 @@ inline constexpr char kCtrVRejected[] = "stream.v_queue.rejected";
 inline constexpr char kCtrWindowsSealed[] = "stream.windows_sealed";
 inline constexpr char kCtrIncrementalPasses[] = "stream.incremental_passes";
 inline constexpr char kCtrDirtyTargets[] = "stream.dirty_targets";
+/// Seal batches executed by the sealer thread (one batch may cover many
+/// watermark advances — the batching that amortizes incremental passes).
+inline constexpr char kCtrSealBatches[] = "stream.seal_batches";
+/// Data pushes refused by per-tenant admission control (kThrottled).
+inline constexpr char kCtrThrottled[] = "stream.throttled";
+/// V-lane data pushes refused by the load shedder while above the
+/// high-water mark (kShed) — the records the E-only degradation tier paid.
+inline constexpr char kCtrShedRecords[] = "stream.shed_records";
+/// Provisional results published by an E-only (V-stage-skipped) pass.
+inline constexpr char kCtrEOnlyMatches[] = "stream.e_only_matches";
 
 // Gauges (current queue occupancy; sampled on every push/pop).
 inline constexpr char kGaugeEQueueDepth[] = "stream.e_queue.depth";
 inline constexpr char kGaugeVQueueDepth[] = "stream.v_queue.depth";
 inline constexpr char kGaugeOpenWindows[] = "stream.open_windows";
+/// 1 while the load shedder is engaged (above high-water, not yet recovered
+/// below low-water), else 0.
+inline constexpr char kGaugeShedding[] = "stream.shedding";
 
 // Latency stats.
 /// Ingest-to-provisional-match latency: from the moment a record was

@@ -11,12 +11,14 @@ IncrementalMatcher::IncrementalMatcher(const WindowedScenarioStore& store,
                                        IncrementalMatcherConfig config,
                                        obs::MetricsRegistry& metrics,
                                        obs::TraceRecorder* trace,
-                                       ThreadPool* pool)
+                                       ThreadPool* pool,
+                                       mapreduce::TaskScheduler* scheduler)
     : store_(store),
       config_(std::move(config)),
       metrics_(metrics),
       trace_(trace),
       pool_(pool),
+      scheduler_(scheduler),
       gallery_(oracle, &metrics, trace) {
   std::sort(config_.targets.begin(), config_.targets.end());
   config_.targets.erase(
@@ -28,19 +30,31 @@ const std::vector<Eid>& IncrementalMatcher::CurrentTargets() const {
   return config_.targets.empty() ? store_.universe() : config_.targets;
 }
 
-std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed) {
-  if (sealed.changed_eids.empty()) return 0;
+std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed,
+                                         bool e_only) {
+  if (sealed.changed_eids.empty() && (e_only || e_only_pending_.empty())) {
+    return 0;
+  }
   obs::StageSpan span(trace_, "stream.incremental",
                       metrics_.latency(kLatIncremental));
   obs::AmbientParentScope ambient(trace_, span.id());
 
   // Dirty set: tracked targets whose scenario membership just changed.
-  // (Both sides are sorted.)
+  // (Both sides are sorted.) A full pass additionally re-queues targets
+  // stuck on an E-only result from the shedding phase.
   const std::vector<Eid>& targets = CurrentTargets();
   std::vector<Eid> dirty;
   std::set_intersection(targets.begin(), targets.end(),
                         sealed.changed_eids.begin(),
                         sealed.changed_eids.end(), std::back_inserter(dirty));
+  if (!e_only && !e_only_pending_.empty()) {
+    std::vector<Eid> merged;
+    merged.reserve(dirty.size() + e_only_pending_.size());
+    std::set_union(dirty.begin(), dirty.end(), e_only_pending_.begin(),
+                   e_only_pending_.end(), std::back_inserter(merged));
+    dirty = std::move(merged);
+    e_only_pending_.clear();
+  }
   if (dirty.empty()) return 0;
   metrics_.counter(kCtrDirtyTargets).Add(dirty.size());
   metrics_.counter(kCtrIncrementalPasses).Add();
@@ -48,6 +62,42 @@ std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed) {
   SplitOutcome outcome =
       RunSplitStage(store_.e_scenarios(), config_.split, store_.universe(),
                     dirty, metrics_, trace_);
+
+  if (e_only) {
+    // Degraded tier: scenario membership is fresh, but the V stage is
+    // skipped. Re-publish the last full result (or an unresolved
+    // placeholder) flagged e_only for every target whose list changed, and
+    // remember it for a forced refresh after recovery. last_lists_ is
+    // deliberately left untouched — the next full pass must see the list
+    // as changed.
+    std::vector<Eid> affected;
+    std::size_t published = 0;
+    {
+      common::MutexLock lock(provisional_mutex_);
+      for (const EidScenarioList& list : outcome.lists) {
+        const auto it = last_lists_.find(list.eid.value());
+        if (it != last_lists_.end() && it->second == list.scenarios) continue;
+        affected.push_back(list.eid);
+        MatchResult& slot = provisional_[list.eid.value()];
+        if (slot.chosen_per_scenario.empty() && !slot.resolved) {
+          slot.eid = list.eid;  // fresh placeholder
+        }
+        slot.e_only = true;
+        ++published;
+      }
+    }
+    if (published != 0) {
+      metrics_.counter(kCtrEOnlyMatches).Add(published);
+      std::sort(affected.begin(), affected.end());
+      std::vector<Eid> merged;
+      merged.reserve(e_only_pending_.size() + affected.size());
+      std::set_union(e_only_pending_.begin(), e_only_pending_.end(),
+                     affected.begin(), affected.end(),
+                     std::back_inserter(merged));
+      e_only_pending_ = std::move(merged);
+    }
+    return published;
+  }
 
   // The V stage is the expensive one: run it only for targets whose
   // *selected* scenario list actually changed.
@@ -61,8 +111,14 @@ std::size_t IncrementalMatcher::OnSealed(const SealResult& sealed) {
   if (changed.empty()) return 0;
 
   std::vector<MatchResult> results;
-  RunFilterStage(changed, store_.v_scenarios(), gallery_, config_.filter,
-                 results, metrics_, trace_, pool_);
+  if (scheduler_ != nullptr) {
+    RunFilterStageScheduled(changed, store_.v_scenarios(), gallery_,
+                            config_.filter, results, metrics_, trace_,
+                            *scheduler_);
+  } else {
+    RunFilterStage(changed, store_.v_scenarios(), gallery_, config_.filter,
+                   results, metrics_, trace_, pool_);
+  }
   {
     common::MutexLock lock(provisional_mutex_);
     for (MatchResult& result : results) {

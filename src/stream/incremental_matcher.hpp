@@ -12,6 +12,16 @@
 // (the window permutation, the ContainsTargetEid preprocess filter and the
 // early-out all depend on which targets are in flight together).
 //
+// E-only degradation (OnSealed with e_only=true): under load shedding the
+// driver skips the V stage entirely (SLIM-style). The split stage still
+// runs, so scenario membership stays fresh, but affected targets get their
+// previous full result re-published flagged `e_only` (or an unresolved
+// placeholder if they never had one) instead of fresh VID evidence. The
+// matcher remembers those targets and forces them through the V stage on
+// the first full pass after recovery, even if no new window dirtied them —
+// otherwise a target last touched during shedding would keep stale VID
+// evidence forever.
+//
 // Drain path (Drain): seals nothing itself; runs the authoritative joint
 // pass — the exact RunMatchPass skeleton the batch EvMatcher executes — over
 // the store's scenario sets. Because a fully sealed store is structurally
@@ -50,19 +60,25 @@ struct IncrementalMatcherConfig {
 
 class IncrementalMatcher {
  public:
-  /// `store`, `oracle`, `metrics` (and `pool`/`trace` when given) must
-  /// outlive the matcher. A null pool runs the V stage sequentially.
+  /// `store`, `oracle`, `metrics` (and `pool`/`trace`/`scheduler` when
+  /// given) must outlive the matcher. A null pool runs the V stage
+  /// sequentially; a non-null scheduler runs the *live-path* V stage as
+  /// fault-tolerant TaskScheduler tasks instead (results are identical —
+  /// scheduler attempts publish only on commit).
   IncrementalMatcher(const WindowedScenarioStore& store,
                      const VisualOracle& oracle,
                      IncrementalMatcherConfig config,
                      obs::MetricsRegistry& metrics,
                      obs::TraceRecorder* trace = nullptr,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     mapreduce::TaskScheduler* scheduler = nullptr);
 
   /// Reacts to a seal step: re-splits the dirty targets and re-filters the
-  /// ones whose scenario list changed. Returns the number of targets whose
-  /// provisional result was refreshed.
-  std::size_t OnSealed(const SealResult& sealed);
+  /// ones whose scenario list changed. With e_only=true the V stage is
+  /// skipped (load-shedding degradation, see file header) and affected
+  /// targets are re-published flagged low-confidence. Returns the number of
+  /// targets whose provisional result was refreshed.
+  std::size_t OnSealed(const SealResult& sealed, bool e_only = false);
 
   /// The authoritative joint pass over the current store (see file header).
   [[nodiscard]] MatchReport Drain();
@@ -81,6 +97,12 @@ class IncrementalMatcher {
 
   [[nodiscard]] FeatureGallery& gallery() noexcept { return gallery_; }
 
+  /// Targets currently carrying an E-only result that still awaits its
+  /// post-recovery V-stage refresh.
+  [[nodiscard]] std::size_t e_only_pending_count() const noexcept {
+    return e_only_pending_.size();
+  }
+
  private:
   /// The targets this matcher tracks right now (configured list, or the
   /// store universe under universal matching).
@@ -91,11 +113,17 @@ class IncrementalMatcher {
   obs::MetricsRegistry& metrics_;
   obs::TraceRecorder* trace_;
   ThreadPool* pool_;
+  mapreduce::TaskScheduler* scheduler_;
   FeatureGallery gallery_;
 
-  // eid -> last selected scenario list. Only touched by OnSealed/Drain,
-  // which the driver already serializes under its pipeline mutex.
+  // eid -> last selected scenario list *that went through the V stage*.
+  // E-only passes deliberately do not update it, so recovery re-filters.
+  // Only touched by OnSealed/Drain, which the driver serializes on its
+  // sealer thread.
   std::unordered_map<std::uint64_t, std::vector<ScenarioId>> last_lists_;
+  /// Targets whose last refresh was E-only; sorted. Folded into the dirty
+  /// set of the next full (non-e_only) pass, then cleared.
+  std::vector<Eid> e_only_pending_;
   /// Leaf lock for the provisional-result surface: the consumer thread
   /// publishes refreshed results (under the driver's pipeline mutex) while
   /// any caller thread polls ProvisionalResult()/provisional_count() live.

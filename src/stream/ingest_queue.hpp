@@ -17,6 +17,11 @@
 // PushControl(): they are always admitted and never discarded by
 // kDropOldest — dropping a watermark would stall window sealing forever,
 // and dropping data is semantically fine while dropping time is not.
+//
+// A push against a closed queue returns kClosed (regression: it used to be
+// reported as kRejected, making clean shutdown indistinguishable from
+// overload at the caller and in the reject counters). TotalRejected() counts
+// genuine kReject-policy refusals only.
 
 #include <cstdint>
 #include <deque>
@@ -44,8 +49,21 @@ enum class PushResult {
   kAccepted,
   /// Item admitted; the oldest queued *data* item was discarded.
   kAcceptedDroppedOldest,
-  /// Queue full under kReject: the item was not admitted.
+  /// Queue full under kReject: the item was not admitted (overload).
   kRejected,
+  /// The queue was already closed (shutdown/drain); the item was not
+  /// admitted. Distinct from kRejected so clean shutdown is never
+  /// indistinguishable from overload drops, and never counted in
+  /// TotalRejected().
+  kClosed,
+  /// The push was refused by admission control before reaching the queue
+  /// (per-tenant token-bucket quota exhausted). Produced by the driver, not
+  /// by IngestQueue itself.
+  kThrottled,
+  /// The push was refused by the load shedder (queue depth above the
+  /// high-water mark; the pipeline is running E-only). Produced by the
+  /// driver, not by IngestQueue itself.
+  kShed,
 };
 
 /// T must expose `bool is_control() const` distinguishing watermarks (and
@@ -61,17 +79,18 @@ class IngestQueue {
         rejected_(rejected) {}
 
   /// Pushes a data item under the configured backpressure policy.
-  /// Returns kRejected (without blocking) if the queue is already closed.
+  /// Returns kClosed (without blocking, and without touching the reject
+  /// accounting) if the queue is already closed.
   PushResult Push(T item) EVM_EXCLUDES(mutex_) {
     common::MutexLock lock(mutex_);
-    if (closed_) return PushResult::kRejected;
+    if (closed_) return PushResult::kClosed;
     if (DataCountLocked() >= config_.capacity) {
       switch (config_.policy) {
         case BackpressurePolicy::kBlock:
           while (!closed_ && DataCountLocked() >= config_.capacity) {
             space_cv_.Wait(lock);
           }
-          if (closed_) return PushResult::kRejected;
+          if (closed_) return PushResult::kClosed;
           break;
         case BackpressurePolicy::kDropOldest: {
           DropOldestDataLocked();

@@ -32,8 +32,25 @@ class Pacer {
 };
 
 void Count(PushResult result, ReplayOutcome& outcome) {
-  if (result == PushResult::kAcceptedDroppedOldest) ++outcome.dropped;
-  if (result == PushResult::kRejected) ++outcome.rejected;
+  switch (result) {
+    case PushResult::kAccepted:
+      break;
+    case PushResult::kAcceptedDroppedOldest:
+      ++outcome.dropped;
+      break;
+    case PushResult::kRejected:
+      ++outcome.rejected;
+      break;
+    case PushResult::kThrottled:
+      ++outcome.throttled;
+      break;
+    case PushResult::kShed:
+      ++outcome.shed;
+      break;
+    case PushResult::kClosed:
+      ++outcome.closed;
+      break;
+  }
 }
 
 }  // namespace
@@ -67,9 +84,11 @@ ReplayOutcome ReplayDataset(const Dataset& dataset, StreamDriver& driver,
     const std::int64_t tick =
         take_e ? e_records[ei].tick.value : detections[vi].tick.value;
     // Crossing into a new window: everything before its begin is final.
+    // Heartbeat one boundary at a time so a gap in the event stream still
+    // seals incrementally instead of piling up behind one catch-up jump.
     const std::int64_t boundary = (tick / wt) * wt;
-    if (boundary > watermark) {
-      watermark = boundary;
+    while (watermark < boundary) {
+      watermark += wt;
       driver.AdvanceWatermark(Tick{watermark});
     }
     if (take_e) {

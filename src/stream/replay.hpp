@@ -9,6 +9,13 @@
 // contract a well-behaved sensor front end provides. Replaying every record
 // and then draining therefore reproduces the batch pipeline's input
 // precisely (the drain-equivalence fixture of DESIGN.md §9).
+//
+// Watermarks are emitted as *heartbeats*: one per window boundary, even
+// across event gaps (a quiet stretch, or a one-sided stream with no V data
+// at all). A single catch-up jump at the next event — the old behaviour —
+// let every window in the gap pile up and seal at once, stalling the
+// incremental matcher and spiking seal latency; per-boundary heartbeats
+// keep sealing incremental no matter how bursty the source is.
 
 #include <cstdint>
 
@@ -24,12 +31,19 @@ struct ReplayOptions {
 };
 
 struct ReplayOutcome {
+  /// Push attempts per lane (including refused ones).
   std::uint64_t e_pushed{0};
   std::uint64_t v_pushed{0};
   /// Pushes that cost an older queued record (kDropOldest lanes).
   std::uint64_t dropped{0};
   /// Pushes refused outright (kReject lanes).
   std::uint64_t rejected{0};
+  /// Pushes refused by per-tenant admission control (kThrottled).
+  std::uint64_t throttled{0};
+  /// V pushes refused by the load shedder (kShed, E-only phase).
+  std::uint64_t shed{0};
+  /// Pushes that hit an already-closed driver (kClosed).
+  std::uint64_t closed{0};
 };
 
 /// Pushes every record of `dataset` into `driver` (which must be started),

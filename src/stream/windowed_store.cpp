@@ -1,12 +1,29 @@
 #include "stream/windowed_store.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
+#include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "geo/zone.hpp"
 
 namespace evm::stream {
+namespace {
+
+/// Merges `incoming` (sorted unique) into `accumulated` (sorted unique).
+void MergeSortedEids(std::vector<Eid>& accumulated,
+                     const std::vector<Eid>& incoming) {
+  if (incoming.empty()) return;
+  std::vector<Eid> merged;
+  merged.reserve(accumulated.size() + incoming.size());
+  std::set_union(accumulated.begin(), accumulated.end(), incoming.begin(),
+                 incoming.end(), std::back_inserter(merged));
+  accumulated = std::move(merged);
+}
+
+}  // namespace
 
 WindowedScenarioStore::WindowedScenarioStore(const Grid& grid,
                                              WindowedStoreConfig config)
@@ -17,19 +34,30 @@ WindowedScenarioStore::WindowedScenarioStore(const Grid& grid,
   EVM_CHECK(config_.scenario.vague_threshold >= 0.0 &&
             config_.scenario.vague_threshold <=
                 config_.scenario.inclusive_threshold);
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 void WindowedScenarioStore::AppendE(const ERecord& record) {
   const std::size_t window = WindowOfTick(record.tick);
-  if (static_cast<std::int64_t>(window) <= sealed_horizon_) {
-    ++late_records_;
-    return;
-  }
   const CellId cell = grid_.CellAt(record.position);
+  // Zone classification is pure — keep it outside the shard lock.
   const ZoneClass zone = ClassifyZone(grid_, cell, record.position,
                                       config_.scenario.vague_width_m);
   const std::uint64_t slot = e_scenarios_.IdFor(window, cell).value();
-  EidOccurrence& counts = open_e_[window][slot][record.eid.value()];
+  Shard& shard = *shards_[ShardOfCell(cell)];
+  common::MutexLock lock(shard.mutex);
+  // The horizon check runs under the shard lock so a racing extraction
+  // either sees this bucket (append won the lock) or this append sees the
+  // advanced horizon (extraction won) — never a silently lost record.
+  if (static_cast<std::int64_t>(window) <= sealed_horizon_.load()) {
+    ++shard.late_records;
+    return;
+  }
+  EidOccurrence& counts = shard.open_e[window][slot][record.eid.value()];
   if (zone == ZoneClass::kInclusive) {
     ++counts.inclusive_hits;
   } else {
@@ -39,121 +67,215 @@ void WindowedScenarioStore::AppendE(const ERecord& record) {
 
 void WindowedScenarioStore::AppendV(const VDetection& detection) {
   const std::size_t window = WindowOfTick(detection.tick);
-  if (static_cast<std::int64_t>(window) <= sealed_horizon_) {
-    ++late_records_;
-    return;
-  }
   const std::uint64_t slot =
       e_scenarios_.IdFor(window, detection.cell).value();
-  open_v_[window][slot].push_back(detection.observation);
+  Shard& shard = *shards_[ShardOfCell(detection.cell)];
+  common::MutexLock lock(shard.mutex);
+  if (static_cast<std::int64_t>(window) <= sealed_horizon_.load()) {
+    ++shard.late_records;
+    return;
+  }
+  shard.open_v[window][slot].push_back(detection.observation);
 }
 
-SealResult WindowedScenarioStore::AdvanceWatermark(Tick watermark) {
-  SealResult result;
+SealBatch WindowedScenarioStore::ExtractSealable(Tick watermark) {
   // Window w covers ticks [w*wt, (w+1)*wt); it seals once the watermark
-  // reaches its end.
-  const std::int64_t wt = config_.scenario.window_ticks;
-  while (true) {
-    std::size_t next = std::numeric_limits<std::size_t>::max();
-    if (!open_e_.empty()) next = open_e_.begin()->first;
-    if (!open_v_.empty()) next = std::min(next, open_v_.begin()->first);
-    if (next == std::numeric_limits<std::size_t>::max()) break;
-    if (static_cast<std::int64_t>(next + 1) * wt > watermark.value) break;
-    SealWindow(next, result);
-  }
+  // reaches its end: (w+1)*wt <= watermark, i.e. w <= watermark/wt - 1.
   // Even event-less windows below the watermark count as sealed: a record
   // arriving for one later is late (its window's seal already "happened",
   // publishing nothing).
-  sealed_horizon_ = std::max(sealed_horizon_, watermark.value / wt - 1);
-  ExpireOld(result);
-  return result;
-}
-
-SealResult WindowedScenarioStore::SealAll() {
-  SealResult result;
-  while (!open_e_.empty() || !open_v_.empty()) {
-    std::size_t next = std::numeric_limits<std::size_t>::max();
-    if (!open_e_.empty()) next = open_e_.begin()->first;
-    if (!open_v_.empty()) next = std::min(next, open_v_.begin()->first);
-    SealWindow(next, result);
-  }
-  ExpireOld(result);
-  return result;
-}
-
-void WindowedScenarioStore::SealWindow(std::size_t window,
-                                       SealResult& result) {
   const std::int64_t wt = config_.scenario.window_ticks;
-  const TimeWindow span{Tick{static_cast<std::int64_t>(window) * wt},
-                        Tick{(static_cast<std::int64_t>(window) + 1) * wt}};
+  return ExtractUpTo(watermark.value / wt - 1, /*everything=*/false);
+}
 
-  std::vector<Eid> touched;
-  if (const auto e_it = open_e_.find(window); e_it != open_e_.end()) {
-    for (auto& [slot, counts] : e_it->second) {
+SealBatch WindowedScenarioStore::ExtractAll() {
+  // Drain path: the horizon only advances to the highest window that
+  // actually holds data, matching the batch builder's notion of "the log
+  // ended" (an AdvanceWatermark past the end is the caller's job).
+  std::int64_t horizon = sealed_horizon_.load();
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mutex);
+    if (!shard->open_e.empty()) {
+      horizon = std::max(horizon,
+                         static_cast<std::int64_t>(shard->open_e.rbegin()->first));
+    }
+    if (!shard->open_v.empty()) {
+      horizon = std::max(horizon,
+                         static_cast<std::int64_t>(shard->open_v.rbegin()->first));
+    }
+  }
+  return ExtractUpTo(horizon, /*everything=*/true);
+}
+
+SealBatch WindowedScenarioStore::ExtractUpTo(std::int64_t horizon,
+                                             bool everything) {
+  SealBatch batch;
+  if (horizon > sealed_horizon_.load()) {
+    // Advance the horizon *before* moving buckets: an append racing this
+    // extraction either ran before the store (its bucket is moved out below)
+    // or observes the new horizon under its shard lock and counts late.
+    sealed_horizon_.store(horizon);
+  } else if (!everything) {
+    return batch;  // watermark regressed or stood still: nothing new seals
+  }
+
+  std::set<std::size_t> windows;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    ShardSealInput input;
+    input.shard = s;
+    {
+      common::MutexLock lock(shard.mutex);
+      auto e_end = shard.open_e.upper_bound(static_cast<std::size_t>(horizon));
+      for (auto it = shard.open_e.begin(); it != e_end;) {
+        windows.insert(it->first);
+        input.e_buckets.insert(shard.open_e.extract(it++));
+      }
+      auto v_end = shard.open_v.upper_bound(static_cast<std::size_t>(horizon));
+      for (auto it = shard.open_v.begin(); it != v_end;) {
+        windows.insert(it->first);
+        input.v_buckets.insert(shard.open_v.extract(it++));
+      }
+    }
+    if (!input.empty()) batch.inputs.push_back(std::move(input));
+  }
+  batch.windows.assign(windows.begin(), windows.end());
+  return batch;
+}
+
+ShardSealOutput WindowedScenarioStore::ClassifyShard(
+    const Grid& grid, const EScenarioConfig& config, ShardSealInput&& input) {
+  const std::int64_t wt = config.window_ticks;
+  const std::size_t cells = grid.CellCount();
+  ShardSealOutput output;
+  output.shard = input.shard;
+
+  for (auto& [window, slots] : input.e_buckets) {
+    const TimeWindow span{Tick{static_cast<std::int64_t>(window) * wt},
+                          Tick{(static_cast<std::int64_t>(window) + 1) * wt}};
+    for (auto& [slot, counts] : slots) {
       // ClassifyEntries consumes the same bucket shape the batch builder
       // aggregates, so the emitted entry list is identical.
       EScenario scenario;
       scenario.id = ScenarioId{slot};
-      scenario.cell = CellId{slot % grid_.CellCount()};
+      scenario.cell = CellId{slot % cells};
       scenario.window = span;
-      scenario.entries = ClassifyEntries(counts, config_.scenario);
+      scenario.entries = ClassifyEntries(counts, config);
       if (scenario.entries.empty()) continue;
       for (const EidEntry& entry : scenario.entries) {
-        touched.push_back(entry.eid);
+        output.touched_eids.push_back(entry.eid);
       }
-      e_scenarios_.Add(std::move(scenario));
+      output.e_scenarios.push_back(std::move(scenario));
     }
-    open_e_.erase(e_it);
   }
 
-  if (const auto v_it = open_v_.find(window); v_it != open_v_.end()) {
-    for (auto& [slot, observations] : v_it->second) {
+  for (auto& [window, slots] : input.v_buckets) {
+    const TimeWindow span{Tick{static_cast<std::int64_t>(window) * wt},
+                          Tick{(static_cast<std::int64_t>(window) + 1) * wt}};
+    for (auto& [slot, observations] : slots) {
       if (observations.empty()) continue;
       VScenario scenario;
       scenario.id = ScenarioId{slot};
-      scenario.cell = CellId{slot % grid_.CellCount()};
+      scenario.cell = CellId{slot % cells};
       scenario.window = span;
       scenario.observations = std::move(observations);
       std::sort(scenario.observations.begin(), scenario.observations.end(),
                 [](const VObservation& a, const VObservation& b) {
                   return a.vid < b.vid;
                 });
-      v_scenarios_.Add(std::move(scenario));
+      output.v_scenarios.push_back(std::move(scenario));
     }
-    open_v_.erase(v_it);
   }
 
-  // Merge this window's EIDs into the grow-only universe and the dirty set.
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  std::vector<Eid> merged;
-  merged.reserve(universe_.size() + touched.size());
-  std::set_union(universe_.begin(), universe_.end(), touched.begin(),
-                 touched.end(), std::back_inserter(merged));
-  universe_ = std::move(merged);
-  std::vector<Eid> dirty;
-  dirty.reserve(result.changed_eids.size() + touched.size());
-  std::set_union(result.changed_eids.begin(), result.changed_eids.end(),
-                 touched.begin(), touched.end(), std::back_inserter(dirty));
-  result.changed_eids = std::move(dirty);
-
-  result.sealed_windows.push_back(window);
-  sealed_.push_back(window);
-  sealed_horizon_ =
-      std::max(sealed_horizon_, static_cast<std::int64_t>(window));
+  std::sort(output.touched_eids.begin(), output.touched_eids.end());
+  output.touched_eids.erase(
+      std::unique(output.touched_eids.begin(), output.touched_eids.end()),
+      output.touched_eids.end());
+  return output;
 }
 
-void WindowedScenarioStore::ExpireOld(SealResult& result) {
-  if (config_.retention_windows == 0) return;
-  while (sealed_.size() > config_.retention_windows) {
-    const std::size_t victim = sealed_.front();
-    sealed_.erase(sealed_.begin());
-    e_scenarios_.RemoveWindow(victim);
-    for (std::size_t c = 0; c < grid_.CellCount(); ++c) {
-      v_scenarios_.Remove(e_scenarios_.IdFor(victim, CellId{c}));
-    }
-    result.expired_windows.push_back(victim);
+SealResult WindowedScenarioStore::CommitSealed(
+    const SealBatch& batch, std::vector<ShardSealOutput> outputs) {
+  SealResult result;
+  result.sealed_windows = batch.windows;
+
+  // Slot ids are window-major (window * cells + cell), so a global id sort
+  // reproduces the batch builders' ascending (window, cell) emission order
+  // across shards, making the joint sets shard-count-invariant.
+  std::vector<EScenario> e_merged;
+  std::vector<VScenario> v_merged;
+  for (ShardSealOutput& output : outputs) {
+    std::move(output.e_scenarios.begin(), output.e_scenarios.end(),
+              std::back_inserter(e_merged));
+    std::move(output.v_scenarios.begin(), output.v_scenarios.end(),
+              std::back_inserter(v_merged));
+    MergeSortedEids(result.changed_eids, output.touched_eids);
   }
+  std::sort(e_merged.begin(), e_merged.end(),
+            [](const EScenario& a, const EScenario& b) {
+              return a.id.value() < b.id.value();
+            });
+  std::sort(v_merged.begin(), v_merged.end(),
+            [](const VScenario& a, const VScenario& b) {
+              return a.id.value() < b.id.value();
+            });
+  for (EScenario& scenario : e_merged) e_scenarios_.Add(std::move(scenario));
+  for (VScenario& scenario : v_merged) v_scenarios_.Add(std::move(scenario));
+
+  MergeSortedEids(universe_, result.changed_eids);
+  sealed_.insert(sealed_.end(), batch.windows.begin(), batch.windows.end());
+
+  if (config_.retention_windows != 0) {
+    while (sealed_.size() > config_.retention_windows) {
+      const std::size_t victim = sealed_.front();
+      sealed_.erase(sealed_.begin());
+      e_scenarios_.RemoveWindow(victim);
+      for (std::size_t c = 0; c < grid_.CellCount(); ++c) {
+        v_scenarios_.Remove(e_scenarios_.IdFor(victim, CellId{c}));
+      }
+      result.expired_windows.push_back(victim);
+    }
+  }
+  return result;
+}
+
+SealResult WindowedScenarioStore::AdvanceWatermark(Tick watermark) {
+  SealBatch batch = ExtractSealable(watermark);
+  std::vector<ShardSealOutput> outputs;
+  outputs.reserve(batch.inputs.size());
+  for (ShardSealInput& input : batch.inputs) {
+    outputs.push_back(ClassifyShard(grid_, config_.scenario, std::move(input)));
+  }
+  return CommitSealed(batch, std::move(outputs));
+}
+
+SealResult WindowedScenarioStore::SealAll() {
+  SealBatch batch = ExtractAll();
+  std::vector<ShardSealOutput> outputs;
+  outputs.reserve(batch.inputs.size());
+  for (ShardSealInput& input : batch.inputs) {
+    outputs.push_back(ClassifyShard(grid_, config_.scenario, std::move(input)));
+  }
+  return CommitSealed(batch, std::move(outputs));
+}
+
+std::size_t WindowedScenarioStore::open_window_count() const {
+  std::set<std::size_t> windows;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mutex);
+    for (const auto& [window, slots] : shard->open_e) windows.insert(window);
+    for (const auto& [window, slots] : shard->open_v) windows.insert(window);
+  }
+  return windows.size();
+}
+
+std::uint64_t WindowedScenarioStore::late_records() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(shard->mutex);
+    total += shard->late_records;
+  }
+  return total;
 }
 
 }  // namespace evm::stream

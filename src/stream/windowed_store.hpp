@@ -1,30 +1,54 @@
 #pragma once
-// WindowedScenarioStore — the stream-side owner of the EV-Scenario sets.
+// WindowedScenarioStore — the stream-side owner of the EV-Scenario sets,
+// sharded by geo cell for concurrent ingestion.
 //
 // Raw events append into per-window aggregation buckets (per-EID occurrence
-// counts on the E side, observation lists on the V side). When the joint
-// watermark passes a window's end, the window *seals*: its buckets run
-// through the exact classification rules of the batch builders
-// (ClassifyEntries; vid-sorted observations) and the resulting scenarios are
-// appended to the EScenarioSet / VScenarioSet, in ascending (window, cell)
-// order — the same order BuildEScenarios / BuildVScenarios emit. A store fed
-// every record of a dataset and fully sealed is therefore structurally
-// identical to the batch-built sets, which is the foundation of the stream
-// driver's drain-equivalence guarantee (DESIGN.md §9).
+// counts on the E side, observation lists on the V side). Buckets are
+// partitioned into `shards` cell-hash shards, each guarded by its own mutex,
+// so lane consumers of different shards never contend — a hot cell only
+// blocks its own shard. When the joint watermark passes a window's end, the
+// window *seals* in three phases:
+//
+//   ExtractSealable  moves the sealable buckets out of every shard (brief
+//                    per-shard lock; the sealed horizon advances first, so
+//                    racing appends classify as late instead of vanishing).
+//   ClassifyShard    pure function per shard: buckets -> scenarios through
+//                    the exact classification rules of the batch builders
+//                    (ClassifyEntries; vid-sorted observations). Being pure
+//                    and per-shard, these calls are the "one task per dirty
+//                    shard" the driver hands to the TaskScheduler.
+//   CommitSealed     k-way-merges the shard outputs by scenario id — slot =
+//                    window*cells+cell, so id order IS the batch builders'
+//                    ascending (window, cell) emission order — and appends
+//                    them to the EScenarioSet / VScenarioSet, then applies
+//                    retention expiry.
+//
+// A store fed every record of a dataset and fully sealed is therefore
+// structurally identical to the batch-built sets *regardless of the shard
+// count*, which is the foundation of the stream driver's drain-equivalence
+// guarantee (DESIGN.md §9, §13). AdvanceWatermark()/SealAll() run the three
+// phases inline for callers that don't need the decomposition.
 //
 // Sealed windows older than the retention horizon expire: their scenarios
 // leave the sets (ids and the splitter's window permutation stay stable —
 // expired windows are simply empty). The EID universe is *not* rolled back
 // on expiry; it is the union of all EIDs ever sealed.
 //
-// Not thread-safe: the driver serializes access under its pipeline mutex.
+// Thread safety: AppendE/AppendV may run concurrently from any threads (they
+// lock only the target shard). The seal phases and the set/universe accessors
+// must be externally serialized against each other — the driver's sealer
+// thread is the single sealer, and readers (the matcher) run on it too.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/flat_map.hpp"
 #include "common/ids.hpp"
+#include "common/mutex.hpp"
 #include "common/sim_time.hpp"
 #include "esense/e_scenario.hpp"
 #include "geo/grid.hpp"
@@ -41,6 +65,8 @@ struct WindowedStoreConfig {
   /// Sealed windows kept before expiry; 0 = unlimited retention (required
   /// for drain equivalence with a batch run over the full log).
   std::size_t retention_windows{0};
+  /// Cell-hash shards for concurrent appends. 1 = the unsharded store.
+  std::size_t shards{1};
 };
 
 /// What one watermark advance sealed.
@@ -54,21 +80,81 @@ struct SealResult {
   std::vector<std::size_t> expired_windows;
 };
 
+/// Raw buckets of one shard, moved out by ExtractSealable. Keys are window
+/// index (outer) and slot id (inner); both maps iterate ascending.
+struct ShardSealInput {
+  std::size_t shard{0};
+  std::map<std::size_t,
+           std::map<std::uint64_t,
+                    common::FlatMap<std::uint64_t, EidOccurrence>>>
+      e_buckets;
+  std::map<std::size_t, std::map<std::uint64_t, std::vector<VObservation>>>
+      v_buckets;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return e_buckets.empty() && v_buckets.empty();
+  }
+};
+
+/// Classified scenarios of one shard, id-ascending (= (window, cell)
+/// ascending). Produced by the pure ClassifyShard; consumed by CommitSealed.
+struct ShardSealOutput {
+  std::size_t shard{0};
+  std::vector<EScenario> e_scenarios;
+  std::vector<VScenario> v_scenarios;
+  /// Distinct EIDs of e_scenarios' entries, sorted.
+  std::vector<Eid> touched_eids;
+};
+
+/// One seal batch: every shard's sealable buckets plus the windows they
+/// cover (union across shards, ascending).
+struct SealBatch {
+  std::vector<ShardSealInput> inputs;
+  std::vector<std::size_t> windows;
+
+  [[nodiscard]] bool empty() const noexcept { return windows.empty(); }
+};
+
 class WindowedScenarioStore {
  public:
   WindowedScenarioStore(const Grid& grid, WindowedStoreConfig config);
 
-  /// Buffers one E record into its open window. Records at or below the
-  /// sealed horizon are late: they are counted and dropped (the window they
-  /// belong to has already been published).
+  /// Buffers one E record into its open window (thread-safe; locks the
+  /// cell's shard). Records at or below the sealed horizon are late: they
+  /// are counted and dropped (their window has already been published).
   void AppendE(const ERecord& record);
 
   /// Buffers one V detection into its open window; same late-data rule.
   void AppendV(const VDetection& detection);
 
-  /// Seals every open window that ends at or before `watermark` (i.e.
-  /// window w with (w+1)*window_ticks <= watermark), publishing its
-  /// scenarios, then expires windows past the retention horizon.
+  // --- Three-phase seal (driver path; phases externally serialized) -------
+
+  /// Advances the sealed horizon to cover every window ending at or before
+  /// `watermark` (window w with (w+1)*window_ticks <= watermark) and moves
+  /// the covered buckets out of every shard. Racing appends for covered
+  /// windows classify as late from the moment this returns.
+  [[nodiscard]] SealBatch ExtractSealable(Tick watermark);
+
+  /// Moves everything still open out of every shard, regardless of the
+  /// watermark (the drain path).
+  [[nodiscard]] SealBatch ExtractAll();
+
+  /// Pure classification of one shard's extracted buckets — safe to run on
+  /// any thread (a scheduler task), in any order across shards.
+  [[nodiscard]] static ShardSealOutput ClassifyShard(const Grid& grid,
+                                                     const EScenarioConfig&
+                                                         config,
+                                                     ShardSealInput&& input);
+
+  /// Merges the classified shard outputs into the scenario sets in id order,
+  /// merges universe/dirty EIDs, records the batch's sealed windows and
+  /// applies retention expiry. `outputs` may arrive in any order.
+  SealResult CommitSealed(const SealBatch& batch,
+                          std::vector<ShardSealOutput> outputs);
+
+  // --- One-call convenience (tests, non-driver users) ---------------------
+
+  /// ExtractSealable + ClassifyShard + CommitSealed, inline.
   SealResult AdvanceWatermark(Tick watermark);
 
   /// Seals everything still open, regardless of the watermark.
@@ -87,12 +173,17 @@ class WindowedScenarioStore {
   }
 
   [[nodiscard]] const Grid& grid() const noexcept { return grid_; }
-  [[nodiscard]] std::size_t open_window_count() const noexcept {
-    return open_e_.size() > open_v_.size() ? open_e_.size() : open_v_.size();
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
   }
-  [[nodiscard]] std::uint64_t late_records() const noexcept {
-    return late_records_;
+  /// Shard a cell routes to — the driver uses the same mapping to pick the
+  /// lane queue, so each shard's consumers only ever touch their own shard.
+  [[nodiscard]] std::size_t ShardOfCell(CellId cell) const noexcept {
+    return static_cast<std::size_t>(cell.value()) % shards_.size();
   }
+  /// Distinct open (unsealed, non-empty) windows across all shards.
+  [[nodiscard]] std::size_t open_window_count() const;
+  [[nodiscard]] std::uint64_t late_records() const;
 
  private:
   [[nodiscard]] std::size_t WindowOfTick(Tick tick) const noexcept {
@@ -100,30 +191,46 @@ class WindowedScenarioStore {
                                     config_.scenario.window_ticks);
   }
 
-  void SealWindow(std::size_t window, SealResult& result);
-  void ExpireOld(SealResult& result);
+  /// Per-shard aggregation state. Appends lock exactly one shard; the
+  /// extraction phase locks shards one at a time.
+  struct Shard {
+    mutable common::Mutex mutex;
+    // window -> slot(= window*cells + cell) -> per-EID occurrence counts.
+    // Outer maps stay ordered so extraction iterates windows/slots
+    // ascending — the batch builders' emission order; the per-slot EID
+    // bucket is the hot per-record lookup and uses the open-addressing
+    // table.
+    std::map<std::size_t,
+             std::map<std::uint64_t,
+                      common::FlatMap<std::uint64_t, EidOccurrence>>>
+        open_e EVM_GUARDED_BY(mutex);
+    // window -> slot -> buffered observations (vid-sorted at classify).
+    std::map<std::size_t, std::map<std::uint64_t, std::vector<VObservation>>>
+        open_v EVM_GUARDED_BY(mutex);
+    std::uint64_t late_records EVM_GUARDED_BY(mutex){0};
+  };
+
+  /// Moves every bucket of windows <= `horizon` (everything when
+  /// `everything`) out of all shards into a batch.
+  [[nodiscard]] SealBatch ExtractUpTo(std::int64_t horizon, bool everything);
 
   Grid grid_;
   WindowedStoreConfig config_;
   EScenarioSet e_scenarios_;
   VScenarioSet v_scenarios_;
 
-  // window -> slot(= window*cells + cell) -> per-EID occurrence counts.
-  // Outer maps stay ordered so sealing iterates windows/slots ascending —
-  // the batch builders' emission order; the per-slot EID bucket is the hot
-  // per-record lookup and uses the open-addressing table.
-  std::map<std::size_t,
-           std::map<std::uint64_t,
-                    common::FlatMap<std::uint64_t, EidOccurrence>>>
-      open_e_;
-  // window -> slot -> buffered observations (vid-sorted at seal).
-  std::map<std::size_t, std::map<std::uint64_t, std::vector<VObservation>>>
-      open_v_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::vector<Eid> universe_;          // sorted, grow-only
-  std::vector<std::size_t> sealed_;    // sealed, unexpired windows, ascending
-  std::int64_t sealed_horizon_{-1};    // highest sealed window index
-  std::uint64_t late_records_{0};
+  /// Highest sealed window index. Appends read it under their shard lock;
+  /// only the (externally serialized) extraction phase advances it — and
+  /// does so *before* moving buckets, so a racing append can classify late
+  /// but never land in a bucket that was already extracted.
+  std::atomic<std::int64_t> sealed_horizon_{-1};
+
+  // Mutated only by CommitSealed / read between seal phases — externally
+  // serialized by the single sealer (see file header).
+  std::vector<Eid> universe_;        // sorted, grow-only
+  std::vector<std::size_t> sealed_;  // sealed, unexpired windows, ascending
 };
 
 }  // namespace evm::stream

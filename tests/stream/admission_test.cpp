@@ -1,0 +1,100 @@
+#include "stream/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace evm::stream {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+AdmissionConfig LimitedConfig(double rate, double burst) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.default_quota = TenantQuota{rate, burst};
+  return config;
+}
+
+TEST(AdmissionTest, DisabledControllerAdmitsEverything) {
+  AdmissionController controller(AdmissionConfig{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(controller.Admit(kDefaultTenant, 0));
+  }
+  EXPECT_EQ(controller.ThrottledCount(kDefaultTenant), 0u);
+}
+
+TEST(AdmissionTest, BurstThenThrottleThenRefill) {
+  // 2 records/s sustained, burst of 3. Time is synthetic: the controller
+  // must be a pure function of (config, call sequence, clock values).
+  AdmissionController controller(LimitedConfig(2.0, 3.0));
+
+  // First Admit primes the clock with a full bucket: the burst passes.
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 0));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 0));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 0));
+  EXPECT_FALSE(controller.Admit(kDefaultTenant, 0));
+  EXPECT_EQ(controller.ThrottledCount(kDefaultTenant), 1u);
+
+  // Half a second refills one token; a second push at the same instant
+  // finds the bucket empty again.
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, kSecond / 2));
+  EXPECT_FALSE(controller.Admit(kDefaultTenant, kSecond / 2));
+  EXPECT_EQ(controller.ThrottledCount(kDefaultTenant), 2u);
+
+  // A long quiet stretch refills only up to the burst cap.
+  const std::uint64_t much_later = 100 * kSecond;
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, much_later));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, much_later));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, much_later));
+  EXPECT_FALSE(controller.Admit(kDefaultTenant, much_later));
+}
+
+TEST(AdmissionTest, ClockMustNotRewindBucket) {
+  AdmissionController controller(LimitedConfig(1.0, 1.0));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 10 * kSecond));
+  // A non-monotonic clock reading must not mint tokens or crash.
+  EXPECT_FALSE(controller.Admit(kDefaultTenant, 9 * kSecond));
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 11 * kSecond));
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionConfig config = LimitedConfig(1.0, 1.0);
+  // Tenant 7 has no rate limit.
+  config.overrides.push_back({TenantId{7}, TenantQuota{0.0, 1.0}});
+  AdmissionController controller(config);
+
+  // The default tenant exhausts its own bucket...
+  EXPECT_TRUE(controller.Admit(kDefaultTenant, 0));
+  EXPECT_FALSE(controller.Admit(kDefaultTenant, 0));
+  // ...without touching tenant 3's bucket or the unlimited tenant 7.
+  EXPECT_TRUE(controller.Admit(TenantId{3}, 0));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(controller.Admit(TenantId{7}, 0));
+  }
+  EXPECT_EQ(controller.ThrottledCount(TenantId{7}), 0u);
+  EXPECT_EQ(controller.ThrottledCount(kDefaultTenant), 1u);
+}
+
+TEST(AdmissionTest, ConcurrentAdmitsNeverOverAdmit) {
+  // 4 threads race one bucket of 64 tokens at a frozen clock; exactly 64
+  // admissions may succeed in total.
+  AdmissionController controller(LimitedConfig(1.0, 64.0));
+  std::vector<std::thread> threads;
+  std::atomic<int> admitted{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&controller, &admitted] {
+      for (int i = 0; i < 64; ++i) {
+        if (controller.Admit(kDefaultTenant, 0)) admitted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), 64);
+  EXPECT_EQ(controller.ThrottledCount(kDefaultTenant), 4u * 64u - 64u);
+}
+
+}  // namespace
+}  // namespace evm::stream

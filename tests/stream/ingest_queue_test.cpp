@@ -124,13 +124,16 @@ TEST(IngestQueueTest, CloseWakesBlockedProducerAndDrainsRest) {
   queue.Close();
   producer.join();
   EXPECT_TRUE(blocked_push_returned.load());
-  EXPECT_EQ(blocked_result, PushResult::kRejected);
+  // Regression: a closed queue must answer kClosed, not kRejected — clean
+  // shutdown is not overload, and must not pollute the reject accounting.
+  EXPECT_EQ(blocked_result, PushResult::kClosed);
   // The already-queued item still drains before end-of-stream.
   Item out;
   ASSERT_TRUE(queue.Pop(out));
   EXPECT_EQ(out.value, 0);
   EXPECT_FALSE(queue.Pop(out));
-  EXPECT_EQ(queue.Push(Item{9}), PushResult::kRejected);
+  EXPECT_EQ(queue.Push(Item{9}), PushResult::kClosed);
+  EXPECT_EQ(queue.TotalRejected(), 0u);
 }
 
 TEST(IngestQueueTest, ManyProducersOneConsumer) {

@@ -158,6 +158,93 @@ TEST(WindowedStoreTest, LateRecordsAreCountedAndDropped) {
   EXPECT_EQ(result.sealed_windows[0], 2u);
 }
 
+TEST(WindowedStoreTest, ShardedStoreEqualsBatchBuildersForAnyShardCount) {
+  // The partition by cell hash must be invisible once sealed: the joint
+  // sets are byte-for-byte the batch builders' output for any shard count
+  // (slot ids are window-major, so the commit-time id merge reproduces the
+  // batch emission order).
+  const Dataset dataset = GenerateDataset(SmallConfig(25));
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{5}}) {
+    WindowedStoreConfig config = StoreConfigFor(dataset.config);
+    config.shards = shards;
+    WindowedScenarioStore store(dataset.grid, config);
+    EXPECT_EQ(store.shard_count(), shards);
+    FeedAll(dataset, store);
+    store.SealAll();
+    ExpectStructurallyEqual(store.e_scenarios(), dataset.e_scenarios);
+    ExpectStructurallyEqual(store.v_scenarios(), dataset.v_scenarios);
+    EXPECT_EQ(store.universe(), CollectUniverse(dataset.e_scenarios));
+  }
+}
+
+TEST(WindowedStoreTest, RecordBehindOneLaneWatermarkButNotJointIsNotLate) {
+  // Lateness is defined by the *joint* horizon, never by how far ahead any
+  // single lane's local watermark ran: with the joint watermark at 10, a
+  // window-1 record is on time even if its producer lane already saw tick
+  // 30 — sealing it early would split the window across seal batches.
+  const Grid grid(2, 2, 100.0);
+  WindowedStoreConfig config;
+  config.scenario.window_ticks = 10;
+  config.shards = 2;
+  WindowedScenarioStore store(grid, config);
+  FillWindow(store, Eid{1}, 0);
+  store.AdvanceWatermark(Tick{10});  // joint horizon: window 0 only
+  FillWindow(store, Eid{2}, 1);
+  EXPECT_EQ(store.late_records(), 0u);
+  const SealResult second = store.AdvanceWatermark(Tick{20});
+  ASSERT_EQ(second.sealed_windows.size(), 1u);
+  EXPECT_EQ(second.sealed_windows[0], 1u);
+  ASSERT_EQ(second.changed_eids.size(), 1u);
+  EXPECT_EQ(second.changed_eids[0], Eid{2});
+}
+
+TEST(WindowedStoreTest, AppendsRacingASealBatchAreLateOrPreserved) {
+  // Two-phase seal under retention: appends landing between ExtractSealable
+  // and CommitSealed either count late (window covered by the in-flight
+  // batch) or survive intact for the next batch — never vanish, and expiry
+  // of the committed batch never touches them.
+  const Grid grid(2, 2, 100.0);
+  WindowedStoreConfig config;
+  config.scenario.window_ticks = 10;
+  config.retention_windows = 2;
+  config.shards = 2;
+  WindowedScenarioStore store(grid, config);
+  for (std::int64_t w = 0; w < 4; ++w) {
+    FillWindow(store, Eid{static_cast<std::uint64_t>(w)}, w);
+  }
+
+  SealBatch batch = store.ExtractSealable(Tick{30});  // covers windows 0-2
+  ASSERT_EQ(batch.windows.size(), 3u);
+  // Racing appends while the batch is off being classified:
+  store.AppendE(ERecord{Eid{8}, Tick{12}, {50.0, 50.0}});  // window 1: late
+  FillWindow(store, Eid{9}, 3);  // window 3: beyond the batch, preserved
+  EXPECT_EQ(store.late_records(), 1u);
+
+  std::vector<ShardSealOutput> outputs;
+  for (ShardSealInput& input : batch.inputs) {
+    outputs.push_back(WindowedScenarioStore::ClassifyShard(
+        grid, config.scenario, std::move(input)));
+  }
+  const SealResult sealed = store.CommitSealed(batch, std::move(outputs));
+  EXPECT_EQ(sealed.sealed_windows, (std::vector<std::size_t>{0, 1, 2}));
+  // Retention 2: committing 3 windows expires the oldest immediately.
+  ASSERT_EQ(sealed.expired_windows.size(), 1u);
+  EXPECT_EQ(sealed.expired_windows[0], 0u);
+  EXPECT_TRUE(store.e_scenarios().AtWindow(0).empty());
+  // The late record never resurfaced in window 1's sealed scenario.
+  for (const EScenario* scenario : store.e_scenarios().AtWindow(1)) {
+    EXPECT_FALSE(scenario->Contains(Eid{8}));
+  }
+
+  // The racing window-3 append seals with the next batch, intact.
+  const SealResult rest = store.SealAll();
+  ASSERT_EQ(rest.sealed_windows.size(), 1u);
+  EXPECT_EQ(rest.sealed_windows[0], 3u);
+  EXPECT_EQ(rest.changed_eids, (std::vector<Eid>{Eid{3}, Eid{9}}));
+  ASSERT_EQ(rest.expired_windows.size(), 1u);
+  EXPECT_EQ(rest.expired_windows[0], 1u);
+}
+
 TEST(WindowedStoreTest, RetentionExpiresOldWindowsButKeepsUniverse) {
   const Grid grid(2, 2, 100.0);
   WindowedStoreConfig config;

@@ -3,10 +3,15 @@
 
 Compares a freshly produced BENCH_*.json (bench/bench_util.hpp's
 WriteBenchJson format: a list of {"name", "ns_per_op", "items_per_second"})
-against a committed baseline and fails when any benchmark's throughput
-dropped by more than the threshold (default 10%). Throughput is
-items_per_second when the benchmark reports one, else 1/ns_per_op — so for
-every benchmark "bigger is better" and a drop is a regression.
+against a committed baseline and fails when any benchmark regressed by more
+than the threshold (default 10%). A record with items_per_second > 0 is a
+*throughput* row — a drop is a regression. A record with items_per_second 0
+is a *latency* row (e.g. the stream.record_to_match percentiles, where
+ns_per_op is a latency quantile, not an op cost) — compared on ns_per_op
+with the direction inverted: a rise is a regression. Earlier versions folded
+latency rows into 1/ns_per_op "throughput", which mislabeled the report and
+skewed the threshold (a 10% latency rise only reads as a ~9.1% throughput
+fall, so true 10% regressions slipped under the gate).
 
 Usage:
   tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
@@ -17,7 +22,9 @@ Usage:
 accepted perf change); the comparison is skipped. Benchmarks present only in
 CURRENT are reported as new (not failures, so adding a bench doesn't need a
 two-step dance); benchmarks present only in BASELINE fail — a silently
-vanished bench is how a regression hides.
+vanished bench is how a regression hides. A benchmark that switches kind
+between baseline and current (throughput <-> latency) fails: the numbers are
+not comparable.
 
 Exit codes: 0 ok, 1 regression/missing bench, 2 usage or malformed input.
 """
@@ -33,16 +40,23 @@ from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.10
 
+THROUGHPUT = "throughput"
+LATENCY = "latency"
 
-def load_bench(path: Path) -> dict[str, float]:
-    """Returns {benchmark name: throughput} for one BENCH_*.json file."""
+
+def load_bench(path: Path) -> dict[str, tuple[str, float]]:
+    """Returns {benchmark name: (kind, value)} for one BENCH_*.json file.
+
+    kind is THROUGHPUT (value = items/s, bigger is better) or LATENCY
+    (value = ns_per_op, smaller is better).
+    """
     try:
         records = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as err:
         raise SystemExit(f"bench_compare: cannot read {path}: {err}")
     if not isinstance(records, list):
         raise SystemExit(f"bench_compare: {path}: expected a JSON list")
-    throughput: dict[str, float] = {}
+    metrics: dict[str, tuple[str, float]] = {}
     for record in records:
         name = record.get("name")
         ns_per_op = float(record.get("ns_per_op", 0.0))
@@ -50,16 +64,17 @@ def load_bench(path: Path) -> dict[str, float]:
         if not name:
             raise SystemExit(f"bench_compare: {path}: record without a name")
         if items_per_second > 0.0:
-            throughput[name] = items_per_second
+            metrics[name] = (THROUGHPUT, items_per_second)
         elif ns_per_op > 0.0:
-            throughput[name] = 1e9 / ns_per_op
+            metrics[name] = (LATENCY, ns_per_op)
         else:
             raise SystemExit(
                 f"bench_compare: {path}: {name} has no usable metric")
-    return throughput
+    return metrics
 
 
-def compare(baseline: dict[str, float], current: dict[str, float],
+def compare(baseline: dict[str, tuple[str, float]],
+            current: dict[str, tuple[str, float]],
             threshold: float) -> list[str]:
     """Returns failure messages; prints a per-bench summary line as it goes."""
     failures = []
@@ -68,15 +83,29 @@ def compare(baseline: dict[str, float], current: dict[str, float],
             failures.append(f"{name}: present in baseline but not in current "
                             "run (removed or renamed?)")
             continue
-        old, new = baseline[name], current[name]
+        old_kind, old = baseline[name]
+        new_kind, new = current[name]
+        if old_kind != new_kind:
+            failures.append(f"{name}: metric kind changed "
+                            f"({old_kind} -> {new_kind}); re-baseline with "
+                            "--update if intentional")
+            continue
         ratio = new / old
         status = "ok"
-        if ratio < 1.0 - threshold:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: throughput fell {100 * (1 - ratio):.1f}% "
-                f"({old:.3g} -> {new:.3g}, limit {100 * threshold:.0f}%)")
-        print(f"  {name}: {ratio:6.2%} of baseline  [{status}]")
+        if old_kind == THROUGHPUT:
+            if ratio < 1.0 - threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: throughput fell {100 * (1 - ratio):.1f}% "
+                    f"({old:.3g} -> {new:.3g}, limit {100 * threshold:.0f}%)")
+        else:  # LATENCY: a rise in ns_per_op is the regression.
+            if ratio > 1.0 + threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: latency rose {100 * (ratio - 1):.1f}% "
+                    f"({old:.3g} -> {new:.3g} ns, "
+                    f"limit {100 * threshold:.0f}%)")
+        print(f"  {name}: {ratio:6.2%} of baseline ({old_kind})  [{status}]")
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name}: new benchmark (no baseline; run --update to pin)")
     return failures
@@ -87,18 +116,31 @@ def self_test() -> int:
     base = [
         {"name": "bm_fast", "ns_per_op": 100.0, "items_per_second": 0},
         {"name": "bm_items", "ns_per_op": 50.0, "items_per_second": 2000.0},
+        {"name": "bm_p99", "ns_per_op": 2.0e8, "items_per_second": 0},
     ]
     cases = [
         # (current records, expected failure count, label)
         (base, 0, "identical run passes"),
         ([{"name": "bm_fast", "ns_per_op": 105.0, "items_per_second": 0},
-          base[1]], 0, "5% slowdown passes at 10% threshold"),
+          base[1], base[2]], 0, "5% latency rise passes at 10% threshold"),
         ([{"name": "bm_fast", "ns_per_op": 200.0, "items_per_second": 0},
-          base[1]], 1, "2x slowdown fails"),
+          base[1], base[2]], 1, "2x latency rise fails"),
         ([base[0],
-          {"name": "bm_items", "ns_per_op": 50.0, "items_per_second": 500.0}],
-         1, "items/s drop fails"),
-        ([base[0]], 1, "missing benchmark fails"),
+          {"name": "bm_items", "ns_per_op": 50.0, "items_per_second": 500.0},
+          base[2]], 1, "items/s drop fails"),
+        ([base[0], base[1],
+          {"name": "bm_p99", "ns_per_op": 2.25e8, "items_per_second": 0}],
+         1, "latency percentile rise past threshold fails"),
+        ([base[0], base[1],
+          {"name": "bm_p99", "ns_per_op": 2.18e8, "items_per_second": 0}],
+         0, "9% latency rise passes at 10% threshold"),
+        ([base[0], base[1],
+          {"name": "bm_p99", "ns_per_op": 1.0e7, "items_per_second": 0}],
+         0, "latency improvement is never a regression"),
+        ([base[0], base[1],
+          {"name": "bm_p99", "ns_per_op": 2.0e8, "items_per_second": 5.0}],
+         1, "metric kind change fails"),
+        ([base[0], base[1]], 1, "missing benchmark fails"),
         (base + [{"name": "bm_new", "ns_per_op": 1.0,
                   "items_per_second": 0}], 0, "new benchmark is not a failure"),
     ]
@@ -135,7 +177,7 @@ def main() -> int:
     parser.add_argument("baseline", nargs="?", type=Path)
     parser.add_argument("current", nargs="?", type=Path)
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
-                        help="allowed fractional throughput drop "
+                        help="allowed fractional regression "
                              "(default 0.10 = 10%%)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite BASELINE from CURRENT instead of "
