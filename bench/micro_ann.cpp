@@ -1,0 +1,174 @@
+// V-stage shortlist microbench: the vindex acceptance numbers, emitted as
+// BENCH_ann.json for the cross-PR perf trajectory.
+//
+// Sweeps gallery size (population at the paper's default density) and runs
+// every target list through two matchers over the same dataset: exhaustive
+// and shortlist-indexed. Because the index is exactness-preserving, the two
+// reports must be bit-identical — the bench exits nonzero on any divergence,
+// so the committed baseline doubles as an equivalence gate at bench scale.
+//
+// Reported per size:
+//   avoided_pct   — 100 * match.comparisons_avoided / match.feature_comparisons
+//                   (logical rows whose exact kernel work the certificate
+//                   proved away). Counter-derived, hence deterministic; the
+//                   largest size must clear the 90% acceptance bar or the
+//                   bench fails.
+//   certified_pct — 100 * (1 - index_fallbacks / index_probes): scans whose
+//                   shortlist certificate held (a failed certificate falls
+//                   back to the counted full scan, never to a wrong answer).
+//   vstage        — stage.v wall seconds, indexed vs exhaustive, as latency
+//                   rows (items_per_second 0) at the largest size.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/match_counters.hpp"
+#include "core/matcher.hpp"
+
+namespace {
+
+using namespace evm;
+
+struct AnnRun {
+  MatchReport report;
+  double vstage_seconds{0.0};
+  double build_seconds{0.0};
+  std::uint64_t comparisons{0};
+  std::uint64_t avoided{0};
+  std::uint64_t probes{0};
+  std::uint64_t fallbacks{0};
+};
+
+DatasetConfig AnnConfig(std::size_t population) {
+  DatasetConfig config;
+  config.population = population;
+  config.region_size_m = 1000.0;
+  config.ticks = 400;
+  config.seed = bench::kDatasetSeed;
+  config.SetDensity(bench::kDefaultDensity);
+  return config;
+}
+
+AnnRun RunOnce(const Dataset& dataset, const std::vector<Eid>& targets,
+               bool enable_index) {
+  MatcherConfig config;
+  config.enable_index = enable_index;
+  EvMatcher matcher(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    config);
+  AnnRun run;
+  run.report = matcher.Match(targets);
+  obs::MetricsRegistry& reg = matcher.metrics();
+  run.vstage_seconds = reg.Latency(kLatVStage).total_seconds;
+  run.build_seconds = reg.Latency(kLatIndexBuild).total_seconds;
+  run.comparisons = reg.CounterValue(kCtrFeatureComparisons);
+  run.avoided = reg.CounterValue(kCtrComparisonsAvoided);
+  run.probes = reg.CounterValue(kCtrIndexProbes);
+  run.fallbacks = reg.CounterValue(kCtrIndexFallbacks);
+  return run;
+}
+
+/// Exactness gate: everything a MatchResult carries, compared exactly.
+bool Identical(const std::vector<MatchResult>& got,
+               const std::vector<MatchResult>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (got[i].eid != want[i].eid ||
+        got[i].chosen_per_scenario != want[i].chosen_per_scenario ||
+        got[i].reported_vid != want[i].reported_vid ||
+        got[i].confidence != want[i].confidence ||
+        got[i].majority_fraction != want[i].majority_fraction ||
+        got[i].resolved != want[i].resolved ||
+        got[i].e_only != want[i].e_only) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace evm;
+  bench::PrintHeader(
+      "micro: V-stage shortlist index",
+      "Comparisons avoided and certificate hold-rate of the vindex "
+      "shortlist vs the exhaustive V-stage, with bit-identity of every "
+      "MatchResult enforced in-bench at each gallery size.");
+
+  constexpr double kAvoidedAcceptancePct = 90.0;
+  const std::vector<std::size_t> populations = {250, 500, 1000};
+  std::vector<bench::BenchRecord> records;
+
+  std::cout << "population  comparisons  avoided_pct  certified_pct  "
+               "vstage_exh(s)  vstage_idx(s)  build(s)\n";
+  double largest_avoided_pct = 0.0;
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    const std::size_t population = populations[i];
+    const Dataset dataset = GenerateDataset(AnnConfig(population));
+    const auto targets = SampleTargets(dataset, 60, bench::kTargetSeed);
+
+    const AnnRun exhaustive = RunOnce(dataset, targets, /*enable_index=*/false);
+    const AnnRun indexed = RunOnce(dataset, targets, /*enable_index=*/true);
+
+    if (!Identical(indexed.report.results, exhaustive.report.results) ||
+        indexed.comparisons != exhaustive.comparisons) {
+      std::cerr << "EXACTNESS VIOLATION at population " << population
+                << ": indexed results diverge from the exhaustive scan\n";
+      return 1;
+    }
+    if (indexed.probes == 0) {
+      std::cerr << "index never probed at population " << population
+                << " (shortlist silently declined)\n";
+      return 1;
+    }
+
+    const double avoided_pct = 100.0 * static_cast<double>(indexed.avoided) /
+                               static_cast<double>(indexed.comparisons);
+    const double certified_pct =
+        100.0 * (1.0 - static_cast<double>(indexed.fallbacks) /
+                           static_cast<double>(indexed.probes));
+    std::cout << "  " << population << "        " << indexed.comparisons
+              << "      " << avoided_pct << "      " << certified_pct
+              << "      " << exhaustive.vstage_seconds << "      "
+              << indexed.vstage_seconds << "      " << indexed.build_seconds
+              << "\n";
+
+    const std::string suffix = ".pop" + std::to_string(population);
+    records.push_back(
+        {"ann.avoided_pct" + suffix, 1e9 / avoided_pct, avoided_pct});
+    const bool largest = i + 1 == populations.size();
+    if (largest) {
+      largest_avoided_pct = avoided_pct;
+      records.push_back(
+          {"ann.certified_pct", 1e9 / certified_pct, certified_pct});
+      records.push_back(
+          {"ann.vstage.exhaustive", exhaustive.vstage_seconds * 1e9, 0.0});
+      records.push_back(
+          {"ann.vstage.indexed", indexed.vstage_seconds * 1e9, 0.0});
+      std::cout << "\nlargest gallery: avoided "
+                << avoided_pct << "% vs " << kAvoidedAcceptancePct
+                << "% acceptance bar  ["
+                << (avoided_pct >= kAvoidedAcceptancePct ? "PASS" : "FAIL")
+                << "];  fallback rate " << 100.0 - certified_pct
+                << "%;  V-stage " << exhaustive.vstage_seconds << " s -> "
+                << indexed.vstage_seconds << " s (index build "
+                << indexed.build_seconds << " s)\n";
+    }
+  }
+
+  // The avoided fraction is counter-derived and deterministic, so it can be
+  // gated hard (unlike wall time, which bench_compare.py tracks as latency
+  // rows against the committed baseline instead).
+  if (largest_avoided_pct < kAvoidedAcceptancePct) {
+    std::cerr << "avoided_pct " << largest_avoided_pct
+              << " below the acceptance bar\n";
+    return 1;
+  }
+
+  bench::WriteBenchJson("BENCH_ann.json", records);
+  std::cout << "\nwrote BENCH_ann.json\n";
+  return 0;
+}

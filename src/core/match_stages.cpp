@@ -34,6 +34,9 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
   const obs::Counter processed = metrics.counter(kCtrScenariosProcessed);
   const obs::Counter exact_rows = metrics.counter(kCtrExactFeatureRows);
   const obs::Counter full_scans = metrics.counter(kCtrQuantizedFullScans);
+  const obs::Counter index_probes = metrics.counter(kCtrIndexProbes);
+  const obs::Counter index_fallbacks = metrics.counter(kCtrIndexFallbacks);
+  const obs::Counter avoided = metrics.counter(kCtrComparisonsAvoided);
 
   results.resize(lists.size());
   if (pool == nullptr) {
@@ -46,6 +49,9 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
     processed.Add(counters.scenarios_processed);
     exact_rows.Add(counters.exact_feature_rows);
     full_scans.Add(counters.quantized_full_scans);
+    index_probes.Add(counters.index_probes);
+    index_fallbacks.Add(counters.index_fallbacks);
+    avoided.Add(counters.comparisons_avoided);
     return;
   }
 
@@ -60,11 +66,17 @@ void RunFilterStage(const std::vector<EidScenarioList>& lists,
     total.scenarios_processed += counters.scenarios_processed;
     total.exact_feature_rows += counters.exact_feature_rows;
     total.quantized_full_scans += counters.quantized_full_scans;
+    total.index_probes += counters.index_probes;
+    total.index_fallbacks += counters.index_fallbacks;
+    total.comparisons_avoided += counters.comparisons_avoided;
   });
   comparisons.Add(total.feature_comparisons);
   processed.Add(total.scenarios_processed);
   exact_rows.Add(total.exact_feature_rows);
   full_scans.Add(total.quantized_full_scans);
+  index_probes.Add(total.index_probes);
+  index_fallbacks.Add(total.index_fallbacks);
+  avoided.Add(total.comparisons_avoided);
 }
 
 void RunFilterStageScheduled(const std::vector<EidScenarioList>& lists,
@@ -81,6 +93,9 @@ void RunFilterStageScheduled(const std::vector<EidScenarioList>& lists,
   const obs::Counter processed = metrics.counter(kCtrScenariosProcessed);
   const obs::Counter exact_rows = metrics.counter(kCtrExactFeatureRows);
   const obs::Counter full_scans = metrics.counter(kCtrQuantizedFullScans);
+  const obs::Counter index_probes = metrics.counter(kCtrIndexProbes);
+  const obs::Counter index_fallbacks = metrics.counter(kCtrIndexFallbacks);
+  const obs::Counter avoided = metrics.counter(kCtrComparisonsAvoided);
 
   results.resize(lists.size());
   common::Mutex counters_mutex;
@@ -110,6 +125,9 @@ void RunFilterStageScheduled(const std::vector<EidScenarioList>& lists,
   processed.Add(total.scenarios_processed);
   exact_rows.Add(total.exact_feature_rows);
   full_scans.Add(total.quantized_full_scans);
+  index_probes.Add(total.index_probes);
+  index_fallbacks.Add(total.index_fallbacks);
+  avoided.Add(total.comparisons_avoided);
 }
 
 MatchReport RunMatchPass(const std::vector<Eid>& targets,

@@ -17,6 +17,9 @@ EvMatcher::EvMatcher(const EScenarioSet& e_scenarios,
       config_(config),
       universe_(CollectUniverse(e_scenarios)),
       gallery_(oracle, &metrics(), config_.trace) {
+  if (config_.enable_index) {
+    index_ = std::make_unique<vindex::VIndex>(config_.index);
+  }
   if (config_.execution == ExecutionMode::kMapReduce) {
     EVM_CHECK_MSG(config_.split.mode == SplitMode::kWindowSignature,
                   "MapReduce execution requires the window-signature mode");
@@ -26,6 +29,39 @@ EvMatcher::EvMatcher(const EScenarioSet& e_scenarios,
     if (config_.engine.trace == nullptr) config_.engine.trace = config_.trace;
     engine_ = std::make_unique<mapreduce::MapReduceEngine>(config_.engine);
   }
+}
+
+void EvMatcher::EnsureIndexTrained() {
+  if (index_ == nullptr || index_->trained()) return;
+  obs::StageSpan span(config_.trace, "vindex.build",
+                      metrics().latency(kLatIndexBuild));
+  // Gather every non-empty V-scenario block in ascending id order — the
+  // deterministic training order the codebook contract requires. This also
+  // pre-warms the gallery, so the cost shows up here, not in the V stage.
+  std::vector<std::pair<std::uint64_t, const VScenario*>> ordered;
+  ordered.reserve(v_scenarios_.scenarios().size());
+  for (const VScenario& scenario : v_scenarios_.scenarios()) {
+    if (scenario.observations.empty()) continue;
+    ordered.emplace_back(scenario.id.value(), &scenario);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const FeatureBlock*> blocks;
+  blocks.reserve(ordered.size());
+  for (const auto& [id, scenario] : ordered) {
+    blocks.push_back(&gallery_.Block(*scenario));
+  }
+  if (engine_ != nullptr) {
+    index_->TrainMapReduce(*engine_, blocks);
+  } else {
+    index_->Train(blocks);
+  }
+}
+
+VidFilterOptions EvMatcher::FilterOptions() const {
+  VidFilterOptions options = config_.filter;
+  if (index_ != nullptr && index_->trained()) options.index = index_.get();
+  return options;
 }
 
 SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
@@ -50,8 +86,9 @@ SplitOutcome EvMatcher::RunSplit(const std::vector<Eid>& targets,
 
 void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
                           std::vector<MatchResult>& results) {
+  const VidFilterOptions options = FilterOptions();
   if (engine_ == nullptr) {
-    RunFilterStage(lists, v_scenarios_, gallery_, config_.filter, results,
+    RunFilterStage(lists, v_scenarios_, gallery_, options, results,
                    metrics(), config_.trace);
     return;
   }
@@ -63,6 +100,9 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
   const obs::Counter processed = reg.counter(kCtrScenariosProcessed);
   const obs::Counter exact_rows = reg.counter(kCtrExactFeatureRows);
   const obs::Counter full_scans = reg.counter(kCtrQuantizedFullScans);
+  const obs::Counter index_probes = reg.counter(kCtrIndexProbes);
+  const obs::Counter index_fallbacks = reg.counter(kCtrIndexFallbacks);
+  const obs::Counter avoided = reg.counter(kCtrComparisonsAvoided);
 
   results.resize(lists.size());
 
@@ -102,7 +142,7 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
     tasks.push_back([&, i](const mapreduce::AttemptContext& ctx) {
       VidFilterCounters counters;
       MatchResult result = FilterVid(lists[i], v_scenarios_, gallery_,
-                                     counters, config_.filter, trace);
+                                     counters, options, trace);
       if (!ctx.ClaimCommit()) return mapreduce::AttemptStatus::kCommitLost;
       results[i] = std::move(result);
       common::MutexLock lock(counters_mutex);
@@ -110,6 +150,9 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
       total.scenarios_processed += counters.scenarios_processed;
       total.exact_feature_rows += counters.exact_feature_rows;
       total.quantized_full_scans += counters.quantized_full_scans;
+      total.index_probes += counters.index_probes;
+      total.index_fallbacks += counters.index_fallbacks;
+      total.comparisons_avoided += counters.comparisons_avoided;
       return mapreduce::AttemptStatus::kSuccess;
     });
   }
@@ -118,9 +161,13 @@ void EvMatcher::RunFilter(const std::vector<EidScenarioList>& lists,
   processed.Add(total.scenarios_processed);
   exact_rows.Add(total.exact_feature_rows);
   full_scans.Add(total.quantized_full_scans);
+  index_probes.Add(total.index_probes);
+  index_fallbacks.Add(total.index_fallbacks);
+  avoided.Add(total.comparisons_avoided);
 }
 
 MatchReport EvMatcher::Match(const std::vector<Eid>& targets) {
+  EnsureIndexTrained();
   return RunMatchPass(
       targets, config_.refine, config_.split.seed,
       [this](const std::vector<Eid>& subset, std::uint64_t seed) {

@@ -11,43 +11,9 @@
 namespace evm {
 namespace {
 
-/// Plain-sum L1 mass, accumulated in the same order as the scalar
-/// FeatureDistance so precomputed masses match its float rounding.
-float MassOf(const float* data, std::size_t n) {
-  float mass = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) mass += data[i];
-  return mass;
-}
-
-/// Eq. (1) similarity from an L1 distance and the operands' masses —
-/// identical arithmetic to the scalar FeatureDistance tail.
-double SimilarityFromL1(float l1, float mass_a, float mass_b) {
-  const double max_l1 = std::max(
-      {static_cast<double>(mass_a) + static_cast<double>(mass_b), 2.0});
-  return 1.0 - std::clamp(static_cast<double>(l1) / max_l1, 0.0, 1.0);
-}
-
-/// Bound on |PaddedL1's float result - real-valued L1|. Each of the 8 lanes
-/// performs stride/8 adds plus the 7-op reduction; every intermediate is
-/// bounded by the real L1 <= mass_a + mass_b, and each float op contributes
-/// at most one ulp (2^-23 relative). The +2.0 keeps the bound positive for
-/// all-zero masses and absorbs the subtraction/fabs rounding per term.
-double FloatScanSlack(std::size_t stride, double mass_sum) {
-  return (static_cast<double>(stride) / 8.0 + 8.0) * 0x1p-23 *
-             (mass_sum + 2.0) +
-         1e-12;
-}
-
-/// Folds one exactly-computed row distance into the running best
-/// (first-row-wins: strictly greater replaces).
-inline void FoldRow(BlockMatch& best, std::size_t r, float l1, float mass_p,
-                    float mass_r) {
-  const double sim = SimilarityFromL1(l1, mass_p, mass_r);
-  if (sim > best.similarity) {
-    best.index = static_cast<int>(r);
-    best.similarity = sim;
-  }
-}
+using block_math::FloatScanSlack;
+using block_math::FoldRow;
+using block_math::MassOf;
 
 BlockMatch ScanAllRows(kernels::Isa isa, const PaddedProbe& probe,
                        const FeatureBlock& block) {

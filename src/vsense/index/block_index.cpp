@@ -1,0 +1,240 @@
+#include "vsense/index/block_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "vsense/kernels/best_in_block.hpp"
+
+namespace evm::vindex {
+
+BlockIndex::BlockIndex(const Codebook& codebook, const FeatureBlock& block) {
+  const kernels::QuantizedFeatureBlock& q = block.quantized();
+  if (codebook.empty() || q.empty() || block.stride() != codebook.stride()) {
+    return;
+  }
+  const std::size_t rows = block.rows();
+  const std::size_t stride = block.stride();
+  const std::size_t k = codebook.clusters();
+  qstride_ = q.qstride();
+
+  // Assign every row to its nearest centroid under the float kernel (same
+  // rule as the k-means assignment: strict <, NaN distances never win, so a
+  // degenerate row lands in bucket 0 — only pruning quality is affected,
+  // never correctness).
+  postings_.Reserve(k);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = block.RowData(r);
+    std::size_t best_j = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      const float d =
+          kernels::PaddedL1(row, codebook.Centroid(j), stride);
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+      }
+    }
+    postings_[best_j].rows.push_back(static_cast<std::uint32_t>(r));
+  }
+
+  // Gather codes and certify each bucket: radius bounds every member's
+  // REAL L1 to the centroid (float kernel value + rounding slack). Any
+  // non-finite distance or mass poisons the bound, so the bucket gets an
+  // infinite radius — its exclusion test then never fires.
+  for (std::size_t j = 0; j < k; ++j) {
+    Bucket* bucket = postings_.Find(j);
+    if (bucket == nullptr) continue;
+    bucket->codes.resize(bucket->rows.size() * qstride_);
+    const double cmass = static_cast<double>(codebook.CentroidMass(j));
+    double radius = 0.0;
+    bool certified = true;
+    float max_mass = 0.0f;
+    for (std::size_t i = 0; i < bucket->rows.size(); ++i) {
+      const std::size_t r = bucket->rows[i];
+      std::memcpy(bucket->codes.data() + i * qstride_, q.RowCodes(r),
+                  qstride_);
+      const float mass_r = block.RowMass(r);
+      const double d = static_cast<double>(kernels::PaddedL1(
+          block.RowData(r), codebook.Centroid(j), stride));
+      const double bound =
+          d + block_math::FloatScanSlack(stride,
+                                         static_cast<double>(mass_r) + cmass);
+      if (!std::isfinite(bound) || !std::isfinite(mass_r)) {
+        certified = false;
+      } else {
+        radius = std::max(radius, bound);
+        max_mass = std::max(max_mass, mass_r);
+      }
+    }
+    bucket->radius =
+        certified ? radius : std::numeric_limits<double>::infinity();
+    bucket->max_mass = certified
+                           ? max_mass
+                           : std::numeric_limits<float>::infinity();
+  }
+  usable_ = true;
+}
+
+BlockMatch BlockIndex::Scan(const Codebook& codebook,
+                            const FeatureBlock& block,
+                            const PaddedProbe& probe,
+                            BlockScanStats* scan_stats,
+                            IndexScanStats* stats) const {
+  EVM_CHECK_MSG(usable_, "BlockIndex::Scan on an unusable index");
+  const kernels::QuantizedFeatureBlock& q = block.quantized();
+  const std::size_t rows = block.rows();
+  const std::size_t stride = block.stride();
+  ++stats->probes;
+
+  struct Lane {
+    std::uint64_t centroid;
+    const Bucket* bucket;
+    double dc;  // float kernel distance probe -> centroid
+  };
+  thread_local std::vector<Lane> lanes;
+  thread_local std::vector<std::uint8_t> probe_codes;
+  thread_local std::vector<std::uint32_t> near_sads;
+  thread_local std::vector<std::uint32_t> sads;
+  thread_local std::vector<std::uint32_t> keep;
+  thread_local std::vector<std::uint32_t> survivors;
+
+  lanes.clear();
+  postings_.ForEachSorted([&](std::uint64_t j, const Bucket& bucket) {
+    lanes.push_back(Lane{j, &bucket, 0.0});
+  });
+
+  probe_codes.resize(qstride_);
+  const double err_p = q.QuantizeProbe(probe.data(), probe_codes.data());
+  const double mass_p = static_cast<double>(probe.mass());
+  const double scale = q.scale();
+
+  // Probe-to-centroid distances; nearest nonempty bucket seeds the floor.
+  // Strict < with an infinity init: NaN distances never win, so a NaN probe
+  // defaults to the first bucket (the floor it yields is still valid — the
+  // seed-row arithmetic below never consults dc).
+  std::size_t nearest = 0;
+  double best_dc = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i].dc = static_cast<double>(kernels::PaddedL1(
+        probe.data(), codebook.Centroid(lanes[i].centroid), stride));
+    if (lanes[i].dc < best_dc) {
+      best_dc = lanes[i].dc;
+      nearest = i;
+    }
+  }
+
+  // Floor: SAD-sweep the nearest bucket and certify its argmin row's
+  // similarity — the exact seed arithmetic of ScanQuantized, so
+  // floor <= the true best similarity of the whole block.
+  const Bucket& near_bucket = *lanes[nearest].bucket;
+  near_sads.resize(near_bucket.rows.size());
+  kernels::SadU8Rows(probe_codes.data(), near_bucket.codes.data(),
+                     near_bucket.rows.size(), qstride_, near_sads.data());
+  const std::size_t amin =
+      kernels::ArgMinU32(near_sads.data(), near_bucket.rows.size());
+  const std::size_t seed_row = near_bucket.rows[amin];
+  double floor_sim;
+  {
+    const double mass_sum =
+        mass_p + static_cast<double>(block.RowMass(seed_row));
+    const double l1_ub = scale * static_cast<double>(near_sads[amin]) +
+                         err_p + q.RowError(seed_row) +
+                         block_math::FloatScanSlack(stride, mass_sum);
+    const double max_l1 = std::max(mass_sum, 2.0);
+    floor_sim = 1.0 - std::clamp(l1_ub / max_l1, 0.0, 1.0);
+  }
+
+  // Bucket exclusion (see header for the chain). Written so that every
+  // NaN comparison keeps the bucket, and the nearest bucket is never
+  // excluded — the floor row must stay reachable.
+  thread_local std::vector<char> excluded;
+  excluded.assign(lanes.size(), 0);
+  std::size_t excluded_rows = 0;
+  if (floor_sim > 0.0) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (i == nearest) continue;
+      const Bucket& bucket = *lanes[i].bucket;
+      const double cmass =
+          static_cast<double>(codebook.CentroidMass(lanes[i].centroid));
+      // Real L1(p, c) >= dc - slack(p, c); triangle gives
+      // real L1(p, r) >= that - radius; the float kernel can round at most
+      // slack(p, r) below the real value, bounded with the bucket max mass.
+      const double lb =
+          (lanes[i].dc - block_math::FloatScanSlack(stride, mass_p + cmass)) -
+          bucket.radius -
+          block_math::FloatScanSlack(
+              stride, mass_p + static_cast<double>(bucket.max_mass));
+      const double denom =
+          std::max(mass_p + static_cast<double>(bucket.max_mass), 2.0);
+      const double sim_ub = 1.0 - std::clamp(lb / denom, 0.0, 1.0);
+      if (sim_ub < floor_sim) {
+        excluded[i] = 1;
+        excluded_rows += bucket.rows.size();
+      }
+    }
+  }
+  if (excluded_rows == 0) {
+    // Certificate failed to prune anything: explicit, counted fallback to
+    // the plain scan (which still applies its own quantized shortlist).
+    ++stats->fallbacks;
+    return BestInBlock(probe, block, scan_stats);
+  }
+
+  // Uniform SAD cut over the surviving buckets — the identical formula and
+  // block maxima of ScanQuantized, valid for any row of the block, so it
+  // keeps the argmax and every potential tie (floor_sim > 0 is guaranteed
+  // here: exclusion only fires under a positive floor).
+  std::uint32_t cut = std::numeric_limits<std::uint32_t>::max();
+  {
+    const double slack_coeff =
+        (static_cast<double>(stride) / 8.0 + 8.0) * 0x1p-23;
+    const double mass_hi = mass_p + static_cast<double>(block.MaxRowMass());
+    const double rhs = (1.0 - floor_sim) * std::max(mass_hi, 2.0) + err_p +
+                       q.MaxRowError() +
+                       (slack_coeff * (mass_hi + 2.0) + 1e-12);
+    const double cut_d = rhs / scale;
+    if (cut_d < static_cast<double>(cut)) {
+      cut = static_cast<std::uint32_t>(cut_d);  // floor: sad > cut excludes
+    }
+  }
+
+  survivors.clear();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (excluded[i] != 0) continue;
+    const Bucket& bucket = *lanes[i].bucket;
+    const std::uint32_t* bucket_sads;
+    if (i == nearest) {
+      bucket_sads = near_sads.data();
+    } else {
+      sads.resize(bucket.rows.size());
+      kernels::SadU8Rows(probe_codes.data(), bucket.codes.data(),
+                         bucket.rows.size(), qstride_, sads.data());
+      bucket_sads = sads.data();
+    }
+    keep.resize(bucket.rows.size());
+    const std::size_t kept = kernels::CollectLeU32(
+        bucket_sads, bucket.rows.size(), cut, keep.data());
+    for (std::size_t n = 0; n < kept; ++n) {
+      survivors.push_back(bucket.rows[keep[n]]);
+    }
+  }
+  // Ascending GLOBAL row order restores the exhaustive scan's visit order,
+  // so strict-> replacement reproduces first-row-wins ties exactly.
+  std::sort(survivors.begin(), survivors.end());
+
+  BlockMatch best;
+  for (const std::uint32_t r : survivors) {
+    block_math::FoldRow(
+        best, r,
+        kernels::PaddedL1(probe.data(), block.RowData(r), stride),
+        probe.mass(), block.RowMass(r));
+  }
+  if (scan_stats != nullptr) scan_stats->exact_rows += survivors.size();
+  stats->avoided += rows - survivors.size();
+  return best;
+}
+
+}  // namespace evm::vindex

@@ -1,0 +1,89 @@
+#pragma once
+// BlockIndex: one gallery FeatureBlock's rows bucketed under the shared
+// Codebook — the IVF postings the certified shortlist scan walks instead of
+// SAD-sweeping every row (DESIGN.md §14).
+//
+// Each posting (open-addressing FlatMap keyed by centroid id) stores its
+// rows ascending, a gathered copy of their quantized codes (so the bucket
+// SAD sweep is one contiguous kernel call), a certified radius — an upper
+// bound on the REAL-valued L1 of any member row to the centroid, i.e. the
+// float kernel distance plus the float-rounding slack — and the bucket's
+// largest row mass.
+//
+// Scan() must return the bit-identical BlockMatch of the exhaustive scan.
+// The certificate chain (derivation in DESIGN.md §14):
+//   floor: the probe's nearest bucket is SAD-swept and its argmin row
+//     yields a guaranteed-reachable similarity exactly as ScanQuantized's
+//     seed row does — so floor <= the true best similarity.
+//   bucket exclusion: by the triangle inequality, every row r of bucket j
+//     has real L1(p, r) >= real L1(p, c_j) - radius_j, and the float
+//     kernel's value can sit at most FloatScanSlack below the real one, so
+//     an upper bound on any member's similarity falls out of the bucket's
+//     centroid distance, radius and max mass. A bucket is dropped only when
+//     that bound is STRICTLY below the floor — ties survive, preserving the
+//     first-row-wins rule. The nearest bucket is never dropped.
+//   row cut: surviving buckets are SAD-swept and filtered with the exact
+//     uniform integer cut of ScanQuantized (same formula, same block
+//     maxima), which provably keeps the argmax and every row able to tie it.
+//   fold: survivors are re-ranked with the exact float kernel in ascending
+//     global row order — the same FoldRow arithmetic and visit order as the
+//     exhaustive scan, hence bit-identical output.
+// Whenever the certificate excludes nothing (zero-mass or NaN probes, a
+// degenerate floor, one-bucket blocks), Scan falls back to the plain
+// BestInBlock and counts it — degraded pruning is explicit, never silent.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "vsense/feature_block.hpp"
+#include "vsense/index/codebook.hpp"
+
+namespace evm::vindex {
+
+/// Per-scan accounting of the index path, folded into the match.index_*
+/// registry counters by FilterVid.
+struct IndexScanStats {
+  /// Block scans routed through the index.
+  std::uint64_t probes{0};
+  /// Probes whose certificate excluded nothing — served by the plain
+  /// BestInBlock full scan instead (counted, never silent).
+  std::uint64_t fallbacks{0};
+  /// Feature rows the certificate excluded from exact re-ranking.
+  std::uint64_t avoided{0};
+};
+
+class BlockIndex {
+ public:
+  BlockIndex() = default;
+  /// Buckets `block`'s rows under `codebook`. The index stays unusable (and
+  /// Scan must not be called) when the codebook is empty, the strides
+  /// disagree, or the block has no quantized companion codes.
+  BlockIndex(const Codebook& codebook, const FeatureBlock& block);
+
+  [[nodiscard]] bool usable() const noexcept { return usable_; }
+
+  /// Certified shortlist scan; bit-identical to BestInBlockExact for every
+  /// input (see file header). `codebook` and `block` must be the objects
+  /// the index was built from; `stats` is required, `scan_stats` optional.
+  [[nodiscard]] BlockMatch Scan(const Codebook& codebook,
+                                const FeatureBlock& block,
+                                const PaddedProbe& probe,
+                                BlockScanStats* scan_stats,
+                                IndexScanStats* stats) const;
+
+ private:
+  struct Bucket {
+    std::vector<std::uint32_t> rows;   // member rows, ascending
+    std::vector<std::uint8_t> codes;   // gathered quantized codes
+    double radius{0.0};                // certified max real L1 to centroid
+    float max_mass{0.0f};              // largest member row mass
+  };
+
+  bool usable_{false};
+  std::size_t qstride_{0};
+  common::FlatMap<std::uint64_t, Bucket> postings_;
+};
+
+}  // namespace evm::vindex

@@ -1,0 +1,321 @@
+#include "vsense/index/codebook.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/flat_map.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "vsense/kernels/best_in_block.hpp"
+
+namespace evm::vindex {
+namespace {
+
+/// The gathered training set: `count` stride-padded rows, contiguous.
+struct TrainingSet {
+  std::size_t count{0};
+  std::size_t dim{0};
+  std::size_t stride{0};
+  std::vector<float> rows;  // count * stride
+
+  [[nodiscard]] const float* Row(std::size_t r) const noexcept {
+    return rows.data() + r * stride;
+  }
+};
+
+/// Gathers training rows from `blocks` in caller order, skipping rows whose
+/// precomputed mass is non-finite (a NaN/Inf element always surfaces in the
+/// plain-sum mass), then applies the deterministic stride-sampling cap:
+/// every step-th eligible row in the global order.
+TrainingSet GatherTraining(const std::vector<const FeatureBlock*>& blocks,
+                           std::size_t max_rows) {
+  TrainingSet set;
+  std::size_t eligible = 0;
+  for (const FeatureBlock* block : blocks) {
+    if (block == nullptr || block->empty()) continue;
+    if (set.stride == 0) {
+      set.stride = block->stride();
+      set.dim = block->dim();
+    }
+    EVM_CHECK_MSG(block->stride() == set.stride,
+                  "vindex: stride mismatch across training blocks");
+    for (std::size_t r = 0; r < block->rows(); ++r) {
+      if (std::isfinite(block->RowMass(r))) ++eligible;
+    }
+  }
+  if (eligible == 0 || max_rows == 0) return set;
+
+  const std::size_t step = (eligible + max_rows - 1) / max_rows;
+  set.rows.reserve(((eligible + step - 1) / step) * set.stride);
+  std::size_t next = 0;  // global index of the next sampled eligible row
+  std::size_t seen = 0;
+  for (const FeatureBlock* block : blocks) {
+    if (block == nullptr || block->empty()) continue;
+    for (std::size_t r = 0; r < block->rows(); ++r) {
+      if (!std::isfinite(block->RowMass(r))) continue;
+      if (seen == next) {
+        const float* row = block->RowData(r);
+        set.rows.insert(set.rows.end(), row, row + set.stride);
+        ++set.count;
+        next += step;
+      }
+      ++seen;
+    }
+  }
+  return set;
+}
+
+/// Per-chunk assign/accumulate output: one (count, double sums) partial per
+/// centroid. Sums cover dim (not stride) lanes, accumulated in ascending
+/// row-then-lane order — the fold unit both execution modes share.
+struct ChunkPartial {
+  std::vector<std::uint64_t> count;  // k
+  std::vector<double> sums;          // k * dim
+};
+
+ChunkPartial AssignChunk(const TrainingSet& set,
+                         const std::vector<float>& centroids, std::size_t k,
+                         std::size_t dim, std::size_t begin, std::size_t end) {
+  ChunkPartial partial;
+  partial.count.assign(k, 0);
+  partial.sums.assign(k * dim, 0.0);
+  const std::size_t stride = set.stride;
+  for (std::size_t r = begin; r < end; ++r) {
+    const float* row = set.Row(r);
+    // Nearest centroid under the float PaddedL1 kernel (bit-identical on
+    // every ISA). Strict < keeps the first minimum; a NaN distance never
+    // wins, so a degenerate row falls to centroid 0.
+    std::size_t best_j = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      const float d =
+          kernels::PaddedL1(row, centroids.data() + j * stride, stride);
+      if (d < best_d) {
+        best_d = d;
+        best_j = j;
+      }
+    }
+    ++partial.count[best_j];
+    double* sums = partial.sums.data() + best_j * dim;
+    for (std::size_t d = 0; d < dim; ++d) {
+      sums[d] += static_cast<double>(row[d]);
+    }
+  }
+  return partial;
+}
+
+/// Global accumulator one iteration folds chunk partials into.
+struct Accumulator {
+  std::vector<std::uint64_t> count;  // k
+  std::vector<double> sums;          // k * dim
+};
+
+/// Applies one iteration's fold result: centroid j becomes the float mean
+/// of its assigned rows (empty centroids keep their previous value), with
+/// masses recomputed. Identical double-division/float-rounding sequence in
+/// both execution modes.
+void UpdateCentroids(const Accumulator& acc, std::size_t k, std::size_t dim,
+                     std::size_t stride, std::vector<float>& centroids,
+                     std::vector<float>& mass) {
+  for (std::size_t j = 0; j < k; ++j) {
+    if (acc.count[j] == 0) continue;
+    const double inv_n = static_cast<double>(acc.count[j]);
+    float* c = centroids.data() + j * stride;
+    const double* sums = acc.sums.data() + j * dim;
+    for (std::size_t d = 0; d < dim; ++d) {
+      c[d] = static_cast<float>(sums[d] / inv_n);
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    mass[j] = block_math::MassOf(centroids.data() + j * stride, dim);
+  }
+}
+
+/// Seeds the centroids with k distinct training rows from the
+/// "vindex.init" sub-stream, index-sorted so the codebook does not depend
+/// on the rejection-sampling draw order.
+std::vector<std::size_t> InitIndices(std::uint64_t seed, std::size_t k,
+                                     std::size_t count) {
+  Rng rng = MakeStream(seed, "vindex.init");
+  common::FlatSet<std::uint64_t> taken;
+  std::vector<std::size_t> picks;
+  picks.reserve(k);
+  while (picks.size() < k) {
+    const std::uint64_t r = rng.NextBelow(count);
+    if (taken.Insert(r)) picks.push_back(static_cast<std::size_t>(r));
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+/// Resolved centroid count: the configured target, or the auto rule
+/// (~4 training rows per bucket), clamped to the training-row count. A pure
+/// function of (config, count), so the serial and MapReduce paths derive
+/// byte-identical codebook shapes.
+std::size_t TargetClusters(const CodebookConfig& config, std::size_t count) {
+  const std::size_t target =
+      config.clusters != 0 ? config.clusters
+                           : std::max<std::size_t>(16, count / 4);
+  return std::min(target, count);
+}
+
+}  // namespace
+
+std::vector<unsigned char> Codebook::Bytes() const {
+  BinaryWriter writer;
+  writer.WriteU64(clusters_);
+  writer.WriteU64(dim_);
+  writer.WriteU64(stride_);
+  for (const float v : centroids_) writer.WriteFloat(v);
+  for (const float v : mass_) writer.WriteFloat(v);
+  return writer.Take();
+}
+
+Codebook CodebookTrainer::Train(
+    const std::vector<const FeatureBlock*>& blocks) const {
+  const TrainingSet set = GatherTraining(blocks, config_.max_training_rows);
+  const std::size_t k = TargetClusters(config_, set.count);
+  Codebook codebook;
+  if (k == 0) return codebook;
+  codebook.clusters_ = k;
+  codebook.dim_ = set.dim;
+  codebook.stride_ = set.stride;
+  codebook.centroids_.assign(k * set.stride, 0.0f);
+  codebook.mass_.assign(k, 0.0f);
+  {
+    const std::vector<std::size_t> picks =
+        InitIndices(config_.seed, k, set.count);
+    for (std::size_t j = 0; j < k; ++j) {
+      std::copy_n(set.Row(picks[j]), set.stride,
+                  codebook.centroids_.begin() +
+                      static_cast<std::ptrdiff_t>(j * set.stride));
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    codebook.mass_[j] =
+        block_math::MassOf(codebook.Centroid(j), codebook.dim_);
+  }
+
+  const std::size_t chunk_rows = std::max<std::size_t>(1, config_.chunk_rows);
+  const std::size_t chunks = (set.count + chunk_rows - 1) / chunk_rows;
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    Accumulator acc;
+    acc.count.assign(k, 0);
+    acc.sums.assign(k * set.dim, 0.0);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk_rows;
+      const std::size_t end = std::min(set.count, begin + chunk_rows);
+      const ChunkPartial partial =
+          AssignChunk(set, codebook.centroids_, k, set.dim, begin, end);
+      for (std::size_t j = 0; j < k; ++j) {
+        // Empty partials are skipped on BOTH paths (MapReduce never emits
+        // them): folding a zero partial would still perform `x + 0.0`,
+        // which flips a -0.0 sum to +0.0 and breaks byte parity.
+        if (partial.count[j] == 0) continue;
+        acc.count[j] += partial.count[j];
+        const double* src = partial.sums.data() + j * set.dim;
+        double* dst = acc.sums.data() + j * set.dim;
+        for (std::size_t d = 0; d < set.dim; ++d) dst[d] += src[d];
+      }
+    }
+    UpdateCentroids(acc, k, set.dim, set.stride, codebook.centroids_,
+                    codebook.mass_);
+  }
+  return codebook;
+}
+
+Codebook CodebookTrainer::TrainMapReduce(
+    mapreduce::MapReduceEngine& engine,
+    const std::vector<const FeatureBlock*>& blocks) const {
+  const TrainingSet set = GatherTraining(blocks, config_.max_training_rows);
+  const std::size_t k = TargetClusters(config_, set.count);
+  Codebook codebook;
+  if (k == 0) return codebook;
+  codebook.clusters_ = k;
+  codebook.dim_ = set.dim;
+  codebook.stride_ = set.stride;
+  codebook.centroids_.assign(k * set.stride, 0.0f);
+  codebook.mass_.assign(k, 0.0f);
+  {
+    const std::vector<std::size_t> picks =
+        InitIndices(config_.seed, k, set.count);
+    for (std::size_t j = 0; j < k; ++j) {
+      std::copy_n(set.Row(picks[j]), set.stride,
+                  codebook.centroids_.begin() +
+                      static_cast<std::ptrdiff_t>(j * set.stride));
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    codebook.mass_[j] =
+        block_math::MassOf(codebook.Centroid(j), codebook.dim_);
+  }
+
+  const std::size_t chunk_rows = std::max<std::size_t>(1, config_.chunk_rows);
+  const std::size_t chunks = (set.count + chunk_rows - 1) / chunk_rows;
+  std::vector<std::uint64_t> chunk_ids(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) chunk_ids[c] = c;
+
+  using Partial = std::pair<std::uint64_t, std::vector<double>>;
+  using Out = std::pair<std::uint64_t, Partial>;
+  const std::size_t reducers = std::max<std::size_t>(1, engine.workers());
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    // One job per Lloyd iteration: map = assign/accumulate a chunk (emits
+    // per-centroid partials in ascending centroid order, skipping empty
+    // ones), reduce = fold one centroid's partials in arrival order. The
+    // engine guarantees map task m covers a contiguous input range and the
+    // reducer sees values in (map task, input) order, so the double-add
+    // sequence per centroid equals the serial fold exactly.
+    std::vector<Out> folded = engine.Run<std::uint64_t, Partial, Out>(
+        "vindex-kmeans", chunk_ids, reducers,
+        [&](const std::uint64_t& chunk,
+            mapreduce::Emitter<std::uint64_t, Partial>& emit) {
+          const std::size_t begin =
+              static_cast<std::size_t>(chunk) * chunk_rows;
+          const std::size_t end = std::min(set.count, begin + chunk_rows);
+          const ChunkPartial partial =
+              AssignChunk(set, codebook.centroids_, k, set.dim, begin, end);
+          for (std::size_t j = 0; j < k; ++j) {
+            if (partial.count[j] == 0) continue;
+            emit(j, Partial{partial.count[j],
+                            std::vector<double>(
+                                partial.sums.begin() +
+                                    static_cast<std::ptrdiff_t>(j * set.dim),
+                                partial.sums.begin() +
+                                    static_cast<std::ptrdiff_t>((j + 1) *
+                                                                set.dim))});
+          }
+        },
+        [&](const std::uint64_t& key, std::vector<Partial>&& values,
+            std::vector<Out>& out) {
+          Partial acc{0, std::vector<double>(set.dim, 0.0)};
+          for (const Partial& value : values) {
+            acc.first += value.first;
+            for (std::size_t d = 0; d < set.dim; ++d) {
+              acc.second[d] += value.second[d];
+            }
+          }
+          out.emplace_back(key, std::move(acc));
+        });
+    // Reduce outputs are key-sorted per partition, not globally; restore
+    // centroid order before applying.
+    std::sort(folded.begin(), folded.end(),
+              [](const Out& a, const Out& b) { return a.first < b.first; });
+    Accumulator acc;
+    acc.count.assign(k, 0);
+    acc.sums.assign(k * set.dim, 0.0);
+    for (const Out& entry : folded) {
+      const std::size_t j = static_cast<std::size_t>(entry.first);
+      acc.count[j] = entry.second.first;
+      std::copy(entry.second.second.begin(), entry.second.second.end(),
+                acc.sums.begin() + static_cast<std::ptrdiff_t>(j * set.dim));
+    }
+    UpdateCentroids(acc, k, set.dim, set.stride, codebook.centroids_,
+                    codebook.mass_);
+  }
+  return codebook;
+}
+
+}  // namespace evm::vindex

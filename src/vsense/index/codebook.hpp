@@ -1,0 +1,109 @@
+#pragma once
+// Codebook: the coarse quantizer of the vindex shortlist (DESIGN.md §14) —
+// K centroids over gallery feature rows, trained by a deterministic seeded
+// k-means (Lloyd iterations with a fixed iteration count).
+//
+// Determinism is load-bearing: the index must build byte-identically whether
+// training runs serially or as a MapReduce job on the TaskScheduler, across
+// any worker count and under fault injection. Three properties deliver it:
+//   1. The training set is gathered from blocks in caller order (ascending
+//      scenario id) with a deterministic stride-sampling cap, and rows with
+//      non-finite mass are skipped so NaN/Inf can never poison a centroid.
+//   2. Initial centroids are k distinct training rows drawn from the
+//      "vindex.init" Rng sub-stream, index-sorted before use.
+//   3. Each assign/accumulate pass is chunked: chunk partials (per-centroid
+//      count + double sums) are computed independently per chunk and folded
+//      in (chunk, centroid) order. The serial fold and the MapReduce reduce
+//      see the exact same sequence of double additions per centroid — map
+//      task m covers a contiguous chunk range and value order within a key
+//      group is (map task, input order) — so the centroid updates are
+//      byte-identical in every execution mode (engine_test's determinism
+//      contract).
+//
+// Centroids are stored padded to the source block stride (padding lanes
+// zero) with a precomputed L1 mass each, so the certified scan can run the
+// PaddedL1 kernel probe-vs-centroid directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+#include "vsense/feature_block.hpp"
+
+namespace evm::vindex {
+
+struct CodebookConfig {
+  /// Target centroid count (clamped to the training-row count). 0 = auto:
+  /// max(16, training_rows / 4). Bucket certification needs roughly one
+  /// centroid per distinct identity — with fewer, buckets mix identities,
+  /// their radii blow up to the inter-identity distance and the exclusion
+  /// test stops firing — so the useful count scales with the training set,
+  /// not with any fixed constant.
+  std::size_t clusters{0};
+  /// Lloyd iterations; fixed, never convergence-tested (determinism).
+  std::size_t iterations{4};
+  /// Rows per assign/accumulate chunk — the unit of the fold order shared
+  /// by the serial and MapReduce paths.
+  std::size_t chunk_rows{256};
+  /// Deterministic stride-sampling cap on the training set.
+  std::size_t max_training_rows{8192};
+  /// Master seed of the "vindex.init" Rng sub-stream.
+  std::uint64_t seed{2017};
+};
+
+class Codebook {
+ public:
+  Codebook() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return clusters_ == 0; }
+  [[nodiscard]] std::size_t clusters() const noexcept { return clusters_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  /// Padded centroid stride in floats (the source blocks' row stride).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  /// Centroid j's stride() floats (dim() data + zero padding).
+  [[nodiscard]] const float* Centroid(std::size_t j) const noexcept {
+    return centroids_.data() + j * stride_;
+  }
+  /// Centroid j's precomputed L1 mass (plain sum over dim()).
+  [[nodiscard]] float CentroidMass(std::size_t j) const noexcept {
+    return mass_[j];
+  }
+
+  /// Canonical byte image (little-endian header + float bits) — the object
+  /// the serial-vs-MapReduce and fault-injection parity tests compare.
+  [[nodiscard]] std::vector<unsigned char> Bytes() const;
+
+ private:
+  friend class CodebookTrainer;
+  std::size_t clusters_{0};
+  std::size_t dim_{0};
+  std::size_t stride_{0};
+  std::vector<float> centroids_;  // clusters_ * stride_, padding zeroed
+  std::vector<float> mass_;       // per-centroid L1 mass
+};
+
+/// Trains a codebook over gallery blocks. `blocks` must all share one
+/// stride and be passed in a deterministic order (ascending scenario id);
+/// an empty/degenerate training set yields an empty codebook (the index
+/// then stays disabled). Train() runs the assign/accumulate passes
+/// serially; TrainMapReduce() runs them as one MapReduce job per iteration
+/// on the engine (map = chunk assign/accumulate, reduce = per-centroid
+/// fold), inheriting the engine's fault-tolerance — both produce
+/// byte-identical codebooks (see file header).
+class CodebookTrainer {
+ public:
+  explicit CodebookTrainer(CodebookConfig config) : config_(config) {}
+
+  [[nodiscard]] Codebook Train(
+      const std::vector<const FeatureBlock*>& blocks) const;
+  [[nodiscard]] Codebook TrainMapReduce(
+      mapreduce::MapReduceEngine& engine,
+      const std::vector<const FeatureBlock*>& blocks) const;
+
+ private:
+  CodebookConfig config_;
+};
+
+}  // namespace evm::vindex

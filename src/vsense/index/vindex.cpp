@@ -1,0 +1,80 @@
+#include "vsense/index/vindex.hpp"
+
+namespace evm::vindex {
+
+void VIndex::Train(const std::vector<const FeatureBlock*>& blocks) {
+  codebook_ = CodebookTrainer(config_.codebook).Train(blocks);
+  if (!codebook_.empty()) {
+    trained_.store(true, std::memory_order_release);
+  }
+}
+
+void VIndex::TrainMapReduce(mapreduce::MapReduceEngine& engine,
+                            const std::vector<const FeatureBlock*>& blocks) {
+  codebook_ = CodebookTrainer(config_.codebook).TrainMapReduce(engine, blocks);
+  if (!codebook_.empty()) {
+    trained_.store(true, std::memory_order_release);
+  }
+}
+
+VIndex::Entry& VIndex::Resolve(std::uint64_t scenario_id,
+                               const FeatureBlock& block) {
+  Shard& shard = shards_[ShardOf(scenario_id)];
+  std::shared_ptr<Entry> entry;
+  {
+    common::MutexLock lock(shard.mutex);
+    auto [slot, inserted] = shard.cache.TryEmplace(scenario_id);
+    if (inserted) *slot = std::make_shared<Entry>();
+    entry = *slot;
+  }
+  // Single-flight: one caller buckets the block, concurrent first probes of
+  // the same scenario wait here instead of duplicating the assignment pass.
+  std::call_once(entry->once, [&] {
+    entry->index = BlockIndex(codebook_, block);
+    entry->ready.store(true, std::memory_order_release);
+  });
+  return *entry;
+}
+
+bool VIndex::Scan(std::uint64_t scenario_id, const FeatureBlock& block,
+                  const PaddedProbe& probe, BlockScanStats* scan_stats,
+                  IndexScanStats* stats, BlockMatch* out) {
+  if (!trained()) return false;
+  // Small blocks and blocks without quantized codes (or with a foreign
+  // stride) are cheaper to scan directly; declining here keeps them out of
+  // the probe/fallback accounting entirely.
+  if (block.rows() < config_.min_rows || block.quantized().empty() ||
+      block.stride() != codebook_.stride()) {
+    return false;
+  }
+  Entry& entry = Resolve(scenario_id, block);
+  if (!entry.index.usable()) return false;
+  *out = entry.index.Scan(codebook_, block, probe, scan_stats, stats);
+  return true;
+}
+
+void VIndex::Remove(std::uint64_t scenario_id) {
+  Shard& shard = shards_[ShardOf(scenario_id)];
+  common::MutexLock lock(shard.mutex);
+  shard.cache.Erase(scenario_id);
+}
+
+void VIndex::Clear() {
+  trained_.store(false, std::memory_order_release);
+  for (Shard& shard : shards_) {
+    common::MutexLock lock(shard.mutex);
+    shard.cache.Clear();
+  }
+  codebook_ = Codebook();
+}
+
+std::size_t VIndex::indexed_blocks() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    common::MutexLock lock(shard.mutex);
+    count += shard.cache.size();
+  }
+  return count;
+}
+
+}  // namespace evm::vindex

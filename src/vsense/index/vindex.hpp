@@ -1,0 +1,123 @@
+#pragma once
+// VIndex — the exactness-preserving ANN shortlist index of the V stage
+// (DESIGN.md §14): one shared Codebook (coarse quantizer) plus a lazily
+// built BlockIndex per gallery scenario block.
+//
+// Lifecycle. Train()/TrainMapReduce() fit the codebook once over the
+// gallery (batch: all V-scenario blocks before the first pass; streaming:
+// the cached blocks once enough rows accumulated). Per-block postings are
+// then built single-flight on a block's first probed scan — which is also
+// how streaming "incremental inserts" work: a window sealed after training
+// simply gets its BlockIndex on first touch. Retention-expired scenarios
+// are dropped with Remove() (IncrementalMatcher wires this to the store's
+// expired_windows).
+//
+// Concurrency mirrors FeatureGallery: entries live in a sharded lock table
+// keyed by scenario id and are built under a per-entry once_flag, so
+// concurrent first probes of one block do the bucketing exactly once. The
+// codebook is immutable after Train (publication via an acquire/release
+// flag); Remove/Clear require external serialization against scans (the
+// streaming sealer thread provides it).
+//
+// Scan() returns false when the index cannot serve the block (untrained,
+// too few rows, no quantized codes, stride mismatch) — the caller then runs
+// the plain BestInBlock. When it returns true, the BlockMatch is
+// bit-identical to the exhaustive scan (block_index.hpp).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/flat_map.hpp"
+#include "common/mutex.hpp"
+#include "mapreduce/engine.hpp"
+#include "vsense/feature_block.hpp"
+#include "vsense/index/block_index.hpp"
+#include "vsense/index/codebook.hpp"
+
+namespace evm::vindex {
+
+struct VIndexConfig {
+  CodebookConfig codebook{};
+  /// Blocks below this many rows are left to the plain scan: per-probe
+  /// centroid distances would cost more than the rows they could prune.
+  std::size_t min_rows{16};
+  /// Streaming only: train the codebook once this many feature rows are
+  /// cached in the gallery.
+  std::size_t train_min_rows{512};
+};
+
+class VIndex {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  explicit VIndex(VIndexConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const VIndexConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool trained() const noexcept {
+    return trained_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const Codebook& codebook() const noexcept {
+    return codebook_;
+  }
+
+  /// Fits the codebook over `blocks` (deterministic caller order — pass
+  /// them in ascending scenario id). No-op re-training is not supported:
+  /// call Clear() first. A degenerate training set leaves the index
+  /// untrained (every Scan returns false).
+  void Train(const std::vector<const FeatureBlock*>& blocks);
+  /// Same, with the assign/accumulate passes run as MapReduce jobs on the
+  /// engine — byte-identical to Train (codebook.hpp).
+  void TrainMapReduce(mapreduce::MapReduceEngine& engine,
+                      const std::vector<const FeatureBlock*>& blocks);
+
+  /// Certified scan of `block` (the gallery block of `scenario_id`).
+  /// Returns false when the index does not cover the block; otherwise
+  /// writes the bit-identical match into `out` and folds the index
+  /// accounting into `stats`/`scan_stats`.
+  bool Scan(std::uint64_t scenario_id, const FeatureBlock& block,
+            const PaddedProbe& probe, BlockScanStats* scan_stats,
+            IndexScanStats* stats, BlockMatch* out);
+
+  /// Drops one scenario's postings (streaming retention expiry).
+  void Remove(std::uint64_t scenario_id);
+  /// Drops every posting and the codebook; the index reverts to untrained.
+  void Clear();
+
+  /// Blocks currently carrying postings (diagnostics/tests).
+  [[nodiscard]] std::size_t indexed_blocks() const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::atomic<bool> ready{false};
+    BlockIndex index;
+  };
+  struct Shard {
+    mutable common::Mutex mutex;
+    common::FlatMap<std::uint64_t, std::shared_ptr<Entry>> cache
+        EVM_GUARDED_BY(mutex);
+  };
+
+  static std::size_t ShardOf(std::uint64_t scenario_id) noexcept {
+    // Fibonacci hash: window*cells+cell id patterns spread across shards.
+    return static_cast<std::size_t>((scenario_id * 0x9e3779b97f4a7c15ULL) >>
+                                    60) &
+           (kShards - 1);
+  }
+
+  /// Finds or creates the entry and runs the single-flight bucketing.
+  Entry& Resolve(std::uint64_t scenario_id, const FeatureBlock& block);
+
+  VIndexConfig config_;
+  Codebook codebook_;
+  std::atomic<bool> trained_{false};
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace evm::vindex

@@ -1,0 +1,134 @@
+// The vindex acceptance contract at the pipeline level: enabling the
+// shortlist index must leave every MatchResult bit-identical to the
+// exhaustive matcher — across seeds, both candidate-pool policies and both
+// execution modes — while the index_* counters prove the shortlist actually
+// ran, and serial vs MapReduce execution agree on those counters exactly
+// (mode parity).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/match_counters.hpp"
+#include "core/matcher.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/experiment.hpp"
+
+namespace evm {
+namespace {
+
+DatasetConfig SmallConfig(std::uint64_t seed) {
+  // Dense cells (population / cell count ≈ 60) so gallery blocks clear the
+  // index's min_rows gate and the shortlist actually runs.
+  DatasetConfig config;
+  config.population = 240;
+  config.ticks = 160;
+  config.cell_size_m = 500.0;
+  config.seed = seed;
+  return config;
+}
+
+/// Bit-identity of everything a MatchResult carries.
+void ExpectIdenticalResults(const std::vector<MatchResult>& got,
+                            const std::vector<MatchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].eid, want[i].eid);
+    EXPECT_EQ(got[i].chosen_per_scenario, want[i].chosen_per_scenario);
+    EXPECT_EQ(got[i].reported_vid, want[i].reported_vid);
+    EXPECT_EQ(got[i].confidence, want[i].confidence);  // exact, not NEAR
+    EXPECT_EQ(got[i].majority_fraction, want[i].majority_fraction);
+    EXPECT_EQ(got[i].resolved, want[i].resolved);
+    EXPECT_EQ(got[i].e_only, want[i].e_only);
+  }
+}
+
+TEST(IndexEquivalenceTest, IndexedMatchIsBitIdenticalAcrossSeedsAndPools) {
+  for (const std::uint64_t seed : {61u, 62u, 63u}) {
+    const Dataset dataset = GenerateDataset(SmallConfig(seed));
+    const auto targets = SampleTargets(dataset, 30, 1);
+    for (const CandidatePool pool : {CandidatePool::kAllScenarios,
+                                     CandidatePool::kSmallestScenario}) {
+      MatcherConfig plain_config;
+      plain_config.filter.candidate_pool = pool;
+      EvMatcher plain(dataset.e_scenarios, dataset.v_scenarios,
+                      dataset.oracle, plain_config);
+      const MatchReport expected = plain.Match(targets);
+
+      MatcherConfig indexed_config = plain_config;
+      indexed_config.enable_index = true;
+      EvMatcher indexed(dataset.e_scenarios, dataset.v_scenarios,
+                        dataset.oracle, indexed_config);
+      const MatchReport report = indexed.Match(targets);
+
+      ExpectIdenticalResults(report.results, expected.results);
+      // The logical comparison count is path-independent by contract.
+      EXPECT_EQ(report.stats.feature_comparisons,
+                expected.stats.feature_comparisons);
+      // The shortlist must actually have run, not silently declined.
+      const obs::MetricsRegistry& reg = indexed.metrics();
+      EXPECT_GT(reg.CounterValue(kCtrIndexProbes), 0u);
+      EXPECT_GT(reg.CounterValue(kCtrComparisonsAvoided), 0u);
+      EXPECT_EQ(plain.metrics().CounterValue(kCtrIndexProbes), 0u);
+    }
+  }
+}
+
+TEST(IndexEquivalenceTest, SerialAndMapReduceModesAgreeOnIndexCounters) {
+  const Dataset dataset = GenerateDataset(SmallConfig(64));
+  const auto targets = SampleTargets(dataset, 30, 1);
+
+  MatcherConfig serial_config;
+  serial_config.enable_index = true;
+  serial_config.split.mode = SplitMode::kWindowSignature;
+  EvMatcher serial(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                   serial_config);
+  const MatchReport serial_report = serial.Match(targets);
+
+  MatcherConfig mr_config = serial_config;
+  mr_config.execution = ExecutionMode::kMapReduce;
+  mr_config.engine.workers = 4;
+  EvMatcher parallel(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                     mr_config);
+  const MatchReport mr_report = parallel.Match(targets);
+
+  ExpectIdenticalResults(mr_report.results, serial_report.results);
+  // Mode parity: per-list FilterVid work is deterministic and the codebook
+  // trains byte-identically through either path, so the execution-path
+  // counters — not just the results — must match exactly.
+  const obs::MetricsRegistry& sreg = serial.metrics();
+  const obs::MetricsRegistry& preg = parallel.metrics();
+  EXPECT_GT(sreg.CounterValue(kCtrIndexProbes), 0u);
+  EXPECT_EQ(sreg.CounterValue(kCtrIndexProbes),
+            preg.CounterValue(kCtrIndexProbes));
+  EXPECT_EQ(sreg.CounterValue(kCtrIndexFallbacks),
+            preg.CounterValue(kCtrIndexFallbacks));
+  EXPECT_EQ(sreg.CounterValue(kCtrComparisonsAvoided),
+            preg.CounterValue(kCtrComparisonsAvoided));
+}
+
+TEST(IndexEquivalenceTest, RefinedUniversalMatchStaysBitIdentical) {
+  // The refine loop re-filters through the same options plumbing; a
+  // universal pass with refine on exercises the index across every list
+  // shape the splitter produces.
+  const Dataset dataset = GenerateDataset(SmallConfig(65));
+
+  MatcherConfig plain_config;
+  plain_config.refine.enabled = true;
+  EvMatcher plain(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                  plain_config);
+  const MatchReport expected = plain.MatchUniversal();
+
+  MatcherConfig indexed_config = plain_config;
+  indexed_config.enable_index = true;
+  EvMatcher indexed(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    indexed_config);
+  const MatchReport report = indexed.MatchUniversal();
+
+  ExpectIdenticalResults(report.results, expected.results);
+  EXPECT_EQ(report.stats.feature_comparisons,
+            expected.stats.feature_comparisons);
+}
+
+}  // namespace
+}  // namespace evm

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/match_counters.hpp"
 #include "core/matcher.hpp"
 #include "stream/counters.hpp"
 #include "stream/replay.hpp"
@@ -140,6 +141,98 @@ TEST(StreamDriverTest, UniversalDrainMatchesBatch) {
   driver.Start();
   ReplayDataset(dataset, driver);
   ExpectIdenticalReports(driver.Drain(), expected);
+}
+
+/// Dense cells (population / cell count ≈ 50): gallery blocks clear the
+/// vindex min_rows gate, so index-enabled streaming tests exercise the
+/// shortlist instead of vacuously declining every block.
+DatasetConfig DenseConfig(std::uint64_t seed) {
+  DatasetConfig config;
+  config.population = 200;
+  config.ticks = 120;
+  config.cell_size_m = 500.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(StreamDriverTest, DrainWithIndexMatchesPlainBatch) {
+  // With the vindex shortlist enabled the streaming codebook trains over
+  // whatever the gallery holds when the row threshold trips — a different
+  // codebook than the batch matcher's, depending on seal batching. The
+  // exactness certificate makes that invisible: results (not index
+  // counters, which legitimately vary with timing) must stay bit-identical
+  // to the plain exhaustive batch run.
+  for (const std::uint64_t seed : {36u, 37u}) {
+    const Dataset dataset = GenerateDataset(DenseConfig(seed));
+    const std::vector<Eid> targets = SampleTargets(dataset, 5);
+
+    MatcherConfig plain_config;
+    EvMatcher batch(dataset.e_scenarios, dataset.v_scenarios, dataset.oracle,
+                    plain_config);
+    const MatchReport expected = batch.Match(targets);
+
+    StreamDriverConfig config = DriverConfigFor(dataset, plain_config, targets,
+                                                BackpressurePolicy::kBlock);
+    config.match.enable_index = true;
+    config.match.index.train_min_rows = 64;  // train early in the stream
+    StreamDriver driver(dataset.grid, dataset.oracle, config);
+    driver.Start();
+    ReplayDataset(dataset, driver);
+    ExpectIdenticalReports(driver.Drain(), expected);
+  }
+}
+
+TEST(StreamDriverTest, IndexFollowsStreamLifecycle) {
+  // Store + matcher directly (no driver threads) so the seal sequence is
+  // deterministic: the index must train itself mid-stream, serve probes,
+  // and drop postings + cached features when windows expire.
+  const Dataset dataset = GenerateDataset(DenseConfig(38));
+  const std::vector<Eid> targets = SampleTargets(dataset, 5);
+
+  WindowedStoreConfig store_config;
+  store_config.scenario =
+      EScenarioConfig{dataset.config.window_ticks,
+                      dataset.config.vague_width_m,
+                      dataset.config.inclusive_threshold,
+                      dataset.config.vague_threshold};
+  WindowedScenarioStore store(dataset.grid, store_config);
+  for (const ERecord& record : dataset.e_log.records()) {
+    store.AppendE(record);
+  }
+  for (const VScenario& scenario : dataset.v_scenarios.scenarios()) {
+    for (const VObservation& observation : scenario.observations) {
+      store.AppendV(
+          VDetection{scenario.window.begin, scenario.cell, observation});
+    }
+  }
+
+  obs::MetricsRegistry metrics;
+  IncrementalMatcherConfig match_config;
+  match_config.targets = targets;
+  match_config.enable_index = true;
+  match_config.index.train_min_rows = 64;
+  IncrementalMatcher matcher(store, dataset.oracle, match_config, metrics);
+
+  // Two seal steps: the first fills the gallery past the training
+  // threshold, so the second scans through a live index.
+  matcher.OnSealed(store.AdvanceWatermark(Tick{60}));
+  matcher.OnSealed(store.SealAll());
+  ASSERT_NE(matcher.index(), nullptr);
+  EXPECT_TRUE(matcher.index()->trained());
+  EXPECT_GT(metrics.CounterValue(kCtrIndexProbes), 0u);
+  EXPECT_GT(metrics.CounterValue(kCtrComparisonsAvoided), 0u);
+  EXPECT_GT(matcher.index()->indexed_blocks(), 0u);
+  EXPECT_GT(matcher.gallery().CachedScenarioCount(), 0u);
+
+  // Retention expiry of every window must evict every posting and every
+  // cached block: scenario ids are exactly the (window, cell) slots.
+  SealResult expire_all;
+  for (std::size_t w = 0; w < store.e_scenarios().window_count(); ++w) {
+    expire_all.expired_windows.push_back(w);
+  }
+  matcher.OnSealed(expire_all);
+  EXPECT_EQ(matcher.index()->indexed_blocks(), 0u);
+  EXPECT_EQ(matcher.gallery().CachedScenarioCount(), 0u);
 }
 
 TEST(StreamDriverTest, PracticalSettingWithRefineMatchesBatch) {

@@ -1,0 +1,344 @@
+// evm::vindex unit tests: deterministic codebook training (serial vs
+// MapReduce vs fault injection — byte-identical), and the exactness
+// certificate of the shortlist scan — the index must return the
+// bit-identical BlockMatch of the exhaustive scan on every input, counting
+// (never hiding) the probes its certificate cannot prune.
+
+#include "vsense/index/vindex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapreduce/engine.hpp"
+#include "vsense/feature_block.hpp"
+#include "vsense/index/codebook.hpp"
+
+namespace evm::vindex {
+namespace {
+
+FeatureVector RandomFeature(Rng& rng, std::size_t dim) {
+  FeatureVector f(dim);
+  float sum = 0.0f;
+  for (float& v : f) {
+    v = static_cast<float>(rng.NextDouble());
+    sum += v;
+  }
+  for (float& v : f) v /= sum;
+  return f;
+}
+
+/// Clustered gallery rows: `rows` features scattered around a handful of
+/// cluster prototypes, the regime the coarse quantizer is built for.
+std::vector<FeatureVector> ClusteredScenario(Rng& rng, std::size_t rows,
+                                             std::size_t dim,
+                                             std::size_t prototypes = 6) {
+  std::vector<FeatureVector> centers;
+  for (std::size_t p = 0; p < prototypes; ++p) {
+    centers.push_back(RandomFeature(rng, dim));
+  }
+  std::vector<FeatureVector> features;
+  features.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    FeatureVector f = centers[rng.NextBelow(centers.size())];
+    for (float& v : f) {
+      v = std::max(0.0f, v + 0.02f * static_cast<float>(rng.NextDouble() -
+                                                        0.5));
+    }
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+std::vector<FeatureBlock> MakeBlocks(Rng& rng, std::size_t count,
+                                     std::size_t rows, std::size_t dim) {
+  std::vector<FeatureBlock> blocks;
+  blocks.reserve(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    blocks.push_back(FeatureBlock(ClusteredScenario(rng, rows, dim)));
+  }
+  return blocks;
+}
+
+std::vector<const FeatureBlock*> Pointers(
+    const std::vector<FeatureBlock>& blocks) {
+  std::vector<const FeatureBlock*> ptrs;
+  for (const FeatureBlock& block : blocks) ptrs.push_back(&block);
+  return ptrs;
+}
+
+/// Bit-identity of the two scan outputs (exact ==, including the doubles).
+void ExpectSameMatch(const BlockMatch& got, const BlockMatch& want) {
+  EXPECT_EQ(got.index, want.index);
+  EXPECT_EQ(got.similarity, want.similarity);
+}
+
+TEST(CodebookTest, TrainingIsDeterministic) {
+  Rng rng(11);
+  const auto blocks = MakeBlocks(rng, 4, 48, 144);
+  const CodebookTrainer trainer(CodebookConfig{});
+  const Codebook a = trainer.Train(Pointers(blocks));
+  const Codebook b = trainer.Train(Pointers(blocks));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.Bytes(), b.Bytes());
+
+  CodebookConfig reseeded;
+  reseeded.seed = 999;
+  const Codebook c = CodebookTrainer(reseeded).Train(Pointers(blocks));
+  EXPECT_NE(a.Bytes(), c.Bytes());  // the seed picks different init rows
+}
+
+TEST(CodebookTest, DegenerateTrainingSetsYieldEmptyCodebook) {
+  const CodebookTrainer trainer(CodebookConfig{});
+  EXPECT_TRUE(trainer.Train({}).empty());
+
+  // Rows with non-finite mass are filtered; an all-NaN gallery trains
+  // nothing (and the index then declines every scan instead of certifying
+  // garbage).
+  std::vector<FeatureVector> poisoned(
+      20, FeatureVector(144, std::numeric_limits<float>::quiet_NaN()));
+  const FeatureBlock block(poisoned);
+  EXPECT_TRUE(trainer.Train({&block}).empty());
+}
+
+TEST(CodebookTest, SerialAndMapReduceTrainingAreByteIdentical) {
+  Rng rng(12);
+  const auto blocks = MakeBlocks(rng, 5, 64, 144);
+  CodebookConfig config;
+  config.chunk_rows = 48;  // force several chunks per iteration
+  const CodebookTrainer trainer(config);
+  const Codebook serial = trainer.Train(Pointers(blocks));
+  ASSERT_FALSE(serial.empty());
+
+  for (const std::size_t workers : {1u, 3u, 8u}) {
+    mapreduce::EngineOptions options;
+    options.workers = workers;
+    mapreduce::MapReduceEngine engine(options);
+    const Codebook parallel = trainer.TrainMapReduce(engine, Pointers(blocks));
+    EXPECT_EQ(serial.Bytes(), parallel.Bytes()) << "workers=" << workers;
+  }
+}
+
+TEST(CodebookTest, TrainingSurvivesFaultInjectionByteIdentically) {
+  Rng rng(13);
+  const auto blocks = MakeBlocks(rng, 4, 64, 144);
+  CodebookConfig config;
+  config.chunk_rows = 32;
+  const CodebookTrainer trainer(config);
+  const Codebook serial = trainer.Train(Pointers(blocks));
+  ASSERT_FALSE(serial.empty());
+
+  mapreduce::EngineOptions options;
+  options.workers = 4;
+  options.seed = 7;
+  options.map_failure_prob = 0.3;
+  options.reduce_failure_prob = 0.2;
+  options.map_straggler_prob = 0.2;
+  options.straggler_delay = std::chrono::milliseconds(5);
+  options.max_attempts = 25;
+  mapreduce::MapReduceEngine engine(options);
+  const Codebook injected = trainer.TrainMapReduce(engine, Pointers(blocks));
+  EXPECT_EQ(serial.Bytes(), injected.Bytes());
+}
+
+/// setenv-scoped fixture mirroring the engine's EVM_MR_INJECT_* contract.
+class ScopedInjectionEnv {
+ public:
+  void Set(const std::string& name, const std::string& value) {
+    setenv(name.c_str(), value.c_str(), 1);
+    set_.push_back(name);
+  }
+  ~ScopedInjectionEnv() {
+    for (const std::string& name : set_) unsetenv(name.c_str());
+  }
+
+ private:
+  std::vector<std::string> set_;
+};
+
+TEST(CodebookTest, TrainingSurvivesEnvInjectionByteIdentically) {
+  Rng rng(14);
+  const auto blocks = MakeBlocks(rng, 4, 48, 144);
+  const CodebookTrainer trainer(CodebookConfig{});
+  const Codebook serial = trainer.Train(Pointers(blocks));
+  ASSERT_FALSE(serial.empty());
+
+  ScopedInjectionEnv env;
+  env.Set("EVM_MR_INJECT_MAP_FAILURES", "0.3");
+  env.Set("EVM_MR_INJECT_REDUCE_FAILURES", "0.2");
+  env.Set("EVM_MR_INJECT_MAX_ATTEMPTS", "25");
+  env.Set("EVM_MR_INJECT_SEED", "99");
+  mapreduce::EngineOptions options;
+  options.workers = 4;
+  mapreduce::MapReduceEngine engine(options);  // ctor applies the env knobs
+  const Codebook injected = trainer.TrainMapReduce(engine, Pointers(blocks));
+  EXPECT_EQ(serial.Bytes(), injected.Bytes());
+}
+
+TEST(VIndexTest, ScanIsBitIdenticalToExhaustiveScan) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    Rng rng(seed);
+    const auto blocks = MakeBlocks(rng, 3, 96, 144);
+    VIndex index;
+    index.Train(Pointers(blocks));
+    ASSERT_TRUE(index.trained());
+
+    IndexScanStats stats;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const FeatureBlock& block = blocks[b];
+      for (int trial = 0; trial < 24; ++trial) {
+        // Fresh probes and gallery-row clones (the pipeline's two probe
+        // kinds), plus the degenerate shapes the certificate must survive.
+        FeatureVector probe_vec;
+        switch (trial % 4) {
+          case 0:
+            probe_vec = RandomFeature(rng, 144);
+            break;
+          case 1:
+            probe_vec = block.Row(rng.NextBelow(block.rows()));
+            break;
+          case 2:
+            probe_vec = FeatureVector(144, 0.0f);
+            break;
+          default:
+            probe_vec = FeatureVector(144, 1e30f);
+            break;
+        }
+        const PaddedProbe probe(probe_vec, block.stride());
+        BlockScanStats scan_stats;
+        BlockMatch got;
+        ASSERT_TRUE(index.Scan(b, block, probe, &scan_stats, &stats, &got));
+        ExpectSameMatch(got, BestInBlockExact(probe, block));
+      }
+    }
+    EXPECT_GT(stats.probes, 0u);
+    // On clustered data the certificate prunes most rows; the hard floor
+    // here just guards against a silently dead shortlist.
+    EXPECT_GT(stats.avoided, 0u);
+  }
+}
+
+TEST(VIndexTest, NaNProbeFallsBackCountedAndBitIdentical) {
+  Rng rng(31);
+  const auto blocks = MakeBlocks(rng, 1, 64, 144);
+  VIndex index;
+  index.Train(Pointers(blocks));
+  ASSERT_TRUE(index.trained());
+
+  const FeatureVector nan_vec(144, std::numeric_limits<float>::quiet_NaN());
+  const PaddedProbe probe(nan_vec, blocks[0].stride());
+  IndexScanStats stats;
+  BlockMatch got;
+  ASSERT_TRUE(index.Scan(0, blocks[0], probe, nullptr, &stats, &got));
+  // A NaN floor certifies nothing: the probe must be served by the plain
+  // scan and counted as a fallback, and still agree bit-for-bit.
+  EXPECT_EQ(stats.fallbacks, 1u);
+  ExpectSameMatch(got, BestInBlockExact(probe, blocks[0]));
+}
+
+TEST(VIndexTest, NaNGalleryRowsNeverBreakExactness) {
+  Rng rng(32);
+  auto features = ClusteredScenario(rng, 64, 144);
+  features[5] = FeatureVector(144, std::numeric_limits<float>::quiet_NaN());
+  features[40] = FeatureVector(144, std::numeric_limits<float>::infinity());
+  const FeatureBlock block(features);
+  // Train on a clean sibling so the codebook itself is healthy; the
+  // poisoned block only exercises the scan-side certification.
+  const auto clean = MakeBlocks(rng, 1, 64, 144);
+  VIndex index;
+  index.Train({&clean[0], &block});
+  ASSERT_TRUE(index.trained());
+
+  IndexScanStats stats;
+  for (int trial = 0; trial < 16; ++trial) {
+    const FeatureVector probe_vec = trial % 2 == 0
+                                        ? RandomFeature(rng, 144)
+                                        : features[rng.NextBelow(4) + 6];
+    const PaddedProbe probe(probe_vec, block.stride());
+    BlockMatch got;
+    ASSERT_TRUE(index.Scan(1, block, probe, nullptr, &stats, &got));
+    ExpectSameMatch(got, BestInBlockExact(probe, block));
+  }
+}
+
+TEST(VIndexTest, IndistinguishableRowsForceCountedFallback) {
+  // Every row identical: all centroids collapse, the whole block lands in
+  // one bucket, and the certificate can exclude nothing — each probe must
+  // be a counted fallback with the bit-identical answer.
+  Rng rng(33);
+  const FeatureVector row = RandomFeature(rng, 144);
+  const FeatureBlock block(std::vector<FeatureVector>(64, row));
+  VIndex index;
+  index.Train({&block});
+  ASSERT_TRUE(index.trained());
+
+  IndexScanStats stats;
+  for (int trial = 0; trial < 8; ++trial) {
+    const FeatureVector probe_vec = RandomFeature(rng, 144);
+    const PaddedProbe probe(probe_vec, block.stride());
+    BlockMatch got;
+    ASSERT_TRUE(index.Scan(0, block, probe, nullptr, &stats, &got));
+    ExpectSameMatch(got, BestInBlockExact(probe, block));
+  }
+  EXPECT_EQ(stats.fallbacks, stats.probes);
+  EXPECT_EQ(stats.avoided, 0u);
+}
+
+TEST(VIndexTest, DeclinesUncoveredBlocks) {
+  Rng rng(34);
+  const auto blocks = MakeBlocks(rng, 1, 64, 144);
+  const PaddedProbe probe(RandomFeature(rng, 144), blocks[0].stride());
+  IndexScanStats stats;
+  BlockMatch got;
+
+  VIndex untrained;
+  EXPECT_FALSE(untrained.Scan(0, blocks[0], probe, nullptr, &stats, &got));
+
+  VIndex index;
+  index.Train(Pointers(blocks));
+  ASSERT_TRUE(index.trained());
+
+  // Below min_rows: the shortlist would cost more than it prunes.
+  const FeatureBlock small(ClusteredScenario(rng, 12, 144));
+  EXPECT_FALSE(index.Scan(7, small, probe, nullptr, &stats, &got));
+
+  // Foreign stride: the codebook can't measure these rows at all.
+  const FeatureBlock narrow(ClusteredScenario(rng, 64, 24));
+  const PaddedProbe narrow_probe(RandomFeature(rng, 24), narrow.stride());
+  EXPECT_FALSE(index.Scan(8, narrow, narrow_probe, nullptr, &stats, &got));
+  EXPECT_EQ(stats.probes, 0u);  // declined scans never count as probes
+}
+
+TEST(VIndexTest, RemoveAndClearDropPostings) {
+  Rng rng(35);
+  const auto blocks = MakeBlocks(rng, 2, 64, 144);
+  VIndex index;
+  index.Train(Pointers(blocks));
+  ASSERT_TRUE(index.trained());
+
+  const PaddedProbe probe(RandomFeature(rng, 144), blocks[0].stride());
+  IndexScanStats stats;
+  BlockMatch got;
+  ASSERT_TRUE(index.Scan(100, blocks[0], probe, nullptr, &stats, &got));
+  ASSERT_TRUE(index.Scan(200, blocks[1], probe, nullptr, &stats, &got));
+  EXPECT_EQ(index.indexed_blocks(), 2u);
+
+  index.Remove(100);
+  EXPECT_EQ(index.indexed_blocks(), 1u);
+  // A removed scenario rebuilds on next touch (streaming re-entry).
+  ASSERT_TRUE(index.Scan(100, blocks[0], probe, nullptr, &stats, &got));
+  EXPECT_EQ(index.indexed_blocks(), 2u);
+
+  index.Clear();
+  EXPECT_FALSE(index.trained());
+  EXPECT_EQ(index.indexed_blocks(), 0u);
+  EXPECT_FALSE(index.Scan(100, blocks[0], probe, nullptr, &stats, &got));
+}
+
+}  // namespace
+}  // namespace evm::vindex

@@ -44,7 +44,7 @@ step "determinism lint: src/" "$PYTHON" tools/lint.py --root .
 step "sanitizer option validation" "$CMAKE" -P tools/sanitize_option_test.cmake
 step "bench compare: self-test" "$PYTHON" tools/bench_compare.py --self-test
 
-for bench_json in BENCH_core_ops.json BENCH_stream.json; do
+for bench_json in BENCH_core_ops.json BENCH_stream.json BENCH_ann.json; do
   if [ -f "$BUILD_DIR/$bench_json" ] && [ -f "$bench_json" ]; then
     step "bench compare: $bench_json" "$PYTHON" tools/bench_compare.py \
       "$bench_json" "$BUILD_DIR/$bench_json"

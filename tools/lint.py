@@ -73,6 +73,12 @@ MIGRATED_FILES = (
     "src/stream/windowed_store.hpp",
     "src/vsense/gallery.cpp",
     "src/vsense/gallery.hpp",
+    "src/vsense/index/block_index.cpp",
+    "src/vsense/index/block_index.hpp",
+    "src/vsense/index/codebook.cpp",
+    "src/vsense/index/codebook.hpp",
+    "src/vsense/index/vindex.cpp",
+    "src/vsense/index/vindex.hpp",
     "src/vsense/v_scenario.cpp",
     "src/vsense/v_scenario.hpp",
 )
@@ -315,6 +321,7 @@ def self_test() -> int:
         (root / "src/core").mkdir(parents=True)
         (root / "src/stream").mkdir(parents=True)
         (root / "src/common").mkdir(parents=True)
+        (root / "src/vsense/index").mkdir(parents=True)
 
         (root / "src/core/bad_random.cpp").write_text(
             "#include <random>\n"
@@ -370,10 +377,20 @@ def self_test() -> int:
             "#include <unordered_map>\n"
             "// det-ok: trying to sneak a hash table back in\n"
             "std::unordered_map<int, int> Table() { return {}; }\n")
+        # Migrated files in nested subsystem directories (src/vsense/index/)
+        # must be matched by their full relative path, not just basename.
+        (root / "src/vsense/index/bad_nested_migrated.cpp").write_text(
+            "#include <unordered_set>\n"
+            "std::unordered_set<int> Postings() { return {}; }\n")
+        (root / "src/vsense/index/clean_nested_migrated.cpp").write_text(
+            "#include \"common/flat_map.hpp\"\n"
+            "common::FlatMap<int, int> Postings() { return {}; }\n")
 
         findings = check_tree(
             root, migrated=("src/core/bad_migrated.cpp",
-                            "src/core/missing_migrated.cpp"))
+                            "src/core/missing_migrated.cpp",
+                            "src/vsense/index/bad_nested_migrated.cpp",
+                            "src/vsense/index/clean_nested_migrated.cpp"))
         got = {(str(f.path), f.rule) for f in findings}
         expected = {
             ("src/core/bad_random.cpp", "banned-random"),
@@ -382,6 +399,8 @@ def self_test() -> int:
             ("src/core/bad_flat_iter.cpp", "flatmap-iter"),
             ("src/core/bad_migrated.cpp", "unordered-in-migrated"),
             ("src/core/missing_migrated.cpp", "unordered-in-migrated"),
+            ("src/vsense/index/bad_nested_migrated.cpp",
+             "unordered-in-migrated"),
         }
         failures = []
         for want in expected:
@@ -389,7 +408,8 @@ def self_test() -> int:
                 failures.append(f"expected finding missing: {want}")
         for path, rule in got:
             if path in ("src/core/clean.cpp", "src/core/clean_flat_iter.cpp",
-                        "src/common/rng.cpp"):
+                        "src/common/rng.cpp",
+                        "src/vsense/index/clean_nested_migrated.cpp"):
                 failures.append(f"false positive: {path} [{rule}]")
         # bad_random.cpp must fire for both rand() and random_device.
         random_hits = [f for f in findings
