@@ -30,6 +30,18 @@ inline constexpr char kMrReduceTasks[] = "mr.reduce_tasks";
 inline constexpr char kMrReduceAttempts[] = "mr.reduce_attempts";
 inline constexpr char kMrReduceRetries[] = "mr.reduce_retries";
 inline constexpr char kMrReduceSpeculative[] = "mr.reduce_speculative";
+// The scheduler also runs non-engine stages through the same counter
+// scheme: "classify" (stream seal classification) and "filter" (scheduled
+// V-stage filtering). Naming them here keeps every mr.<stage>_* spelling a
+// compile-time constant (see tools/tidy/counters.txt).
+inline constexpr char kMrClassifyTasks[] = "mr.classify_tasks";
+inline constexpr char kMrClassifyAttempts[] = "mr.classify_attempts";
+inline constexpr char kMrClassifyRetries[] = "mr.classify_retries";
+inline constexpr char kMrClassifySpeculative[] = "mr.classify_speculative";
+inline constexpr char kMrFilterTasks[] = "mr.filter_tasks";
+inline constexpr char kMrFilterAttempts[] = "mr.filter_attempts";
+inline constexpr char kMrFilterRetries[] = "mr.filter_retries";
+inline constexpr char kMrFilterSpeculative[] = "mr.filter_speculative";
 inline constexpr char kMrInjectedMapFailures[] = "mr.injected_map_failures";
 inline constexpr char kMrInjectedReduceFailures[] =
     "mr.injected_reduce_failures";

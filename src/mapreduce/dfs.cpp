@@ -59,7 +59,9 @@ std::vector<std::string> Dfs::List() const {
 std::uint64_t Dfs::TotalBytes() const {
   common::ReaderMutexLock lock(mutex_);
   std::uint64_t total = 0;
-  // det-ok: order-independent sum over the open-addressing table
+  // Probe-order visit is fine here: an order-independent sum over the
+  // open-addressing table. (No det-ok needed — src/mapreduce is outside the
+  // deterministic-subsystem audit; see tools/tidy/ for the scope.)
   for (const auto& [name, blocks] : datasets_) {
     for (const auto& block : blocks) total += block.size();
   }

@@ -92,6 +92,85 @@ TEST(FlatMapTest, ForEachSortedVisitsAscending) {
   EXPECT_EQ(keys, (std::vector<std::uint64_t>{1u, 2u, 4u, 7u, 8u, 9u}));
 }
 
+// ForEachSorted across every growth rehash: insert ascending-scrambled keys
+// one at a time and verify the sorted visit at each capacity boundary. A
+// rehash reshuffles probe order completely, so this is where a sort over
+// stale slot indexes would surface.
+TEST(FlatMapTest, ForEachSortedStableAcrossGrowthRehashes) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::vector<std::uint64_t> inserted;
+  std::size_t last_capacity = map.capacity();
+  int rehashes_observed = 0;
+  // Mix64 spreads consecutive integers, so k*2654435761 gives scrambled
+  // probe positions while keeping the expected sorted order trivial.
+  for (std::uint64_t n = 0; n < 3000; ++n) {
+    const std::uint64_t key = (n * 2654435761u) % 100003u;
+    if (map.Insert(key, key + 1).second) inserted.push_back(key);
+    if (map.capacity() != last_capacity) {
+      last_capacity = map.capacity();
+      ++rehashes_observed;
+      std::vector<std::uint64_t> sorted(inserted);
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<std::uint64_t> visited;
+      visited.reserve(sorted.size());
+      map.ForEachSorted([&](std::uint64_t k, std::uint64_t v) {
+        EXPECT_EQ(v, k + 1);
+        visited.push_back(k);
+      });
+      ASSERT_EQ(visited, sorted) << "after rehash to capacity "
+                                 << last_capacity;
+    }
+  }
+  // 3000 keys from 16 slots: the loop must have crossed several boundaries,
+  // or the test silently stopped testing rehashes.
+  EXPECT_GE(rehashes_observed, 5);
+}
+
+// Erase-heavy workload: the table is tombstone-free (backward-shift
+// deletion), so mass erasure must leave no residue that a sorted visit
+// could trip over — the analogue of the tombstone-accumulation pathology
+// in deleted-marker designs. Narrow key range forces long probe chains and
+// wraparound, and erase/reinsert waves recycle the same slots repeatedly.
+TEST(FlatMapTest, ForEachSortedUnderEraseHeavyChurn) {
+  Rng rng(7331);
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::vector<std::uint64_t> live;  // sorted oracle of live keys
+  const auto check_sorted_visit = [&] {
+    std::vector<std::uint64_t> visited;
+    visited.reserve(live.size());
+    map.ForEachSorted([&](std::uint64_t k, std::uint64_t v) {
+      EXPECT_EQ(v, k * 3);
+      visited.push_back(k);
+    });
+    ASSERT_EQ(visited, live);
+  };
+
+  for (int wave = 0; wave < 20; ++wave) {
+    // Fill: push the table toward its load limit.
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t key = rng.NextBelow(1024);
+      if (map.Insert(key, key * 3).second) {
+        live.insert(std::upper_bound(live.begin(), live.end(), key), key);
+      }
+    }
+    check_sorted_visit();
+    // Drain: erase ~90% of the live set, shrinking probe chains via
+    // backward shift; the visit must track the survivors exactly.
+    for (std::size_t i = live.size(); i-- > 0;) {
+      if (rng.NextBelow(10) != 0) {
+        ASSERT_TRUE(map.Erase(live[i]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    check_sorted_visit();
+  }
+  // Final full drain down to empty.
+  for (const std::uint64_t key : live) ASSERT_TRUE(map.Erase(key));
+  live.clear();
+  check_sorted_visit();
+  EXPECT_TRUE(map.empty());
+}
+
 TEST(FlatSetTest, BasicOperations) {
   FlatSet<std::uint64_t> set;
   EXPECT_TRUE(set.Insert(3u));

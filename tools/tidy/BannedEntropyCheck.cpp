@@ -1,0 +1,144 @@
+//===--- BannedEntropyCheck.cpp - evm-banned-entropy ----------------------===//
+
+#include "BannedEntropyCheck.h"
+
+#include "EvmTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+namespace {
+
+constexpr char kDefaultDeterministicDirs[] =
+    "src/core;src/esense;src/vsense;src/stream";
+constexpr char kDefaultSourceDirs[] = "src";
+constexpr char kDefaultRngAllowlist[] =
+    "src/common/rng.hpp;src/common/rng.cpp";
+
+} // namespace
+
+BannedEntropyCheck::BannedEntropyCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawDeterministicDirs(
+          Options.get("DeterministicDirs", kDefaultDeterministicDirs)),
+      RawSourceDirs(Options.get("SourceDirs", kDefaultSourceDirs)),
+      RawRngAllowlist(Options.get("RngAllowlist", kDefaultRngAllowlist)),
+      DeterministicDirs(splitOption(RawDeterministicDirs)),
+      SourceDirs(splitOption(RawSourceDirs)),
+      RngAllowlist(splitOption(RawRngAllowlist)) {}
+
+void BannedEntropyCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "DeterministicDirs", RawDeterministicDirs);
+  Options.store(Opts, "SourceDirs", RawSourceDirs);
+  Options.store(Opts, "RngAllowlist", RawRngAllowlist);
+}
+
+bool BannedEntropyCheck::inProjectSources(llvm::StringRef Path) const {
+  return pathInAnyDir(Path, SourceDirs) && !pathIsAnyFile(Path, RngAllowlist);
+}
+
+void BannedEntropyCheck::registerMatchers(ast_matchers::MatchFinder *Finder) {
+  // Unseeded/global entropy, resolved through the call expression: aliases,
+  // macro expansions and using-declarations all reach the same FunctionDecl.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand",
+                                              "::std::rand", "::std::srand"))))
+          .bind("entropy-call"),
+      this);
+  // std::random_device: any variable, field or temporary of that type.
+  Finder->addMatcher(
+      varDecl(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                  cxxRecordDecl(hasName("::std::random_device")))))))
+          .bind("random-device"),
+      this);
+  Finder->addMatcher(
+      cxxTemporaryObjectExpr(hasType(hasUnqualifiedDesugaredType(
+                                 recordType(hasDeclaration(cxxRecordDecl(
+                                     hasName("::std::random_device")))))))
+          .bind("random-device-temp"),
+      this);
+  // Wall-clock reads (deterministic subsystems only).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::time", "::std::time", "::gettimeofday",
+                              "::localtime", "::localtime_r", "::gmtime",
+                              "::gmtime_r", "::std::localtime",
+                              "::std::gmtime"))))
+          .bind("clock-call"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   hasDeclContext(cxxRecordDecl(
+                       hasName("::std::chrono::system_clock"))))))
+          .bind("system-clock"),
+      this);
+}
+
+void BannedEntropyCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  SourceLocation Loc;
+  llvm::StringRef What;
+  llvm::StringRef Why;
+  bool DeterministicScopeOnly = false;
+
+  if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("entropy-call")) {
+    Loc = Call->getBeginLoc();
+    What = "rand()/srand()";
+    Why = "unseeded global RNG state";
+  } else if (const auto *Var =
+                 Result.Nodes.getNodeAs<VarDecl>("random-device")) {
+    Loc = Var->getBeginLoc();
+    What = "std::random_device";
+    Why = "nondeterministic entropy";
+  } else if (const auto *Temp = Result.Nodes.getNodeAs<CXXTemporaryObjectExpr>(
+                 "random-device-temp")) {
+    Loc = Temp->getBeginLoc();
+    What = "std::random_device";
+    Why = "nondeterministic entropy";
+  } else if (const auto *Call =
+                 Result.Nodes.getNodeAs<CallExpr>("clock-call")) {
+    Loc = Call->getBeginLoc();
+    What = "calendar/wall-clock read";
+    Why = "host-dependent time";
+    DeterministicScopeOnly = true;
+  } else if (const auto *Call =
+                 Result.Nodes.getNodeAs<CallExpr>("system-clock")) {
+    Loc = Call->getBeginLoc();
+    What = "std::chrono::system_clock::now()";
+    Why = "wall clock";
+    DeterministicScopeOnly = true;
+  } else {
+    return;
+  }
+
+  const std::string Path = fileOf(SM, Loc);
+  if (DeterministicScopeOnly) {
+    if (!pathInAnyDir(Path, DeterministicDirs))
+      return;
+  } else {
+    if (!inProjectSources(Path))
+      return;
+  }
+  if (hasSuppressionComment(SM, Loc, "det-ok:"))
+    return;
+
+  diag(Loc, "%0 is %1; route randomness through common/rng and keep wall "
+            "time out of match decisions (steady_clock is fine for latency "
+            "metrics)")
+      << What << Why;
+}
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,57 @@
+//===--- BannedEntropyCheck.h - evm-banned-entropy ------------------------===//
+//
+// AST-accurate replacement for the regex `banned-random` and `wall-clock`
+// rules: a match run must be a pure function of (input trace, seed, config),
+// so entropy reads are confined to common/rng and wall-clock reads are
+// banned from the deterministic subsystems. Unlike the token match, this
+// check resolves the *callee* — `rand()` hidden behind a macro, a using
+// declaration or a function pointer alias still fires, and a comment or a
+// local function named `strand()` never does.
+//
+//   * `rand` / `srand` / `std::random_device` — anywhere under src/ except
+//     the RNG allowlist (common/rng owns the single seeded entropy source).
+//   * `time` / `gettimeofday` / `localtime` / `gmtime` /
+//     `std::chrono::system_clock::now` — inside the deterministic
+//     subsystems only; steady_clock stays legal (it feeds latency metrics,
+//     never match decisions).
+//
+// `// det-ok: <reason>` on or above the offending line suppresses, as with
+// every determinism rule.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_TIDY_BANNED_ENTROPY_CHECK_H
+#define EVM_TIDY_BANNED_ENTROPY_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+class BannedEntropyCheck : public ClangTidyCheck {
+public:
+  BannedEntropyCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool inProjectSources(llvm::StringRef Path) const;
+
+  const std::string RawDeterministicDirs;
+  const std::string RawSourceDirs;
+  const std::string RawRngAllowlist;
+  const std::vector<std::string> DeterministicDirs;
+  const std::vector<std::string> SourceDirs;
+  const std::vector<std::string> RngAllowlist;
+};
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang
+
+#endif // EVM_TIDY_BANNED_ENTROPY_CHECK_H

@@ -1,0 +1,103 @@
+//===--- ContainerIterCheck.cpp - evm-unordered-iter / evm-flatmap-iter ---===//
+
+#include "ContainerIterCheck.h"
+
+#include "EvmTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+namespace {
+
+constexpr char kDefaultDeterministicDirs[] =
+    "src/core;src/esense;src/vsense;src/stream";
+
+/// The canonical-type spelling of the range expression, which sees through
+/// typedefs, `auto`, references and alias templates — the false negatives
+/// the regex rule was blind to.
+std::string canonicalRangeType(const Expr *Range, ASTContext &Ctx) {
+  QualType T = Range->getType();
+  if (T.isNull())
+    return {};
+  T = T.getNonReferenceType().getCanonicalType().getUnqualifiedType();
+  PrintingPolicy Policy(Ctx.getLangOpts());
+  Policy.SuppressTagKeyword = true;
+  return T.getAsString(Policy);
+}
+
+bool isUnorderedStd(llvm::StringRef TypeName) {
+  return TypeName.contains("std::unordered_map<") ||
+         TypeName.contains("std::unordered_set<") ||
+         TypeName.contains("std::unordered_multimap<") ||
+         TypeName.contains("std::unordered_multiset<");
+}
+
+bool isFlatContainer(llvm::StringRef TypeName) {
+  return TypeName.contains("common::FlatMap<") ||
+         TypeName.contains("common::FlatSet<");
+}
+
+} // namespace
+
+ContainerIterCheck::ContainerIterCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FlatMapMode(Name.contains("flatmap")),
+      RawDeterministicDirs(
+          Options.get("DeterministicDirs", kDefaultDeterministicDirs)),
+      DeterministicDirs(splitOption(RawDeterministicDirs)) {}
+
+void ContainerIterCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "DeterministicDirs", RawDeterministicDirs);
+}
+
+void ContainerIterCheck::registerMatchers(ast_matchers::MatchFinder *Finder) {
+  Finder->addMatcher(cxxForRangeStmt().bind("loop"), this);
+}
+
+void ContainerIterCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  if (Loop == nullptr)
+    return;
+  const Expr *Range = Loop->getRangeInit();
+  if (Range == nullptr)
+    return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Loop->getBeginLoc();
+  const std::string Path = fileOf(SM, Loc);
+  if (!pathInAnyDir(Path, DeterministicDirs))
+    return;
+
+  const std::string TypeName = canonicalRangeType(Range, *Result.Context);
+  const bool Hit = FlatMapMode ? isFlatContainer(TypeName)
+                               : isUnorderedStd(TypeName);
+  if (!Hit)
+    return;
+  if (hasSuppressionComment(SM, Loc, "det-ok:"))
+    return;
+
+  if (FlatMapMode) {
+    diag(Loc, "range-for over %0 visits probe order (insertion/hash "
+              "dependent); deterministic consumers must use ForEachSorted, "
+              "or annotate the loop with '// det-ok: <why order cannot "
+              "reach output>'")
+        << TypeName;
+  } else {
+    diag(Loc, "range-for over %0 visits hash order; sort before iterating, "
+              "or annotate the loop with '// det-ok: <why order cannot "
+              "reach output>'")
+        << TypeName;
+  }
+}
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,49 @@
+//===--- ContainerIterCheck.h - evm-unordered-iter / evm-flatmap-iter -----===//
+//
+// AST-accurate replacement for the regex `unordered-iter` / `flatmap-iter`
+// rules in tools/lint.py: flags range-based for loops whose range expression
+// is (after desugaring typedefs, `auto`, references and template aliases) a
+// std::unordered_* container or a common::FlatMap/FlatSet, inside the
+// deterministic subsystems. Hash-/probe-order iteration feeding output order
+// is the classic silent determinism bug (DESIGN.md §10); deterministic
+// consumers of FlatMap must go through ForEachSorted.
+//
+// Registered twice: as `evm-unordered-iter` (std::unordered_*) and as
+// `evm-flatmap-iter` (common::FlatMap/FlatSet); the constructor picks the
+// container family from the check name. `// det-ok: <reason>` on or above
+// the loop suppresses a finding, exactly as with the regex rules.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_TIDY_CONTAINER_ITER_CHECK_H
+#define EVM_TIDY_CONTAINER_ITER_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+class ContainerIterCheck : public ClangTidyCheck {
+public:
+  ContainerIterCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  // True for evm-flatmap-iter, false for evm-unordered-iter.
+  const bool FlatMapMode;
+  // ';'-separated directories whose loops the check audits.
+  const std::string RawDeterministicDirs;
+  const std::vector<std::string> DeterministicDirs;
+};
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang
+
+#endif // EVM_TIDY_CONTAINER_ITER_CHECK_H

@@ -1,0 +1,55 @@
+//===--- EvmTidyModule.cpp - evm-* clang-tidy module ----------------------===//
+//
+// Out-of-tree clang-tidy module carrying the project's determinism and
+// concurrency checks. Built as a shared object and loaded with
+//
+//   clang-tidy -load build/tools/tidy/libEvmTidyModule.so \
+//       -checks='-*,evm-*' -p build src/core/matcher.cpp
+//
+// The checks mirror (and supersede) the regex rules in tools/lint.py; the
+// Python rules remain as the no-clang fallback and report themselves as
+// `deprecated-by: evm-tidy`. See DESIGN.md §15 for the architecture and the
+// manifest formats, and tools/tidy/fixtures/ for the self-test corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "BannedEntropyCheck.h"
+#include "ContainerIterCheck.h"
+#include "CounterParityCheck.h"
+#include "LockOrderCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+class EvmTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    // One class, two registrations: the check reads its own name to decide
+    // whether it hunts std::unordered_* (hash-order) or common::FlatMap /
+    // FlatSet (probe-order) range-fors.
+    CheckFactories.registerCheck<ContainerIterCheck>("evm-unordered-iter");
+    CheckFactories.registerCheck<ContainerIterCheck>("evm-flatmap-iter");
+    CheckFactories.registerCheck<BannedEntropyCheck>("evm-banned-entropy");
+    CheckFactories.registerCheck<LockOrderCheck>("evm-lock-order");
+    CheckFactories.registerCheck<CounterParityCheck>("evm-counter-parity");
+  }
+};
+
+namespace {
+// NOLINTNEXTLINE(cert-err58-cpp): registration at load time is the protocol.
+ClangTidyModuleRegistry::Add<EvmTidyModule>
+    X("evm-tidy-module", "EV-Matching determinism and concurrency checks.");
+} // namespace
+
+} // namespace evm
+
+// Anchor the module in the shared object so -load keeps the registration.
+// NOLINTNEXTLINE(misc-use-internal-linkage)
+volatile int EvmTidyModuleAnchorSource = 0;
+
+} // namespace tidy
+} // namespace clang

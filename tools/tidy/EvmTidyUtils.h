@@ -1,0 +1,117 @@
+//===--- EvmTidyUtils.h - shared helpers for the evm-* checks ---*- C++ -*-===//
+//
+// Helpers shared by every check in the EvmTidyModule plugin (DESIGN.md §15):
+// path-scope classification (which subsystem a source location belongs to)
+// and the `// det-ok:` suppression-comment protocol the regex lint
+// established (tools/lint.py). Keeping both implementations on the same
+// suppression syntax means a suppression audited once stays valid when the
+// AST checks replace the regex ones.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_TIDY_UTILS_H
+#define EVM_TIDY_UTILS_H
+
+#include <string>
+#include <vector>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+/// Splits a ';'-separated check option into its entries, dropping empties.
+inline std::vector<std::string> splitOption(llvm::StringRef Raw) {
+  std::vector<std::string> Out;
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Raw.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef Part : Parts)
+    Out.push_back(Part.trim().str());
+  return Out;
+}
+
+/// Normalized (forward-slash) spelling of the file containing `Loc`, or an
+/// empty string for invalid/buffer locations.
+inline std::string fileOf(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return {};
+  std::string Path = SM.getFilename(SM.getExpansionLoc(Loc)).str();
+  for (char &C : Path)
+    if (C == '\\')
+      C = '/';
+  return Path;
+}
+
+/// True when `Path` lies under one of `Dirs` (matched as a path substring,
+/// so both absolute build paths and repo-relative fixture paths qualify).
+inline bool pathInAnyDir(llvm::StringRef Path,
+                         const std::vector<std::string> &Dirs) {
+  for (const std::string &Dir : Dirs) {
+    std::string Needle = Dir;
+    if (!Needle.empty() && Needle.back() != '/')
+      Needle += '/';
+    if (Path.contains(Needle))
+      return true;
+  }
+  return false;
+}
+
+/// Suffix test spelled out by hand: StringRef::endswith was renamed across
+/// the LLVM versions this plugin supports.
+inline bool pathEndsWith(llvm::StringRef Path, llvm::StringRef Suffix) {
+  return Path.size() >= Suffix.size() &&
+         Path.substr(Path.size() - Suffix.size()) == Suffix;
+}
+
+/// True when `Path` names one of the files in `Files` (suffix match, so an
+/// absolute path matches its repo-relative manifest spelling).
+inline bool pathIsAnyFile(llvm::StringRef Path,
+                          const std::vector<std::string> &Files) {
+  for (const std::string &File : Files)
+    if (pathEndsWith(Path, File))
+      return true;
+  return false;
+}
+
+/// Implements the `det-ok:` suppression protocol: a comment containing the
+/// token on the flagged line or the line directly above silences the
+/// determinism checks. The AST checks honor exactly the syntax the regex
+/// lint defined, so existing audited suppressions carry over unchanged.
+inline bool hasSuppressionComment(const SourceManager &SM, SourceLocation Loc,
+                                  llvm::StringRef Token) {
+  Loc = SM.getExpansionLoc(Loc);
+  if (Loc.isInvalid())
+    return false;
+  const FileID FID = SM.getFileID(Loc);
+  bool Invalid = false;
+  llvm::StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return false;
+  const unsigned Line = SM.getExpansionLineNumber(Loc);
+
+  // Walk the buffer line by line; check lines Line and Line-1 (1-based).
+  unsigned Current = 1;
+  std::size_t Start = 0;
+  while (Start <= Buffer.size() && Current <= Line) {
+    std::size_t End = Buffer.find('\n', Start);
+    if (End == llvm::StringRef::npos)
+      End = Buffer.size();
+    if (Current + 1 == Line || Current == Line) {
+      if (Buffer.slice(Start, End).contains(Token))
+        return true;
+    }
+    Start = End + 1;
+    ++Current;
+  }
+  return false;
+}
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang
+
+#endif // EVM_TIDY_UTILS_H

@@ -1,0 +1,422 @@
+//===--- LockOrderCheck.cpp - evm-lock-order ------------------------------===//
+
+#include "LockOrderCheck.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "EvmTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+namespace {
+
+constexpr char kDefaultLockClasses[] =
+    "evm::common::MutexLock;evm::common::ReaderMutexLock;"
+    "evm::common::WriterMutexLock";
+// "ClassSubstring::Method" — methods that can block indefinitely; calling
+// one while holding an unrelated lock is a deadlock recipe.
+constexpr char kDefaultBlockingCalls[] =
+    "IngestQueue::Push;Dfs::Read;Dfs::Write;Dfs::Append;Dfs::Remove;"
+    "CondVar::Wait;CondVar::WaitFor";
+
+/// Record-qualified name of a field without namespace components:
+/// `StreamDriver::seal_mutex_`, `FeatureGallery::Shard::mutex`.
+std::string recordQualifiedFieldName(const FieldDecl *Field) {
+  std::vector<llvm::StringRef> Parts;
+  Parts.push_back(Field->getName());
+  const DeclContext *Ctx = Field->getParent();
+  while (Ctx != nullptr) {
+    if (const auto *Record = dyn_cast<RecordDecl>(Ctx)) {
+      if (!Record->getName().empty())
+        Parts.push_back(Record->getName());
+    } else {
+      break; // stop at the first non-record context (namespace, function)
+    }
+    Ctx = Ctx->getParent();
+  }
+  std::string Out;
+  for (auto It = Parts.rbegin(); It != Parts.rend(); ++It) {
+    if (!Out.empty())
+      Out += "::";
+    Out += It->str();
+  }
+  return Out;
+}
+
+/// The canonical record name of a type, without template arguments.
+std::string recordNameOf(QualType T) {
+  T = T.getNonReferenceType().getCanonicalType();
+  if (const CXXRecordDecl *Record = T->getAsCXXRecordDecl())
+    return Record->getQualifiedNameAsString();
+  return {};
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+LockOrderCheck::LockOrderCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RawLockClasses(Options.get("LockClasses", kDefaultLockClasses)),
+      RawBlockingCalls(Options.get("BlockingCalls", kDefaultBlockingCalls)),
+      HierarchyFile(Options.get("HierarchyFile", "")),
+      GraphDir(Options.get("GraphDir", "")),
+      LockClasses(splitOption(RawLockClasses)) {
+  for (const std::string &Entry : splitOption(RawBlockingCalls)) {
+    const std::size_t Sep = Entry.rfind("::");
+    if (Sep == std::string::npos)
+      continue;
+    BlockingCalls.emplace_back(Entry.substr(0, Sep), Entry.substr(Sep + 2));
+  }
+}
+
+void LockOrderCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "LockClasses", RawLockClasses);
+  Options.store(Opts, "BlockingCalls", RawBlockingCalls);
+  Options.store(Opts, "HierarchyFile", HierarchyFile);
+  Options.store(Opts, "GraphDir", GraphDir);
+}
+
+void LockOrderCheck::loadHierarchy() {
+  if (HierarchyLoaded || HierarchyFile.empty())
+    return;
+  HierarchyLoaded = true;
+  std::ifstream In(HierarchyFile);
+  if (!In.is_open()) {
+    configurationDiag("evm-lock-order: cannot open HierarchyFile '%0'")
+        << HierarchyFile;
+    return;
+  }
+  int Level = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    const std::size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    llvm::StringRef Trimmed = llvm::StringRef(Line).trim();
+    if (Trimmed.empty())
+      continue;
+    bool IsLeaf = false;
+    if (Trimmed.consume_front("order:")) {
+      // ordered entry
+    } else if (Trimmed.consume_front("leaf:")) {
+      IsLeaf = true;
+    } else {
+      continue; // unknown directive: postpass.py validates the file shape
+    }
+    HierarchyEntry Entry;
+    Entry.IsLeaf = IsLeaf;
+    Entry.Level = IsLeaf ? -1 : Level++;
+    llvm::SmallVector<llvm::StringRef, 4> Aliases;
+    Trimmed.split(Aliases, '|', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+    for (llvm::StringRef Alias : Aliases)
+      Hierarchy[Alias.trim().str()] = Entry;
+  }
+}
+
+void LockOrderCheck::registerMatchers(ast_matchers::MatchFinder *Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt())).bind("fn"), this);
+}
+
+void LockOrderCheck::check(
+    const ast_matchers::MatchFinder::MatchResult &Result) {
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Fn == nullptr)
+    return;
+  if (!AnalyzedFunctions.insert(Fn->getCanonicalDecl()).second)
+    return;
+  if (MainFilePath.empty()) {
+    const SourceManager &SM = *Result.SourceManager;
+    if (const FileEntry *Entry =
+            SM.getFileEntryForID(SM.getMainFileID()))
+      MainFilePath = Entry->getName().str();
+  }
+  analyzeFunction(Fn, *Result.Context);
+}
+
+void LockOrderCheck::analyzeFunction(const FunctionDecl *Fn, ASTContext &Ctx) {
+  if (!Fn->hasBody())
+    return;
+  // The wrappers themselves (common/mutex.hpp) acquire raw std primitives;
+  // skip anything declared inside the lock classes.
+  const std::string Qual = Fn->getQualifiedNameAsString();
+  for (const std::string &LockClass : LockClasses)
+    if (Qual.rfind(LockClass, 0) == 0)
+      return;
+  if (Qual.rfind("evm::common::CondVar", 0) == 0 ||
+      Qual.rfind("evm::common::Mutex", 0) == 0 ||
+      Qual.rfind("evm::common::SharedMutex", 0) == 0)
+    return;
+  std::vector<HeldLock> Stack;
+  walkStmt(Fn->getBody(), Stack, Ctx);
+}
+
+void LockOrderCheck::walkStmt(const Stmt *S, std::vector<HeldLock> &Stack,
+                              ASTContext &Ctx) {
+  if (S == nullptr)
+    return;
+
+  // A lambda body runs when the closure is invoked, not where it is
+  // written: its operator() is matched and analyzed as its own function,
+  // so do not carry the current hold-set into it.
+  if (isa<LambdaExpr>(S))
+    return;
+
+  if (const auto *Compound = dyn_cast<CompoundStmt>(S)) {
+    const std::size_t Depth = Stack.size();
+    for (const Stmt *Child : Compound->body())
+      walkStmt(Child, Stack, Ctx);
+    if (Stack.size() > Depth)
+      Stack.resize(Depth); // RAII locks release at end of scope
+    return;
+  }
+
+  if (const auto *Decls = dyn_cast<DeclStmt>(S)) {
+    for (const Decl *D : Decls->decls()) {
+      const auto *Var = dyn_cast<VarDecl>(D);
+      if (Var == nullptr || !Var->hasInit())
+        continue;
+      const std::string TypeName = recordNameOf(Var->getType());
+      bool IsLock = false;
+      for (const std::string &LockClass : LockClasses)
+        if (TypeName == LockClass)
+          IsLock = true;
+      if (!IsLock)
+        continue;
+      const Expr *Init = Var->getInit()->IgnoreImplicit();
+      const auto *Construct = dyn_cast<CXXConstructExpr>(Init);
+      if (Construct == nullptr || Construct->getNumArgs() == 0)
+        continue;
+      recordAcquisition(Var, Construct->getArg(0), Stack, Ctx);
+    }
+    return;
+  }
+
+  if (const auto *Call = dyn_cast<CXXMemberCallExpr>(S)) {
+    // Mid-scope release: `lock.Unlock()` drops the hold before scope end
+    // (the unlock-then-notify pattern).
+    if (const auto *Method = Call->getMethodDecl()) {
+      if (Method->getName() == "Unlock") {
+        if (const auto *Ref = dyn_cast<DeclRefExpr>(
+                Call->getImplicitObjectArgument()->IgnoreImplicit())) {
+          for (auto It = Stack.begin(); It != Stack.end(); ++It) {
+            if (It->Var == Ref->getDecl()) {
+              Stack.erase(It);
+              break;
+            }
+          }
+        }
+      }
+    }
+    checkBlockingCall(Call, Stack, Ctx);
+    // fall through: arguments may contain nested calls/declarations
+  }
+
+  for (const Stmt *Child : S->children())
+    walkStmt(Child, Stack, Ctx);
+}
+
+std::string LockOrderCheck::mutexLabel(const Expr *MutexArg) const {
+  if (MutexArg == nullptr)
+    return "expr:<null>";
+  const Expr *E = MutexArg->IgnoreParenImpCasts();
+  if (const auto *Member = dyn_cast<MemberExpr>(E)) {
+    if (const auto *Field = dyn_cast<FieldDecl>(Member->getMemberDecl()))
+      return recordQualifiedFieldName(Field);
+    return "expr:" + Member->getMemberDecl()->getNameAsString();
+  }
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(E)) {
+    if (const auto *Var = dyn_cast<VarDecl>(Ref->getDecl())) {
+      if (Var->isLocalVarDeclOrParm())
+        return "local:" + Var->getNameAsString();
+      return Var->getQualifiedNameAsString();
+    }
+    return "expr:" + Ref->getDecl()->getNameAsString();
+  }
+  if (const auto *Unary = dyn_cast<UnaryOperator>(E)) {
+    if (Unary->getOpcode() == UO_Deref)
+      return mutexLabel(Unary->getSubExpr());
+  }
+  return "expr:<unresolved>";
+}
+
+void LockOrderCheck::recordAcquisition(const VarDecl *Var,
+                                       const Expr *MutexArg,
+                                       std::vector<HeldLock> &Stack,
+                                       ASTContext &Ctx) {
+  const SourceManager &SM = Ctx.getSourceManager();
+  const SourceLocation Loc = Var->getBeginLoc();
+  const std::string Label = mutexLabel(MutexArg);
+
+  if (!Stack.empty() && !hasSuppressionComment(SM, Loc, "lock-ok:")) {
+    for (const HeldLock &Held : Stack) {
+      Edge E;
+      E.From = Held.Label;
+      E.To = Label;
+      E.File = fileOf(SM, Loc);
+      E.Line = SM.getExpansionLineNumber(SM.getExpansionLoc(Loc));
+      if (EdgeSet.insert({E.From, E.To}).second)
+        Edges.push_back(E);
+      // In-TU inversion: both directions observed means a cycle exists no
+      // matter what the manifest says.
+      if (EdgeSet.count({E.To, E.From}) != 0) {
+        diag(Loc, "lock-order inversion: '%0' acquired while holding '%1', "
+                  "but the opposite order also exists in this translation "
+                  "unit")
+            << Label << Held.Label;
+      }
+      checkEdgeAgainstHierarchy(E, Loc);
+    }
+  }
+
+  HeldLock Held;
+  Held.Var = Var;
+  Held.Label = Label;
+  Held.Loc = Loc;
+  Stack.push_back(Held);
+}
+
+void LockOrderCheck::checkEdgeAgainstHierarchy(const Edge &E,
+                                               SourceLocation Loc) {
+  loadHierarchy();
+  if (Hierarchy.empty())
+    return;
+  // Per-call-graph local mutexes are not part of the global hierarchy.
+  if (E.From.rfind("local:", 0) == 0 || E.To.rfind("local:", 0) == 0)
+    return;
+  const auto FromIt = Hierarchy.find(E.From);
+  const auto ToIt = Hierarchy.find(E.To);
+  if (FromIt == Hierarchy.end() || ToIt == Hierarchy.end()) {
+    diag(Loc, "undocumented lock-order edge '%0' -> '%1'; add it to the "
+              "hierarchy manifest (%2) or restructure to avoid nesting")
+        << E.From << E.To << HierarchyFile;
+    return;
+  }
+  if (FromIt->second.IsLeaf) {
+    diag(Loc, "'%0' is documented as a leaf lock, but '%1' is acquired "
+              "while it is held")
+        << E.From << E.To;
+    return;
+  }
+  if (!ToIt->second.IsLeaf &&
+      ToIt->second.Level <= FromIt->second.Level) {
+    diag(Loc, "lock-order violation: '%0' (level %1) acquired while "
+              "holding '%2' (level %3); the documented hierarchy runs the "
+              "other way")
+        << E.To << ToIt->second.Level << E.From << FromIt->second.Level;
+  }
+}
+
+void LockOrderCheck::checkBlockingCall(const CXXMemberCallExpr *Call,
+                                       const std::vector<HeldLock> &Stack,
+                                       ASTContext &Ctx) {
+  if (Stack.empty())
+    return;
+  const CXXMethodDecl *Method = Call->getMethodDecl();
+  if (Method == nullptr)
+    return;
+  const std::string MethodName = Method->getNameAsString();
+  const std::string ClassName =
+      Method->getParent() != nullptr
+          ? Method->getParent()->getQualifiedNameAsString()
+          : std::string();
+  for (const auto &[ClassSubstr, Name] : BlockingCalls) {
+    if (MethodName != Name ||
+        ClassName.find(ClassSubstr) == std::string::npos)
+      continue;
+    // CondVar::Wait(lock) on the *innermost* held lock is the designed
+    // pattern (the wait releases exactly that lock); anything else — an
+    // outer lock still held, or waiting on a different lock — blocks while
+    // holding.
+    if (ClassSubstr == "CondVar") {
+      if (Call->getNumArgs() >= 1 && Stack.size() == 1) {
+        if (const auto *Ref = dyn_cast<DeclRefExpr>(
+                Call->getArg(0)->IgnoreParenImpCasts())) {
+          if (Ref->getDecl() == Stack.back().Var)
+            return; // canonical `while (!ready) cv.Wait(lock)` loop
+        }
+      }
+    }
+    const SourceManager &SM = Ctx.getSourceManager();
+    const SourceLocation Loc = Call->getBeginLoc();
+    if (hasSuppressionComment(SM, Loc, "lock-ok:"))
+      return;
+    BlockingSite Site;
+    Site.Call = ClassSubstr + "::" + Name;
+    Site.Held = Stack.back().Label;
+    Site.File = fileOf(SM, Loc);
+    Site.Line = SM.getExpansionLineNumber(SM.getExpansionLoc(Loc));
+    BlockingSites.push_back(Site);
+    diag(Loc, "potentially unbounded blocking call %0 while holding lock "
+              "'%1'; release the lock first, or annotate with "
+              "'// lock-ok: <why this cannot deadlock>'")
+        << Site.Call << Site.Held;
+    return;
+  }
+}
+
+void LockOrderCheck::onEndOfTranslationUnit() {
+  if (GraphDir.empty() || MainFilePath.empty())
+    return;
+  std::string Stem = MainFilePath;
+  for (char &C : Stem)
+    if (C == '/' || C == '\\' || C == '.')
+      C = '_';
+  const std::size_t Hash = std::hash<std::string>{}(MainFilePath);
+  std::ostringstream Name;
+  Name << GraphDir << "/lockgraph-" << Stem << "-" << std::hex << Hash
+       << ".json";
+  std::ofstream Out(Name.str());
+  if (!Out.is_open())
+    return;
+  Out << "{\n  \"tu\": \"" << jsonEscape(MainFilePath) << "\",\n"
+      << "  \"edges\": [";
+  for (std::size_t I = 0; I < Edges.size(); ++I) {
+    const Edge &E = Edges[I];
+    Out << (I == 0 ? "\n" : ",\n")
+        << "    {\"from\": \"" << jsonEscape(E.From) << "\", \"to\": \""
+        << jsonEscape(E.To) << "\", \"file\": \"" << jsonEscape(E.File)
+        << "\", \"line\": " << E.Line << "}";
+  }
+  Out << "\n  ],\n  \"blocking\": [";
+  for (std::size_t I = 0; I < BlockingSites.size(); ++I) {
+    const BlockingSite &B = BlockingSites[I];
+    Out << (I == 0 ? "\n" : ",\n")
+        << "    {\"call\": \"" << jsonEscape(B.Call) << "\", \"held\": \""
+        << jsonEscape(B.Held) << "\", \"file\": \"" << jsonEscape(B.File)
+        << "\", \"line\": " << B.Line << "}";
+  }
+  Out << "\n  ]\n}\n";
+
+  Edges.clear();
+  EdgeSet.clear();
+  BlockingSites.clear();
+  AnalyzedFunctions.clear();
+  MainFilePath.clear();
+}
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang

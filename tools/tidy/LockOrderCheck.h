@@ -1,0 +1,109 @@
+//===--- LockOrderCheck.h - evm-lock-order --------------------------------===//
+//
+// Builds a static lock-acquisition graph from the project's annotated mutex
+// wrappers (common/mutex.hpp): every `MutexLock` / `ReaderMutexLock` /
+// `WriterMutexLock` RAII construction is an acquisition site, scoped to its
+// enclosing compound statement (with mid-scope `Unlock()` honored). While a
+// lock is held:
+//
+//   * acquiring another lock records a directed edge (outer -> inner). The
+//     edge is checked against the documented lock hierarchy (DESIGN.md §10,
+//     machine-readable form: tools/tidy/lock_hierarchy.txt) — an edge that
+//     runs upward, out of a leaf, or between undocumented locks is a
+//     diagnostic, and an inversion of an edge already seen in this TU is a
+//     diagnostic even without a manifest;
+//   * calling a known-blocking function (IngestQueue::Push in block mode,
+//     Dfs I/O, CondVar::Wait on anything but the innermost held lock) is a
+//     diagnostic — holding a lock across an unbounded wait is how the
+//     sealer/consumer deadlocks of PR 4 started.
+//
+// Each TU optionally writes its edge set as a JSON fragment (option
+// `GraphDir`); tools/tidy/postpass.py merges the fragments, re-runs the
+// hierarchy check on the union and fails on any cross-TU cycle. Suppression:
+// `// lock-ok: <reason>` on or above the site.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EVM_TIDY_LOCK_ORDER_CHECK_H
+#define EVM_TIDY_LOCK_ORDER_CHECK_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace evm {
+
+class LockOrderCheck : public ClangTidyCheck {
+public:
+  LockOrderCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+  /// One documented lock in the hierarchy manifest.
+  struct HierarchyEntry {
+    int Level = -1;     // position among `order:` lines; -1 for leaves
+    bool IsLeaf = false;
+  };
+
+  struct Edge {
+    std::string From;
+    std::string To;
+    std::string File;
+    unsigned Line = 0;
+  };
+
+  struct BlockingSite {
+    std::string Call;
+    std::string Held;
+    std::string File;
+    unsigned Line = 0;
+  };
+
+private:
+  struct HeldLock {
+    const VarDecl *Var = nullptr;
+    std::string Label;
+    SourceLocation Loc;
+  };
+
+  void analyzeFunction(const FunctionDecl *Fn, ASTContext &Ctx);
+  void walkStmt(const Stmt *S, std::vector<HeldLock> &Stack, ASTContext &Ctx);
+  void recordAcquisition(const VarDecl *Var, const Expr *MutexArg,
+                         std::vector<HeldLock> &Stack, ASTContext &Ctx);
+  void checkBlockingCall(const CXXMemberCallExpr *Call,
+                         const std::vector<HeldLock> &Stack, ASTContext &Ctx);
+  std::string mutexLabel(const Expr *MutexArg) const;
+  void loadHierarchy();
+  void checkEdgeAgainstHierarchy(const Edge &E, SourceLocation Loc);
+
+  const std::string RawLockClasses;
+  const std::string RawBlockingCalls;
+  const std::string HierarchyFile;
+  const std::string GraphDir;
+  const std::vector<std::string> LockClasses;
+  // Parsed "ClassSubstr::Method" pairs.
+  std::vector<std::pair<std::string, std::string>> BlockingCalls;
+
+  // label -> hierarchy position (aliases resolved at load time).
+  std::map<std::string, HierarchyEntry> Hierarchy;
+  bool HierarchyLoaded = false;
+
+  std::vector<Edge> Edges;
+  std::set<std::pair<std::string, std::string>> EdgeSet;
+  std::vector<BlockingSite> BlockingSites;
+  std::set<const FunctionDecl *> AnalyzedFunctions;
+  std::string MainFilePath;
+};
+
+} // namespace evm
+} // namespace tidy
+} // namespace clang
+
+#endif // EVM_TIDY_LOCK_ORDER_CHECK_H

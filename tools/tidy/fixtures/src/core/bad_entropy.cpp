@@ -1,0 +1,37 @@
+// Fixture: banned entropy sources. Expected: evm-banned-entropy (plugin) /
+// banned-random (fallback) on the rand/srand/random_device sites; the
+// aliased call demonstrates the plugin resolving the callee where the
+// regex cannot. The suppressed site stays quiet.
+
+#include <cstdlib>
+#include <random>
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+int DrawRaw() {
+  return std::rand();  // BAD: unseeded global RNG
+}
+
+void Reseed(unsigned seed) {
+  std::srand(seed);  // BAD: mutates global RNG state
+}
+
+unsigned HardwareSeed() {
+  std::random_device rd;  // BAD: nondeterministic entropy
+  return rd();
+}
+
+int DrawParenthesized() {
+  // The parenthesized spelling defeats the regex fallback; the plugin
+  // resolves the callee regardless of surface syntax.
+  return (std::rand)();  // BAD: still the global RNG
+}
+
+int DrawSuppressed() {
+  // det-ok: fixture exercises suppression, not production code
+  return std::rand();
+}
+
+}  // namespace evm::core

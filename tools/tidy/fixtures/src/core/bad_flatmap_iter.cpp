@@ -1,0 +1,40 @@
+// Fixture: probe-order iteration over common::FlatMap/FlatSet in a
+// deterministic subsystem. Expected: evm-flatmap-iter (plugin) /
+// flatmap-iter (fallback) on the two raw loops; ForEachSorted and the
+// det-ok'd loop stay quiet.
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+int SumFlat(const common::FlatMap<std::uint64_t, int>& ftable) {
+  int sum = 0;
+  for (const auto& entry : ftable) {  // BAD: probe order
+    sum += entry.second;
+  }
+  return sum;
+}
+
+int CountFlatSet(const common::FlatSet<std::uint64_t>& fseen) {
+  int count = 0;
+  for (const auto& key : fseen) {  // BAD: probe order, even just counting
+    (void)key;
+    ++count;
+  }
+  return count;
+}
+
+int SumSorted(const common::FlatMap<std::uint64_t, int>& ftable) {
+  int sum = 0;
+  ftable.ForEachSorted([&](const auto& entry) { sum += entry.second; });
+  return sum;
+}
+
+int SumSuppressedFlat(const common::FlatMap<std::uint64_t, int>& ftable) {
+  int sum = 0;
+  // det-ok: pure accumulation, order cannot reach output
+  for (const auto& entry : ftable) sum += entry.second;
+  return sum;
+}
+
+}  // namespace evm::core

@@ -1,0 +1,52 @@
+// Fixture: lock-order violations against the fixture hierarchy
+// (fixtures/tools/tidy/lock_hierarchy.txt: order a_ -> b_, leaf leaf_).
+// Expected: evm-lock-order (plugin) / lock-order (fallback) on the
+// inverted, undocumented and leaf-out acquisitions; the ordered pair and
+// the suppressed site stay quiet.
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+class Pipeline {
+ public:
+  void Good();
+  void Backwards();
+  void Undocumented();
+  void LeafFirst();
+  void SuppressedBackwards();
+
+ private:
+  common::Mutex a_;
+  common::Mutex b_;
+  common::Mutex c_;  // deliberately absent from the hierarchy manifest
+  common::Mutex leaf_;
+};
+
+void Pipeline::Good() {
+  common::MutexLock outer(a_);
+  common::MutexLock inner(b_);  // OK: runs down the documented order
+}
+
+void Pipeline::Backwards() {
+  common::MutexLock outer(b_);
+  common::MutexLock inner(a_);  // BAD: inverts a_ -> b_
+}
+
+void Pipeline::Undocumented() {
+  common::MutexLock outer(a_);
+  common::MutexLock inner(c_);  // BAD: c_ is not in the hierarchy
+}
+
+void Pipeline::LeafFirst() {
+  common::MutexLock outer(leaf_);
+  common::MutexLock inner(b_);  // BAD: leaves must be innermost
+}
+
+void Pipeline::SuppressedBackwards() {
+  common::MutexLock outer(b_);
+  // lock-ok: fixture exercises suppression, not production code
+  common::MutexLock inner(a_);
+}
+
+}  // namespace evm::core

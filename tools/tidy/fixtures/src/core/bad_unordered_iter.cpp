@@ -1,0 +1,49 @@
+// Fixture: hash-order iteration in a deterministic subsystem.
+// Expected: evm-unordered-iter (plugin) / unordered-iter (fallback) on the
+// three loops; the det-ok'd loop and the sorted copy stay quiet.
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+using Table = std::unordered_map<std::uint64_t, int>;  // through a typedef
+
+std::vector<std::uint64_t> Keys(const Table& table) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, value] : table) {  // BAD: hash order reaches output
+    (void)value;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+int SumSet(const std::unordered_set<int>& seen) {
+  int sum = 0;
+  for (const int value : seen) {  // BAD: flagged even though commutative —
+    sum += value;                 // the rule wants the annotation
+  }
+  return sum;
+}
+
+template <typename Map>
+int SumDependent(const Map& table) {
+  int sum = 0;
+  for (const auto& [key, value] : table) {  // BAD: dependent type, resolved
+    (void)key;                              // at instantiation
+    sum += value;
+  }
+  return sum;
+}
+
+int InstantiateSumDependent(const Table& table) {
+  return SumDependent(table);
+}
+
+int SumSuppressed(const std::unordered_set<int>& seen) {
+  int sum = 0;
+  // det-ok: pure accumulation, order cannot reach output
+  for (const int value : seen) sum += value;
+  return sum;
+}
+
+}  // namespace evm::core

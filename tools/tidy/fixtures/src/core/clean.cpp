@@ -1,0 +1,51 @@
+// Fixture: code that must stay quiet under every evm-* check and every
+// fallback rule — ordered containers, steady_clock, seeded-RNG shapes,
+// hierarchy-respecting locking, constant manifest-declared counters.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+inline constexpr char kCleanCounter[] = "match.fix_clean";
+
+class CleanPipeline {
+ public:
+  std::vector<std::uint64_t> SortedKeys() const {
+    std::vector<std::uint64_t> keys;
+    for (const auto& [key, value] : table_) {  // std::map: ordered, fine
+      (void)value;
+      keys.push_back(key);
+    }
+    return keys;
+  }
+
+  int SumSorted(const common::FlatMap<std::uint64_t, int>& ftable) const {
+    int sum = 0;
+    ftable.ForEachSorted([&](const auto& entry) { sum += entry.second; });
+    return sum;
+  }
+
+  long Latency() const {
+    // steady_clock is the sanctioned clock: monotonic, never a match input.
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  void Ordered() {
+    common::MutexLock outer(first_);
+    common::MutexLock inner(second_);  // documented order in the manifest
+  }
+
+  void Count(obs::MetricsRegistry& reg) { reg.counter(kCleanCounter).Add(); }
+
+ private:
+  std::map<std::uint64_t, int> table_;
+  common::Mutex first_;
+  common::Mutex second_;
+};
+
+}  // namespace evm::core

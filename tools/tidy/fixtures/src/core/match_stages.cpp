@@ -1,0 +1,33 @@
+// Fixture: counter-parity violations from the serial match path (the file
+// name puts this TU in the `serial` role). Against the fixture manifest
+// (fixtures/tools/tidy/counters.txt) expected findings are:
+//   * match.fix_mr_only referenced from serial -> evm-counter-parity /
+//     counter-parity
+//   * match.fix_undeclared not in the manifest -> evm-counter-parity /
+//     counter-manifest
+//   * the concatenated name is dynamic         -> evm-counter-parity /
+//     counter-dynamic
+// match.fix_shared through the kFixShared constant and the suppressed
+// dynamic name stay quiet. The direction check (match.fix_drifted declared
+// for both match paths but touched only by matcher.cpp) is cross-TU and
+// therefore fallback/postpass-only.
+
+#include <string>
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+inline constexpr char kFixShared[] = "match.fix_shared";
+
+void CountSerial(obs::MetricsRegistry& reg, const std::string& phase) {
+  reg.counter(kFixShared).Add();            // OK: constant, role serial
+  reg.counter("match.fix_mr_only").Add();   // BAD: mapreduce-only name
+  reg.counter("match.fix_undeclared").Add();  // BAD: not in the manifest
+  reg.counter("match." + phase).Add();      // BAD: dynamic name
+  // det-ok: fixture exercises suppression, not production code
+  reg.counter("match." + phase + "_ok").Add();
+  obs::GetLatency(&reg, "match.fix_latency").Record(0.0);  // OK: helper form
+}
+
+}  // namespace evm::core

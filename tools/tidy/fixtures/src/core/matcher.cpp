@@ -1,0 +1,20 @@
+// Fixture: the MapReduce-role twin of match_stages.cpp. Every reference
+// here is legal per the fixture manifest — this TU exists so the shared
+// names prove the role logic out (match.fix_shared is touched by both
+// paths) and so match.fix_drifted, declared serial,mapreduce but touched
+// only here, trips the cross-TU parity-direction check (fallback and
+// postpass; the per-TU plugin cannot see the serial path's silence).
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::core {
+
+inline constexpr char kFixSharedMr[] = "match.fix_shared";
+
+void CountMapReduce(obs::MetricsRegistry& reg) {
+  reg.counter(kFixSharedMr).Add();
+  reg.counter("match.fix_mr_only").Add();
+  reg.counter("match.fix_drifted").Add();
+}
+
+}  // namespace evm::core

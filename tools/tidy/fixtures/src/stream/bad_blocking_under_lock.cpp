@@ -1,0 +1,67 @@
+// Fixture: known-blocking calls under a live MutexLock. Expected:
+// evm-lock-order (plugin) / lock-blocking (fallback) on the queue push,
+// the Dfs read and the foreign-lock CondVar wait; the single-lock wait
+// (the blessed pattern), the push outside the critical section and the
+// suppressed site stay quiet.
+
+#include <string>
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::stream {
+
+class Sealer {
+ public:
+  void PushUnderLock();
+  void ReadUnderLock();
+  void WaitOnForeignLock();
+  void WaitProperly();
+  void PushOutsideLock();
+  void SuppressedPush();
+
+ private:
+  common::Mutex m1_;
+  common::Mutex m2_;
+  common::CondVar cv_;
+  IngestQueue queue_;
+  mapreduce::Dfs dfs_;
+  std::uint64_t next_record_ = 0;
+  std::string manifest_;
+};
+
+void Sealer::PushUnderLock() {
+  common::MutexLock lock(m1_);
+  queue_.Push(next_record_);  // BAD: Push can block while m1_ is held
+}
+
+void Sealer::ReadUnderLock() {
+  common::MutexLock lock(m1_);
+  manifest_ = dfs_.Read("manifest");  // BAD: I/O under a lock
+}
+
+void Sealer::WaitOnForeignLock() {
+  common::MutexLock lock1(m1_);
+  common::MutexLock lock2(m2_);
+  cv_.Wait(lock1);  // BAD: waiting releases m1_ but parks holding m2_
+}
+
+void Sealer::WaitProperly() {
+  common::MutexLock lock(m1_);
+  cv_.Wait(lock);  // OK: the blessed CondVar pattern
+}
+
+void Sealer::PushOutsideLock() {
+  {
+    common::MutexLock lock(m1_);
+    ++next_record_;
+  }
+  queue_.Push(next_record_);  // OK: the lock scope closed above
+}
+
+void Sealer::SuppressedPush() {
+  common::MutexLock lock(m1_);
+  // lock-ok: fixture exercises suppression, not production code
+  queue_.Push(next_record_);
+}
+
+}  // namespace evm::stream

@@ -1,0 +1,33 @@
+// Fixture: wall-clock reads inside a deterministic subsystem (the fixture
+// lives under src/stream/). Expected: evm-banned-entropy (plugin) /
+// wall-clock (fallback) on the system_clock and time() sites;
+// steady_clock and the suppressed site stay quiet.
+
+#include <chrono>
+#include <ctime>
+
+#include "support/evm_stubs.hpp"
+
+namespace evm::stream {
+
+long WallStamp() {
+  return std::chrono::system_clock::now()  // BAD: wall clock
+      .time_since_epoch()
+      .count();
+}
+
+long EpochSeconds() {
+  return static_cast<long>(std::time(nullptr));  // BAD: wall clock
+}
+
+long MonotonicStamp() {
+  // steady_clock is fine: latency metrics, never match decisions.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long SuppressedStamp() {
+  // det-ok: fixture exercises suppression, not production code
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace evm::stream

@@ -1,0 +1,171 @@
+// Minimal, self-contained stand-ins for the project types the evm-* checks
+// key on. The fixture TUs compile against these instead of the real headers
+// so the corpus needs no build tree: the checks resolve types and callees
+// by *qualified name*, so only the names and shapes must match
+// (evm::common::Mutex wrappers, evm::stream::IngestQueue, the evm::obs
+// registry, evm::common::FlatMap/FlatSet). Keep in sync with the real
+// signatures when they change — the fixture self-test fails loudly if a
+// rename breaks matching.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace evm::common {
+
+class Mutex {
+ public:
+  void Lock() {}
+  void Unlock() {}
+};
+
+class SharedMutex {
+ public:
+  void Lock() {}
+  void Unlock() {}
+  void ReaderLock() {}
+  void ReaderUnlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() { Unlock(); }
+  void Unlock() {
+    if (mu_ != nullptr) mu_->Unlock();
+    mu_ = nullptr;
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+class ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) : mu_(&mu) { mu_->ReaderLock(); }
+  ~ReaderMutexLock() {
+    if (mu_ != nullptr) mu_->ReaderUnlock();
+  }
+
+ private:
+  SharedMutex* mu_;
+};
+
+class WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) : mu_(&mu) { mu_->Lock(); }
+  ~WriterMutexLock() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+ private:
+  SharedMutex* mu_;
+};
+
+class CondVar {
+ public:
+  void Wait(MutexLock& lock) { (void)lock; }
+  void NotifyOne() {}
+  void NotifyAll() {}
+};
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  const value_type* begin() const { return nullptr; }
+  const value_type* end() const { return nullptr; }
+  template <typename Fn>
+  void ForEachSorted(Fn&& fn) const {
+    (void)fn;
+  }
+};
+
+template <typename Key>
+class FlatSet {
+ public:
+  const Key* begin() const { return nullptr; }
+  const Key* end() const { return nullptr; }
+};
+
+}  // namespace evm::common
+
+namespace evm::stream {
+
+class IngestQueue {
+ public:
+  bool Push(std::uint64_t record) {
+    (void)record;
+    return true;
+  }
+};
+
+}  // namespace evm::stream
+
+namespace evm::mapreduce {
+
+class Dfs {
+ public:
+  std::string Read(const std::string& path) { return path; }
+  void Write(const std::string& path, const std::string& data) {
+    (void)path;
+    (void)data;
+  }
+};
+
+}  // namespace evm::mapreduce
+
+namespace evm::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { (void)n; }
+};
+
+class Gauge {
+ public:
+  void Set(double v) { (void)v; }
+};
+
+class LatencyStat {
+ public:
+  void Record(double seconds) { (void)seconds; }
+};
+
+class MetricsRegistry {
+ public:
+  Counter counter(const std::string& name) {
+    (void)name;
+    return Counter{};
+  }
+  Gauge gauge(const std::string& name) {
+    (void)name;
+    return Gauge{};
+  }
+  LatencyStat latency(const std::string& name) {
+    (void)name;
+    return LatencyStat{};
+  }
+};
+
+inline Counter GetCounter(MetricsRegistry* registry, const std::string& name) {
+  // det-ok: forwarding helper, audited at the caller (mirrors src/obs)
+  return registry != nullptr ? registry->counter(name) : Counter{};
+}
+inline Gauge GetGauge(MetricsRegistry* registry, const std::string& name) {
+  // det-ok: forwarding helper, audited at the caller (mirrors src/obs)
+  return registry != nullptr ? registry->gauge(name) : Gauge{};
+}
+inline LatencyStat GetLatency(MetricsRegistry* registry,
+                              const std::string& name) {
+  // det-ok: forwarding helper, audited at the caller (mirrors src/obs)
+  return registry != nullptr ? registry->latency(name) : LatencyStat{};
+}
+
+}  // namespace evm::obs

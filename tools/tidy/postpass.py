@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Post-pass over EvmTidyModule per-TU fragments: cross-TU lock/counter
+checks.
+
+The clang-tidy checks are per-TU by construction; two properties only exist
+at the whole-program level and are verified here:
+
+  * lock-order: the union of every TU's acquisition edges must be acyclic
+    and consistent with the documented hierarchy. TU A taking X->Y and TU B
+    taking Y->X is a deadlock no single TU can see.
+  * counter-parity direction: a metric declared for both match paths
+    (serial,mapreduce in tools/tidy/counters.txt) must be referenced from
+    both; a manifest entry no TU references is stale vocabulary.
+
+Inputs are the JSON fragments the plugin writes when run with
+  evm-lock-order.GraphDir=<dir>      (lockgraph-*.json: {tu, edges, blocking})
+  evm-counter-parity.CountersDir=<dir> (counters-*.json: {tu, uses})
+
+The merged lock graph is also what CI uploads as an artifact; write it with
+--merged-graph. Exit: 0 clean, 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Reuse the manifest parsers and the cycle detector from the fallback lint
+# so the two layers cannot drift in format.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from lint import CounterManifest, LockHierarchy, find_lock_cycle  # noqa: E402
+
+
+def load_fragments(graph_dir: Path, stem: str) -> list[dict]:
+    fragments = []
+    if graph_dir is None or not graph_dir.is_dir():
+        return fragments
+    for path in sorted(graph_dir.glob(f"{stem}-*.json")):
+        try:
+            fragments.append(json.loads(path.read_text(encoding="utf-8")))
+        except json.JSONDecodeError as err:
+            print(f"postpass: warning: unreadable fragment {path}: {err}",
+                  file=sys.stderr)
+    return fragments
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (manifests live under "
+                        "tools/tidy/)")
+    parser.add_argument("--graph-dir", default=None,
+                        help="directory of lockgraph-*.json fragments")
+    parser.add_argument("--counters-dir", default=None,
+                        help="directory of counters-*.json fragments")
+    parser.add_argument("--merged-graph", default=None, metavar="PATH",
+                        help="write the merged lock graph JSON here "
+                        "(the CI artifact)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    violations = 0
+
+    # ---- lock graph ------------------------------------------------------
+    edges: list[dict] = []
+    blocking: list[dict] = []
+    seen: set[tuple[str, str]] = set()
+    for frag in load_fragments(
+            Path(args.graph_dir) if args.graph_dir else None, "lockgraph"):
+        for edge in frag.get("edges", []):
+            key = (edge.get("from", ""), edge.get("to", ""))
+            if key not in seen:
+                seen.add(key)
+                edges.append(edge)
+        blocking.extend(frag.get("blocking", []))
+
+    hierarchy = LockHierarchy.load(root / "tools/tidy/lock_hierarchy.txt")
+    for edge in edges:
+        why = hierarchy.check_edge(edge["from"], edge["to"])
+        if why is not None:
+            print(f"{edge.get('file', '?')}:{edge.get('line', 0)}: "
+                  f"[lock-order] {why}")
+            violations += 1
+    cycle = find_lock_cycle(edges)
+    if cycle is not None:
+        print("[lock-order] merged cross-TU acquisition graph has a cycle: "
+              + " -> ".join(cycle))
+        violations += 1
+
+    if args.merged_graph is not None:
+        merged = {"edges": edges, "blocking": blocking}
+        Path(args.merged_graph).write_text(
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"postpass: merged lock graph ({len(edges)} edges, "
+              f"{len(blocking)} blocking sites) -> {args.merged_graph}")
+
+    # ---- counter coverage ------------------------------------------------
+    if args.counters_dir is not None:
+        manifest = CounterManifest.load(root / "tools/tidy/counters.txt")
+        used_roles: dict[str, set[str]] = {}
+        for frag in load_fragments(Path(args.counters_dir), "counters"):
+            for use in frag.get("uses", []):
+                used_roles.setdefault(use["name"], set()).add(use["role"])
+        if manifest.loaded:
+            for name, allowed in sorted(manifest.roles.items()):
+                seen_roles = used_roles.get(name, set())
+                if not seen_roles:
+                    print(f"tools/tidy/counters.txt:{manifest.lines[name]}: "
+                          f"[counter-manifest] entry '{name}' referenced by "
+                          "no TU; stale vocabulary")
+                    violations += 1
+                    continue
+                if {"serial", "mapreduce"} <= allowed:
+                    for missing in ("serial", "mapreduce"):
+                        if missing not in seen_roles:
+                            print(
+                                f"tools/tidy/counters.txt:"
+                                f"{manifest.lines[name]}: [counter-parity] "
+                                f"'{name}' declared for both match paths "
+                                f"but the {missing} path never touches it")
+                            violations += 1
+
+    if violations:
+        print(f"postpass: {violations} cross-TU violation(s)",
+              file=sys.stderr)
+        return 1
+    print("postpass: cross-TU lock and counter checks clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

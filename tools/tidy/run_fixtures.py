@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Self-test for the EvmTidyModule clang-tidy plugin over the shared corpus.
+
+Runs `clang-tidy --load <plugin> -checks=-*,evm-*` on every fixture TU under
+tools/tidy/fixtures/src/ (compiled against the stub header, no build tree
+needed) and asserts, per file, that
+
+  * every check listed for it in expected.json's `tidy` section fired, and
+  * files listed in `clean` produced no evm-* diagnostics at all.
+
+The same expected.json drives `tools/lint.py --fixtures` for the regex
+fallback, which pins the two implementations to each other.
+
+Exit status: 0 all assertions hold, 1 disagreement, 2 usage error,
+77 clang-tidy or the plugin unavailable (ctest SKIP_RETURN_CODE, so the
+self-test skips honestly instead of passing vacuously on machines without
+clang).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+# clang-tidy diagnostic: file:line:col: warning: ... [check-name]
+DIAG = re.compile(r"^(.*?):(\d+):\d+:\s+(?:warning|error):\s.*\[([\w.,-]+)\]$")
+
+
+def collect_diags(output: str, fixtures: Path) -> dict[str, set[str]]:
+    by_file: dict[str, set[str]] = {}
+    for line in output.splitlines():
+        match = DIAG.match(line.strip())
+        if match is None:
+            continue
+        path, _, checks = match.groups()
+        try:
+            rel = str(Path(path).resolve().relative_to(fixtures.resolve()))
+        except ValueError:
+            rel = path
+        for check in checks.split(","):
+            if check.startswith("evm-"):
+                by_file.setdefault(rel, set()).add(check)
+    return by_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--plugin", required=True,
+                        help="path to libEvmTidyModule.so")
+    parser.add_argument("--fixtures", default=None,
+                        help="fixture corpus dir (default: alongside this "
+                        "script)")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to drive")
+    args = parser.parse_args()
+
+    fixtures = (Path(args.fixtures) if args.fixtures
+                else Path(__file__).resolve().parent / "fixtures")
+    expected_path = fixtures / "expected.json"
+    if not expected_path.is_file():
+        print(f"run_fixtures: error: {expected_path} missing",
+              file=sys.stderr)
+        return 2
+    expected = json.loads(expected_path.read_text(encoding="utf-8"))
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print(f"run_fixtures: SKIP: {args.clang_tidy} not on PATH")
+        return SKIP
+    plugin = Path(args.plugin)
+    if not plugin.is_file():
+        print(f"run_fixtures: SKIP: plugin {plugin} not built")
+        return SKIP
+
+    sources = sorted((fixtures / "src").rglob("*.cpp"))
+    if not sources:
+        print("run_fixtures: error: no fixture sources", file=sys.stderr)
+        return 2
+
+    config = json.dumps({
+        "Checks": "-*,evm-*",
+        "CheckOptions": [
+            {"key": "evm-lock-order.HierarchyFile",
+             "value": str(fixtures / "tools/tidy/lock_hierarchy.txt")},
+            {"key": "evm-counter-parity.ManifestFile",
+             "value": str(fixtures / "tools/tidy/counters.txt")},
+        ],
+    })
+    cmd = [tidy, "--load", str(plugin.resolve()), f"--config={config}",
+           "--quiet", *[str(s) for s in sources],
+           "--", "-std=c++17", f"-I{fixtures}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if "Unable to load" in proc.stderr or "CommandLine Error" in proc.stderr:
+        # ABI mismatch between the plugin build and the host clang-tidy:
+        # skip, don't fail — the CMake gate pins versions where it matters.
+        print("run_fixtures: SKIP: clang-tidy could not load the plugin:")
+        print(proc.stderr.strip())
+        return SKIP
+
+    by_file = collect_diags(proc.stdout + proc.stderr, fixtures)
+
+    failures: list[str] = []
+    for rel, checks in sorted(expected.get("tidy", {}).items()):
+        got = by_file.get(rel, set())
+        for check in checks:
+            if check not in got:
+                failures.append(f"{rel}: expected {check} did not fire "
+                                f"(got: {sorted(got) or 'nothing'})")
+    for rel in expected.get("clean", []):
+        got = by_file.get(rel, set())
+        if got:
+            failures.append(f"{rel}: clean fixture raised {sorted(got)}")
+
+    for rel, checks in sorted(by_file.items()):
+        print(f"  tidy: {rel}: {', '.join(sorted(checks))}")
+    if failures:
+        for failure in failures:
+            print(f"plugin fixture FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"run_fixtures: plugin agrees with expected.json over "
+          f"{len(sources)} fixtures")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
