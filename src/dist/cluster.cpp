@@ -1,0 +1,190 @@
+#include "dist/cluster.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+extern "C" char** environ;  // POSIX; copied into each worker's envp.
+
+namespace evm::dist {
+namespace {
+
+/// Argv/envp staging that survives into the child: everything is built
+/// before fork() so the child only calls async-signal-safe functions
+/// (setenv is not one, so env overrides are applied via execve's envp).
+struct SpawnPlan {
+  std::vector<std::string> argv_store;
+  std::vector<std::string> env_store;
+  std::vector<char*> argv;
+  std::vector<char*> envp;
+};
+
+SpawnPlan BuildSpawnPlan(const ClusterOptions& options, int child_fd,
+                         WorkerId id) {
+  SpawnPlan plan;
+  plan.argv_store = {options.worker_binary, "--fd", std::to_string(child_fd),
+                     "--id", std::to_string(id)};
+  // Current environment minus shadowed names, then the overrides: getenv
+  // in the child must see exactly one binding per name.
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string pair(*entry);
+    const auto eq = pair.find('=');
+    const std::string name = pair.substr(0, eq);
+    bool shadowed = false;
+    for (const auto& [override_name, value] : options.env) {
+      shadowed |= (name == override_name);
+    }
+    if (!shadowed) plan.env_store.push_back(pair);
+  }
+  for (const auto& [name, value] : options.env) {
+    plan.env_store.push_back(name + "=" + value);
+  }
+  for (auto& arg : plan.argv_store) plan.argv.push_back(arg.data());
+  plan.argv.push_back(nullptr);
+  for (auto& entry : plan.env_store) plan.envp.push_back(entry.data());
+  plan.envp.push_back(nullptr);
+  return plan;
+}
+
+}  // namespace
+
+Cluster::~Cluster() {
+  common::MutexLock lock(mutex_);
+  // Destructor path: no polite RPC (the engine is going away and may hold
+  // no working channels); just make the processes stop existing.
+  for (std::size_t i = 0; i < next_id_; ++i) {
+    Proc* proc = procs_.Find(i);
+    if (proc == nullptr || proc->reaped) continue;
+    ::kill(proc->pid, SIGKILL);
+    ReapLocked(*proc, /*block=*/true);
+  }
+}
+
+WorkerId Cluster::Spawn() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    throw Error(std::string("socketpair failed: ") + std::strerror(errno));
+  }
+
+  common::MutexLock lock(mutex_);
+  const WorkerId id = next_id_++;
+  const SpawnPlan plan = BuildSpawnPlan(options_, fds[1], id);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw Error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Keep only our own socket end across exec: every inherited
+    // channel fd (other workers' ends, our parent end) is CLOEXEC already.
+    const int flags = ::fcntl(fds[1], F_GETFD);
+    ::fcntl(fds[1], F_SETFD, flags & ~FD_CLOEXEC);
+    ::execve(plan.argv[0], plan.argv.data(), plan.envp.data());
+    // Exec failed; 127 mirrors the shell convention for "command not found".
+    std::_Exit(127);
+  }
+
+  ::close(fds[1]);
+  Proc proc;
+  proc.pid = pid;
+  proc.channel = std::make_shared<RpcChannel>(fds[0]);
+  procs_.Insert(id, std::move(proc));
+  return id;
+}
+
+std::shared_ptr<RpcChannel> Cluster::Channel(WorkerId id) const {
+  common::MutexLock lock(mutex_);
+  const Proc* proc = procs_.Find(id);
+  return proc == nullptr ? nullptr : proc->channel;
+}
+
+void Cluster::ReapLocked(Proc& proc, bool block) {
+  if (proc.reaped) return;
+  int status = 0;
+  const pid_t r = ::waitpid(proc.pid, &status, block ? 0 : WNOHANG);
+  if (r == proc.pid || (r < 0 && errno == ECHILD)) {
+    proc.reaped = true;
+    proc.exit_status = status;
+  }
+}
+
+bool Cluster::ProbeLocked(Proc& proc) {
+  ReapLocked(proc, /*block=*/false);
+  return !proc.reaped;
+}
+
+void Cluster::Kill(WorkerId id) {
+  common::MutexLock lock(mutex_);
+  Proc* proc = procs_.Find(id);
+  if (proc == nullptr || proc->reaped) return;
+  ::kill(proc->pid, SIGKILL);
+  ReapLocked(*proc, /*block=*/true);
+  proc->channel->Close();
+}
+
+bool Cluster::Shutdown(WorkerId id) {
+  // The polite RPC happens without the cluster lock: a stuck worker must
+  // not block Channel()/Alive() for everyone else.
+  std::shared_ptr<RpcChannel> channel = Channel(id);
+  if (channel == nullptr) return false;
+  bool clean = false;
+  try {
+    const Frame reply = channel->Call(Method::kShutdown, {},
+                                      std::chrono::milliseconds(5000));
+    clean = static_cast<RpcStatus>(reply.code) == RpcStatus::kOk;
+  } catch (const RpcError&) {
+    clean = false;
+  }
+  common::MutexLock lock(mutex_);
+  Proc* proc = procs_.Find(id);
+  if (proc == nullptr) return false;
+  if (!proc->reaped && !clean) ::kill(proc->pid, SIGKILL);
+  ReapLocked(*proc, /*block=*/true);
+  proc->channel->Close();
+  return clean && WIFEXITED(proc->exit_status) &&
+         WEXITSTATUS(proc->exit_status) == 0;
+}
+
+void Cluster::ShutdownAll() {
+  for (const WorkerId id : LiveWorkers()) Shutdown(id);
+}
+
+bool Cluster::Alive(WorkerId id) {
+  common::MutexLock lock(mutex_);
+  Proc* proc = procs_.Find(id);
+  return proc != nullptr && ProbeLocked(*proc);
+}
+
+std::optional<int> Cluster::ExitStatus(WorkerId id) const {
+  common::MutexLock lock(mutex_);
+  const Proc* proc = procs_.Find(id);
+  if (proc == nullptr || !proc->reaped) return std::nullopt;
+  return proc->exit_status;
+}
+
+std::vector<WorkerId> Cluster::LiveWorkers() {
+  common::MutexLock lock(mutex_);
+  std::vector<WorkerId> live;
+  for (std::size_t i = 0; i < next_id_; ++i) {
+    Proc* proc = procs_.Find(i);
+    if (proc != nullptr && ProbeLocked(*proc)) {
+      live.push_back(static_cast<WorkerId>(i));
+    }
+  }
+  return live;
+}
+
+}  // namespace evm::dist

@@ -1,0 +1,259 @@
+#pragma once
+// Codec<> specializations for the types that cross the driver/worker
+// process boundary, plus whole-value encode/decode helpers.
+//
+// Everything here rides the same Codec machinery the in-process shuffle
+// uses (mapreduce/codec.hpp); the process boundary does not get a second
+// serialization dialect. The worker-count determinism tests compare jobs by
+// their *encoded* MatchResult bytes, so these encodings double as the
+// byte-identity witness: two runs agree iff EncodeValue of their results
+// agrees.
+//
+// DatasetConfig is encoded in full (including the nested mobility/render/
+// feature parameter blocks) because workers do not receive datasets over
+// the wire — they regenerate them locally from the config, relying on
+// GenerateDataset being a pure function of the config. Field order is part
+// of the wire format; append new fields at the end of their struct's
+// encoder and bump nothing (both sides are always built from the same
+// tree).
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "dataset/generator.hpp"
+#include "dist/rpc.hpp"
+#include "mapreduce/codec.hpp"
+
+namespace evm::dist {
+
+/// Wire form of one kExecTask request. `job`, `task` and `attempt` identify
+/// the attempt for the worker-kill injection schedule (the same
+/// (job, task, attempt) coordinates the in-process engine feeds its
+/// InjectFailure draw), so a killed attempt's retry — a different attempt
+/// number — draws fresh and can survive.
+struct ExecTaskRequest {
+  std::string kind;
+  std::string job;
+  std::uint64_t task{0};
+  std::uint64_t attempt{0};
+  Bytes payload;
+};
+
+}  // namespace evm::dist
+
+namespace evm::mapreduce {
+
+/// Raw byte buffers (DFS blocks, nested payloads): length + verbatim bytes.
+/// Declared before the generic vector codec would be instantiated for
+/// unsigned char, which has no scalar Codec.
+template <>
+struct Codec<std::vector<unsigned char>> {
+  static void Encode(BinaryWriter& w, const std::vector<unsigned char>& v) {
+    w.WriteU64(v.size());
+    w.WriteBytes(v.data(), v.size());
+  }
+  static std::vector<unsigned char> Decode(BinaryReader& r) {
+    const std::string s = r.ReadString();
+    return {s.begin(), s.end()};
+  }
+};
+
+template <>
+struct Codec<bool> {
+  static void Encode(BinaryWriter& w, const bool& v) {
+    w.WriteU32(v ? 1u : 0u);
+  }
+  static bool Decode(BinaryReader& r) { return r.ReadU32() != 0; }
+};
+
+template <>
+struct Codec<EidScenarioList> {
+  static void Encode(BinaryWriter& w, const EidScenarioList& v) {
+    Codec<Eid>::Encode(w, v.eid);
+    Codec<std::vector<ScenarioId>>::Encode(w, v.scenarios);
+    Codec<bool>::Encode(w, v.distinguished);
+  }
+  static EidScenarioList Decode(BinaryReader& r) {
+    EidScenarioList v;
+    v.eid = Codec<Eid>::Decode(r);
+    v.scenarios = Codec<std::vector<ScenarioId>>::Decode(r);
+    v.distinguished = Codec<bool>::Decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<MatchResult> {
+  static void Encode(BinaryWriter& w, const MatchResult& v) {
+    Codec<Eid>::Encode(w, v.eid);
+    Codec<std::vector<Vid>>::Encode(w, v.chosen_per_scenario);
+    Codec<Vid>::Encode(w, v.reported_vid);
+    w.WriteDouble(v.confidence);
+    w.WriteDouble(v.majority_fraction);
+    Codec<bool>::Encode(w, v.resolved);
+    Codec<bool>::Encode(w, v.e_only);
+  }
+  static MatchResult Decode(BinaryReader& r) {
+    MatchResult v;
+    v.eid = Codec<Eid>::Decode(r);
+    v.chosen_per_scenario = Codec<std::vector<Vid>>::Decode(r);
+    v.reported_vid = Codec<Vid>::Decode(r);
+    v.confidence = r.ReadDouble();
+    v.majority_fraction = r.ReadDouble();
+    v.resolved = Codec<bool>::Decode(r);
+    v.e_only = Codec<bool>::Decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<MobilityParams> {
+  static void Encode(BinaryWriter& w, const MobilityParams& v) {
+    w.WriteDouble(v.min_speed_mps);
+    w.WriteDouble(v.max_speed_mps);
+    w.WriteDouble(v.max_pause_s);
+    w.WriteDouble(v.accel_mps2);
+  }
+  static MobilityParams Decode(BinaryReader& r) {
+    MobilityParams v;
+    v.min_speed_mps = r.ReadDouble();
+    v.max_speed_mps = r.ReadDouble();
+    v.max_pause_s = r.ReadDouble();
+    v.accel_mps2 = r.ReadDouble();
+    return v;
+  }
+};
+
+template <>
+struct Codec<RenderParams> {
+  static void Encode(BinaryWriter& w, const RenderParams& v) {
+    w.WriteU64(v.width);
+    w.WriteU64(v.height);
+    w.WriteDouble(v.illumination_sigma);
+    w.WriteDouble(v.sensor_noise);
+    w.WriteDouble(v.crop_jitter);
+    w.WriteDouble(v.occlusion_prob);
+    w.WriteDouble(v.occlusion_alpha_min);
+    w.WriteDouble(v.occlusion_alpha_max);
+  }
+  static RenderParams Decode(BinaryReader& r) {
+    RenderParams v;
+    v.width = r.ReadU64();
+    v.height = r.ReadU64();
+    v.illumination_sigma = r.ReadDouble();
+    v.sensor_noise = r.ReadDouble();
+    v.crop_jitter = r.ReadDouble();
+    v.occlusion_prob = r.ReadDouble();
+    v.occlusion_alpha_min = r.ReadDouble();
+    v.occlusion_alpha_max = r.ReadDouble();
+    return v;
+  }
+};
+
+template <>
+struct Codec<FeatureParams> {
+  static void Encode(BinaryWriter& w, const FeatureParams& v) {
+    w.WriteU64(v.stripes);
+    w.WriteU64(v.bins_per_channel);
+  }
+  static FeatureParams Decode(BinaryReader& r) {
+    FeatureParams v;
+    v.stripes = r.ReadU64();
+    v.bins_per_channel = r.ReadU64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<DatasetConfig> {
+  static void Encode(BinaryWriter& w, const DatasetConfig& v) {
+    w.WriteU64(v.population);
+    w.WriteDouble(v.region_size_m);
+    w.WriteDouble(v.cell_size_m);
+    w.WriteU64(v.grid_cols);
+    w.WriteU64(v.grid_rows);
+    w.WriteU64(v.ticks);
+    w.WriteDouble(v.tick_seconds);
+    w.WriteI64(v.window_ticks);
+    Codec<MobilityParams>::Encode(w, v.mobility);
+    w.WriteDouble(v.e_missing_rate);
+    w.WriteDouble(v.e_noise_sigma_m);
+    w.WriteDouble(v.e_capture_prob);
+    w.WriteDouble(v.vague_width_m);
+    w.WriteDouble(v.inclusive_threshold);
+    w.WriteDouble(v.vague_threshold);
+    w.WriteDouble(v.v_missing_rate);
+    w.WriteDouble(v.v_presence_fraction);
+    Codec<RenderParams>::Encode(w, v.render);
+    Codec<FeatureParams>::Encode(w, v.features);
+    w.WriteU64(v.seed);
+  }
+  static DatasetConfig Decode(BinaryReader& r) {
+    DatasetConfig v;
+    v.population = r.ReadU64();
+    v.region_size_m = r.ReadDouble();
+    v.cell_size_m = r.ReadDouble();
+    v.grid_cols = r.ReadU64();
+    v.grid_rows = r.ReadU64();
+    v.ticks = r.ReadU64();
+    v.tick_seconds = r.ReadDouble();
+    v.window_ticks = r.ReadI64();
+    v.mobility = Codec<MobilityParams>::Decode(r);
+    v.e_missing_rate = r.ReadDouble();
+    v.e_noise_sigma_m = r.ReadDouble();
+    v.e_capture_prob = r.ReadDouble();
+    v.vague_width_m = r.ReadDouble();
+    v.inclusive_threshold = r.ReadDouble();
+    v.vague_threshold = r.ReadDouble();
+    v.v_missing_rate = r.ReadDouble();
+    v.v_presence_fraction = r.ReadDouble();
+    v.render = Codec<RenderParams>::Decode(r);
+    v.features = Codec<FeatureParams>::Decode(r);
+    v.seed = r.ReadU64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<dist::ExecTaskRequest> {
+  static void Encode(BinaryWriter& w, const dist::ExecTaskRequest& v) {
+    w.WriteString(v.kind);
+    w.WriteString(v.job);
+    w.WriteU64(v.task);
+    w.WriteU64(v.attempt);
+    Codec<dist::Bytes>::Encode(w, v.payload);
+  }
+  static dist::ExecTaskRequest Decode(BinaryReader& r) {
+    dist::ExecTaskRequest v;
+    v.kind = r.ReadString();
+    v.job = r.ReadString();
+    v.task = r.ReadU64();
+    v.attempt = r.ReadU64();
+    v.payload = Codec<dist::Bytes>::Decode(r);
+    return v;
+  }
+};
+
+}  // namespace evm::mapreduce
+
+namespace evm::dist {
+
+/// Encodes one value into a standalone byte buffer.
+template <typename T>
+[[nodiscard]] Bytes EncodeValue(const T& value) {
+  BinaryWriter w;
+  mapreduce::Codec<T>::Encode(w, value);
+  return w.Take();
+}
+
+/// Decodes one value from a standalone byte buffer (checked: the buffer
+/// must contain exactly one value).
+template <typename T>
+[[nodiscard]] T DecodeValue(const Bytes& bytes) {
+  BinaryReader r(bytes);
+  T value = mapreduce::Codec<T>::Decode(r);
+  EVM_CHECK_MSG(r.AtEnd(), "trailing bytes after decoded value");
+  return value;
+}
+
+}  // namespace evm::dist

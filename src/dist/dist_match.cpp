@@ -1,0 +1,58 @@
+#include "dist/dist_match.hpp"
+
+#include <utility>
+
+#include "dist/codecs.hpp"
+
+namespace evm::dist {
+
+Bytes EncodeMatchFilterTask(const DatasetConfig& config, CandidatePool pool,
+                            const EidScenarioList& list) {
+  BinaryWriter w;
+  mapreduce::Codec<DatasetConfig>::Encode(w, config);
+  w.WriteU32(static_cast<std::uint32_t>(pool));
+  mapreduce::Codec<EidScenarioList>::Encode(w, list);
+  return w.Take();
+}
+
+DistMatcher::DistMatcher(DistEngine& engine, DistMatchConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      dataset_(GenerateDataset(config_.dataset)),
+      universe_(CollectUniverse(dataset_.e_scenarios)) {}
+
+MatchReport DistMatcher::Match(const std::vector<Eid>& targets) {
+  const std::string job = "dist-match#" + std::to_string(job_counter_++);
+
+  const SplitStageFn split = [this](const std::vector<Eid>& pass_targets,
+                                    std::uint64_t seed) {
+    SplitConfig cfg = config_.split;
+    cfg.seed = seed;
+    return RunSplitStage(dataset_.e_scenarios, cfg, universe_, pass_targets,
+                         metrics_, nullptr);
+  };
+
+  const FilterStageFn filter = [this, &job](
+                                   const std::vector<EidScenarioList>& lists,
+                                   std::vector<MatchResult>& results) {
+    std::vector<Bytes> payloads;
+    payloads.reserve(lists.size());
+    for (const EidScenarioList& list : lists) {
+      payloads.push_back(EncodeMatchFilterTask(config_.dataset,
+                                               config_.candidate_pool, list));
+    }
+    const std::vector<Bytes> outputs =
+        engine_.RunTasks(job, kMatchFilterKind, payloads);
+    results.resize(lists.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      results[i] = DecodeValue<MatchResult>(outputs[i]);
+    }
+  };
+
+  return RunMatchPass(targets, config_.refine, config_.split.seed, split,
+                      filter, metrics_, nullptr);
+}
+
+MatchReport DistMatcher::MatchUniversal() { return Match(universe_); }
+
+}  // namespace evm::dist

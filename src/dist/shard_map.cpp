@@ -1,0 +1,88 @@
+#include "dist/shard_map.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace evm::dist {
+namespace {
+
+std::uint64_t PointHash(WorkerId worker, std::size_t replica) noexcept {
+  // Two rounds of the 64-bit finalizer decorrelate the (worker, replica)
+  // lattice; a single round leaves visible stripes at small worker ids.
+  return Mix64(Mix64((static_cast<std::uint64_t>(worker) << 32) |
+                     static_cast<std::uint64_t>(replica)) +
+               0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+std::uint64_t ShardMap::HashName(std::string_view name) noexcept {
+  // FNV-1a over the bytes, folded through Mix64. std::hash would work on any
+  // one platform but is not pinned across standard libraries; placement must
+  // be, because the determinism tests compare it across build flavors.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+void ShardMap::AddWorker(WorkerId worker) {
+  if (Contains(worker)) return;
+  ring_.reserve(ring_.size() + kVirtualNodes);
+  for (std::size_t r = 0; r < kVirtualNodes; ++r) {
+    ring_.push_back(Point{PointHash(worker, r), worker});
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.worker < b.worker;
+  });
+  ++workers_;
+  ++epoch_;
+}
+
+void ShardMap::RemoveWorker(WorkerId worker) {
+  if (!Contains(worker)) return;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [worker](const Point& p) {
+                               return p.worker == worker;
+                             }),
+              ring_.end());
+  --workers_;
+  ++epoch_;
+}
+
+bool ShardMap::Contains(WorkerId worker) const {
+  return std::any_of(ring_.begin(), ring_.end(), [worker](const Point& p) {
+    return p.worker == worker;
+  });
+}
+
+std::vector<WorkerId> ShardMap::Workers() const {
+  std::vector<WorkerId> out;
+  out.reserve(workers_);
+  for (const Point& p : ring_) out.push_back(p.worker);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+WorkerId ShardMap::OwnerOfPoint(std::uint64_t point) const {
+  EVM_CHECK_MSG(!ring_.empty(), "ShardMap has no workers");
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  return it == ring_.end() ? ring_.front().worker : it->worker;
+}
+
+WorkerId ShardMap::OwnerOf(std::string_view name) const {
+  return OwnerOfPoint(HashName(name));
+}
+
+WorkerId ShardMap::OwnerOfKey(std::uint64_t key) const {
+  return OwnerOfPoint(Mix64(key + 0x2545f4914f6cdd1dULL));
+}
+
+}  // namespace evm::dist

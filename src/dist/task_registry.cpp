@@ -1,0 +1,35 @@
+#include "dist/task_registry.hpp"
+
+#include <utility>
+
+namespace evm::dist {
+namespace {
+
+// Process-global registry. Populated during startup (single-threaded by
+// contract, see header), read-only afterwards — so no lock.
+common::FlatMap<std::string, TaskKindFn>& Registry() {
+  static common::FlatMap<std::string, TaskKindFn> registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterTaskKind(const std::string& kind, TaskKindFn fn) {
+  Registry()[kind] = std::move(fn);
+}
+
+const TaskKindFn* FindTaskKind(const std::string& kind) {
+  return Registry().Find(kind);
+}
+
+std::vector<std::string> ListTaskKinds() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  Registry().ForEachSorted(
+      [&names](const std::string& name, const TaskKindFn&) {
+        names.push_back(name);
+      });
+  return names;
+}
+
+}  // namespace evm::dist

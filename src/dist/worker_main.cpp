@@ -1,0 +1,68 @@
+// evm_worker — the shard-hosting worker process.
+//
+// Spawned by dist::Cluster via fork/exec with one end of a socketpair as
+// --fd. Everything else it needs arrives over that socket; the only other
+// inputs are the EVM_MR_INJECT_* fault-injection variables, which it reads
+// itself so a soak harness can drive worker kills without driver plumbing.
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+
+#include "dist/rpc.hpp"
+#include "dist/task_registry.hpp"
+#include "dist/worker.hpp"
+#include "mapreduce/injection_env.hpp"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --fd <socket-fd> --id <worker-id>\n",
+               argv0);
+  std::exit(2);
+}
+
+std::uint64_t ParseU64Arg(const char* argv0, std::string_view value) {
+  std::uint64_t parsed = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, parsed);
+  if (ec != std::errc{} || ptr != end) Usage(argv0);
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  evm::dist::WorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--fd" && i + 1 < argc) {
+      fd = static_cast<int>(ParseU64Arg(argv[0], argv[++i]));
+    } else if (arg == "--id" && i + 1 < argc) {
+      options.id =
+          static_cast<evm::dist::WorkerId>(ParseU64Arg(argv[0], argv[++i]));
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (fd < 0) Usage(argv[0]);
+
+  try {
+    const auto inject = evm::mapreduce::ReadInjectionEnv();
+    if (inject.worker_kill_prob) options.kill_prob = *inject.worker_kill_prob;
+    if (inject.seed) options.kill_seed = *inject.seed;
+
+    evm::dist::RegisterBuiltinTaskKinds();
+    evm::dist::RpcChannel channel(fd);
+    evm::dist::ServeWorker(channel, options);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "evm_worker[%u]: fatal: %s\n",
+                 static_cast<unsigned>(options.id), e.what());
+    return 1;
+  }
+}

@@ -14,11 +14,12 @@ namespace {
 
 constexpr std::string_view kPrefix = "EVM_MR_INJECT_";
 
-constexpr std::array<std::string_view, 8> kKnownNames = {
+constexpr std::array<std::string_view, 9> kKnownNames = {
     "EVM_MR_INJECT_MAP_FAILURES",      "EVM_MR_INJECT_REDUCE_FAILURES",
     "EVM_MR_INJECT_MAP_STRAGGLERS",    "EVM_MR_INJECT_REDUCE_STRAGGLERS",
     "EVM_MR_INJECT_STRAGGLER_DELAY_MS", "EVM_MR_INJECT_SEED",
     "EVM_MR_INJECT_MAX_ATTEMPTS",      "EVM_MR_INJECT_SPECULATION",
+    "EVM_MR_INJECT_WORKER_KILLS",
 };
 
 [[noreturn]] void Reject(const std::string& name, const std::string& value,
@@ -107,6 +108,10 @@ InjectionOverrides ParseInjectionEnv(
   }
   if (const auto v = get("EVM_MR_INJECT_SPECULATION")) {
     overrides.speculation = ParseBool("EVM_MR_INJECT_SPECULATION", *v);
+  }
+  if (const auto v = get("EVM_MR_INJECT_WORKER_KILLS")) {
+    overrides.worker_kill_prob =
+        ParseProb("EVM_MR_INJECT_WORKER_KILLS", *v);
   }
   return overrides;
 }

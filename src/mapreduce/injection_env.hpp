@@ -15,6 +15,9 @@
 //   EVM_MR_INJECT_SEED=<n>                injection schedule seed
 //   EVM_MR_INJECT_MAX_ATTEMPTS=<n>        attempt budget per task (>= 1)
 //   EVM_MR_INJECT_SPECULATION=<0|1>       force speculation off/on
+//   EVM_MR_INJECT_WORKER_KILLS=<p>        worker process kill probability
+//                                         per executed task attempt
+//                                         (dist/worker.cpp)
 //
 // Probabilities must parse as doubles in [0, 1); counts as non-negative
 // integers. Like EVM_SANITIZE in cmake/Sanitizers.cmake, values are
@@ -41,11 +44,12 @@ struct InjectionOverrides {
   std::optional<std::uint64_t> seed;
   std::optional<int> max_attempts;
   std::optional<bool> speculation;
+  std::optional<double> worker_kill_prob;
 
   [[nodiscard]] bool Any() const noexcept {
     return map_failure_prob || reduce_failure_prob || map_straggler_prob ||
            reduce_straggler_prob || straggler_delay_ms || seed ||
-           max_attempts || speculation;
+           max_attempts || speculation || worker_kill_prob;
   }
 };
 

@@ -1,0 +1,131 @@
+#include "dist/cluster.hpp"
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace evm::dist {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string WorkerBin() {
+  if (const char* env = std::getenv("EVM_WORKER_BIN")) return env;
+#ifdef EVM_WORKER_BIN_DEFAULT
+  return EVM_WORKER_BIN_DEFAULT;
+#else
+  return "./evm_worker";
+#endif
+}
+
+Cluster MakeCluster() { return Cluster(ClusterOptions{WorkerBin(), {}}); }
+
+bool PingWorker(Cluster& cluster, WorkerId id) {
+  const std::shared_ptr<RpcChannel> channel = cluster.Channel(id);
+  if (channel == nullptr) return false;
+  try {
+    const Frame reply =
+        channel->Call(Method::kPing, {7, 7}, milliseconds(10'000));
+    return reply.code == static_cast<std::uint8_t>(RpcStatus::kOk) &&
+           reply.payload == Bytes{7, 7};
+  } catch (const RpcError&) {
+    return false;
+  }
+}
+
+TEST(ClusterTest, SpawnedWorkerAnswersPing) {
+  Cluster cluster = MakeCluster();
+  const WorkerId id = cluster.Spawn();
+  EXPECT_TRUE(cluster.Alive(id));
+  EXPECT_TRUE(PingWorker(cluster, id));
+}
+
+TEST(ClusterTest, ShutdownExitsCleanly) {
+  Cluster cluster = MakeCluster();
+  const WorkerId id = cluster.Spawn();
+  EXPECT_TRUE(cluster.Shutdown(id));
+  EXPECT_FALSE(cluster.Alive(id));
+  const std::optional<int> status = cluster.ExitStatus(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(WIFEXITED(*status));
+  EXPECT_EQ(WEXITSTATUS(*status), 0);
+}
+
+TEST(ClusterTest, IdsAreDenseAndNeverReused) {
+  Cluster cluster = MakeCluster();
+  EXPECT_EQ(cluster.Spawn(), 0u);
+  EXPECT_EQ(cluster.Spawn(), 1u);
+  cluster.Kill(0);
+  EXPECT_EQ(cluster.Spawn(), 2u);
+  EXPECT_EQ(cluster.LiveWorkers(), (std::vector<WorkerId>{1, 2}));
+}
+
+TEST(ClusterTest, UnknownIdsAreHarmless) {
+  Cluster cluster = MakeCluster();
+  EXPECT_EQ(cluster.Channel(99), nullptr);
+  EXPECT_FALSE(cluster.ExitStatus(99).has_value());
+  EXPECT_FALSE(cluster.Alive(99));
+  cluster.Kill(99);  // no-op, no throw
+}
+
+// The CLOEXEC regression test: a worker spawned AFTER its sibling must not
+// inherit the sibling's socket. If it did, killing the sibling would leave
+// its socket half-open in the younger worker and the death EOF below would
+// become a multi-second hang (or a timeout) instead of failing fast.
+TEST(ClusterTest, KilledWorkerFailsFastDespiteYoungerSibling) {
+  Cluster cluster = MakeCluster();
+  const WorkerId victim = cluster.Spawn();
+  const WorkerId sibling = cluster.Spawn();  // forked after victim's socket
+  ASSERT_TRUE(PingWorker(cluster, victim));
+  ASSERT_TRUE(PingWorker(cluster, sibling));
+
+  const std::shared_ptr<RpcChannel> channel = cluster.Channel(victim);
+  ASSERT_NE(channel, nullptr);
+  cluster.Kill(victim);
+  EXPECT_FALSE(cluster.Alive(victim));
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    // Long deadline on purpose: with a leaked fd this would only return at
+    // the deadline; with CLOEXEC intact it fails immediately with kClosed.
+    (void)channel->Call(Method::kPing, {}, milliseconds(30'000));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.failure(), RpcFailure::kClosed);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, milliseconds(5000));
+
+  // The sibling is unaffected.
+  EXPECT_TRUE(PingWorker(cluster, sibling));
+}
+
+TEST(ClusterTest, SelfExitIsObservedByAlive) {
+  Cluster cluster = MakeCluster();
+  const WorkerId id = cluster.Spawn();
+  // A polite kShutdown makes the worker exit on its own; Alive() must flip
+  // once the exit is reaped, even without Kill().
+  const std::shared_ptr<RpcChannel> channel = cluster.Channel(id);
+  ASSERT_NE(channel, nullptr);
+  const Frame reply =
+      channel->Call(Method::kShutdown, {}, milliseconds(10'000));
+  EXPECT_EQ(reply.code, static_cast<std::uint8_t>(RpcStatus::kOk));
+  // The exit is asynchronous; poll Alive() until the reap observes it.
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(10'000);
+  while (cluster.Alive(id) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_FALSE(cluster.Alive(id));
+}
+
+}  // namespace
+}  // namespace evm::dist

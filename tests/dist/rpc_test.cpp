@@ -1,0 +1,166 @@
+#include "dist/rpc.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+
+namespace evm::dist {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A connected socket pair; each end wrapped in an RpcChannel.
+struct ChannelPair {
+  ChannelPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client = std::make_unique<RpcChannel>(fds[0]);
+    server = std::make_unique<RpcChannel>(fds[1]);
+  }
+  std::unique_ptr<RpcChannel> client;
+  std::unique_ptr<RpcChannel> server;
+};
+
+TEST(RpcTest, RoundTripPreservesCodeAndPayload) {
+  ChannelPair pair;
+  std::thread server([&] {
+    std::optional<Frame> req = pair.server->RecvRequest();
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->code, static_cast<std::uint8_t>(Method::kExecTask));
+    Bytes echoed = req->payload;
+    echoed.push_back(0xff);
+    pair.server->SendResponse(RpcStatus::kOk, echoed);
+  });
+  const Frame reply =
+      pair.client->Call(Method::kExecTask, {1, 2, 3}, milliseconds(5000));
+  server.join();
+  EXPECT_EQ(reply.code, static_cast<std::uint8_t>(RpcStatus::kOk));
+  EXPECT_EQ(reply.payload, (Bytes{1, 2, 3, 0xff}));
+}
+
+TEST(RpcTest, EmptyPayloadRoundTrips) {
+  ChannelPair pair;
+  std::thread server([&] {
+    std::optional<Frame> req = pair.server->RecvRequest();
+    ASSERT_TRUE(req.has_value());
+    EXPECT_TRUE(req->payload.empty());
+    pair.server->SendResponse(RpcStatus::kOk, {});
+  });
+  const Frame reply = pair.client->Call(Method::kPing, {}, milliseconds(5000));
+  server.join();
+  EXPECT_TRUE(reply.payload.empty());
+}
+
+TEST(RpcTest, LargePayloadRoundTrips) {
+  // Bigger than any single socket buffer, so SendAll/RecvAll loop.
+  ChannelPair pair;
+  const Bytes big(1 << 20, 0xab);
+  std::thread server([&] {
+    std::optional<Frame> req = pair.server->RecvRequest();
+    ASSERT_TRUE(req.has_value());
+    pair.server->SendResponse(RpcStatus::kOk, req->payload);
+  });
+  const Frame reply =
+      pair.client->Call(Method::kDfsWrite, big, milliseconds(10'000));
+  server.join();
+  EXPECT_EQ(reply.payload, big);
+}
+
+TEST(RpcTest, SilentPeerTimesOut) {
+  ChannelPair pair;
+  try {
+    (void)pair.client->Call(Method::kPing, {}, milliseconds(50));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.failure(), RpcFailure::kTimeout);
+  }
+}
+
+TEST(RpcTest, ClosedPeerFailsWithClosed) {
+  ChannelPair pair;
+  pair.server.reset();  // closes the server fd: EOF, not a timeout
+  try {
+    (void)pair.client->Call(Method::kPing, {}, milliseconds(5000));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.failure(), RpcFailure::kClosed);
+  }
+}
+
+TEST(RpcTest, RecvRequestReturnsNulloptOnOrderlyClose) {
+  ChannelPair pair;
+  pair.client.reset();
+  EXPECT_FALSE(pair.server->RecvRequest().has_value());
+}
+
+TEST(RpcTest, OversizedLengthPrefixIsProtocolError) {
+  ChannelPair pair;
+  // Hand-craft a frame header claiming a > 1 GiB payload.
+  const unsigned char header[5] = {0xff, 0xff, 0xff, 0xff, 0};
+  ASSERT_EQ(::send(pair.server->fd(), header, sizeof(header), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(header)));
+  try {
+    (void)pair.client->Call(Method::kPing, {}, milliseconds(5000));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.failure(), RpcFailure::kProtocol);
+  }
+}
+
+TEST(RpcTest, TryCallGivesUpWhileAnotherCallIsInFlight) {
+  ChannelPair pair;
+  std::atomic<bool> release{false};
+  // Server answers the first request only after `release` flips, pinning
+  // the first Call (and the channel mutex) in flight.
+  std::thread server([&] {
+    std::optional<Frame> req = pair.server->RecvRequest();
+    ASSERT_TRUE(req.has_value());
+    while (!release.load()) {
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    pair.server->SendResponse(RpcStatus::kOk, {});
+    req = pair.server->RecvRequest();
+    if (req) pair.server->SendResponse(RpcStatus::kOk, {});
+  });
+  std::atomic<bool> in_flight{false};
+  std::thread caller([&] {
+    in_flight.store(true);
+    const Frame reply =
+        pair.client->Call(Method::kPing, {}, milliseconds(30'000));
+    EXPECT_EQ(reply.code, static_cast<std::uint8_t>(RpcStatus::kOk));
+  });
+  while (!in_flight.load()) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  std::this_thread::sleep_for(milliseconds(20));  // let Call take the mutex
+  EXPECT_FALSE(
+      pair.client->TryCall(Method::kPing, {}, milliseconds(100)).has_value());
+  release.store(true);
+  caller.join();
+  // With the mutex free again, TryCall goes through.
+  EXPECT_TRUE(
+      pair.client->TryCall(Method::kPing, {}, milliseconds(5000)).has_value());
+  server.join();
+}
+
+TEST(RpcTest, CallAfterCloseFailsFast) {
+  ChannelPair pair;
+  pair.client->Close();
+  try {
+    (void)pair.client->Call(Method::kPing, {}, milliseconds(5000));
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.failure(), RpcFailure::kClosed);
+  }
+}
+
+}  // namespace
+}  // namespace evm::dist

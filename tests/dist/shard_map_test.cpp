@@ -1,0 +1,117 @@
+#include "dist/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evm::dist {
+namespace {
+
+// Placement is a pure function of membership and name bytes; these literals
+// pin it across platforms and standard libraries. A change here is a wire
+// break: every committed shard layout and the worker-count determinism
+// claim depend on these values.
+TEST(ShardMapTest, HashNameIsPinned) {
+  EXPECT_EQ(ShardMap::HashName("gallery/0"), 13326817655049195246ULL);
+  EXPECT_EQ(ShardMap::HashName("evm"), 7820632296573981043ULL);
+  EXPECT_NE(ShardMap::HashName("a"), ShardMap::HashName("b"));
+}
+
+TEST(ShardMapTest, PlacementIsPinnedAtFourWorkers) {
+  ShardMap map;
+  for (WorkerId w = 0; w < 4; ++w) map.AddWorker(w);
+  EXPECT_EQ(map.OwnerOf("a"), 3u);
+  EXPECT_EQ(map.OwnerOf("b"), 0u);
+  EXPECT_EQ(map.OwnerOf("c"), 1u);
+  EXPECT_EQ(map.OwnerOf("dataset/7"), 0u);
+  EXPECT_EQ(map.OwnerOf("gallery/0"), 1u);
+}
+
+TEST(ShardMapTest, IndependentInstancesAgree) {
+  ShardMap a;
+  ShardMap b;
+  // Same membership reached through different histories.
+  for (WorkerId w = 0; w < 5; ++w) a.AddWorker(w);
+  a.RemoveWorker(2);
+  for (const WorkerId w : {4u, 0u, 3u, 1u}) b.AddWorker(w);
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "ds/" + std::to_string(i);
+    EXPECT_EQ(a.OwnerOf(name), b.OwnerOf(name)) << name;
+    EXPECT_EQ(a.OwnerOfKey(static_cast<std::uint64_t>(i) * 7919),
+              b.OwnerOfKey(static_cast<std::uint64_t>(i) * 7919));
+  }
+}
+
+TEST(ShardMapTest, EpochBumpsOnlyOnRealChanges) {
+  ShardMap map;
+  EXPECT_EQ(map.Epoch(), 0u);
+  map.AddWorker(1);
+  EXPECT_EQ(map.Epoch(), 1u);
+  map.AddWorker(1);  // idempotent: no change, no bump
+  EXPECT_EQ(map.Epoch(), 1u);
+  map.AddWorker(2);
+  EXPECT_EQ(map.Epoch(), 2u);
+  map.RemoveWorker(7);  // unknown worker: no change, no bump
+  EXPECT_EQ(map.Epoch(), 2u);
+  map.RemoveWorker(1);
+  EXPECT_EQ(map.Epoch(), 3u);
+  EXPECT_EQ(map.Workers(), (std::vector<WorkerId>{2}));
+}
+
+TEST(ShardMapTest, SingleWorkerOwnsEverything) {
+  ShardMap map;
+  map.AddWorker(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(map.OwnerOf("n" + std::to_string(i)), 9u);
+  }
+  EXPECT_EQ(map.WorkerCount(), 1u);
+}
+
+// Consistent hashing's contract: a join moves roughly 1/N of the keys (the
+// ranges adjacent to the new worker's points) and nothing else reshuffles.
+TEST(ShardMapTest, JoinMovesBoundedKeyShare) {
+  constexpr int kKeys = 2000;
+  ShardMap before;
+  for (WorkerId w = 0; w < 4; ++w) before.AddWorker(w);
+  ShardMap after = before;
+  after.AddWorker(4);
+
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "key/" + std::to_string(i);
+    const WorkerId old_owner = before.OwnerOf(name);
+    const WorkerId new_owner = after.OwnerOf(name);
+    if (old_owner != new_owner) {
+      ++moved;
+      // A moved key may only move TO the joining worker.
+      EXPECT_EQ(new_owner, 4u) << name;
+    }
+  }
+  // Expected share is 1/5 of the keys; allow generous hashing slack but
+  // reject anything near a full reshuffle.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys * 2 / 5);
+}
+
+TEST(ShardMapTest, LeaveMovesOnlyTheLeaverKeys) {
+  constexpr int kKeys = 2000;
+  ShardMap before;
+  for (WorkerId w = 0; w < 4; ++w) before.AddWorker(w);
+  ShardMap after = before;
+  after.RemoveWorker(2);
+
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string name = "key/" + std::to_string(i);
+    if (before.OwnerOf(name) != 2u) {
+      // Keys not owned by the leaver stay exactly where they were.
+      EXPECT_EQ(after.OwnerOf(name), before.OwnerOf(name)) << name;
+    } else {
+      EXPECT_NE(after.OwnerOf(name), 2u) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evm::dist

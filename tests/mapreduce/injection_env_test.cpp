@@ -48,6 +48,7 @@ TEST(InjectionEnvTest, ParsesEveryKnob) {
       {"EVM_MR_INJECT_SEED", "424242"},
       {"EVM_MR_INJECT_MAX_ATTEMPTS", "17"},
       {"EVM_MR_INJECT_SPECULATION", "on"},
+      {"EVM_MR_INJECT_WORKER_KILLS", "0.05"},
   }};
   const auto overrides = ParseInjectionEnv(env.Lookup(), env.Names());
   EXPECT_EQ(overrides.map_failure_prob, 0.25);
@@ -58,6 +59,18 @@ TEST(InjectionEnvTest, ParsesEveryKnob) {
   EXPECT_EQ(overrides.seed, 424242u);
   EXPECT_EQ(overrides.max_attempts, 17);
   EXPECT_EQ(overrides.speculation, true);
+  EXPECT_EQ(overrides.worker_kill_prob, 0.05);
+}
+
+TEST(InjectionEnvTest, RejectsMalformedWorkerKillProbability) {
+  // Same probability grammar as the in-process failure knobs: [0, 1).
+  for (const char* bad : {"1.0", "-0.2", "yes", ""}) {
+    const FakeEnv env{{{"EVM_MR_INJECT_WORKER_KILLS", bad}}};
+    EXPECT_THROW(static_cast<void>(ParseInjectionEnv(env.Lookup(),
+                                                     env.Names())),
+                 Error)
+        << "value: '" << bad << "'";
+  }
 }
 
 TEST(InjectionEnvTest, RejectsMalformedProbability) {

@@ -16,6 +16,7 @@ fall, so true 10% regressions slipped under the gate).
 Usage:
   tools/bench_compare.py BASELINE CURRENT [--threshold 0.10]
   tools/bench_compare.py BASELINE CURRENT --update
+  tools/bench_compare.py BASELINE CURRENT --allow-new
   tools/bench_compare.py --self-test
 
 --update rewrites BASELINE from CURRENT (the re-baselining path after an
@@ -25,6 +26,13 @@ two-step dance); benchmarks present only in BASELINE fail — a silently
 vanished bench is how a regression hides. A benchmark that switches kind
 between baseline and current (throughput <-> latency) fails: the numbers are
 not comparable.
+
+--allow-new additionally accepts a BASELINE file that does not exist yet:
+the CURRENT run is validated (malformed records still fail) and the gate
+passes. This is the first-introduction path — the PR that adds a bench
+suite cannot compare against a baseline that lands in the same PR, but the
+checked-out CI workflow already references it. Once the baseline is
+committed, --allow-new behaves exactly like a normal comparison.
 
 Exit codes: 0 ok, 1 regression/missing bench, 2 usage or malformed input.
 """
@@ -111,6 +119,20 @@ def compare(baseline: dict[str, tuple[str, float]],
     return failures
 
 
+def accept_new(baseline: Path, current: Path) -> int:
+    """The --allow-new path for an absent baseline: validate CURRENT, pass.
+
+    load_bench still rejects malformed records, so a broken bench run cannot
+    slip through the gate just because its baseline is not committed yet.
+    """
+    metrics = load_bench(current)
+    print(f"bench_compare: baseline {baseline} absent; --allow-new accepts "
+          f"{len(metrics)} new benchmark(s)")
+    for name in sorted(metrics):
+        print(f"  {name}: new benchmark (no baseline; commit one to pin)")
+    return 0
+
+
 def self_test() -> int:
     """Exercises the gate against synthetic baselines; exits nonzero on bug."""
     base = [
@@ -163,6 +185,31 @@ def self_test() -> int:
         if base_path.read_text() != cur_path.read_text():
             print("self-test FAILED: --update did not copy", file=sys.stderr)
             return 1
+        # --allow-new: an absent baseline accepts a well-formed run...
+        missing = Path(tmp) / "not_committed_yet.json"
+        if accept_new(missing, cur_path) != 0:
+            print("self-test FAILED: --allow-new rejected an absent baseline",
+                  file=sys.stderr)
+            return 1
+        # ...but still validates it: malformed records fail regardless.
+        bad_path = Path(tmp) / "bad.json"
+        bad_path.write_text(json.dumps(
+            [{"name": "bm_zero", "ns_per_op": 0, "items_per_second": 0}]))
+        try:
+            accept_new(missing, bad_path)
+            print("self-test FAILED: --allow-new accepted a malformed run",
+                  file=sys.stderr)
+            return 1
+        except SystemExit:
+            pass
+        # Without the flag an absent baseline stays a hard error.
+        try:
+            load_bench(missing)
+            print("self-test FAILED: absent baseline did not fail without "
+                  "--allow-new", file=sys.stderr)
+            return 1
+        except SystemExit:
+            pass
     print("bench_compare self-test: all cases passed")
     return 0
 
@@ -182,6 +229,10 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite BASELINE from CURRENT instead of "
                              "comparing")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="pass (after validating CURRENT) when BASELINE "
+                             "does not exist yet — the first-introduction "
+                             "path for a new bench suite")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -194,6 +245,8 @@ def main() -> int:
     if args.update:
         update(args.baseline, args.current)
         return 0
+    if args.allow_new and not args.baseline.exists():
+        return accept_new(args.baseline, args.current)
 
     print(f"bench_compare: {args.current} vs baseline {args.baseline} "
           f"(threshold {100 * args.threshold:.0f}%)")

@@ -52,10 +52,14 @@ step "determinism lint: src/" "$PYTHON" tools/lint.py --root .
 step "sanitizer option validation" "$CMAKE" -P tools/sanitize_option_test.cmake
 step "bench compare: self-test" "$PYTHON" tools/bench_compare.py --self-test
 
-for bench_json in BENCH_core_ops.json BENCH_stream.json BENCH_ann.json; do
-  if [ -f "$BUILD_DIR/$bench_json" ] && [ -f "$bench_json" ]; then
+# --allow-new tolerates a baseline that is being introduced in the current
+# change (bench_compare validates the fresh output and passes); committed
+# baselines are compared as usual.
+for bench_json in BENCH_core_ops.json BENCH_stream.json BENCH_ann.json \
+                  BENCH_distributed.json; do
+  if [ -f "$BUILD_DIR/$bench_json" ]; then
     step "bench compare: $bench_json" "$PYTHON" tools/bench_compare.py \
-      "$bench_json" "$BUILD_DIR/$bench_json"
+      --allow-new "$bench_json" "$BUILD_DIR/$bench_json"
   else
     echo "==> bench compare: SKIP $bench_json (no $BUILD_DIR/$bench_json;" \
       "run the micro benches first)"

@@ -109,6 +109,10 @@ MIGRATED_FILES = (
     "src/core/parallel_split.cpp",
     "src/core/set_splitting.cpp",
     "src/core/vid_filter.cpp",
+    "src/dist/cluster.cpp",
+    "src/dist/cluster.hpp",
+    "src/dist/task_registry.cpp",
+    "src/dist/task_registry.hpp",
     "src/esense/e_scenario.cpp",
     "src/esense/e_scenario.hpp",
     "src/mapreduce/dfs.cpp",
